@@ -1,0 +1,251 @@
+package eagleeye
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one benchmark per figure; see the per-experiment index in
+// DESIGN.md). Each benchmark times the figure's full experiment and prints
+// the resulting table once, so
+//
+//	go test -bench=. -benchmem
+//
+// both measures the harness and reproduces the evaluation at
+// experiments.DefaultScale. The paper-scale sweep is cmd/figures -full.
+//
+// Figures share a simulation cache, so the first coverage benchmark pays
+// for the sweeps and later ones mostly reuse them. Tables are rendered
+// outside the timed region and only once per benchmark, regardless of b.N.
+
+import (
+	"os"
+	"testing"
+
+	"eagleeye/internal/experiments"
+)
+
+var benchScale = experiments.DefaultScale()
+
+// emit stops the timer, renders tables to stdout (the harness's
+// deliverable), and reports a headline metric on the benchmark.
+func emit(b *testing.B, tables []experiments.Table, metric string, value float64) {
+	b.Helper()
+	b.StopTimer()
+	experiments.RenderAll(os.Stdout, tables)
+	if metric != "" {
+		b.ReportMetric(value, metric)
+	}
+}
+
+// lastOf returns the final Y value of the labelled series, or -1.
+func lastOf(t *experiments.Table, label string) float64 {
+	s := t.FindSeries(label)
+	if s == nil || len(s.Y) == 0 {
+		return -1
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+func BenchmarkFig01bConstellationSize(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig01b(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "", 0)
+}
+
+func BenchmarkFig03OilTankAccuracy(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig03()
+	}
+	emit(b, []experiments.Table{t}, "err90@11.5(%)", lastOf(&t, "err90"))
+}
+
+func BenchmarkFig04CameraTradeoff(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig04Left()
+	}
+	emit(b, []experiments.Table{t}, "cameras", float64(len(t.Rows)))
+}
+
+func BenchmarkFig04CoverageVsSize(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig04Right(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "lowres/highres", safeRatio(
+		lastOf(&t, "low-res-only"), lastOf(&t, "high-res-only")))
+}
+
+func BenchmarkFig10Lookahead(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig10()
+	}
+	emit(b, []experiments.Table{t}, "plane-lookahead(km)", yAt(&t, "lookahead", 250))
+}
+
+func BenchmarkFig11aCoverage(b *testing.B) {
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = experiments.Fig11a(benchScale)
+	}
+	ratio := safeRatio(lastOf(&tables[0], "eagleeye-ilp"), lastOf(&tables[0], "high-res-only"))
+	emit(b, tables, "ships-ee/highres", ratio)
+}
+
+func BenchmarkFig11bSlewRate(b *testing.B) {
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = experiments.Fig11b(benchScale)
+	}
+	emit(b, tables, "ships-slew10(%)", lastOf(&tables[0], "slew-10"))
+}
+
+func BenchmarkFig11cFollowers(b *testing.B) {
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = experiments.Fig11c(benchScale)
+	}
+	emit(b, tables, "", 0)
+}
+
+func BenchmarkFig12aSchedulerRuntime(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig12a(benchScale)
+	}
+	ilp := t.FindSeries("ilp")
+	var worst float64
+	for _, y := range ilp.Y {
+		if y > worst {
+			worst = y
+		}
+	}
+	emit(b, []experiments.Table{t}, "ilp-max(ms)", worst)
+}
+
+func BenchmarkFig12bTargetsPerImage(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig12b(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "", 0)
+}
+
+func BenchmarkFig13MixCamera(b *testing.B) {
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = experiments.Fig13(benchScale)
+	}
+	emit(b, tables, "ships-mix@11.8s(%)", lastOf(&tables[0], "mix-camera"))
+}
+
+func BenchmarkFig14aMissRatio(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig14a(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "fraction@max", lastOf(&t, "fraction"))
+}
+
+func BenchmarkFig14bTileTime(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig14b()
+	}
+	emit(b, []experiments.Table{t}, "time@333px(s)", yAt(&t, "yolo_n", 300))
+}
+
+func BenchmarkFig14cClusteringGain(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig14c(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "", 0)
+}
+
+func BenchmarkFig15Recall(b *testing.B) {
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = experiments.Fig15(benchScale)
+	}
+	emit(b, tables, "", 0)
+}
+
+func BenchmarkFig16Energy(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Fig16()
+	}
+	emit(b, []experiments.Table{t}, "leader-util@2x", yAt(&t, "leader-utilization", 2))
+}
+
+func BenchmarkClustering500(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.ClusteringClaim(500, benchScale.Seed)
+	}
+	emit(b, []experiments.Table{t}, "cover-ms", lastOf(&t, "ms"))
+}
+
+func BenchmarkAblationSlotCount(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.AblationSlotCount(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "", 0)
+}
+
+func BenchmarkAblationPolish(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.AblationPolish(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "", 0)
+}
+
+func BenchmarkAblationClusterILPvsGreedy(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.AblationClusterILPvsGreedy(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "", 0)
+}
+
+func BenchmarkExtensionOrbitPlanes(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.ExtOrbitPlanes(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "", 0)
+}
+
+func BenchmarkExtensionRecapture(b *testing.B) {
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.ExtRecapture(benchScale)
+	}
+	emit(b, []experiments.Table{t}, "suppressed", lastOf(&t, "suppressed"))
+}
+
+// safeRatio returns a/b, or 0 when b is 0.
+func safeRatio(a, vb float64) float64 {
+	if vb == 0 {
+		return 0
+	}
+	return a / vb
+}
+
+// yAt returns the labelled series' Y at the given X, or -1.
+func yAt(t *experiments.Table, label string, x float64) float64 {
+	s := t.FindSeries(label)
+	if s == nil {
+		return -1
+	}
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,83 @@
+// Command datagen generates the synthetic evaluation datasets and writes
+// them to JSON for inspection or for use by external tools.
+//
+// Usage:
+//
+//	datagen -dataset ships -out ships.json
+//	datagen -dataset airplanes -limit 1000       # first 1000 targets to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"eagleeye/internal/dataset"
+)
+
+// jsonTarget is the serialized target record.
+type jsonTarget struct {
+	ID         int     `json:"id"`
+	Lat        float64 `json:"lat"`
+	Lon        float64 `json:"lon"`
+	SpeedMS    float64 `json:"speed_ms,omitempty"`
+	HeadingDeg float64 `json:"heading_deg,omitempty"`
+	Value      float64 `json:"value"`
+	AreaKM2    float64 `json:"area_km2,omitempty"`
+	AppearS    float64 `json:"appear_s,omitempty"`
+	VanishS    float64 `json:"vanish_s,omitempty"`
+}
+
+type jsonSet struct {
+	Name    string       `json:"name"`
+	Moving  bool         `json:"moving"`
+	Count   int          `json:"count"`
+	Targets []jsonTarget `json:"targets"`
+}
+
+func main() {
+	var (
+		name  = flag.String("dataset", "ships", "ships | airplanes | lakes-166k | lakes-1.4m | oiltanks")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		limit = flag.Int("limit", 0, "emit at most this many targets (0 = all)")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	set, err := dataset.ByName(*name, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	targets := set.Targets
+	if *limit > 0 && *limit < len(targets) {
+		targets = targets[:*limit]
+	}
+	js := jsonSet{Name: set.Name, Moving: set.Moving, Count: len(set.Targets)}
+	for _, t := range targets {
+		js.Targets = append(js.Targets, jsonTarget{
+			ID: t.ID, Lat: t.Pos.Lat, Lon: t.Pos.Lon,
+			SpeedMS: t.SpeedMS, HeadingDeg: t.HeadingDeg,
+			Value: t.Value, AreaKM2: t.AreaKM2,
+			AppearS: t.AppearS, VanishS: t.VanishS,
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(js); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section and prints them as aligned text tables.
+//
+// Usage:
+//
+//	figures                 # laptop-sized default scale (minutes)
+//	figures -full           # the paper's 24 h, 40-satellite sweeps (hours)
+//	figures -only fig11a    # a single figure
+//	figures -list           # list figure names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"eagleeye/internal/experiments"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "run the paper-scale sweeps (24 h, large constellations)")
+		only   = flag.String("only", "", "comma-separated figure names to run (see -list)")
+		list   = flag.Bool("list", false, "list available figures and exit")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *full {
+		sc = experiments.FullScale()
+	}
+
+	figs := map[string]func() []experiments.Table{
+		"fig01b":          func() []experiments.Table { return []experiments.Table{experiments.Fig01b(sc)} },
+		"fig03":           func() []experiments.Table { return []experiments.Table{experiments.Fig03()} },
+		"fig04left":       func() []experiments.Table { return []experiments.Table{experiments.Fig04Left()} },
+		"fig04right":      func() []experiments.Table { return []experiments.Table{experiments.Fig04Right(sc)} },
+		"fig10":           func() []experiments.Table { return []experiments.Table{experiments.Fig10()} },
+		"fig11a":          func() []experiments.Table { return experiments.Fig11a(sc) },
+		"fig11b":          func() []experiments.Table { return experiments.Fig11b(sc) },
+		"fig11c":          func() []experiments.Table { return experiments.Fig11c(sc) },
+		"fig12a":          func() []experiments.Table { return []experiments.Table{experiments.Fig12a(sc)} },
+		"fig12b":          func() []experiments.Table { return []experiments.Table{experiments.Fig12b(sc)} },
+		"fig13":           func() []experiments.Table { return experiments.Fig13(sc) },
+		"fig14a":          func() []experiments.Table { return []experiments.Table{experiments.Fig14a(sc)} },
+		"fig14b":          func() []experiments.Table { return []experiments.Table{experiments.Fig14b()} },
+		"fig14c":          func() []experiments.Table { return []experiments.Table{experiments.Fig14c(sc)} },
+		"fig15":           func() []experiments.Table { return experiments.Fig15(sc) },
+		"fig16":           func() []experiments.Table { return []experiments.Table{experiments.Fig16()} },
+		"clustering500":   func() []experiments.Table { return []experiments.Table{experiments.ClusteringClaim(500, sc.Seed)} },
+		"ablation-slots":  func() []experiments.Table { return []experiments.Table{experiments.AblationSlotCount(sc)} },
+		"ablation-polish": func() []experiments.Table { return []experiments.Table{experiments.AblationPolish(sc)} },
+		"ablation-cluster": func() []experiments.Table {
+			return []experiments.Table{experiments.AblationClusterILPvsGreedy(sc)}
+		},
+		"ext-planes":    func() []experiments.Table { return []experiments.Table{experiments.ExtOrbitPlanes(sc)} },
+		"ext-recapture": func() []experiments.Table { return []experiments.Table{experiments.ExtRecapture(sc)} },
+	}
+	names := make([]string, 0, len(figs))
+	for n := range figs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if *list {
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	selected := names
+	if *only != "" {
+		selected = nil
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(strings.ToLower(n))
+			if _, ok := figs[n]; !ok {
+				fmt.Fprintf(os.Stderr, "figures: unknown figure %q (try -list)\n", n)
+				os.Exit(1)
+			}
+			selected = append(selected, n)
+		}
+	}
+
+	scaleName := "default"
+	if *full {
+		scaleName = "full (paper-scale)"
+	}
+	fmt.Printf("EagleEye evaluation harness -- scale: %s, %d figure(s)\n\n", scaleName, len(selected))
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	for _, n := range selected {
+		start := time.Now()
+		tables := figs[n]()
+		experiments.RenderAll(os.Stdout, tables)
+		if *csvDir != "" {
+			for i := range tables {
+				if err := writeCSV(*csvDir, &tables[i]); err != nil {
+					fmt.Fprintln(os.Stderr, "figures:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("  [%s took %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV saves one table under its slug name.
+func writeCSV(dir string, t *experiments.Table) error {
+	f, err := os.Create(filepath.Join(dir, t.SlugTitle()+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.RenderCSV(f)
+}

@@ -1,0 +1,297 @@
+package eagleeye
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRunRequiresWorkload(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if _, err := Run(Config{Dataset: "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Run(Config{Dataset: DatasetShips, Organization: "weird"}); err == nil {
+		t.Error("unknown organization accepted")
+	}
+	if _, err := Run(Config{Dataset: DatasetShips, Scheduler: "weird"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := Run(Config{Dataset: DatasetShips, Detector: "weird"}); err == nil {
+		t.Error("unknown detector accepted")
+	}
+}
+
+func TestRunCustomTargets(t *testing.T) {
+	targets := []Target{
+		{Lat: 0.1, Lon: 0.1}, {Lat: 0.2, Lon: 0.3}, {Lat: -0.4, Lon: 0.2},
+		{Lat: 20.1, Lon: 40.0}, {Lat: 20.3, Lon: 40.2},
+	}
+	r, err := Run(Config{
+		Targets:       targets,
+		Satellites:    2,
+		DurationHours: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Organization != LeaderFollower {
+		t.Errorf("organization = %q", r.Organization)
+	}
+	if r.TotalTargets != len(targets) {
+		t.Errorf("targets = %d", r.TotalTargets)
+	}
+	if r.Frames == 0 {
+		t.Error("no frames simulated")
+	}
+	if r.CoveragePct < 0 || r.CoveragePct > 100 {
+		t.Errorf("coverage = %v", r.CoveragePct)
+	}
+}
+
+func TestRunBuiltinDatasetShortSim(t *testing.T) {
+	r, err := Run(Config{
+		Dataset:       DatasetShips,
+		Organization:  LowResOnly,
+		Satellites:    2,
+		DurationHours: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dataset != "ships" || r.Satellites != 2 {
+		t.Errorf("metadata wrong: %+v", r)
+	}
+	if r.CoveragePct <= 0 {
+		t.Error("two satellites over two hours should see some ships")
+	}
+}
+
+func TestScheduleStandalone(t *testing.T) {
+	req := ScheduleRequest{
+		Targets: []SchedTarget{
+			{X: -3e3, Y: 45e3}, {X: 2e3, Y: 60e3}, {X: -1e3, Y: 75e3},
+		},
+	}
+	plan, err := Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("plan covers %d of 3", len(plan))
+	}
+	for i := 1; i < len(plan); i++ {
+		if plan[i].Follower == plan[i-1].Follower && plan[i].TimeS < plan[i-1].TimeS {
+			t.Error("plan not in execution order")
+		}
+	}
+	// Greedy and ABB algorithms work too.
+	for _, alg := range []string{SchedulerGreedy, SchedulerABB} {
+		req.Algorithm = alg
+		if _, err := Schedule(req); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+	req.Algorithm = "weird"
+	if _, err := Schedule(req); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestClusterTargetsStandalone(t *testing.T) {
+	xs := []float64{0, 1e3, 50e3}
+	ys := []float64{0, 1e3, 50e3}
+	boxes, err := ClusterTargets(xs, ys, 10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boxes) != 2 {
+		t.Errorf("boxes = %d, want 2", len(boxes))
+	}
+	covered := 0
+	for _, b := range boxes {
+		covered += len(b.Members)
+		if b.MaxX-b.MinX > 10e3+1 || b.MaxY-b.MinY > 10e3+1 {
+			t.Error("box exceeds swath")
+		}
+	}
+	if covered != 3 {
+		t.Errorf("covered %d of 3", covered)
+	}
+	if _, err := ClusterTargets([]float64{1}, []float64{1, 2}, 10e3); err == nil {
+		t.Error("mismatched slices accepted")
+	}
+}
+
+func TestMaxLookaheadDefaults(t *testing.T) {
+	ship := MaxLookaheadM(14, 0, 0, 0)
+	if ship < 450e3 || ship > 600e3 {
+		t.Errorf("ship lookahead = %v", ship)
+	}
+	if !math.IsInf(MaxLookaheadM(0, 0, 0, 0), 1) {
+		t.Error("static lookahead should be unbounded")
+	}
+}
+
+func TestCameraCatalogue(t *testing.T) {
+	cat := CameraCatalogue()
+	if len(cat) != 11 { // 9 real + leader + follower
+		t.Fatalf("catalogue = %d entries", len(cat))
+	}
+	for _, c := range cat {
+		if c.SwathM <= 0 || c.GSDM <= 0 || c.Name == "" {
+			t.Errorf("bad camera %+v", c)
+		}
+	}
+}
+
+func TestRunMixCameraAndExtensions(t *testing.T) {
+	targets := []Target{
+		{Lat: 0.1, Lon: 0.1}, {Lat: 0.3, Lon: 0.2}, {Lat: 20.1, Lon: 40.1},
+	}
+	var trace bytes.Buffer
+	r, err := Run(Config{
+		Organization:     MixCamera,
+		Targets:          targets,
+		Satellites:       1,
+		DurationHours:    2,
+		MixComputeDelayS: 2.6,
+		Trace:            &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Organization != MixCamera {
+		t.Errorf("organization = %q", r.Organization)
+	}
+	r2, err := Run(Config{
+		Targets:        targets,
+		Satellites:     4,
+		OrbitPlanes:    2,
+		RecaptureDedup: true,
+		DurationHours:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.RecaptureSuppressed < 0 {
+		t.Error("negative suppression count")
+	}
+}
+
+func TestRunInvalidCustomTargets(t *testing.T) {
+	if _, err := Run(Config{Targets: []Target{{Lat: 95, Lon: 0, Value: 2}}}); err == nil {
+		t.Error("invalid custom target accepted")
+	}
+}
+
+func TestRunDetectorSelection(t *testing.T) {
+	r, err := Run(Config{
+		Targets:       []Target{{Lat: 0.1, Lon: 0.1}},
+		Detector:      "yolo_m",
+		DurationHours: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Frames == 0 {
+		t.Error("no frames")
+	}
+}
+
+func TestEnergyBudgetErrors(t *testing.T) {
+	if _, err := EnergyBudget("weird", 1, ""); err == nil {
+		t.Error("unknown role accepted")
+	}
+	if _, err := EnergyBudget("leader", 1, "weird"); err == nil {
+		t.Error("unknown detector accepted")
+	}
+	r, err := EnergyBudget("high-res-baseline", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TileFactor != 1 {
+		t.Errorf("zero tile factor should default to 1, got %v", r.TileFactor)
+	}
+	for _, role := range []string{"low-res-baseline", "high-res-baseline", "leader", "follower"} {
+		rep, err := EnergyBudget(role, 2, "yolo_n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalJ <= 0 || rep.HarvestJ <= 0 {
+			t.Errorf("%s: empty budget", role)
+		}
+	}
+}
+
+func TestRunSchedulerVariants(t *testing.T) {
+	targets := []Target{{Lat: 0.1, Lon: 0.1}, {Lat: 0.2, Lon: 0.4}}
+	for _, s := range []string{SchedulerGreedy, SchedulerABB} {
+		r, err := Run(Config{Targets: targets, Scheduler: s, DurationHours: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Frames == 0 {
+			t.Errorf("%s: no frames", s)
+		}
+	}
+}
+
+func TestScheduleCustomEnvironment(t *testing.T) {
+	plan, err := Schedule(ScheduleRequest{
+		Targets:          []SchedTarget{{X: 0, Y: 50e3, Value: 2}},
+		FollowerOffsetsM: []float64{50e3, 150e3},
+		AltitudeM:        500e3,
+		GroundSpeedMS:    7500,
+		MaxOffNadirDeg:   15,
+		SlewRateDegS:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 {
+		t.Fatalf("plan = %d captures", len(plan))
+	}
+}
+
+func TestPlanTiling(t *testing.T) {
+	px, ft, err := PlanTiling("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px <= 0 || ft <= 0 || ft > 13.7 {
+		t.Errorf("tile = %d, time = %v", px, ft)
+	}
+	// A big model under a tight deadline picks coarser tiles than a small
+	// one.
+	pxN, _, err := PlanTiling("yolo_n", 13.7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxX, _, err := PlanTiling("yolo_x", 13.7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pxX <= pxN {
+		t.Errorf("yolo_x tile %d should be coarser than yolo_n %d", pxX, pxN)
+	}
+	if _, _, err := PlanTiling("weird", 0, 0); err == nil {
+		t.Error("unknown detector accepted")
+	}
+	if _, _, err := PlanTiling("yolo_x", 0.1, 0); err == nil {
+		t.Error("impossible deadline accepted")
+	}
+}
+
+func TestGroundContactPerOrbit(t *testing.T) {
+	s, err := GroundContactPerOrbitS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same order of magnitude as the paper's 360 s/orbit assumption.
+	if s < 60 || s > 1800 {
+		t.Errorf("contact = %v s/orbit", s)
+	}
+}

@@ -1,0 +1,62 @@
+package eagleeye_test
+
+import (
+	"fmt"
+
+	"eagleeye"
+)
+
+// ExampleClusterTargets covers three detections with minimum 10 km
+// high-resolution footprints: the two nearby targets share one capture.
+func ExampleClusterTargets() {
+	xs := []float64{0, 2000, 40000}
+	ys := []float64{0, 1000, 40000}
+	boxes, err := eagleeye.ClusterTargets(xs, ys, 10e3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d detections -> %d captures\n", len(xs), len(boxes))
+	// Output:
+	// 3 detections -> 2 captures
+}
+
+// ExampleSchedule plans one follower's capture sequence over three targets
+// ahead of it on the ground track.
+func ExampleSchedule() {
+	plan, err := eagleeye.Schedule(eagleeye.ScheduleRequest{
+		Targets: []eagleeye.SchedTarget{
+			{X: -3e3, Y: 45e3},
+			{X: 2e3, Y: 60e3},
+			{X: -1e3, Y: 75e3},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("captured %d of 3 targets with one follower\n", len(plan))
+	// Output:
+	// captured 3 of 3 targets with one follower
+}
+
+// ExampleMaxLookaheadM evaluates the paper's moving-target limit for a
+// ship: at 14 m/s the 100 km leader-follower separation is comfortable.
+func ExampleMaxLookaheadM() {
+	d := eagleeye.MaxLookaheadM(14, 0, 0, 0)
+	fmt.Printf("ship lookahead limit ~%d km\n", int(d/1e3/100)*100)
+	// Output:
+	// ship lookahead limit ~500 km
+}
+
+// ExampleEnergyBudget checks whether a leader can afford double tiling.
+func ExampleEnergyBudget() {
+	r, err := eagleeye.EnergyBudget("leader", 2, "yolo_m")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("2x tiling feasible: %v\n", r.Feasible)
+	r4, _ := eagleeye.EnergyBudget("leader", 4, "yolo_m")
+	fmt.Printf("4x tiling feasible: %v\n", r4.Feasible)
+	// Output:
+	// 2x tiling feasible: true
+	// 4x tiling feasible: false
+}

@@ -1,0 +1,54 @@
+// Airplane tracking: the paper's moving-target use case (§5.2, §4.6).
+// Aircraft cross a follower's footprint while the schedule is in flight,
+// so the leader-to-follower lookahead distance matters: this example
+// first reproduces the Fig. 10 lookahead analysis, then simulates the
+// 55,196-aircraft air picture to show EagleEye still capturing moving
+// targets that a high-res-only constellation misses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eagleeye"
+)
+
+func main() {
+	fmt.Println("Moving-target lookahead limits (Fig. 10):")
+	for _, tc := range []struct {
+		name    string
+		speedMS float64
+	}{
+		{"container ship (14 m/s)", 14},
+		{"regional turboprop (120 m/s)", 120},
+		{"airliner (250 m/s)", 250},
+	} {
+		d := eagleeye.MaxLookaheadM(tc.speedMS, 0, 0, 0)
+		fmt.Printf("  %-30s max lookahead %6.0f km\n", tc.name, d/1e3)
+	}
+	fmt.Println()
+	fmt.Println("The paper's 100 km leader-follower separation is comfortable for")
+	fmt.Println("ships; airliners drift kilometers during the transit, so some")
+	fmt.Println("escape the aimed footprint -- the simulation below includes that.")
+	fmt.Println()
+
+	for _, cfg := range []struct {
+		label string
+		org   string
+	}{
+		{"eagleeye (1 leader + 1 follower per group)", eagleeye.LeaderFollower},
+		{"high-res-only", eagleeye.HighResOnly},
+	} {
+		r, err := eagleeye.Run(eagleeye.Config{
+			Organization:  cfg.org,
+			Dataset:       eagleeye.DatasetAirplanes,
+			Satellites:    8,
+			DurationHours: 6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-46s %6.2f%% of %d aircraft captured\n",
+			cfg.label, r.CoveragePct, r.TotalTargets)
+	}
+}

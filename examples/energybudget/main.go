@@ -1,0 +1,50 @@
+// Energy budget: the paper's Fig. 16 analysis as a design exercise. A
+// constellation designer asks: how much frame tiling (ML work per frame)
+// can the leader afford on harvested solar power, and are followers ever
+// energy-bound? The answers drive the paper's guidance -- add solar panels
+// to the leader, spend the follower budget on a faster ADACS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eagleeye"
+)
+
+func main() {
+	fmt.Println("Per-orbit energy budget, 3U cubesat, yolo_m detector (Fig. 16):")
+	fmt.Printf("%-18s %6s %9s %9s %9s %9s %7s %9s\n",
+		"role", "tiling", "camera(J)", "adacs(J)", "compute(J)", "radio(J)", "util", "feasible")
+	for _, factor := range []float64{1, 2, 4} {
+		for _, role := range []string{"low-res-baseline", "leader", "follower"} {
+			r, err := eagleeye.EnergyBudget(role, factor, "yolo_m")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %6.0fx %9.0f %9.0f %9.0f %9.0f %7.2f %9v\n",
+				r.Role, r.TileFactor, r.CameraJ, r.ADACSJ, r.ComputeJ, r.RadioJ,
+				r.Utilization, r.Feasible)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println(" - the leader is feasible up to ~2x tiling; 4x exceeds harvest,")
+	fmt.Println("   so extra ML work needs extra solar panels;")
+	fmt.Println(" - followers never come close to the budget: spend it on a")
+	fmt.Println("   faster ADACS to capture more targets per pass;")
+	fmt.Println(" - the leader undercuts the baselines because it crosslinks")
+	fmt.Println("   2 KB schedules instead of downlinking imagery.")
+
+	// Cross-check with a simulated constellation's measured utilization.
+	sim, err := eagleeye.Run(eagleeye.Config{
+		Dataset:       eagleeye.DatasetShips,
+		Satellites:    2,
+		DurationHours: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMeasured in simulation (ships, 6 h): leader util %.2f, follower util %.2f\n",
+		sim.LeaderEnergyUtilization, sim.FollowerEnergyUtilization)
+}

@@ -1,0 +1,65 @@
+// Orbit design: the §4.7 future-work extension. As a constellation grows
+// within one orbital plane, satellites increasingly re-image the same
+// ground tracks. Spreading leader-follower groups across several planes
+// (evenly spaced ascending nodes) reduces the overlap -- this example
+// sweeps the plane count at a fixed satellite budget and also shows the
+// recapture extension suppressing duplicate work on a revisit-heavy world.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"eagleeye"
+)
+
+func main() {
+	fmt.Println("Orbital-plane sweep: 8 satellites (4 leader+follower groups),")
+	fmt.Println("ship detection, 3-hour window:")
+	for _, planes := range []int{1, 2, 4} {
+		r, err := eagleeye.Run(eagleeye.Config{
+			Dataset:       eagleeye.DatasetShips,
+			Satellites:    8,
+			OrbitPlanes:   planes,
+			DurationHours: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d plane(s): %5.2f%% coverage\n", planes, r.CoveragePct)
+	}
+	fmt.Println()
+	fmt.Println("Spreading ascending nodes multiplies early coverage: groups stop")
+	fmt.Println("flying over each other's ground tracks.")
+	fmt.Println()
+
+	// Near-polar targets are revisited every few orbits, so the leader
+	// keeps re-detecting ships it has already handed to a follower.
+	rng := rand.New(rand.NewSource(9))
+	var polar []eagleeye.Target
+	for i := 0; i < 1500; i++ {
+		polar = append(polar, eagleeye.Target{
+			Lat: 78 + rng.Float64()*4,
+			Lon: rng.Float64()*360 - 180,
+		})
+	}
+	fmt.Println("Recapture deprioritization on a revisit-heavy polar field (6 h):")
+	for _, dedup := range []bool{false, true} {
+		r, err := eagleeye.Run(eagleeye.Config{
+			Targets:        polar,
+			Satellites:     4,
+			DurationHours:  6,
+			RecaptureDedup: dedup,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "without dedup"
+		if dedup {
+			label = "with dedup   "
+		}
+		fmt.Printf("  %s coverage %5.2f%%, captures %d, suppressed re-detections %d\n",
+			label, r.CoveragePct, r.Captures, r.RecaptureSuppressed)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: simulate a minimal EagleEye group -- one low-resolution
+// leader plus one high-resolution follower -- over a small custom target
+// field, and compare it against a homogeneous high-resolution satellite
+// pair. This is the paper's Fig. 1 story in a few lines of code.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"eagleeye"
+)
+
+func main() {
+	// A target field: clusters of interest along the orbit's ground track.
+	rng := rand.New(rand.NewSource(7))
+	var targets []eagleeye.Target
+	for _, hub := range []struct{ lat, lon float64 }{
+		{0, 0}, {25, 45}, {-30, 120}, {50, -75}, {-10, -55},
+	} {
+		for i := 0; i < 40; i++ {
+			targets = append(targets, eagleeye.Target{
+				Lat: hub.lat + rng.NormFloat64()*2,
+				Lon: hub.lon + rng.NormFloat64()*2,
+			})
+		}
+	}
+
+	run := func(org string) *eagleeye.Result {
+		r, err := eagleeye.Run(eagleeye.Config{
+			Organization:  org,
+			Satellites:    2,
+			Targets:       targets,
+			DurationHours: 6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	ee := run(eagleeye.LeaderFollower)
+	hr := run(eagleeye.HighResOnly)
+	lo := run(eagleeye.LowResOnly)
+
+	fmt.Println("Two satellites, six hours, 200 targets:")
+	fmt.Printf("  high-res-only:    %5.1f%% captured at 3 m/px\n", hr.CoveragePct)
+	fmt.Printf("  eagleeye (1L+1F): %5.1f%% captured at 3 m/px\n", ee.CoveragePct)
+	fmt.Printf("  low-res-only:     %5.1f%% seen, but only at 30 m/px\n", lo.CoveragePct)
+	if hr.CoveragePct > 0 {
+		fmt.Printf("\nEagleEye delivers %.1fx the high-resolution coverage of the\n"+
+			"homogeneous high-res constellation at the same satellite count.\n",
+			ee.CoveragePct/hr.CoveragePct)
+	}
+	fmt.Printf("Leader scheduling took %.2f ms per frame on average.\n", ee.SchedulerMeanMS)
+}

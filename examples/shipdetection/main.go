@@ -1,0 +1,55 @@
+// Ship detection: the paper's first use case (§5.2). A constellation
+// watches the world's shipping lanes for illegal fishing and oil spills;
+// the leader detects ships in 30 m/px imagery and tasks followers to
+// capture them at 3 m/px. The example sweeps constellation size and
+// compares EagleEye's ILP scheduler against the greedy baseline --
+// a slice of the paper's Fig. 11a.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eagleeye"
+)
+
+func main() {
+	fmt.Println("Ship detection (19,119 vessels on world shipping lanes), 6-hour window")
+	fmt.Println()
+	fmt.Printf("%10s  %14s  %14s  %14s\n", "satellites", "high-res-only", "eagleeye-ilp", "eagleeye-greedy")
+
+	for _, sats := range []int{2, 4, 8} {
+		base := eagleeye.Config{
+			Dataset:       eagleeye.DatasetShips,
+			Satellites:    sats,
+			DurationHours: 6,
+		}
+
+		hrCfg := base
+		hrCfg.Organization = eagleeye.HighResOnly
+		hr, err := eagleeye.Run(hrCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ilp, err := eagleeye.Run(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		gCfg := base
+		gCfg.Scheduler = eagleeye.SchedulerGreedy
+		greedy, err := eagleeye.Run(gCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%10d  %13.2f%%  %13.2f%%  %13.2f%%\n",
+			sats, hr.CoveragePct, ilp.CoveragePct, greedy.CoveragePct)
+	}
+
+	fmt.Println()
+	fmt.Println("EagleEye captures several times more ships at high resolution than")
+	fmt.Println("a homogeneous high-res constellation of the same size; the ILP")
+	fmt.Println("scheduler matches or beats the greedy baseline.")
+}

@@ -1,0 +1,3 @@
+module eagleeye
+
+go 1.22

@@ -1,0 +1,160 @@
+package adacs
+
+import (
+	"fmt"
+	"math"
+
+	"eagleeye/internal/geo"
+)
+
+// Attitude kinematics. The scheduling layer reasons about pointing as
+// angles between boresight vectors (Eq. 1); the ADACS that executes a
+// schedule slews the spacecraft body, which is an attitude trajectory.
+// Quaternions represent attitudes; SlewTrajectory samples the great-arc
+// rotation between two boresights under the MaxAng rate law, which is what
+// an attitude-control loop would track and what the energy model's slew
+// accounting integrates over.
+
+// Quaternion is a unit quaternion (W scalar part) representing a rotation.
+type Quaternion struct {
+	W, X, Y, Z float64
+}
+
+// IdentityQuaternion returns the no-rotation attitude.
+func IdentityQuaternion() Quaternion { return Quaternion{W: 1} }
+
+// QuaternionFromAxisAngle builds the rotation of angleRad around axis.
+func QuaternionFromAxisAngle(axis geo.Vec3, angleRad float64) Quaternion {
+	u := axis.Unit()
+	s, c := math.Sincos(angleRad / 2)
+	return Quaternion{W: c, X: u.X * s, Y: u.Y * s, Z: u.Z * s}
+}
+
+// Mul composes rotations: (q.Mul(r)) applies r first, then q.
+func (q Quaternion) Mul(r Quaternion) Quaternion {
+	return Quaternion{
+		W: q.W*r.W - q.X*r.X - q.Y*r.Y - q.Z*r.Z,
+		X: q.W*r.X + q.X*r.W + q.Y*r.Z - q.Z*r.Y,
+		Y: q.W*r.Y - q.X*r.Z + q.Y*r.W + q.Z*r.X,
+		Z: q.W*r.Z + q.X*r.Y - q.Y*r.X + q.Z*r.W,
+	}
+}
+
+// Conj returns the inverse rotation (for unit quaternions).
+func (q Quaternion) Conj() Quaternion { return Quaternion{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quaternion) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns the unit quaternion in the same direction.
+func (q Quaternion) Normalize() Quaternion {
+	n := q.Norm()
+	if n == 0 {
+		return IdentityQuaternion()
+	}
+	return Quaternion{W: q.W / n, X: q.X / n, Y: q.Y / n, Z: q.Z / n}
+}
+
+// Rotate applies the rotation to a vector.
+func (q Quaternion) Rotate(v geo.Vec3) geo.Vec3 {
+	p := Quaternion{X: v.X, Y: v.Y, Z: v.Z}
+	r := q.Mul(p).Mul(q.Conj())
+	return geo.Vec3{X: r.X, Y: r.Y, Z: r.Z}
+}
+
+// AngleTo returns the rotation angle in radians between two attitudes.
+func (q Quaternion) AngleTo(r Quaternion) float64 {
+	d := q.Conj().Mul(r).Normalize()
+	w := math.Abs(d.W)
+	if w > 1 {
+		w = 1
+	}
+	return 2 * math.Acos(w)
+}
+
+// BetweenVectors returns the minimal rotation taking unit direction a to b.
+func BetweenVectors(a, b geo.Vec3) Quaternion {
+	ua, ub := a.Unit(), b.Unit()
+	d := ua.Dot(ub)
+	if d > 1-1e-12 {
+		return IdentityQuaternion()
+	}
+	if d < -1+1e-12 {
+		// Antipodal: rotate pi around any axis orthogonal to a.
+		ortho := ua.Cross(geo.Vec3{X: 1})
+		if ortho.Norm() < 1e-9 {
+			ortho = ua.Cross(geo.Vec3{Y: 1})
+		}
+		return QuaternionFromAxisAngle(ortho, math.Pi)
+	}
+	axis := ua.Cross(ub)
+	return QuaternionFromAxisAngle(axis, math.Acos(d))
+}
+
+// Slerp interpolates between attitudes (t in [0,1]).
+func Slerp(a, b Quaternion, t float64) Quaternion {
+	if t <= 0 {
+		return a
+	}
+	if t >= 1 {
+		return b
+	}
+	dot := a.W*b.W + a.X*b.X + a.Y*b.Y + a.Z*b.Z
+	if dot < 0 { // take the short arc
+		b = Quaternion{W: -b.W, X: -b.X, Y: -b.Y, Z: -b.Z}
+		dot = -dot
+	}
+	if dot > 1-1e-9 {
+		// Nearly identical: linear interpolation avoids division by ~0.
+		return Quaternion{
+			W: a.W + t*(b.W-a.W), X: a.X + t*(b.X-a.X),
+			Y: a.Y + t*(b.Y-a.Y), Z: a.Z + t*(b.Z-a.Z),
+		}.Normalize()
+	}
+	theta := math.Acos(dot)
+	sa := math.Sin((1 - t) * theta)
+	sb := math.Sin(t * theta)
+	st := math.Sin(theta)
+	return Quaternion{
+		W: (sa*a.W + sb*b.W) / st, X: (sa*a.X + sb*b.X) / st,
+		Y: (sa*a.Y + sb*b.Y) / st, Z: (sa*a.Z + sb*b.Z) / st,
+	}.Normalize()
+}
+
+// AttitudeSample is one point of a slew trajectory.
+type AttitudeSample struct {
+	TimeS    float64
+	Attitude Quaternion
+}
+
+// SlewTrajectory samples the attitude path from pointing along fromDir to
+// pointing along toDir under the slew model: an overhead-long settle at
+// the start (accel/decel aggregated, as in MaxAng), then constant-rate
+// rotation along the great arc. stepS must be positive.
+func SlewTrajectory(m SlewModel, fromDir, toDir geo.Vec3, stepS float64) ([]AttitudeSample, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if stepS <= 0 {
+		return nil, fmt.Errorf("adacs: step %v must be positive", stepS)
+	}
+	start := IdentityQuaternion()
+	end := BetweenVectors(fromDir, toDir)
+	totalDeg := geo.Rad2Deg(start.AngleTo(end))
+	dur := m.MinTimeS(totalDeg)
+	out := []AttitudeSample{{TimeS: 0, Attitude: start}}
+	for t := stepS; t < dur; t += stepS {
+		// Progress under the rate law: nothing moves during the overhead,
+		// then the arc is traversed at the constant rate.
+		moved := m.MaxAngDeg(t)
+		frac := 0.0
+		if totalDeg > 0 {
+			frac = math.Min(1, moved/totalDeg)
+		}
+		out = append(out, AttitudeSample{TimeS: t, Attitude: Slerp(start, end, frac)})
+	}
+	out = append(out, AttitudeSample{TimeS: dur, Attitude: end})
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package adacs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eagleeye/internal/geo"
+)
+
+func vecAlmost(a, b geo.Vec3, tol float64) bool {
+	return a.Sub(b).Norm() <= tol
+}
+
+func TestQuaternionIdentity(t *testing.T) {
+	q := IdentityQuaternion()
+	v := geo.Vec3{X: 1, Y: 2, Z: 3}
+	if !vecAlmost(q.Rotate(v), v, 1e-12) {
+		t.Error("identity rotated a vector")
+	}
+	if q.Norm() != 1 {
+		t.Error("identity not unit")
+	}
+}
+
+func TestAxisAngleRotation(t *testing.T) {
+	// 90 degrees around Z takes X to Y.
+	q := QuaternionFromAxisAngle(geo.Vec3{Z: 1}, math.Pi/2)
+	got := q.Rotate(geo.Vec3{X: 1})
+	if !vecAlmost(got, geo.Vec3{Y: 1}, 1e-12) {
+		t.Errorf("rotated X = %+v, want Y", got)
+	}
+}
+
+func TestMulComposition(t *testing.T) {
+	// Two 90-degree Z rotations = one 180-degree rotation.
+	q := QuaternionFromAxisAngle(geo.Vec3{Z: 1}, math.Pi/2)
+	qq := q.Mul(q)
+	got := qq.Rotate(geo.Vec3{X: 1})
+	if !vecAlmost(got, geo.Vec3{X: -1}, 1e-12) {
+		t.Errorf("double rotation = %+v", got)
+	}
+}
+
+func TestConjInverts(t *testing.T) {
+	f := func(x, y, z int8, angleSeed uint16) bool {
+		axis := geo.Vec3{X: float64(x), Y: float64(y), Z: float64(z)}
+		if axis.Norm() == 0 {
+			return true
+		}
+		q := QuaternionFromAxisAngle(axis, float64(angleSeed%628)/100)
+		v := geo.Vec3{X: 1, Y: -2, Z: 0.5}
+		back := q.Conj().Rotate(q.Rotate(v))
+		return vecAlmost(back, v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotationPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		q := QuaternionFromAxisAngle(geo.Vec3{
+			X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64(),
+		}, rng.Float64()*2*math.Pi)
+		v := geo.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		if math.Abs(q.Rotate(v).Norm()-v.Norm()) > 1e-9 {
+			t.Fatal("rotation changed vector length")
+		}
+	}
+}
+
+func TestBetweenVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := geo.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Unit()
+		b := geo.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Unit()
+		if a.Norm() == 0 || b.Norm() == 0 {
+			continue
+		}
+		q := BetweenVectors(a, b)
+		if !vecAlmost(q.Rotate(a), b, 1e-9) {
+			t.Fatalf("BetweenVectors failed: %+v -> %+v, got %+v", a, b, q.Rotate(a))
+		}
+	}
+	// Degenerate cases.
+	x := geo.Vec3{X: 1}
+	if !vecAlmost(BetweenVectors(x, x).Rotate(x), x, 1e-12) {
+		t.Error("same-vector rotation wrong")
+	}
+	anti := BetweenVectors(x, geo.Vec3{X: -1})
+	if !vecAlmost(anti.Rotate(x), geo.Vec3{X: -1}, 1e-9) {
+		t.Error("antipodal rotation wrong")
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	a := IdentityQuaternion()
+	b := QuaternionFromAxisAngle(geo.Vec3{Z: 1}, 0.7)
+	if got := a.AngleTo(b); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("angle = %v, want 0.7", got)
+	}
+	if got := a.AngleTo(a); got > 1e-7 {
+		t.Errorf("self angle = %v", got)
+	}
+}
+
+func TestSlerpEndpointsAndMonotone(t *testing.T) {
+	a := IdentityQuaternion()
+	b := QuaternionFromAxisAngle(geo.Vec3{Y: 1}, 1.2)
+	if Slerp(a, b, 0) != a {
+		t.Error("t=0 not a")
+	}
+	if Slerp(a, b, 1) != b {
+		t.Error("t=1 not b")
+	}
+	prev := -1.0
+	for _, tt := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		ang := a.AngleTo(Slerp(a, b, tt))
+		if ang <= prev {
+			t.Errorf("slerp angle not increasing at t=%v", tt)
+		}
+		// Slerp traverses at constant angular rate: angle = t * total.
+		if math.Abs(ang-tt*1.2) > 1e-9 {
+			t.Errorf("slerp angle at t=%v is %v, want %v", tt, ang, tt*1.2)
+		}
+		prev = ang
+	}
+	// Near-identical attitudes take the linear path without NaNs.
+	c := QuaternionFromAxisAngle(geo.Vec3{Y: 1}, 1e-12)
+	mid := Slerp(a, c, 0.5)
+	if math.IsNaN(mid.W) {
+		t.Error("slerp NaN on near-identical attitudes")
+	}
+}
+
+func TestSlewTrajectory(t *testing.T) {
+	m := PaperSlew()
+	from := geo.Vec3{Z: -1}                             // nadir
+	to := geo.Vec3{X: math.Sin(0.2), Z: -math.Cos(0.2)} // ~11.5 deg off-nadir
+	traj, err := SlewTrajectory(m, from, to, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) < 3 {
+		t.Fatalf("trajectory has %d samples", len(traj))
+	}
+	// Starts at identity, ends pointing at the target.
+	if traj[0].TimeS != 0 {
+		t.Error("trajectory does not start at 0")
+	}
+	last := traj[len(traj)-1]
+	if !vecAlmost(last.Attitude.Rotate(from), to, 1e-9) {
+		t.Errorf("final attitude points at %+v", last.Attitude.Rotate(from))
+	}
+	// Total duration matches MinTimeS of the total angle.
+	totalDeg := geo.Rad2Deg(from.AngleBetween(to))
+	if math.Abs(last.TimeS-m.MinTimeS(totalDeg)) > 1e-9 {
+		t.Errorf("duration = %v, want %v", last.TimeS, m.MinTimeS(totalDeg))
+	}
+	// Nothing moves during the accel/decel overhead.
+	for _, s := range traj {
+		if s.TimeS < m.OverheadS-1e-9 {
+			if IdentityQuaternion().AngleTo(s.Attitude) > 1e-9 {
+				t.Error("moved during overhead")
+			}
+		}
+	}
+	// Monotone progress after the overhead.
+	prev := -1.0
+	for _, s := range traj {
+		ang := IdentityQuaternion().AngleTo(s.Attitude)
+		if ang < prev-1e-9 {
+			t.Error("trajectory not monotone")
+		}
+		prev = ang
+	}
+}
+
+func TestSlewTrajectoryErrors(t *testing.T) {
+	if _, err := SlewTrajectory(SlewModel{}, geo.Vec3{Z: 1}, geo.Vec3{X: 1}, 0.5); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := SlewTrajectory(PaperSlew(), geo.Vec3{Z: 1}, geo.Vec3{X: 1}, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestNormalizeZero(t *testing.T) {
+	if (Quaternion{}).Normalize() != IdentityQuaternion() {
+		t.Error("zero quaternion should normalize to identity")
+	}
+}

@@ -1,0 +1,119 @@
+// Package camera models nanosatellite imaging payloads: the swath/GSD
+// operating point, image footprints, off-nadir limits, and the catalogue of
+// real cubesat cameras the paper contrasts in Fig. 4 (left).
+//
+// A camera's ground coverage and ground sample distance (GSD, meters per
+// pixel) are intrinsically coupled through the sensor's pixel count: with a
+// fixed detector, widening the swath proportionally coarsens the GSD. That
+// coupling is the tension at the heart of EagleEye (§2.2).
+package camera
+
+import (
+	"fmt"
+	"math"
+
+	"eagleeye/internal/geo"
+)
+
+// Model describes an imaging payload at its orbital operating point.
+type Model struct {
+	Name string
+	// SwathM is the cross-track footprint width on the ground, meters.
+	SwathM float64
+	// AlongTrackM is the along-track footprint; square sensors have
+	// AlongTrackM == SwathM. Zero means square.
+	AlongTrackM float64
+	// GSDM is the ground sample distance in meters per pixel.
+	GSDM float64
+	// MaxOffNadirDeg is the largest usable off-nadir pointing angle;
+	// beyond it, captures are too distorted to use (§3.2, Fig. 6).
+	MaxOffNadirDeg float64
+}
+
+// PaperLowRes returns the leader camera from §5.3: 100 km swath at 30 m GSD.
+func PaperLowRes() Model {
+	return Model{Name: "leader-lowres", SwathM: 100e3, GSDM: 30, MaxOffNadirDeg: 11}
+}
+
+// PaperHighRes returns the follower camera from §5.3: 10 km swath at 3 m GSD.
+func PaperHighRes() Model {
+	return Model{Name: "follower-highres", SwathM: 10e3, GSDM: 3, MaxOffNadirDeg: 11}
+}
+
+// Validate reports whether the camera parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.SwathM <= 0:
+		return fmt.Errorf("camera %q: swath %v must be positive", m.Name, m.SwathM)
+	case m.AlongTrackM < 0:
+		return fmt.Errorf("camera %q: along-track %v must be non-negative", m.Name, m.AlongTrackM)
+	case m.GSDM <= 0:
+		return fmt.Errorf("camera %q: GSD %v must be positive", m.Name, m.GSDM)
+	case m.MaxOffNadirDeg < 0 || m.MaxOffNadirDeg >= 90:
+		return fmt.Errorf("camera %q: max off-nadir %v out of [0,90)", m.Name, m.MaxOffNadirDeg)
+	}
+	return nil
+}
+
+// FootprintAlongM returns the along-track footprint, defaulting to square.
+func (m Model) FootprintAlongM() float64 {
+	if m.AlongTrackM > 0 {
+		return m.AlongTrackM
+	}
+	return m.SwathM
+}
+
+// PixelsAcross returns the cross-track pixel count implied by swath and GSD.
+func (m Model) PixelsAcross() int { return int(math.Round(m.SwathM / m.GSDM)) }
+
+// FramePixels returns the total pixel count of one frame.
+func (m Model) FramePixels() int {
+	return m.PixelsAcross() * int(math.Round(m.FootprintAlongM()/m.GSDM))
+}
+
+// Footprint returns the ground rectangle imaged when the boresight ground
+// intercept is at center, in frame-local coordinates (X cross-track, Y
+// along-track). Off-nadir keystone distortion is neglected, consistent with
+// the paper's small 11-degree maximum off-nadir angle.
+func (m Model) Footprint(center geo.Point2) geo.Rect {
+	return geo.NewRectCentered(center, m.SwathM, m.FootprintAlongM())
+}
+
+// Covers reports whether an image centered at center contains the ground
+// point p (the paper's constraint C3).
+func (m Model) Covers(center, p geo.Point2) bool { return m.Footprint(center).Contains(p) }
+
+// GroundReachM returns how far from nadir the boresight intercept may be
+// placed at altitude altM without exceeding the off-nadir limit:
+// alt * tan(maxOffNadir). With the paper's parameters (475 km, 11 degrees)
+// this is ~92 km, conveniently close to the leader's 100 km swath.
+func (m Model) GroundReachM(altM float64) float64 {
+	return altM * math.Tan(geo.Deg2Rad(m.MaxOffNadirDeg))
+}
+
+// RequiredCountForContinuousCoverage returns how many satellites carrying
+// this camera are needed so that consecutive ground tracks (separated by
+// trackSpacingM at the equator) leave no gap, i.e. ceil(spacing/swath).
+func (m Model) RequiredCountForContinuousCoverage(trackSpacingM float64) int {
+	if trackSpacingM <= 0 {
+		return 1
+	}
+	return int(math.Ceil(trackSpacingM / m.SwathM))
+}
+
+// Catalogue lists real cubesat cameras spanning the swath/GSD tradeoff of
+// Fig. 4 (left): Planet's fleet, Dragonfly Aerospace and Simera Sense
+// imagers, at their published operating points (approximate, 475-500 km).
+func Catalogue() []Model {
+	return []Model{
+		{Name: "Planet SuperDove (PSB.SD)", SwathM: 32.5e3, GSDM: 3.7, MaxOffNadirDeg: 11},
+		{Name: "Planet SkySat", SwathM: 5.9e3, GSDM: 0.57, MaxOffNadirDeg: 25},
+		{Name: "Planet RapidEye", SwathM: 77e3, GSDM: 6.5, MaxOffNadirDeg: 20},
+		{Name: "Dragonfly Gecko", SwathM: 43e3, GSDM: 39, MaxOffNadirDeg: 11},
+		{Name: "Dragonfly Chameleon", SwathM: 19.2e3, GSDM: 4.8, MaxOffNadirDeg: 11},
+		{Name: "Dragonfly Caiman", SwathM: 10e3, GSDM: 0.7, MaxOffNadirDeg: 11},
+		{Name: "Simera MultiScape100", SwathM: 19.4e3, GSDM: 4.75, MaxOffNadirDeg: 11},
+		{Name: "Simera MultiScape200", SwathM: 9.7e3, GSDM: 2.4, MaxOffNadirDeg: 11},
+		{Name: "Simera TriScape50", SwathM: 28e3, GSDM: 7, MaxOffNadirDeg: 11},
+	}
+}

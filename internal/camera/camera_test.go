@@ -1,0 +1,130 @@
+package camera
+
+import (
+	"math"
+	"testing"
+
+	"eagleeye/internal/geo"
+)
+
+func TestPaperCameras(t *testing.T) {
+	lo, hi := PaperLowRes(), PaperHighRes()
+	if err := lo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Swath ratio 10 (paper: "the ratio of low- and high-resolution camera
+	// swath is 10"), GSD ratio 10.
+	if r := lo.SwathM / hi.SwathM; r != 10 {
+		t.Errorf("swath ratio = %v", r)
+	}
+	if r := lo.GSDM / hi.GSDM; r != 10 {
+		t.Errorf("GSD ratio = %v", r)
+	}
+	// Same sensor pixel count: the coverage/resolution tension comes from a
+	// fixed detector.
+	if lo.PixelsAcross() != hi.PixelsAcross() {
+		t.Errorf("pixel counts differ: %d vs %d", lo.PixelsAcross(), hi.PixelsAcross())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{SwathM: 0, GSDM: 1},
+		{SwathM: 1e3, GSDM: 0},
+		{SwathM: 1e3, GSDM: 1, MaxOffNadirDeg: 95},
+		{SwathM: 1e3, GSDM: 1, AlongTrackM: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := PaperHighRes()
+	c := geo.Point2{X: 1000, Y: 2000}
+	f := m.Footprint(c)
+	if f.Width() != 10e3 || f.Height() != 10e3 {
+		t.Errorf("footprint dims = %v x %v", f.Width(), f.Height())
+	}
+	if f.Center() != c {
+		t.Errorf("footprint center = %v", f.Center())
+	}
+	if !m.Covers(c, geo.Point2{X: 1000 + 4999, Y: 2000 - 4999}) {
+		t.Error("in-footprint point not covered")
+	}
+	if m.Covers(c, geo.Point2{X: 1000 + 5001, Y: 2000}) {
+		t.Error("out-of-footprint point covered")
+	}
+}
+
+func TestRectangularFootprint(t *testing.T) {
+	m := Model{Name: "strip", SwathM: 20e3, AlongTrackM: 5e3, GSDM: 10, MaxOffNadirDeg: 11}
+	f := m.Footprint(geo.Point2{})
+	if f.Width() != 20e3 || f.Height() != 5e3 {
+		t.Errorf("rect footprint = %v x %v", f.Width(), f.Height())
+	}
+	if m.FootprintAlongM() != 5e3 {
+		t.Errorf("along = %v", m.FootprintAlongM())
+	}
+	wantPx := int(20e3/10) * int(5e3/10)
+	if m.FramePixels() != wantPx {
+		t.Errorf("frame pixels = %d, want %d", m.FramePixels(), wantPx)
+	}
+}
+
+func TestGroundReach(t *testing.T) {
+	m := PaperHighRes()
+	reach := m.GroundReachM(475e3)
+	// 475 km * tan(11 deg) = 92.3 km.
+	if math.Abs(reach-92.3e3) > 1e3 {
+		t.Errorf("reach = %v", reach)
+	}
+}
+
+func TestRequiredCount(t *testing.T) {
+	lo := PaperLowRes()
+	if n := lo.RequiredCountForContinuousCoverage(2000e3); n != 20 {
+		t.Errorf("low-res count = %d, want 20", n)
+	}
+	hi := PaperHighRes()
+	if n := hi.RequiredCountForContinuousCoverage(2000e3); n != 200 {
+		t.Errorf("high-res count = %d, want 200", n)
+	}
+	if n := hi.RequiredCountForContinuousCoverage(0); n != 1 {
+		t.Errorf("zero spacing count = %d", n)
+	}
+}
+
+func TestCatalogueTradeoff(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) != 9 {
+		t.Fatalf("catalogue size = %d, want 9 (Fig. 4 left)", len(cat))
+	}
+	for _, m := range cat {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	// The catalogue should span the tradeoff: wider swath correlates with
+	// coarser GSD (positive rank correlation).
+	concordant, discordant := 0, 0
+	for i := 0; i < len(cat); i++ {
+		for j := i + 1; j < len(cat); j++ {
+			ds := cat[i].SwathM - cat[j].SwathM
+			dg := cat[i].GSDM - cat[j].GSDM
+			if ds*dg > 0 {
+				concordant++
+			} else if ds*dg < 0 {
+				discordant++
+			}
+		}
+	}
+	if concordant <= discordant {
+		t.Errorf("no positive swath-GSD correlation: %d concordant vs %d discordant", concordant, discordant)
+	}
+}

@@ -1,0 +1,367 @@
+// Package cluster implements EagleEye's target clustering (§4.1): covering
+// the targets detected in one low-resolution frame with the minimum number
+// of high-resolution image footprints, so that nearby targets are captured
+// together in a single follower image.
+//
+// The problem is a planar point cover by axis-aligned, fixed-size
+// rectangles (the high-resolution footprint; the paper assumes the
+// high-resolution image sides stay parallel to the low-resolution image
+// sides). There is always an optimal cover in which every rectangle has its
+// left edge and bottom edge touching target points, so the candidate set is
+// the O(M^2) grid of (x from targets, y from targets) placements. The
+// minimal cover over those candidates is found with a set-cover ILP solved
+// by internal/mip, exactly as the paper uses OR-Tools. A greedy
+// most-uncovered-first cover is used as the fallback for frames whose
+// candidate count exceeds the ILP budget, and as the baseline for the
+// clustering ablation.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"eagleeye/internal/geo"
+	"eagleeye/internal/lp"
+	"eagleeye/internal/mip"
+)
+
+// Cluster is one high-resolution capture covering a set of targets.
+type Cluster struct {
+	Box     geo.Rect // footprint on the ground (frame-local meters)
+	Members []int    // indices into the input point slice
+}
+
+// Center returns the aim point for the capture.
+func (c Cluster) Center() geo.Point2 { return c.Box.Center() }
+
+// Method records how a cover was computed.
+type Method int8
+
+// Cover methods.
+const (
+	MethodILP Method = iota
+	MethodGreedy
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if m == MethodILP {
+		return "ilp"
+	}
+	return "greedy"
+}
+
+// Options tunes Cover. The zero value gives paper-faithful defaults.
+type Options struct {
+	// MaxILPCandidates caps the candidate-rectangle count sent to the ILP;
+	// larger instances fall back to the greedy cover. 0 means 700.
+	MaxILPCandidates int
+	// ForceGreedy skips the ILP entirely (the ablation baseline).
+	ForceGreedy bool
+	// MIP forwards search limits to the solver.
+	MIP mip.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxILPCandidates == 0 {
+		// Beyond a few hundred candidate columns the dense-simplex set
+		// cover stops paying for itself against greedy; dense frames fall
+		// back (the paper's OR-Tools backend has the same structure with a
+		// faster LP core, so its threshold is higher, not absent).
+		o.MaxILPCandidates = 700
+	}
+	if o.MIP.TimeLimit == 0 {
+		o.MIP.TimeLimit = time.Second
+	}
+	if o.MIP.MaxNodes == 0 {
+		o.MIP.MaxNodes = 300
+	}
+	return o
+}
+
+// Cover returns a set of w x h rectangles covering every input point, the
+// method that produced it, and an error for degenerate inputs. Every point
+// appears in exactly one cluster's Members (assigned to the first covering
+// rectangle in output order), while rectangles may spatially overlap.
+func Cover(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method, error) {
+	if w <= 0 || h <= 0 {
+		return nil, 0, fmt.Errorf("cluster: rectangle %v x %v must be positive", w, h)
+	}
+	if len(pts) == 0 {
+		return nil, MethodILP, nil
+	}
+	opt = opt.withDefaults()
+
+	cands := candidates(pts, w, h)
+	greedyBoxes := greedyCover(pts, cands)
+	method := MethodGreedy
+	boxes := greedyBoxes
+	if !opt.ForceGreedy && len(cands) <= opt.MaxILPCandidates {
+		if ilpBoxes, ok := ilpCover(pts, cands, opt.MIP); ok && len(ilpBoxes) <= len(greedyBoxes) {
+			boxes = ilpBoxes
+			method = MethodILP
+		}
+	}
+	return assign(pts, boxes), method, nil
+}
+
+// candidate is a rectangle placement plus the bitset of points it covers.
+type candidate struct {
+	box  geo.Rect
+	mask []uint64
+}
+
+func maskWords(n int) int { return (n + 63) / 64 }
+
+func setBit(mask []uint64, i int)      { mask[i/64] |= 1 << (uint(i) % 64) }
+func hasBit(mask []uint64, i int) bool { return mask[i/64]&(1<<(uint(i)%64)) != 0 }
+func subsetOf(a, b []uint64) bool {
+	for k := range a {
+		if a[k]&^b[k] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates enumerates canonical rectangle placements: left edge at some
+// point's x, bottom edge at some point's y (restricted to y-values of points
+// within the x-span, which preserves optimality), deduplicated by covered
+// set and pruned of dominated placements.
+func candidates(pts []geo.Point2, w, h float64) []candidate {
+	n := len(pts)
+	words := maskWords(n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X < pts[order[b]].X })
+
+	seen := make(map[string]struct{})
+	var out []candidate
+	const eps = 1e-9
+	for _, i := range order {
+		x0 := pts[i].X
+		// Points within the x-span [x0, x0+w].
+		var span []int
+		for _, j := range order {
+			if pts[j].X >= x0-eps && pts[j].X <= x0+w+eps {
+				span = append(span, j)
+			}
+		}
+		for _, j := range span {
+			y0 := pts[j].Y
+			box := geo.Rect{Min: geo.Point2{X: x0, Y: y0}, Max: geo.Point2{X: x0 + w, Y: y0 + h}}
+			mask := make([]uint64, words)
+			any := false
+			for _, k := range span {
+				if pts[k].Y >= y0-eps && pts[k].Y <= y0+h+eps {
+					setBit(mask, k)
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			key := maskKey(mask)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, candidate{box: box, mask: mask})
+		}
+	}
+	// Dominance pruning: drop candidates whose covered set is a strict
+	// subset of another's. Quadratic, so only for moderate counts.
+	if len(out) <= 1500 {
+		keep := make([]bool, len(out))
+		for i := range keep {
+			keep[i] = true
+		}
+		for i := range out {
+			if !keep[i] {
+				continue
+			}
+			for j := range out {
+				if i == j || !keep[j] {
+					continue
+				}
+				if subsetOf(out[j].mask, out[i].mask) && !subsetOf(out[i].mask, out[j].mask) {
+					keep[j] = false
+				}
+			}
+		}
+		pruned := out[:0]
+		for i, c := range out {
+			if keep[i] {
+				pruned = append(pruned, c)
+			}
+		}
+		out = pruned
+	}
+	return out
+}
+
+func maskKey(mask []uint64) string {
+	b := make([]byte, len(mask)*8)
+	for k, m := range mask {
+		for s := 0; s < 8; s++ {
+			b[k*8+s] = byte(m >> (8 * uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// greedyCover picks the candidate covering the most uncovered points until
+// all are covered. Candidates always include a singleton for every point,
+// so the loop terminates.
+func greedyCover(pts []geo.Point2, cands []candidate) []geo.Rect {
+	n := len(pts)
+	covered := make([]uint64, maskWords(n))
+	remaining := n
+	var boxes []geo.Rect
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for ci, c := range cands {
+			gain := 0
+			for k := range c.mask {
+				gain += popcount(c.mask[k] &^ covered[k])
+			}
+			if gain > bestGain {
+				bestGain = gain
+				best = ci
+			}
+		}
+		if best < 0 {
+			// Unreachable given canonical candidates; cover leftovers with
+			// per-point rectangles as a safety net.
+			for i := 0; i < n; i++ {
+				if !hasBit(covered, i) {
+					boxes = append(boxes, geo.NewRectCentered(pts[i], 1, 1))
+					setBit(covered, i)
+					remaining--
+				}
+			}
+			break
+		}
+		boxes = append(boxes, cands[best].box)
+		for k := range covered {
+			newBits := cands[best].mask[k] &^ covered[k]
+			covered[k] |= newBits
+			remaining -= popcount(newBits)
+		}
+	}
+	return boxes
+}
+
+func popcount(x uint64) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// ilpCover solves the set-cover ILP: minimize the number of selected
+// candidates subject to every point being covered at least once.
+func ilpCover(pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect, bool) {
+	n := len(pts)
+	p := mip.NewBinary(len(cands))
+	for j := range p.C {
+		p.C[j] = -1 // maximize -count == minimize count
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(cands))
+		any := false
+		for j, c := range cands {
+			if hasBit(c.mask, i) {
+				row[j] = 1
+				any = true
+			}
+		}
+		if !any {
+			return nil, false
+		}
+		p.AddRow(row, lp.GE, 1)
+	}
+	sol, err := mip.SolveOpts(p, opts)
+	if err != nil || (sol.Status != mip.StatusOptimal && sol.Status != mip.StatusFeasible) {
+		return nil, false
+	}
+	var boxes []geo.Rect
+	for j, v := range sol.X {
+		if math.Round(v) >= 1 {
+			boxes = append(boxes, cands[j].box)
+		}
+	}
+	return boxes, true
+}
+
+// assign maps each point to the first covering rectangle, producing the
+// final clusters. Rectangles covering no points (possible after ILP ties)
+// are dropped. Each kept rectangle is then recentered on its members'
+// bounding-box midpoint: canonical cover candidates touch points with
+// their lower-left corner, but the capture should aim at the middle of
+// the clustered targets (Fig. 7) so edge targets get maximal margin
+// against pointing error and target motion.
+func assign(pts []geo.Point2, boxes []geo.Rect) []Cluster {
+	clusters := make([]Cluster, len(boxes))
+	for i := range boxes {
+		clusters[i].Box = boxes[i]
+	}
+	for pi, p := range pts {
+		for bi := range clusters {
+			if clusters[bi].Box.Contains(p) {
+				clusters[bi].Members = append(clusters[bi].Members, pi)
+				break
+			}
+		}
+	}
+	out := clusters[:0]
+	for _, c := range clusters {
+		if len(c.Members) == 0 {
+			continue
+		}
+		lo := pts[c.Members[0]]
+		hi := lo
+		for _, m := range c.Members[1:] {
+			p := pts[m]
+			lo.X, lo.Y = math.Min(lo.X, p.X), math.Min(lo.Y, p.Y)
+			hi.X, hi.Y = math.Max(hi.X, p.X), math.Max(hi.Y, p.Y)
+		}
+		mid := geo.Point2{X: (lo.X + hi.X) / 2, Y: (lo.Y + hi.Y) / 2}
+		c.Box = geo.NewRectCentered(mid, c.Box.Width(), c.Box.Height())
+		out = append(out, c)
+	}
+	return out
+}
+
+// Validate checks that clusters jointly cover all points exactly once and
+// that every member lies inside its cluster's box. It is used by tests and
+// by the simulator's self-checks.
+func Validate(pts []geo.Point2, clusters []Cluster) error {
+	seen := make([]bool, len(pts))
+	for ci, c := range clusters {
+		for _, m := range c.Members {
+			if m < 0 || m >= len(pts) {
+				return fmt.Errorf("cluster %d: member %d out of range", ci, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("cluster %d: point %d assigned twice", ci, m)
+			}
+			seen[m] = true
+			if !c.Box.Contains(pts[m]) {
+				return fmt.Errorf("cluster %d: point %d (%v) outside box %v", ci, m, pts[m], c.Box)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("point %d uncovered", i)
+		}
+	}
+	return nil
+}

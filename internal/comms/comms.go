@@ -1,0 +1,115 @@
+// Package comms models EagleEye's communication subsystem (§3.1, §5.3):
+// the S-band crosslink a leader uses to deliver actuation schedules to its
+// followers, and the ground downlink over which followers return captured
+// high-resolution imagery. It accounts data volumes and link occupancy so
+// the simulator and the energy model can verify the paper's claims that
+// crosslink traffic is negligible (<1 MB/orbit against 0.4 MB/s) and that
+// downlink capacity bounds how much imagery reaches Earth.
+package comms
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link is a point-to-point radio link with a fixed data rate.
+type Link struct {
+	Name string
+	// RateBps is the link throughput in bytes per second.
+	RateBps float64
+	// ContactSPerOrbit is the usable contact time per orbit; 0 means
+	// always available (co-orbital crosslinks).
+	ContactSPerOrbit float64
+}
+
+// PaperCrosslink returns the S-band inter-satellite link of §5.3:
+// 0.4 MB/s, always available within a group.
+func PaperCrosslink() Link { return Link{Name: "sband-crosslink", RateBps: 0.4e6} }
+
+// PaperDownlink returns the ground downlink: satellites see a ground
+// station for six minutes per period (§5.3). The rate models a commodity
+// S-band ground segment.
+func PaperDownlink() Link {
+	return Link{Name: "sband-downlink", RateBps: 1.5e6, ContactSPerOrbit: 6 * 60}
+}
+
+// Validate reports whether the link is usable.
+func (l Link) Validate() error {
+	if l.RateBps <= 0 {
+		return fmt.Errorf("comms %q: rate %v must be positive", l.Name, l.RateBps)
+	}
+	if l.ContactSPerOrbit < 0 {
+		return fmt.Errorf("comms %q: contact time %v must be non-negative", l.Name, l.ContactSPerOrbit)
+	}
+	return nil
+}
+
+// TxTimeS returns the time to transmit the given number of bytes.
+func (l Link) TxTimeS(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / l.RateBps
+}
+
+// CapacityPerOrbitBytes returns how many bytes fit in one orbit's contact
+// time (infinite for always-available links).
+func (l Link) CapacityPerOrbitBytes() float64 {
+	if l.ContactSPerOrbit == 0 {
+		return math.Inf(1)
+	}
+	return l.RateBps * l.ContactSPerOrbit
+}
+
+// ScheduleMessageBytes returns the crosslink message size for a schedule
+// of n captures: per §5.3 each schedule result is under 2 KB; we model a
+// small header plus time+pointing tuples.
+func ScheduleMessageBytes(nCaptures int) float64 {
+	const (
+		header     = 64
+		perCapture = 24 // 8-byte time + 2 x 8-byte pointing direction
+	)
+	b := float64(header + perCapture*nCaptures)
+	if b > 2048 {
+		b = 2048 // the paper's upper bound; larger schedules are split
+	}
+	return b
+}
+
+// ImageBytes returns the size of one captured image in bytes given its
+// pixel dimensions and bytes per pixel.
+func ImageBytes(pixels int, bytesPerPixel float64) float64 {
+	if pixels <= 0 {
+		return 0
+	}
+	return float64(pixels) * bytesPerPixel
+}
+
+// Accounting accumulates traffic over an accounting window.
+type Accounting struct {
+	CrosslinkBytes float64
+	DownlinkBytes  float64
+	Schedules      int
+	Images         int
+}
+
+// SendSchedule records one schedule crosslink transmission and returns its
+// airtime in seconds.
+func (a *Accounting) SendSchedule(l Link, nCaptures int) float64 {
+	b := ScheduleMessageBytes(nCaptures)
+	a.CrosslinkBytes += b
+	a.Schedules++
+	return l.TxTimeS(b)
+}
+
+// DownlinkImage records one image downlink and returns its airtime, or an
+// error if the orbit's remaining downlink capacity is exhausted.
+func (a *Accounting) DownlinkImage(l Link, bytes float64) (float64, error) {
+	if a.DownlinkBytes+bytes > l.CapacityPerOrbitBytes() {
+		return 0, fmt.Errorf("comms: downlink capacity exceeded (%.0f + %.0f > %.0f bytes)",
+			a.DownlinkBytes, bytes, l.CapacityPerOrbitBytes())
+	}
+	a.DownlinkBytes += bytes
+	a.Images++
+	return l.TxTimeS(bytes), nil
+}

@@ -1,0 +1,107 @@
+package comms
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkValidate(t *testing.T) {
+	if err := PaperCrosslink().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperDownlink().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Link{RateBps: 0}).Validate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := (Link{RateBps: 1, ContactSPerOrbit: -1}).Validate(); err == nil {
+		t.Error("negative contact accepted")
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	l := PaperCrosslink()
+	if got := l.TxTimeS(0.4e6); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tx time = %v, want 1 s", got)
+	}
+	if l.TxTimeS(0) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+}
+
+func TestScheduleMessageUnder2KB(t *testing.T) {
+	// §5.3: each schedule result is under 2 KB.
+	for _, n := range []int{0, 1, 10, 50, 80, 1000} {
+		if b := ScheduleMessageBytes(n); b > 2048 {
+			t.Errorf("schedule of %d captures = %v bytes", n, b)
+		}
+	}
+	if ScheduleMessageBytes(10) <= ScheduleMessageBytes(1) {
+		t.Error("message size should grow with captures")
+	}
+}
+
+func TestCrosslinkVolumeNegligible(t *testing.T) {
+	// §5.3: ~400 schedules/orbit total under 1 MB, "easily accommodated by
+	// an S-band radio's 0.4 MB/s".
+	var acc Accounting
+	l := PaperCrosslink()
+	totalAir := 0.0
+	for i := 0; i < 400; i++ {
+		totalAir += acc.SendSchedule(l, 15)
+	}
+	if acc.CrosslinkBytes > 1e6 {
+		t.Errorf("crosslink volume = %v bytes/orbit, want < 1 MB", acc.CrosslinkBytes)
+	}
+	if totalAir > 5 {
+		t.Errorf("airtime = %v s, want a few seconds at most", totalAir)
+	}
+	if acc.Schedules != 400 {
+		t.Errorf("schedules = %d", acc.Schedules)
+	}
+}
+
+func TestDownlinkCapacityBounds(t *testing.T) {
+	l := PaperDownlink()
+	cap := l.CapacityPerOrbitBytes()
+	if math.IsInf(cap, 1) {
+		t.Fatal("downlink capacity should be finite")
+	}
+	// A 3333x3333 px 3-byte image is ~33 MB; the 6-minute contact fits a
+	// bounded number of them.
+	img := ImageBytes(3333*3333, 3)
+	var acc Accounting
+	n := 0
+	for {
+		if _, err := acc.DownlinkImage(l, img); err != nil {
+			break
+		}
+		n++
+		if n > 10000 {
+			t.Fatal("capacity never exhausted")
+		}
+	}
+	if n == 0 {
+		t.Error("not even one image fits the downlink")
+	}
+	want := int(cap / img)
+	if n != want {
+		t.Errorf("images per orbit = %d, want %d", n, want)
+	}
+}
+
+func TestCrosslinkAlwaysAvailable(t *testing.T) {
+	if !math.IsInf(PaperCrosslink().CapacityPerOrbitBytes(), 1) {
+		t.Error("crosslink should have unbounded per-orbit capacity")
+	}
+}
+
+func TestImageBytes(t *testing.T) {
+	if ImageBytes(0, 3) != 0 || ImageBytes(-5, 3) != 0 {
+		t.Error("non-positive pixels should give 0")
+	}
+	if ImageBytes(100, 2) != 200 {
+		t.Error("wrong image size")
+	}
+}

@@ -1,0 +1,129 @@
+package comms
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eagleeye/internal/geo"
+	"eagleeye/internal/orbit"
+)
+
+// Ground-station network model: the paper assumes six minutes of ground
+// contact per orbit (§5.3); this model derives contact time from actual
+// station geometry instead, the way commoditized ground-segment providers
+// (AWS Ground Station, Azure Orbital -- the paper's references [1, 21])
+// price it. A satellite is in contact when a station sees it above a
+// minimum elevation angle.
+
+// Station is one ground-segment antenna site.
+type Station struct {
+	Name string
+	Pos  geo.LatLon
+	// MinElevationDeg is the lowest usable elevation; 0 means 10 degrees.
+	MinElevationDeg float64
+}
+
+// CommercialNetwork returns a representative commodity ground-station
+// network (AWS Ground Station-like site distribution).
+func CommercialNetwork() []Station {
+	return []Station{
+		{Name: "oregon", Pos: geo.LatLon{Lat: 43.8, Lon: -120.6}},
+		{Name: "ohio", Pos: geo.LatLon{Lat: 40.4, Lon: -82.8}},
+		{Name: "ireland", Pos: geo.LatLon{Lat: 53.1, Lon: -7.9}},
+		{Name: "stockholm", Pos: geo.LatLon{Lat: 59.3, Lon: 18.1}},
+		{Name: "bahrain", Pos: geo.LatLon{Lat: 26.0, Lon: 50.5}},
+		{Name: "seoul", Pos: geo.LatLon{Lat: 37.5, Lon: 127.0}},
+		{Name: "sydney", Pos: geo.LatLon{Lat: -33.9, Lon: 151.2}},
+		{Name: "capetown", Pos: geo.LatLon{Lat: -33.9, Lon: 18.4}},
+		{Name: "punta-arenas", Pos: geo.LatLon{Lat: -53.0, Lon: -70.8}},
+		{Name: "svalbard", Pos: geo.LatLon{Lat: 78.2, Lon: 15.4}},
+	}
+}
+
+// horizonRadiusM returns how far (ground distance) a satellite at altM can
+// be from a station and still appear above elevation elevDeg: the central
+// angle lambda solving the spherical visibility triangle,
+//
+//	cos(lambda + elev') = Re/(Re+h) * cos(elev'),  elev' = elevation.
+func horizonRadiusM(altM, elevDeg float64) float64 {
+	re := geo.EarthMeanRadius
+	elev := geo.Deg2Rad(elevDeg)
+	lambda := math.Acos(re/(re+altM)*math.Cos(elev)) - elev
+	return lambda * re
+}
+
+// Contact is one station pass.
+type Contact struct {
+	Station string
+	StartS  float64
+	EndS    float64
+}
+
+// Duration returns the contact length in seconds.
+func (c Contact) Duration() float64 { return c.EndS - c.StartS }
+
+// ContactWindows predicts every station contact for the satellite over
+// [0, durS], sorted by start time. Overlapping contacts from different
+// stations are reported separately (a satellite downlinks to one station
+// at a time; see MergedContactS for the usable total).
+func ContactWindows(p *orbit.Propagator, stations []Station, durS float64) ([]Contact, error) {
+	if durS <= 0 {
+		return nil, fmt.Errorf("comms: duration %v must be positive", durS)
+	}
+	var out []Contact
+	for _, st := range stations {
+		elev := st.MinElevationDeg
+		if elev == 0 {
+			elev = 10
+		}
+		radius := horizonRadiusM(p.AltitudeM(), elev)
+		for _, pass := range orbit.Passes(p, st.Pos, radius, durS) {
+			out = append(out, Contact{Station: st.Name, StartS: pass.StartS, EndS: pass.EndS})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartS != out[b].StartS {
+			return out[a].StartS < out[b].StartS
+		}
+		return out[a].Station < out[b].Station
+	})
+	return out, nil
+}
+
+// MergedContactS returns the total time with at least one station in view
+// (overlaps counted once): the satellite's usable downlink seconds.
+func MergedContactS(contacts []Contact) float64 {
+	if len(contacts) == 0 {
+		return 0
+	}
+	// Contacts are sorted by start; merge intervals.
+	total := 0.0
+	curStart, curEnd := contacts[0].StartS, contacts[0].EndS
+	for _, c := range contacts[1:] {
+		if c.StartS <= curEnd {
+			if c.EndS > curEnd {
+				curEnd = c.EndS
+			}
+			continue
+		}
+		total += curEnd - curStart
+		curStart, curEnd = c.StartS, c.EndS
+	}
+	return total + (curEnd - curStart)
+}
+
+// ContactSPerOrbit estimates the average usable downlink seconds per orbit
+// over the duration: the empirical counterpart of the paper's "six minutes
+// each period" assumption.
+func ContactSPerOrbit(p *orbit.Propagator, stations []Station, durS float64) (float64, error) {
+	contacts, err := ContactWindows(p, stations, durS)
+	if err != nil {
+		return 0, err
+	}
+	orbits := durS / p.PeriodSeconds()
+	if orbits < 1 {
+		orbits = 1
+	}
+	return MergedContactS(contacts) / orbits, nil
+}

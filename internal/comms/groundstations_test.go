@@ -1,0 +1,112 @@
+package comms
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eagleeye/internal/geo"
+	"eagleeye/internal/orbit"
+)
+
+func paperProp(t *testing.T) *orbit.Propagator {
+	t.Helper()
+	p, err := orbit.New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), 475e3, 97.2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHorizonRadius(t *testing.T) {
+	// At 475 km and 10 deg elevation, the visibility circle is ~1500 km in
+	// ground radius; at 0 deg it grows toward ~2440 km.
+	r10 := horizonRadiusM(475e3, 10)
+	if r10 < 1200e3 || r10 > 1800e3 {
+		t.Errorf("radius @10deg = %v", r10)
+	}
+	r0 := horizonRadiusM(475e3, 0)
+	if r0 <= r10 {
+		t.Errorf("radius should grow as elevation drops: %v vs %v", r0, r10)
+	}
+	if r0 < 2000e3 || r0 > 2800e3 {
+		t.Errorf("radius @0deg = %v", r0)
+	}
+}
+
+func TestContactWindowsPolarStation(t *testing.T) {
+	// A high-latitude station sees a polar orbiter far more often than an
+	// equatorial one -- that's why polar ground stations exist. (How many
+	// of the orbits pass inside the visibility circle depends on the node
+	// alignment; with a 5-degree mask at least a couple of 6 do.)
+	p := paperProp(t)
+	contacts, err := ContactWindows(p, []Station{
+		{Name: "svalbard", Pos: geo.LatLon{Lat: 78.2, Lon: 15.4}, MinElevationDeg: 5},
+	}, 6*p.PeriodSeconds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contacts) < 2 {
+		t.Fatalf("svalbard contacts = %d over 6 orbits, want >= 2", len(contacts))
+	}
+	for i, c := range contacts {
+		if c.Duration() <= 0 || c.Duration() > 1000 {
+			t.Errorf("contact %d duration = %v s", i, c.Duration())
+		}
+		if i > 0 && c.StartS < contacts[i-1].StartS {
+			t.Error("contacts not sorted")
+		}
+	}
+	// And strictly more than an equatorial station under the same mask.
+	eq, err := ContactWindows(p, []Station{
+		{Name: "equator", Pos: geo.LatLon{Lat: 0, Lon: 15.4}, MinElevationDeg: 5},
+	}, 6*p.PeriodSeconds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eq) >= len(contacts) {
+		t.Errorf("equatorial station (%d contacts) not below polar (%d)", len(eq), len(contacts))
+	}
+}
+
+func TestContactWindowsErrors(t *testing.T) {
+	p := paperProp(t)
+	if _, err := ContactWindows(p, nil, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestMergedContact(t *testing.T) {
+	contacts := []Contact{
+		{Station: "a", StartS: 0, EndS: 100},
+		{Station: "b", StartS: 50, EndS: 150}, // overlaps a
+		{Station: "c", StartS: 300, EndS: 350},
+	}
+	if got := MergedContactS(contacts); math.Abs(got-200) > 1e-9 {
+		t.Errorf("merged = %v, want 200", got)
+	}
+	if MergedContactS(nil) != 0 {
+		t.Error("empty merge should be 0")
+	}
+}
+
+func TestContactPerOrbitMatchesPaperScale(t *testing.T) {
+	// The commercial network should give the same order of magnitude as
+	// the paper's 6 min/orbit assumption.
+	p := paperProp(t)
+	perOrbit, err := ContactSPerOrbit(p, CommercialNetwork(), 6*p.PeriodSeconds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perOrbit < 120 || perOrbit > 1800 {
+		t.Errorf("contact = %v s/orbit, want same order as the paper's 360 s", perOrbit)
+	}
+}
+
+func TestCommercialNetworkValid(t *testing.T) {
+	for _, st := range CommercialNetwork() {
+		if !st.Pos.Valid() || st.Name == "" {
+			t.Errorf("bad station %+v", st)
+		}
+	}
+}

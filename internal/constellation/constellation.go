@@ -1,0 +1,249 @@
+// Package constellation implements EagleEye's constellation organizations
+// (§3.1, Fig. 5): homogeneous Low-Res-Only and High-Res-Only baselines,
+// the mixed-resolution leader-follower design, and the mix-camera variant
+// that mounts both cameras on one satellite. A configuration expands into
+// concrete satellites with orbit propagators, cameras and group structure;
+// groups are evenly phased within the single orbital plane of §5.3 and
+// followers trail their leader at the low-resolution swath width (100 km).
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eagleeye/internal/camera"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/orbit"
+	"eagleeye/internal/tle"
+)
+
+// Kind selects one of the paper's constellation organizations.
+type Kind int8
+
+// Constellation organizations (Fig. 5).
+const (
+	// LowResOnly: every satellite carries the wide-swath low-res camera.
+	LowResOnly Kind = iota
+	// HighResOnly: every satellite carries the narrow-swath high-res camera.
+	HighResOnly
+	// LeaderFollower: groups of one low-res leader plus FollowersPerGroup
+	// high-res followers (EagleEye).
+	LeaderFollower
+	// MixCamera: each satellite carries both cameras (Fig. 5e).
+	MixCamera
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LowResOnly:
+		return "low-res-only"
+	case HighResOnly:
+		return "high-res-only"
+	case LeaderFollower:
+		return "leader-follower"
+	case MixCamera:
+		return "mix-camera"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Role identifies a satellite's function within its group.
+type Role int8
+
+// Satellite roles.
+const (
+	RoleMono     Role = iota // homogeneous baselines
+	RoleLeader               // low-res detection + scheduling
+	RoleFollower             // high-res pointed capture
+	RoleMix                  // both cameras on one bus
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleMono:
+		return "mono"
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	case RoleMix:
+		return "mix"
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// Config describes a constellation to build.
+type Config struct {
+	Kind Kind
+	// Satellites is the total satellite count (all kinds).
+	Satellites int
+	// FollowersPerGroup applies to LeaderFollower; 0 means 1.
+	FollowersPerGroup int
+	// SeparationM is the along-track leader-to-first-follower distance;
+	// additional followers trail at the same spacing. 0 means 100 km.
+	SeparationM float64
+	// Orbit is the shared orbital plane; zero value means the paper orbit
+	// at the given epoch.
+	Orbit tle.OrbitSpec
+	// Planes distributes groups across this many orbital planes with
+	// evenly spaced ascending nodes (0 or 1 keeps the paper's single
+	// plane). Spreading planes reduces ground-track overlap as the
+	// constellation grows -- the orbit-design extension of §4.7.
+	Planes int
+	// LowRes/HighRes override the paper cameras when non-zero.
+	LowRes, HighRes camera.Model
+}
+
+func (c Config) withDefaults(epoch time.Time) Config {
+	if c.FollowersPerGroup == 0 {
+		c.FollowersPerGroup = 1
+	}
+	if c.SeparationM == 0 {
+		c.SeparationM = 100e3
+	}
+	if c.Orbit.AltitudeM == 0 {
+		c.Orbit = tle.PaperOrbit(epoch)
+	}
+	if c.LowRes.SwathM == 0 {
+		c.LowRes = camera.PaperLowRes()
+	}
+	if c.HighRes.SwathM == 0 {
+		c.HighRes = camera.PaperHighRes()
+	}
+	return c
+}
+
+// GroupSize returns satellites per group for the configuration.
+func (c Config) GroupSize() int {
+	if c.Kind == LeaderFollower {
+		f := c.FollowersPerGroup
+		if f == 0 {
+			f = 1
+		}
+		return 1 + f
+	}
+	return 1
+}
+
+// Satellite is one deployed spacecraft.
+type Satellite struct {
+	Name  string
+	Role  Role
+	Group int // group index
+	// Trail is the position within the group: 0 = leader/mono, 1..F the
+	// followers in trailing order.
+	Trail   int
+	Prop    *orbit.Propagator
+	LowRes  camera.Model // zero-value if not carried
+	HighRes camera.Model // zero-value if not carried
+}
+
+// HasLowRes reports whether the satellite carries the wide-swath camera.
+func (s *Satellite) HasLowRes() bool { return s.LowRes.SwathM > 0 }
+
+// HasHighRes reports whether the satellite carries the narrow-swath camera.
+func (s *Satellite) HasHighRes() bool { return s.HighRes.SwathM > 0 }
+
+// Group is a leader plus its followers (or a single satellite for the
+// other organizations).
+type Group struct {
+	Leader    *Satellite
+	Followers []*Satellite
+}
+
+// Constellation is the expanded configuration.
+type Constellation struct {
+	Config Config
+	Sats   []*Satellite
+	Groups []Group
+}
+
+// Build expands the configuration into satellites and groups at the epoch.
+func Build(c Config, epoch time.Time) (*Constellation, error) {
+	c = c.withDefaults(epoch)
+	if c.Satellites <= 0 {
+		return nil, fmt.Errorf("constellation: satellite count %d must be positive", c.Satellites)
+	}
+	gs := c.GroupSize()
+	if c.Kind == LeaderFollower && c.Satellites%gs != 0 {
+		return nil, fmt.Errorf("constellation: %d satellites not divisible into groups of %d (1 leader + %d followers)",
+			c.Satellites, gs, c.FollowersPerGroup)
+	}
+	nGroups := c.Satellites / gs
+	if nGroups == 0 {
+		return nil, fmt.Errorf("constellation: %d satellites cannot form a group of %d", c.Satellites, gs)
+	}
+	planes := c.Planes
+	if planes <= 0 {
+		planes = 1
+	}
+	if planes > nGroups {
+		return nil, fmt.Errorf("constellation: %d planes for %d groups", planes, nGroups)
+	}
+	// Ground arc per degree of orbital phase.
+	degPerM := 360 / (2 * math.Pi * geo.EarthMeanRadius)
+
+	out := &Constellation{Config: c}
+	for g := 0; g < nGroups; g++ {
+		// Round-robin groups over planes; nodes spread across 180 degrees
+		// of right ascension (mirrored geometry repeats beyond that).
+		orbitSpec := c.Orbit
+		orbitSpec.RAANDeg = math.Mod(c.Orbit.RAANDeg+float64(g%planes)*180/float64(planes), 360)
+		groupsInPlane := nGroups / planes
+		if g%planes < nGroups%planes {
+			groupsInPlane++
+		}
+		idxInPlane := g / planes
+		var grp Group
+		for k := 0; k < gs; k++ {
+			phase := -float64(k) * c.SeparationM * degPerM // trail behind the leader
+			el, err := orbitSpec.Generate(idxInPlane, groupsInPlane, phase, fmt.Sprintf("EE-%d-%d", g, k))
+			if err != nil {
+				return nil, err
+			}
+			prop, err := orbit.FromTLE(el)
+			if err != nil {
+				return nil, err
+			}
+			sat := &Satellite{
+				Name:  el.Name,
+				Group: g,
+				Trail: k,
+				Prop:  prop,
+			}
+			switch c.Kind {
+			case LowResOnly:
+				sat.Role = RoleMono
+				sat.LowRes = c.LowRes
+			case HighResOnly:
+				sat.Role = RoleMono
+				sat.HighRes = c.HighRes
+			case MixCamera:
+				sat.Role = RoleMix
+				sat.LowRes = c.LowRes
+				sat.HighRes = c.HighRes
+			case LeaderFollower:
+				if k == 0 {
+					sat.Role = RoleLeader
+					sat.LowRes = c.LowRes
+				} else {
+					sat.Role = RoleFollower
+					sat.HighRes = c.HighRes
+				}
+			default:
+				return nil, fmt.Errorf("constellation: unknown kind %v", c.Kind)
+			}
+			out.Sats = append(out.Sats, sat)
+			if k == 0 {
+				grp.Leader = sat
+			} else {
+				grp.Followers = append(grp.Followers, sat)
+			}
+		}
+		out.Groups = append(out.Groups, grp)
+	}
+	return out, nil
+}

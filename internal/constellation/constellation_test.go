@@ -1,0 +1,171 @@
+package constellation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eagleeye/internal/geo"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBuildLowResOnly(t *testing.T) {
+	c, err := Build(Config{Kind: LowResOnly, Satellites: 4}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sats) != 4 || len(c.Groups) != 4 {
+		t.Fatalf("sats=%d groups=%d", len(c.Sats), len(c.Groups))
+	}
+	for _, s := range c.Sats {
+		if s.Role != RoleMono || !s.HasLowRes() || s.HasHighRes() {
+			t.Errorf("bad satellite %+v", s)
+		}
+	}
+}
+
+func TestBuildHighResOnly(t *testing.T) {
+	c, err := Build(Config{Kind: HighResOnly, Satellites: 3}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Sats {
+		if !s.HasHighRes() || s.HasLowRes() {
+			t.Errorf("bad satellite %+v", s)
+		}
+	}
+}
+
+func TestBuildLeaderFollower(t *testing.T) {
+	c, err := Build(Config{Kind: LeaderFollower, Satellites: 8, FollowersPerGroup: 1}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Groups) != 4 {
+		t.Fatalf("groups = %d, want 4", len(c.Groups))
+	}
+	for _, g := range c.Groups {
+		if g.Leader == nil || g.Leader.Role != RoleLeader || !g.Leader.HasLowRes() {
+			t.Error("bad leader")
+		}
+		if len(g.Followers) != 1 || g.Followers[0].Role != RoleFollower || !g.Followers[0].HasHighRes() {
+			t.Error("bad followers")
+		}
+	}
+}
+
+func TestBuildMultiFollower(t *testing.T) {
+	c, err := Build(Config{Kind: LeaderFollower, Satellites: 8, FollowersPerGroup: 3}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(c.Groups))
+	}
+	if len(c.Groups[0].Followers) != 3 {
+		t.Fatalf("followers = %d, want 3", len(c.Groups[0].Followers))
+	}
+}
+
+func TestFollowerTrailsLeaderBy100km(t *testing.T) {
+	c, err := Build(Config{Kind: LeaderFollower, Satellites: 2}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Groups[0]
+	ls := g.Leader.Prop.StateAtElapsed(1000)
+	fs := g.Followers[0].Prop.StateAtElapsed(1000)
+	d := geo.GreatCircleDistance(ls.SubPoint, fs.SubPoint)
+	if math.Abs(d-100e3) > 3e3 {
+		t.Errorf("separation = %v m, want ~100 km", d)
+	}
+	// The follower must be behind: it reaches the leader's position later.
+	behind := geo.AlongTrackDistance(fs.SubPoint, ls.SubPoint, ls.HeadingDeg)
+	if behind > -90e3 {
+		t.Errorf("follower along-track offset = %v, want ~-100 km", behind)
+	}
+}
+
+func TestMultiFollowerSpacing(t *testing.T) {
+	c, err := Build(Config{Kind: LeaderFollower, Satellites: 4, FollowersPerGroup: 3}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Groups[0]
+	ls := g.Leader.Prop.StateAtElapsed(0)
+	for i, f := range g.Followers {
+		fs := f.Prop.StateAtElapsed(0)
+		want := 100e3 * float64(i+1)
+		if d := geo.GreatCircleDistance(ls.SubPoint, fs.SubPoint); math.Abs(d-want) > 4e3 {
+			t.Errorf("follower %d at %v m, want %v", i, d, want)
+		}
+	}
+}
+
+func TestGroupsEvenlySpaced(t *testing.T) {
+	c, err := Build(Config{Kind: LeaderFollower, Satellites: 8}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 groups: leaders separated by a quarter orbit (~10500 km arc).
+	l0 := c.Groups[0].Leader.Prop.StateAtElapsed(0)
+	l1 := c.Groups[1].Leader.Prop.StateAtElapsed(0)
+	d := geo.GreatCircleDistance(l0.SubPoint, l1.SubPoint)
+	quarter := math.Pi / 2 * geo.EarthMeanRadius
+	if math.Abs(d-quarter) > 300e3 {
+		t.Errorf("group spacing = %v, want ~%v", d, quarter)
+	}
+}
+
+func TestMixCamera(t *testing.T) {
+	c, err := Build(Config{Kind: MixCamera, Satellites: 2}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Sats {
+		if !s.HasLowRes() || !s.HasHighRes() || s.Role != RoleMix {
+			t.Errorf("bad mix satellite %+v", s)
+		}
+	}
+	if len(c.Groups) != 2 {
+		t.Errorf("groups = %d", len(c.Groups))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Config{Kind: LowResOnly, Satellites: 0}, epoch); err == nil {
+		t.Error("zero satellites accepted")
+	}
+	if _, err := Build(Config{Kind: LeaderFollower, Satellites: 5, FollowersPerGroup: 1}, epoch); err == nil {
+		t.Error("indivisible group size accepted")
+	}
+	if _, err := Build(Config{Kind: Kind(9), Satellites: 2}, epoch); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, k := range []Kind{LowResOnly, HighResOnly, LeaderFollower, MixCamera, Kind(9)} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	for _, r := range []Role{RoleMono, RoleLeader, RoleFollower, RoleMix, Role(9)} {
+		if r.String() == "" {
+			t.Error("empty role string")
+		}
+	}
+}
+
+func TestGroupSize(t *testing.T) {
+	if (Config{Kind: LeaderFollower, FollowersPerGroup: 3}).GroupSize() != 4 {
+		t.Error("group size wrong")
+	}
+	if (Config{Kind: LeaderFollower}).GroupSize() != 2 {
+		t.Error("default group size wrong")
+	}
+	if (Config{Kind: LowResOnly}).GroupSize() != 1 {
+		t.Error("mono group size wrong")
+	}
+}

@@ -1,0 +1,192 @@
+// Package core implements the EagleEye operating model -- the paper's
+// primary contribution (§3, §4). A LeaderPipeline is the software that runs
+// on a leader satellite every frame: identify targets in the fresh
+// low-resolution image with onboard ML (internal/detect), cluster nearby
+// targets so one high-resolution capture covers several (internal/cluster),
+// and compute an actuation-aware schedule for the trailing followers
+// (internal/sched). The package also provides the moving-target lookahead
+// analysis of §4.6 and the reliability fallbacks of §4.7.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eagleeye/internal/cluster"
+	"eagleeye/internal/comms"
+	"eagleeye/internal/detect"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/sched"
+)
+
+// Frame is one low-resolution image delivered to the pipeline, expressed
+// in the leader's frame-local coordinates (X cross-track, Y along-track,
+// origin at the frame center, which is the leader's nadir at capture time).
+type Frame struct {
+	// Truth holds the true target positions inside the footprint (the
+	// simulator knows them; the detector only sees them statistically).
+	Truth []geo.Point2
+	// Bounds is the imaged footprint.
+	Bounds geo.Rect
+	// GSDM is the image ground sample distance.
+	GSDM float64
+}
+
+// Pipeline is the leader's per-frame software stack.
+type Pipeline struct {
+	// Detector is the onboard ML model.
+	Detector detect.Model
+	// Tiling sets the frame decomposition (and hence compute latency).
+	Tiling detect.Tiling
+	// UseClustering enables the §4.1 target clustering step.
+	UseClustering bool
+	// ClusterOpts tunes the clusterer (greedy ablation, ILP budget).
+	ClusterOpts cluster.Options
+	// Scheduler computes follower actuation schedules.
+	Scheduler sched.Scheduler
+	// HighResSwathM is the follower footprint edge used for clustering.
+	HighResSwathM float64
+	// RecallOverride, when in (0,1], replaces the detector's recall
+	// (the Fig. 15 sensitivity knob).
+	RecallOverride float64
+	// PriorityScale, when non-nil, rescales each detection's priority by
+	// its ground position before clustering and scheduling. It is the
+	// recapture/re-identification hook of §4.7: the caller returns a
+	// value below 1 for positions already imaged (deprioritize) or above
+	// 1 for targets known to have changed (prioritize). A scale of 0
+	// removes the detection from scheduling entirely.
+	PriorityScale func(geo.Point2) float64
+	// Rng drives the statistical detector. Required.
+	Rng *rand.Rand
+}
+
+// Result is everything one frame produced.
+type Result struct {
+	Detections []detect.Detection
+	Clusters   []cluster.Cluster
+	Schedule   sched.Schedule
+	// ComputeS is the modeled onboard latency: ML inference over the
+	// tiles. (Scheduling time is measured, not modeled: SchedWall.)
+	ComputeS float64
+	// SchedWall is the measured wall-clock scheduling latency (Fig. 12a).
+	SchedWall time.Duration
+	// ClusterMethod records whether the ILP or the greedy cover ran.
+	ClusterMethod cluster.Method
+	// CrosslinkBytes is the schedule traffic to the followers.
+	CrosslinkBytes float64
+}
+
+// ProcessFrame runs the full leader pipeline for one frame: detection,
+// clustering, actuation-aware scheduling. followers are the group's
+// follower states at schedule-start time (t = 0 of the returned schedule);
+// env is the shared pass geometry.
+func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.Env) (Result, error) {
+	if p.Rng == nil {
+		return Result{}, fmt.Errorf("core: pipeline needs an Rng")
+	}
+	if len(followers) == 0 {
+		return Result{}, fmt.Errorf("core: no followers to schedule")
+	}
+	var res Result
+	res.ComputeS = p.Tiling.FrameTimeS(p.Detector)
+
+	model := p.Detector
+	if p.RecallOverride > 0 && p.RecallOverride <= 1 {
+		model.Recall = p.RecallOverride
+	}
+	res.Detections = detect.Detect(p.Rng, model, f.Truth, f.Bounds, f.GSDM)
+	if p.PriorityScale != nil {
+		// Detection confidences double as scheduling priorities (§3.2), so
+		// recapture deprioritization rescales them in place.
+		for i := range res.Detections {
+			res.Detections[i].Confidence *= p.PriorityScale(res.Detections[i].Pos)
+		}
+	}
+	if len(res.Detections) == 0 {
+		res.Schedule = sched.Schedule{Captures: make([][]sched.Capture, len(followers))}
+		return res, nil
+	}
+
+	// Build capture tasks: one per cluster (or one per detection when
+	// clustering is off). Priorities are summed detection confidences
+	// (§3.2, §4.1).
+	var targets []sched.Target
+	if p.UseClustering {
+		pts := make([]geo.Point2, len(res.Detections))
+		for i, d := range res.Detections {
+			pts[i] = d.Pos
+		}
+		swath := p.HighResSwathM
+		if swath <= 0 {
+			swath = 10e3
+		}
+		// Shrink the cover box slightly so targets detected with jitter at
+		// the box edge still land inside the true footprint.
+		boxEdge := swath - 2*f.GSDM
+		if boxEdge <= 0 {
+			boxEdge = swath
+		}
+		cs, method, err := cluster.Cover(pts, boxEdge, boxEdge, p.ClusterOpts)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: clustering: %w", err)
+		}
+		res.Clusters = cs
+		res.ClusterMethod = method
+		for i, c := range cs {
+			val := 0.0
+			for _, m := range c.Members {
+				val += res.Detections[m].Confidence
+			}
+			targets = append(targets, sched.Target{ID: i, Pos: c.Center(), Value: val})
+		}
+	} else {
+		for i, d := range res.Detections {
+			targets = append(targets, sched.Target{ID: i, Pos: d.Pos, Value: d.Confidence})
+		}
+	}
+
+	prob := &sched.Problem{Env: env, Targets: targets, Followers: followers}
+	start := time.Now()
+	schedule, err := p.Scheduler.Schedule(prob)
+	res.SchedWall = time.Since(start)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: scheduling: %w", err)
+	}
+	res.Schedule = schedule
+	// Account crosslink traffic with the actual wire encoding; the §5.3
+	// 2 KB bound is enforced by the encoder, so an oversized sequence is
+	// split into bound-sized messages for accounting.
+	for fi, seq := range schedule.Captures {
+		for len(seq) > 0 {
+			chunk := seq
+			if max := sched.MaxCapturesPerMessage(); len(chunk) > max {
+				chunk = seq[:max]
+			}
+			msg, err := sched.EncodeSchedule(fi, chunk)
+			if err != nil {
+				// Conservative fallback: the analytic message size.
+				res.CrosslinkBytes += comms.ScheduleMessageBytes(len(chunk))
+			} else {
+				res.CrosslinkBytes += float64(len(msg))
+			}
+			seq = seq[len(chunk):]
+		}
+	}
+	return res, nil
+}
+
+// CaptureFootprints maps the schedule's captures to ground footprints of
+// the follower camera (edge swathM), in frame-local coordinates. The
+// simulator intersects these with truth positions at capture time to score
+// coverage -- including targets the detector missed but that happen to lie
+// inside a captured image (the Fig. 15 effect).
+func (r *Result) CaptureFootprints(swathM float64) []geo.Rect {
+	var out []geo.Rect
+	for _, seq := range r.Schedule.Captures {
+		for _, c := range seq {
+			out = append(out, geo.NewRectCentered(c.Aim, swathM, swathM))
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eagleeye/internal/adacs"
+	"eagleeye/internal/cluster"
+	"eagleeye/internal/detect"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/sched"
+)
+
+func pt(x, y float64) geo.Point2 { return geo.Point2{X: x, Y: y} }
+
+func env() sched.Env {
+	return sched.Env{
+		AltitudeM:      475e3,
+		GroundSpeedMS:  7300,
+		MaxOffNadirDeg: 11,
+		Slew:           adacs.PaperSlew(),
+	}
+}
+
+func pipeline(rngSeed int64) *Pipeline {
+	return &Pipeline{
+		Detector:      detect.YoloN(),
+		Tiling:        detect.PaperTiling(),
+		UseClustering: true,
+		Scheduler:     sched.ILP{},
+		HighResSwathM: 10e3,
+		Rng:           rand.New(rand.NewSource(rngSeed)),
+	}
+}
+
+// frameAhead builds a frame whose center is 100 km ahead of the follower.
+func frameAhead(truth []geo.Point2) (Frame, []sched.Follower) {
+	// Frame-local coordinates are centered on the frame; the follower sits
+	// 100 km behind the frame center.
+	f := Frame{
+		Truth:  truth,
+		Bounds: geo.NewRectCentered(geo.Point2{}, 100e3, 100e3),
+		GSDM:   30,
+	}
+	fol := []sched.Follower{{SubPoint: pt(0, -100e3), Boresight: pt(0, -100e3)}}
+	return f, fol
+}
+
+func TestProcessFrameEmpty(t *testing.T) {
+	p := pipeline(1)
+	f, fol := frameAhead(nil)
+	res, err := p.ProcessFrame(f, fol, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != 0 || res.Schedule.NumCaptures() != 0 {
+		t.Error("empty frame produced work")
+	}
+	if res.ComputeS <= 0 {
+		t.Error("compute time not modeled")
+	}
+}
+
+func TestProcessFrameEndToEnd(t *testing.T) {
+	p := pipeline(2)
+	truth := []geo.Point2{pt(-3e3, -20e3), pt(2e3, 0), pt(-1e3, 25e3), pt(35e3, 10e3)}
+	f, fol := frameAhead(truth)
+	res, err := p.ProcessFrame(f, fol, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) == 0 {
+		t.Fatal("nothing detected")
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("nothing clustered")
+	}
+	if res.Schedule.NumCaptures() == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	// The schedule must be feasible for the real problem.
+	var targets []sched.Target
+	for i, c := range res.Clusters {
+		val := 0.0
+		for _, m := range c.Members {
+			val += res.Detections[m].Confidence
+		}
+		targets = append(targets, sched.Target{ID: i, Pos: c.Center(), Value: val})
+	}
+	prob := &sched.Problem{Env: env(), Targets: targets, Followers: fol}
+	if err := sched.ValidateSchedule(prob, &res.Schedule); err != nil {
+		t.Fatalf("infeasible schedule: %v", err)
+	}
+	if res.CrosslinkBytes <= 0 || res.CrosslinkBytes > 2048*float64(len(fol)) {
+		t.Errorf("crosslink bytes = %v", res.CrosslinkBytes)
+	}
+	if res.SchedWall <= 0 {
+		t.Error("scheduling wall time not measured")
+	}
+}
+
+func TestProcessFrameWithoutClustering(t *testing.T) {
+	p := pipeline(3)
+	p.UseClustering = false
+	truth := []geo.Point2{pt(0, 0), pt(1e3, 1e3)}
+	f, fol := frameAhead(truth)
+	res, err := p.ProcessFrame(f, fol, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 0 {
+		t.Error("clusters produced with clustering off")
+	}
+}
+
+func TestClusteringReducesCaptures(t *testing.T) {
+	// A tight knot of targets: clustering should need fewer captures than
+	// one-per-detection.
+	var truth []geo.Point2
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 12; i++ {
+		truth = append(truth, pt(rng.Float64()*6e3-3e3, rng.Float64()*6e3-3e3))
+	}
+	withC := pipeline(5)
+	res1, err := func() (Result, error) { f, fol := frameAhead(truth); return withC.ProcessFrame(f, fol, env()) }()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutC := pipeline(5)
+	withoutC.UseClustering = false
+	res2, err := func() (Result, error) { f, fol := frameAhead(truth); return withoutC.ProcessFrame(f, fol, env()) }()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Clusters) >= len(res2.Detections) {
+		t.Errorf("clustering did not reduce: %d clusters vs %d detections",
+			len(res1.Clusters), len(res2.Detections))
+	}
+}
+
+func TestRecallOverride(t *testing.T) {
+	truth := make([]geo.Point2, 400)
+	rng := rand.New(rand.NewSource(6))
+	for i := range truth {
+		truth[i] = pt(rng.Float64()*90e3-45e3, rng.Float64()*90e3-45e3)
+	}
+	p := pipeline(7)
+	p.RecallOverride = 0.2
+	f, fol := frameAhead(truth)
+	res, err := p.ProcessFrame(f, fol, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := 0
+	for _, d := range res.Detections {
+		if d.TruthIndex >= 0 {
+			tp++
+		}
+	}
+	if frac := float64(tp) / float64(len(truth)); math.Abs(frac-0.2) > 0.07 {
+		t.Errorf("recall override: detected %v, want ~0.2", frac)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	p := pipeline(8)
+	p.Rng = nil
+	f, fol := frameAhead(nil)
+	if _, err := p.ProcessFrame(f, fol, env()); err == nil {
+		t.Error("nil rng accepted")
+	}
+	p = pipeline(9)
+	if _, err := p.ProcessFrame(f, nil, env()); err == nil {
+		t.Error("no followers accepted")
+	}
+}
+
+func TestCaptureFootprints(t *testing.T) {
+	res := Result{Schedule: sched.Schedule{Captures: [][]sched.Capture{
+		{{Aim: pt(0, 0)}, {Aim: pt(5e3, 5e3)}},
+		{{Aim: pt(-2e3, 1e3)}},
+	}}}
+	fps := res.CaptureFootprints(10e3)
+	if len(fps) != 3 {
+		t.Fatalf("footprints = %d", len(fps))
+	}
+	if !fps[0].Contains(pt(4.9e3, -4.9e3)) {
+		t.Error("footprint extent wrong")
+	}
+}
+
+func TestMaxLookaheadMatchesFig10(t *testing.T) {
+	sat, swath, gamma := PaperLookaheadParams()
+	// Ship at 14 m/s: ~500 km (paper's quoted value).
+	ship := MaxLookaheadM(sat, 14, swath, gamma)
+	if ship < 450e3 || ship > 600e3 {
+		t.Errorf("ship lookahead = %v m, want ~500 km", ship)
+	}
+	// Plane at 250 m/s: ~28 km.
+	plane := MaxLookaheadM(sat, 250, swath, gamma)
+	if plane < 25e3 || plane > 35e3 {
+		t.Errorf("plane lookahead = %v m, want ~30 km", plane)
+	}
+	// Static target: unbounded.
+	if !math.IsInf(MaxLookaheadM(sat, 0, swath, gamma), 1) {
+		t.Error("static target should be unbounded")
+	}
+	if !LookaheadOK(100e3, sat, 14, swath, gamma) {
+		t.Error("100 km should be fine for ships")
+	}
+	if LookaheadOK(100e3, sat, 250, swath, gamma) {
+		t.Error("100 km should be too far for planes")
+	}
+}
+
+func TestNadirFallback(t *testing.T) {
+	fol := []sched.Follower{
+		{SubPoint: pt(0, 0), Boresight: pt(0, 0)},
+		{SubPoint: pt(0, -100e3), Boresight: pt(0, -100e3)},
+	}
+	s := NadirFallbackSchedule(fol, env(), 13.7, 60)
+	if len(s.Captures) != 2 {
+		t.Fatalf("capture rows = %d", len(s.Captures))
+	}
+	for fi, seq := range s.Captures {
+		if len(seq) < 4 {
+			t.Errorf("follower %d got %d captures", fi, len(seq))
+		}
+		for _, c := range seq {
+			// Nadir: aim equals the sub-point at capture time.
+			want := pt(fol[fi].SubPoint.X, fol[fi].SubPoint.Y+7300*c.Time)
+			if c.Aim.Dist(want) > 1 {
+				t.Errorf("aim %v not nadir %v", c.Aim, want)
+			}
+			if c.TargetID >= 0 {
+				t.Error("fallback capture with non-synthetic id")
+			}
+		}
+	}
+	empty := NadirFallbackSchedule(fol, env(), 0, 60)
+	if empty.NumCaptures() != 0 {
+		t.Error("zero cadence should produce no captures")
+	}
+}
+
+func TestDropFailedFollowers(t *testing.T) {
+	fol := []sched.Follower{{SubPoint: pt(0, 0)}, {SubPoint: pt(0, -1)}, {SubPoint: pt(0, -2)}}
+	out, err := DropFailedFollowers(fol, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].SubPoint != pt(0, -2) {
+		t.Errorf("wrong survivors: %+v", out)
+	}
+	if _, err := DropFailedFollowers(fol, []bool{false, false, false}); err == nil {
+		t.Error("all-dead accepted")
+	}
+	if _, err := DropFailedFollowers(fol, []bool{true}); err == nil {
+		t.Error("mismatched mask accepted")
+	}
+}
+
+func TestClusterGreedyOption(t *testing.T) {
+	p := pipeline(10)
+	p.ClusterOpts = cluster.Options{ForceGreedy: true}
+	truth := []geo.Point2{pt(0, 0), pt(1e3, 1e3), pt(30e3, 30e3)}
+	f, fol := frameAhead(truth)
+	res, err := p.ProcessFrame(f, fol, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) > 0 && res.ClusterMethod != cluster.MethodGreedy {
+		t.Errorf("method = %v, want greedy", res.ClusterMethod)
+	}
+}

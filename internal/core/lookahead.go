@@ -1,0 +1,34 @@
+package core
+
+import "math"
+
+// Moving-target lookahead analysis (§4.6, Fig. 10). The lookahead distance
+// D is the along-track gap between where the leader images a target and
+// where a follower captures it. During the transit time D / Vsat the target
+// moves Vtarget * D / Vsat; EagleEye requires that drift to stay within a
+// slack fraction gamma of the high-resolution swath:
+//
+//	D / Vsat * Vtarget <= gamma * swath  =>  D <= gamma * swath * Vsat / Vtarget.
+
+// MaxLookaheadM returns the maximum usable lookahead distance in meters
+// for a target moving at targetSpeedMS, a satellite ground speed of
+// satSpeedMS, a follower swath of swathM, and slack fraction gamma.
+// A stationary target supports unbounded lookahead (+Inf).
+func MaxLookaheadM(satSpeedMS, targetSpeedMS, swathM, gamma float64) float64 {
+	if targetSpeedMS <= 0 {
+		return math.Inf(1)
+	}
+	return gamma * swathM * satSpeedMS / targetSpeedMS
+}
+
+// LookaheadOK reports whether a lookahead distance D is usable for the
+// given target speed under the paper's default slack.
+func LookaheadOK(distM, satSpeedMS, targetSpeedMS, swathM, gamma float64) bool {
+	return distM <= MaxLookaheadM(satSpeedMS, targetSpeedMS, swathM, gamma)
+}
+
+// PaperLookaheadParams returns the Fig. 10 parameters: a 500 km-altitude
+// satellite at 7.5 km/s ground speed, a 10 km follower swath, gamma = 0.1.
+func PaperLookaheadParams() (satSpeedMS, swathM, gamma float64) {
+	return 7500, 10e3, 0.1
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"eagleeye/internal/geo"
+	"eagleeye/internal/sched"
+)
+
+// Reliability fallbacks (§4.7): if a leader fails or the crosslink
+// partitions, followers fall back to capturing nadir high-resolution
+// images; if a follower fails, the leader simply schedules the survivors.
+
+// NadirFallbackSchedule returns the schedule a follower group executes
+// when no leader schedule arrives: each follower images its own nadir
+// track at the frame cadence for the horizon. Captures carry synthetic
+// negative target IDs (no detected targets are associated).
+func NadirFallbackSchedule(followers []sched.Follower, env sched.Env, cadenceS, horizonS float64) sched.Schedule {
+	out := sched.Schedule{Captures: make([][]sched.Capture, len(followers))}
+	if cadenceS <= 0 || horizonS <= 0 {
+		return out
+	}
+	id := -1
+	for fi, f := range followers {
+		for t := 0.0; t <= horizonS; t += cadenceS {
+			aim := geo.Point2{X: f.SubPoint.X, Y: f.SubPoint.Y + env.GroundSpeedMS*t}
+			out.Captures[fi] = append(out.Captures[fi], sched.Capture{
+				TargetID: id,
+				Time:     t,
+				Follower: fi,
+				Aim:      aim,
+			})
+			id--
+		}
+	}
+	out.SolveStats = sched.Stats{Algorithm: "nadir-fallback", Optimal: false}
+	return out
+}
+
+// DropFailedFollowers returns the subset of followers that are alive,
+// preserving order, and an error if none survive.
+func DropFailedFollowers(followers []sched.Follower, alive []bool) ([]sched.Follower, error) {
+	if len(alive) != len(followers) {
+		return nil, fmt.Errorf("core: alive mask length %d != followers %d", len(alive), len(followers))
+	}
+	var out []sched.Follower
+	for i, f := range followers {
+		if alive[i] {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no operational followers")
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"eagleeye/internal/geo"
+)
+
+func TestShipsCountAndValidity(t *testing.T) {
+	s := Ships(1)
+	if len(s.Targets) != ShipCount {
+		t.Fatalf("ships = %d, want %d", len(s.Targets), ShipCount)
+	}
+	if s.Moving {
+		t.Error("ships should be a static snapshot")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range s.Targets[:100] {
+		if tgt.SpeedMS != 0 {
+			t.Error("ship with nonzero speed")
+		}
+	}
+}
+
+func TestAirplanesCountAndMotion(t *testing.T) {
+	s := Airplanes(1)
+	if len(s.Targets) != AirplaneCount {
+		t.Fatalf("planes = %d, want %d", len(s.Targets), AirplaneCount)
+	}
+	if !s.Moving {
+		t.Error("airplanes should be moving")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Speeds at airliner scale.
+	for _, tgt := range s.Targets[:200] {
+		if tgt.SpeedMS < 180 || tgt.SpeedMS > 300 {
+			t.Errorf("plane speed %v out of range", tgt.SpeedMS)
+		}
+	}
+	// Motion: position changes with time at roughly speed x time.
+	tgt := s.Targets[0]
+	d := geo.GreatCircleDistance(tgt.PosAt(0), tgt.PosAt(100))
+	if math.Abs(d-tgt.SpeedMS*100) > 5 {
+		t.Errorf("plane moved %v m in 100 s at %v m/s", d, tgt.SpeedMS)
+	}
+	// Some planes appear late (the paper's ~80% Low-Res ceiling).
+	late := 0
+	for _, tgt := range s.Targets {
+		if tgt.AppearS > 0 {
+			late++
+		}
+	}
+	if frac := float64(late) / float64(len(s.Targets)); frac < 0.5 || frac > 0.8 {
+		t.Errorf("late-appearing fraction = %v, want ~0.67", frac)
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	tgt := Target{AppearS: 100, VanishS: 200}
+	if tgt.ActiveAt(50) || !tgt.ActiveAt(150) || tgt.ActiveAt(250) {
+		t.Error("ActiveAt window wrong")
+	}
+	forever := Target{}
+	if !forever.ActiveAt(0) || !forever.ActiveAt(1e9) {
+		t.Error("default target should always be active")
+	}
+}
+
+func TestLakesScenarios(t *testing.T) {
+	small := Lakes(1, 5000, 1, 10)
+	if err := small.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range small.Targets {
+		if tgt.AreaKM2 < 1 || tgt.AreaKM2 > 10 {
+			t.Fatalf("lake area %v out of [1,10]", tgt.AreaKM2)
+		}
+	}
+	// Power-law: small lakes dominate.
+	smallCount := 0
+	for _, tgt := range small.Targets {
+		if tgt.AreaKM2 < 3 {
+			smallCount++
+		}
+	}
+	if frac := float64(smallCount) / float64(len(small.Targets)); frac < 0.5 {
+		t.Errorf("small-lake fraction = %v, want > 0.5 (power law)", frac)
+	}
+}
+
+func TestLakeScenarioCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full lake inventories are large")
+	}
+	if n := len(LakesSmallScenario(1).Targets); n != LakeCountSmall {
+		t.Errorf("small scenario = %d", n)
+	}
+	if n := len(LakesLargeScenario(1).Targets); n != LakeCountLarge {
+		t.Errorf("large scenario = %d", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Ships(7)
+	b := Ships(7)
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("target %d differs between same-seed generations", i)
+		}
+	}
+	c := Ships(8)
+	same := true
+	for i := range a.Targets {
+		if a.Targets[i].Pos != c.Targets[i].Pos {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical worlds")
+	}
+}
+
+func TestClusteringIsRealistic(t *testing.T) {
+	// Targets must be clustered, not uniform: the densest 5% of 5-degree
+	// cells should hold a large share of all targets.
+	s := Ships(3)
+	counts := make(map[[2]int]int)
+	for _, tgt := range s.Targets {
+		counts[[2]int{int(tgt.Pos.Lat / 5), int(tgt.Pos.Lon / 5)}]++
+	}
+	var all []int
+	total := 0
+	for _, c := range counts {
+		all = append(all, c)
+		total += c
+	}
+	// Top-5%-of-cells share.
+	top := 0
+	threshold := percentileInt(all, 0.95)
+	for _, c := range all {
+		if c >= threshold {
+			top += c
+		}
+	}
+	if frac := float64(top) / float64(total); frac < 0.3 {
+		t.Errorf("top-cell share = %v, want clustered (> 0.3)", frac)
+	}
+}
+
+func percentileInt(xs []int, p float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(p * float64(len(cp)-1))
+	return cp[idx]
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ships", "oiltanks"} {
+		s, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name {
+			t.Errorf("name = %q, want %q", s.Name, name)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(StandardNames()) != 4 {
+		t.Error("want 4 standard datasets")
+	}
+}
+
+func TestOilTanks(t *testing.T) {
+	s := OilTanks(1)
+	if len(s.Targets) != OilTankFarmCount {
+		t.Errorf("oil tanks = %d", len(s.Targets))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexFindsNearbyTargets(t *testing.T) {
+	s := Ships(5)
+	ix := NewIndex(s, 2, 0)
+	// For each of a few targets, a query at its position must return it.
+	for _, ti := range []int{0, 100, 5000, 19000} {
+		tgt := s.Targets[ti]
+		got := ix.Near(tgt.Pos, 50e3, 0)
+		found := false
+		for _, gi := range got {
+			if int(gi) == ti {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("target %d not found near its own position", ti)
+		}
+	}
+}
+
+func TestIndexSupersetProperty(t *testing.T) {
+	// Every target within the radius must be in the candidate list.
+	s := Ships(6)
+	ix := NewIndex(s, 2, 0)
+	q := geo.LatLon{Lat: 35, Lon: 128} // dense region
+	radius := 100e3
+	cand := make(map[int32]bool)
+	for _, gi := range ix.Near(q, radius, 0) {
+		cand[gi] = true
+	}
+	for i, tgt := range s.Targets {
+		if geo.GreatCircleDistance(q, tgt.Pos) <= radius {
+			if !cand[int32(i)] {
+				t.Fatalf("target %d within radius but not in candidates", i)
+			}
+		}
+	}
+	if len(cand) == 0 {
+		t.Error("no candidates in a dense region")
+	}
+}
+
+func TestIndexPolarQuery(t *testing.T) {
+	s := &Set{Name: "polar"}
+	s.Targets = append(s.Targets, Target{ID: 0, Pos: geo.LatLon{Lat: 89.5, Lon: 10}, Value: 1})
+	s.Targets = append(s.Targets, Target{ID: 1, Pos: geo.LatLon{Lat: 89.5, Lon: -170}, Value: 1})
+	ix := NewIndex(s, 2, 0)
+	got := ix.Near(geo.LatLon{Lat: 89.9, Lon: 100}, 100e3, 0)
+	if len(got) != 2 {
+		t.Errorf("polar query found %d of 2", len(got))
+	}
+}
+
+func TestTimedIndexMovingTargets(t *testing.T) {
+	s := Airplanes(2)
+	tx := NewTimedIndex(s, 2, 600)
+	// A plane queried at a later time should still be found near its
+	// propagated position.
+	tgt := s.Targets[42]
+	ts := 3000.0
+	pos := tgt.PosAt(ts)
+	got := tx.Near(pos, 100e3, ts)
+	found := false
+	for _, gi := range got {
+		if int(gi) == 42 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("moving target not found at propagated position")
+	}
+	if tx.Set() != s {
+		t.Error("Set accessor wrong")
+	}
+}
+
+func TestTimedIndexStaticUsesOneBucket(t *testing.T) {
+	s := Ships(9)
+	tx := NewTimedIndex(s, 2, 600)
+	_ = tx.Near(geo.LatLon{Lat: 0, Lon: 0}, 50e3, 0)
+	_ = tx.Near(geo.LatLon{Lat: 0, Lon: 0}, 50e3, 80000)
+	if len(tx.buckets) != 1 {
+		t.Errorf("static set used %d buckets, want 1", len(tx.buckets))
+	}
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	s := &Set{Name: "bad", Targets: []Target{{Pos: geo.LatLon{Lat: 95}, Value: 1}}}
+	if err := s.Validate(); err == nil {
+		t.Error("invalid position accepted")
+	}
+	s = &Set{Name: "bad", Targets: []Target{{Pos: geo.LatLon{}, Value: 0}}}
+	if err := s.Validate(); err == nil {
+		t.Error("zero value accepted")
+	}
+	s = &Set{Name: "bad", Targets: []Target{{Pos: geo.LatLon{}, Value: 1, SpeedMS: -1}}}
+	if err := s.Validate(); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func BenchmarkIndexQuery(b *testing.B) {
+	s := Ships(1)
+	ix := NewIndex(s, 2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Near(geo.LatLon{Lat: 35, Lon: 128}, 71e3, 0)
+	}
+}

@@ -1,0 +1,22 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON ensures arbitrary JSON never panics the dataset importer.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"targets":[{"lat":10,"lon":20}]}`)
+	f.Add(`{"name":"x","targets":[]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted set fails validation: %v", err)
+		}
+	})
+}

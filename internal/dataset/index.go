@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"math"
+
+	"eagleeye/internal/geo"
+)
+
+// Index is a uniform lat/lon grid over a target set, answering "which
+// targets could lie within R meters of this point" queries. The simulator
+// issues one query per leader frame, so the index is what makes 24-hour
+// million-target runs tractable.
+type Index struct {
+	set     *Set
+	cellDeg float64
+	atTime  float64
+	cells   map[int64][]int32
+	// maxSpeed widens queries when positions were indexed at a different
+	// time than the query.
+	maxSpeed float64
+}
+
+const indexLatRows = 4096 // cell-key stride; supports cellDeg >= ~0.05
+
+// NewIndex builds a grid index of the set's positions at elapsed time
+// atTime (targets inactive at that time are still indexed; callers filter
+// with ActiveAt). cellDeg 0 defaults to 2 degrees.
+func NewIndex(s *Set, cellDeg float64, atTime float64) *Index {
+	if cellDeg <= 0 {
+		cellDeg = 2
+	}
+	ix := &Index{
+		set:     s,
+		cellDeg: cellDeg,
+		atTime:  atTime,
+		cells:   make(map[int64][]int32),
+	}
+	for i, t := range s.Targets {
+		if t.SpeedMS > ix.maxSpeed {
+			ix.maxSpeed = t.SpeedMS
+		}
+		p := t.PosAt(atTime)
+		k := ix.key(p.Lat, p.Lon)
+		ix.cells[k] = append(ix.cells[k], int32(i))
+	}
+	return ix
+}
+
+func (ix *Index) key(lat, lon float64) int64 {
+	r := int64(math.Floor((lat + 90) / ix.cellDeg))
+	c := int64(math.Floor((geo.WrapLonDeg(lon) + 180) / ix.cellDeg))
+	return r*indexLatRows + c
+}
+
+// Near returns indices of targets whose indexed position lies within
+// roughly radiusM of p (a superset: callers must re-filter precisely).
+// queryTime widens the radius by the distance moving targets may have
+// travelled since indexing.
+func (ix *Index) Near(p geo.LatLon, radiusM float64, queryTime float64) []int32 {
+	pad := ix.maxSpeed * math.Abs(queryTime-ix.atTime)
+	radDeg := (radiusM + pad) / 111e3 // meters per degree latitude
+	latLo := p.Lat - radDeg
+	latHi := p.Lat + radDeg
+	var out []int32
+	for lat := latLo; lat <= latHi+ix.cellDeg; lat += ix.cellDeg {
+		if lat < -90-ix.cellDeg || lat > 90+ix.cellDeg {
+			continue
+		}
+		// Longitude span must be computed at the row's most poleward
+		// latitude, where meridians converge fastest.
+		poleward := math.Max(math.Abs(lat), math.Abs(lat+ix.cellDeg))
+		if poleward >= 88 {
+			// Near the poles: scan the whole latitude row.
+			for lon := -180.0; lon < 180; lon += ix.cellDeg {
+				out = append(out, ix.cells[ix.key(lat, lon)]...)
+			}
+			continue
+		}
+		lonRad := radDeg / math.Cos(geo.Deg2Rad(poleward))
+		if lonRad >= 180 {
+			for lon := -180.0; lon < 180; lon += ix.cellDeg {
+				out = append(out, ix.cells[ix.key(lat, lon)]...)
+			}
+			continue
+		}
+		for lon := p.Lon - lonRad; lon <= p.Lon+lonRad+ix.cellDeg; lon += ix.cellDeg {
+			out = append(out, ix.cells[ix.key(lat, geo.WrapLonDeg(lon))]...)
+		}
+	}
+	return out
+}
+
+// TimedIndex maintains per-time-bucket indices for moving target sets,
+// rebuilding lazily as the simulation advances.
+type TimedIndex struct {
+	set     *Set
+	cellDeg float64
+	bucketS float64
+	buckets map[int64]*Index
+}
+
+// NewTimedIndex creates a lazily-populated timed index. bucketS 0 defaults
+// to 600 s (moving-target positions are re-indexed every ten minutes).
+func NewTimedIndex(s *Set, cellDeg, bucketS float64) *TimedIndex {
+	if bucketS <= 0 {
+		bucketS = 600
+	}
+	return &TimedIndex{set: s, cellDeg: cellDeg, bucketS: bucketS, buckets: make(map[int64]*Index)}
+}
+
+// Near returns candidate indices near p at elapsed time ts.
+func (tx *TimedIndex) Near(p geo.LatLon, radiusM float64, ts float64) []int32 {
+	if !tx.set.Moving {
+		// Static sets need a single bucket.
+		ts = 0
+	}
+	b := int64(math.Floor(ts / tx.bucketS))
+	ix, ok := tx.buckets[b]
+	if !ok {
+		ix = NewIndex(tx.set, tx.cellDeg, float64(b)*tx.bucketS)
+		tx.buckets[b] = ix
+	}
+	return ix.Near(p, radiusM, ts)
+}
+
+// Set returns the underlying target set.
+func (tx *TimedIndex) Set() *Set { return tx.set }

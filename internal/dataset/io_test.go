@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Airplanes(3)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf, 500); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	if !got.Moving {
+		t.Error("moving flag lost")
+	}
+	if len(got.Targets) != 500 {
+		t.Fatalf("targets = %d, want 500 (limited)", len(got.Targets))
+	}
+	for i := range got.Targets {
+		a, b := got.Targets[i], orig.Targets[i]
+		if a.ID != b.ID || a.SpeedMS != b.SpeedMS || a.HeadingDeg != b.HeadingDeg {
+			t.Fatalf("target %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Pos.Lat != b.Pos.Lat || a.Pos.Lon != b.Pos.Lon {
+			t.Fatalf("target %d position drift", i)
+		}
+	}
+}
+
+func TestJSONWriteAllWhenNoLimit(t *testing.T) {
+	s := OilTanks(1)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Targets) != len(s.Targets) {
+		t.Errorf("targets = %d, want %d", len(got.Targets), len(s.Targets))
+	}
+}
+
+func TestReadJSONDefaults(t *testing.T) {
+	// Minimal external export: no values, no name, no ids.
+	raw := `{"targets":[{"lat":10,"lon":20},{"lat":-5,"lon":190,"speed_ms":100}]}`
+	got, err := ReadJSON(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "imported" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if got.Targets[0].Value != 1 {
+		t.Errorf("default value = %v", got.Targets[0].Value)
+	}
+	if got.Targets[1].ID != 1 {
+		t.Errorf("assigned id = %d", got.Targets[1].ID)
+	}
+	// Longitude 190 wrapped into range.
+	if got.Targets[1].Pos.Lon > 180 || got.Targets[1].Pos.Lon <= -180 {
+		t.Errorf("lon not wrapped: %v", got.Targets[1].Pos.Lon)
+	}
+	// A moving target flips the Moving flag.
+	if !got.Moving {
+		t.Error("moving not inferred from speeds")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Invalid latitude survives normalization as a clamp, so construct an
+	// invalid value instead.
+	raw := `{"targets":[{"lat":10,"lon":20,"value":-3}]}`
+	if _, err := ReadJSON(strings.NewReader(raw)); err == nil {
+		t.Error("negative value accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adaptive tiling selection (§4.1): "the total number of tiles per frame
+// must not exceed the energy or time budget of the leader", and smaller
+// tiles improve small-object accuracy. ChooseTiling picks the smallest
+// tile size (most tiles, best small-object accuracy) that still satisfies
+// both the frame deadline and the per-orbit compute-energy budget.
+
+// TilingBudget states the leader's constraints for one operating point.
+type TilingBudget struct {
+	// DeadlineS is the frame cadence (hard per-frame deadline, §3.2).
+	DeadlineS float64
+	// EnergyPerOrbitJ is the compute energy available per orbit;
+	// 0 disables the energy check.
+	EnergyPerOrbitJ float64
+	// FramesPerOrbit is how many frames the leader processes per orbit;
+	// 0 means 412 (§5.3).
+	FramesPerOrbit int
+	// ComputeW is the computer's active power; 0 means 15 W.
+	ComputeW float64
+}
+
+func (b TilingBudget) withDefaults() TilingBudget {
+	if b.FramesPerOrbit == 0 {
+		b.FramesPerOrbit = 412
+	}
+	if b.ComputeW == 0 {
+		b.ComputeW = 15
+	}
+	return b
+}
+
+// ChooseTiling returns the smallest tile edge from candidates that meets
+// the budget for the model, along with the implied frame time. An error
+// reports that no candidate fits (the caller should fall back to a smaller
+// model, per Kodan's accuracy-aware degradation).
+func ChooseTiling(m Model, framePx int, candidates []int, budget TilingBudget) (Tiling, float64, error) {
+	if err := m.Validate(); err != nil {
+		return Tiling{}, 0, err
+	}
+	if framePx <= 0 {
+		return Tiling{}, 0, fmt.Errorf("detect: frame %d px must be positive", framePx)
+	}
+	if len(candidates) == 0 {
+		candidates = []int{200, 250, 333, 400, 500, 666, 1000}
+	}
+	budget = budget.withDefaults()
+
+	best := Tiling{}
+	bestTime := math.Inf(1)
+	found := false
+	for _, px := range candidates {
+		if px <= 0 {
+			continue
+		}
+		tl := Tiling{FramePx: framePx, TilePx: px}
+		ft := tl.FrameTimeS(m)
+		if budget.DeadlineS > 0 && ft > budget.DeadlineS {
+			continue
+		}
+		if budget.EnergyPerOrbitJ > 0 {
+			need := ft * float64(budget.FramesPerOrbit) * budget.ComputeW
+			if need > budget.EnergyPerOrbitJ {
+				continue
+			}
+		}
+		// Prefer the smallest feasible tile (most tiles, best accuracy on
+		// small objects); ties by shorter time.
+		if !found || px < best.TilePx {
+			best, bestTime, found = tl, ft, true
+		}
+	}
+	if !found {
+		return Tiling{}, 0, fmt.Errorf("detect: no tile size in %v fits deadline %.1fs / energy %.0fJ for %s",
+			candidates, budget.DeadlineS, budget.EnergyPerOrbitJ, m.Name)
+	}
+	return best, bestTime, nil
+}

@@ -1,0 +1,67 @@
+package detect
+
+import "testing"
+
+func TestChooseTilingPrefersSmallestFeasible(t *testing.T) {
+	tl, ft, err := ChooseTiling(YoloN(), 3330, nil, TilingBudget{DeadlineS: 13.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// yolo_n at 200 px tiles: 289 tiles x 14 ms = ~4 s < 13.7 s, feasible;
+	// nothing smaller is offered by default.
+	if tl.TilePx != 200 {
+		t.Errorf("tile = %d, want 200", tl.TilePx)
+	}
+	if ft <= 0 || ft > 13.7 {
+		t.Errorf("frame time = %v", ft)
+	}
+}
+
+func TestChooseTilingRespectsDeadline(t *testing.T) {
+	// yolo_x (118 ms/tile) with a tight deadline: small tiles infeasible.
+	tl, _, err := ChooseTiling(YoloX(), 3330, []int{100, 333, 1000}, TilingBudget{DeadlineS: 13.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.TilePx != 333 {
+		t.Errorf("tile = %d, want 333 (100 px misses the deadline)", tl.TilePx)
+	}
+}
+
+func TestChooseTilingRespectsEnergy(t *testing.T) {
+	// With a harvest-limited energy budget, the fine tilings drop out even
+	// when the deadline allows them (Fig. 16's 4x case).
+	budget := TilingBudget{
+		DeadlineS:       13.7,
+		EnergyPerOrbitJ: 40e3, // below the 2x-tiling compute demand
+	}
+	tl, _, err := ChooseTiling(YoloM(), 3330, []int{200, 333, 500, 1000}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// yolo_m at 333 px = 100 tiles x 55 ms x 412 frames x 15 W = 34 kJ: fits.
+	// 200 px = 289 tiles -> 98 kJ: does not.
+	if tl.TilePx != 333 {
+		t.Errorf("tile = %d, want 333", tl.TilePx)
+	}
+}
+
+func TestChooseTilingNoFit(t *testing.T) {
+	if _, _, err := ChooseTiling(YoloX(), 3330, []int{100}, TilingBudget{DeadlineS: 5}); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+func TestChooseTilingValidation(t *testing.T) {
+	if _, _, err := ChooseTiling(Model{}, 3330, nil, TilingBudget{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, _, err := ChooseTiling(YoloN(), 0, nil, TilingBudget{}); err == nil {
+		t.Error("zero frame accepted")
+	}
+	// Zero/negative candidates are skipped, not crashed on.
+	tl, _, err := ChooseTiling(YoloN(), 3330, []int{0, -5, 400}, TilingBudget{DeadlineS: 13.7})
+	if err != nil || tl.TilePx != 400 {
+		t.Errorf("tile = %v err = %v", tl.TilePx, err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package detect models the leader satellite's onboard target
+// identification (§4.1): ML object detection over tiled low-resolution
+// frames. The paper's prototype runs YOLOv8 variants on an NVIDIA Jetson
+// AGX Orin (15 W mode); this package is the statistical equivalent. It
+// reproduces the quantities every downstream component consumes:
+//
+//   - per-frame compute latency as a function of the model variant and the
+//     frame tiling (Figs. 13 and 14b),
+//   - detections with calibrated recall, precision and confidence (the
+//     priority scores the scheduler maximizes; Fig. 15), and
+//   - the two-stage oil-tank volume estimation accuracy versus GSD
+//     characterization (Fig. 3).
+package detect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"eagleeye/internal/geo"
+)
+
+// Model is an object-detection network at a deployed operating point.
+type Model struct {
+	Name string
+	// PerTileS is the inference latency per tile on the leader's computer
+	// (Jetson Orin, 15 W mode). Frame latency = tiles x PerTileS.
+	PerTileS float64
+	// Recall is the fraction of true targets detected.
+	Recall float64
+	// Precision is the fraction of detections that are true targets.
+	Precision float64
+	// MAP50 is the mean average precision at IoU 0.5, for reporting.
+	MAP50 float64
+}
+
+// The YOLOv8 family at the per-frame latencies of Fig. 13 (numbers in
+// parentheses there are seconds per low-resolution frame at the default
+// 100-tile decomposition).
+func yolo(name string, frameS, recall, precision, mAP float64) Model {
+	return Model{Name: name, PerTileS: frameS / float64(DefaultTiles), Recall: recall, Precision: precision, MAP50: mAP}
+}
+
+// DefaultTiles is the default tile count per low-resolution frame: a
+// 100 km / 30 m = 3333 px frame cut into 10 x 10 tiles of ~333 px, scaled
+// to the network input (§4.1).
+const DefaultTiles = 100
+
+// YoloN returns the nano variant (1.4 s/frame in Fig. 13).
+func YoloN() Model { return yolo("yolo_n", 1.4, 0.776, 0.85, 0.776) }
+
+// YoloS returns the small variant (2.6 s/frame).
+func YoloS() Model { return yolo("yolo_s", 2.6, 0.80, 0.87, 0.80) }
+
+// YoloM returns the medium variant (5.5 s/frame).
+func YoloM() Model { return yolo("yolo_m", 5.5, 0.83, 0.89, 0.83) }
+
+// YoloL returns the large variant (8.6 s/frame).
+func YoloL() Model { return yolo("yolo_l", 8.6, 0.85, 0.90, 0.85) }
+
+// YoloX returns the extra-large variant (11.8 s/frame).
+func YoloX() Model { return yolo("yolo_x", 11.8, 0.87, 0.91, 0.87) }
+
+// Catalogue returns the variants in ascending compute cost.
+func Catalogue() []Model { return []Model{YoloN(), YoloS(), YoloM(), YoloL(), YoloX()} }
+
+// Validate reports whether the model parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.PerTileS <= 0:
+		return fmt.Errorf("detect %q: per-tile latency %v must be positive", m.Name, m.PerTileS)
+	case m.Recall < 0 || m.Recall > 1:
+		return fmt.Errorf("detect %q: recall %v out of [0,1]", m.Name, m.Recall)
+	case m.Precision <= 0 || m.Precision > 1:
+		return fmt.Errorf("detect %q: precision %v out of (0,1]", m.Name, m.Precision)
+	}
+	return nil
+}
+
+// Tiling describes how a frame is decomposed for inference (§4.1):
+// the frame is cut into TilePx x TilePx tiles, each scaled to the model
+// input size.
+type Tiling struct {
+	FramePx int // frame width/height in pixels (square frames)
+	TilePx  int // tile edge in pixels
+}
+
+// PaperTiling returns the leader-camera frame (100 km at 30 m/px) with the
+// default 333 px tiles.
+func PaperTiling() Tiling { return Tiling{FramePx: 3330, TilePx: 333} }
+
+// Tiles returns the number of tiles per frame.
+func (t Tiling) Tiles() int {
+	if t.TilePx <= 0 || t.FramePx <= 0 {
+		return 0
+	}
+	across := (t.FramePx + t.TilePx - 1) / t.TilePx
+	return across * across
+}
+
+// FrameTimeS returns the frame processing latency for the model under this
+// tiling (Fig. 14b).
+func (t Tiling) FrameTimeS(m Model) float64 { return float64(t.Tiles()) * m.PerTileS }
+
+// TileFactor returns a tiling with k-times the default tile count (the
+// "2x / 4x tiling" of the energy analysis, Fig. 16): tile edge shrinks by
+// sqrt(k).
+func TileFactor(k float64) Tiling {
+	base := PaperTiling()
+	if k <= 0 {
+		return base
+	}
+	base.TilePx = int(float64(base.TilePx) / math.Sqrt(k))
+	if base.TilePx < 1 {
+		base.TilePx = 1
+	}
+	return base
+}
+
+// Detection is one model output: a geolocated box center with a confidence
+// score. TruthIndex links a true positive to the ground-truth slice;
+// false positives carry TruthIndex == -1.
+type Detection struct {
+	Pos        geo.Point2
+	Confidence float64
+	TruthIndex int
+}
+
+// Detect simulates inference over one frame: each ground-truth target is
+// found with probability Recall (positional error up to one GSD), and false
+// positives are added so that the expected precision matches the model. The
+// rng drives all sampling, keeping experiments reproducible.
+func Detect(rng *rand.Rand, m Model, truth []geo.Point2, frame geo.Rect, gsdM float64) []Detection {
+	var out []Detection
+	for i, p := range truth {
+		if rng.Float64() > m.Recall {
+			continue
+		}
+		jitter := geo.Point2{
+			X: (rng.Float64()*2 - 1) * gsdM,
+			Y: (rng.Float64()*2 - 1) * gsdM,
+		}
+		out = append(out, Detection{
+			Pos:        p.Add(jitter),
+			Confidence: 0.5 + 0.5*rng.Float64()*m.Recall,
+			TruthIndex: i,
+		})
+	}
+	// E[FP] = TP * (1 - precision) / precision.
+	if m.Precision < 1 && len(out) > 0 {
+		expFP := float64(len(out)) * (1 - m.Precision) / m.Precision
+		nFP := int(expFP)
+		if rng.Float64() < expFP-float64(nFP) {
+			nFP++
+		}
+		for k := 0; k < nFP; k++ {
+			out = append(out, Detection{
+				Pos: geo.Point2{
+					X: frame.Min.X + rng.Float64()*frame.Width(),
+					Y: frame.Min.Y + rng.Float64()*frame.Height(),
+				},
+				Confidence: 0.5 + 0.3*rng.Float64(),
+				TruthIndex: -1,
+			})
+		}
+	}
+	return out
+}
+
+// MeetsDeadline reports whether the model under the tiling finishes within
+// the leader's frame cadence (the hard deadline of §3.2).
+func MeetsDeadline(m Model, t Tiling, deadlineS float64) bool {
+	return t.FrameTimeS(m) <= deadlineS
+}

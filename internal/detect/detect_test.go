@@ -1,0 +1,226 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eagleeye/internal/geo"
+)
+
+func TestCatalogueLatenciesMatchFig13(t *testing.T) {
+	want := map[string]float64{
+		"yolo_n": 1.4, "yolo_s": 2.6, "yolo_m": 5.5, "yolo_l": 8.6, "yolo_x": 11.8,
+	}
+	tiling := PaperTiling()
+	for _, m := range Catalogue() {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		got := tiling.FrameTimeS(m)
+		if math.Abs(got-want[m.Name]) > 0.01 {
+			t.Errorf("%s frame time = %v, want %v", m.Name, got, want[m.Name])
+		}
+	}
+}
+
+func TestCatalogueOrderedByCost(t *testing.T) {
+	cat := Catalogue()
+	for i := 1; i < len(cat); i++ {
+		if cat[i].PerTileS <= cat[i-1].PerTileS {
+			t.Errorf("catalogue not ascending at %s", cat[i].Name)
+		}
+		if cat[i].Recall < cat[i-1].Recall {
+			t.Errorf("bigger model %s has lower recall", cat[i].Name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{PerTileS: 0, Recall: 0.5, Precision: 0.5},
+		{PerTileS: 1, Recall: 1.5, Precision: 0.5},
+		{PerTileS: 1, Recall: 0.5, Precision: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTiling(t *testing.T) {
+	tl := PaperTiling()
+	if tl.Tiles() != DefaultTiles {
+		t.Errorf("default tiles = %d, want %d", tl.Tiles(), DefaultTiles)
+	}
+	if (Tiling{FramePx: 3330, TilePx: 0}).Tiles() != 0 {
+		t.Error("zero tile size should give 0 tiles")
+	}
+	// Smaller tiles -> more tiles -> longer frame time (Fig. 14b shape).
+	prev := 0.0
+	for _, px := range []int{1000, 800, 600, 400, 200, 100} {
+		ft := (Tiling{FramePx: 3330, TilePx: px}).FrameTimeS(YoloN())
+		if ft <= prev {
+			t.Errorf("frame time not increasing as tiles shrink: %v at %dpx", ft, px)
+		}
+		prev = ft
+	}
+}
+
+func TestTileFactor(t *testing.T) {
+	base := TileFactor(1).Tiles()
+	x2 := TileFactor(2).Tiles()
+	x4 := TileFactor(4).Tiles()
+	if x2 < int(1.8*float64(base)) || x2 > int(2.3*float64(base)) {
+		t.Errorf("2x factor: %d tiles vs base %d", x2, base)
+	}
+	if x4 < int(3.6*float64(base)) || x4 > int(4.6*float64(base)) {
+		t.Errorf("4x factor: %d tiles vs base %d", x4, base)
+	}
+	if TileFactor(0).Tiles() != base {
+		t.Error("zero factor should return base tiling")
+	}
+}
+
+func TestMeetsDeadline(t *testing.T) {
+	// At the paper's ~13.7 s cadence every variant fits under default
+	// tiling (even yolo_x at 11.8 s -- that is why the leader-follower
+	// split tolerates big models, Fig. 13), but 4x tiling pushes all but
+	// the smallest models past the deadline.
+	for _, m := range Catalogue() {
+		if !MeetsDeadline(m, PaperTiling(), 13.7) {
+			t.Errorf("%s should meet the frame deadline under default tiling", m.Name)
+		}
+	}
+	if MeetsDeadline(YoloM(), TileFactor(4), 13.7) {
+		t.Error("yolo_m at 4x tiling should miss the frame deadline")
+	}
+}
+
+func TestDetectRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := YoloN()
+	frame := geo.NewRectCentered(geo.Point2{}, 100e3, 100e3)
+	truth := make([]geo.Point2, 2000)
+	for i := range truth {
+		truth[i] = geo.Point2{X: rng.Float64()*90e3 - 45e3, Y: rng.Float64()*90e3 - 45e3}
+	}
+	dets := Detect(rng, m, truth, frame, 30)
+	tp := 0
+	for _, d := range dets {
+		if d.TruthIndex >= 0 {
+			tp++
+		}
+	}
+	gotRecall := float64(tp) / float64(len(truth))
+	if math.Abs(gotRecall-m.Recall) > 0.05 {
+		t.Errorf("empirical recall = %v, want ~%v", gotRecall, m.Recall)
+	}
+	// Precision check.
+	gotPrec := float64(tp) / float64(len(dets))
+	if math.Abs(gotPrec-m.Precision) > 0.05 {
+		t.Errorf("empirical precision = %v, want ~%v", gotPrec, m.Precision)
+	}
+	// Positional error bounded by ~GSD.
+	for _, d := range dets {
+		if d.TruthIndex < 0 {
+			continue
+		}
+		if d.Pos.Dist(truth[d.TruthIndex]) > 30*math.Sqrt2+1e-9 {
+			t.Errorf("jitter too large: %v", d.Pos.Dist(truth[d.TruthIndex]))
+		}
+	}
+	// Confidences in (0, 1].
+	for _, d := range dets {
+		if d.Confidence <= 0 || d.Confidence > 1 {
+			t.Errorf("confidence %v out of range", d.Confidence)
+		}
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	m := YoloS()
+	frame := geo.NewRectCentered(geo.Point2{}, 100e3, 100e3)
+	truth := []geo.Point2{{X: 1e3, Y: 2e3}, {X: -5e3, Y: 9e3}, {X: 20e3, Y: -3e3}}
+	a := Detect(rand.New(rand.NewSource(9)), m, truth, frame, 30)
+	b := Detect(rand.New(rand.NewSource(9)), m, truth, frame, 30)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("detection %d differs", i)
+		}
+	}
+}
+
+func TestDetectEmptyTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	frame := geo.NewRectCentered(geo.Point2{}, 100e3, 100e3)
+	if dets := Detect(rng, YoloN(), nil, frame, 30); len(dets) != 0 {
+		t.Errorf("detections on empty truth: %d", len(dets))
+	}
+}
+
+func TestDetectPerfectModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Model{Name: "perfect", PerTileS: 0.01, Recall: 1, Precision: 1}
+	frame := geo.NewRectCentered(geo.Point2{}, 100e3, 100e3)
+	truth := []geo.Point2{{X: 0, Y: 0}, {X: 1e3, Y: 1e3}}
+	dets := Detect(rng, m, truth, frame, 30)
+	if len(dets) != 2 {
+		t.Errorf("perfect model found %d of 2", len(dets))
+	}
+	for _, d := range dets {
+		if d.TruthIndex < 0 {
+			t.Error("perfect model produced a false positive")
+		}
+	}
+}
+
+func TestOilTankDetectionFlatThenFalls(t *testing.T) {
+	// Fig. 3a: detection accuracy stays high across the paper's GSD range.
+	for _, gsd := range []float64{0.7, 3, 5, 10} {
+		if acc := OilTankDetectionAccuracy(gsd); acc < 0.9 {
+			t.Errorf("detection accuracy at %v m/px = %v, want >= 0.9", gsd, acc)
+		}
+	}
+	// Far beyond the range the tank is sub-pixel and detection collapses.
+	if acc := OilTankDetectionAccuracy(40); acc > 0.5 {
+		t.Errorf("accuracy at 40 m/px = %v, want collapse", acc)
+	}
+	if OilTankDetectionAccuracy(0) != 1 {
+		t.Error("zero GSD should be perfect")
+	}
+}
+
+func TestOilTankVolumeErrorGrowsWithGSD(t *testing.T) {
+	// Fig. 3b: error grows with GSD, 90th percentile above 50th.
+	prev50, prev90 := -1.0, -1.0
+	for _, gsd := range []float64{0.7, 2, 5, 8, 11.5} {
+		e50 := OilTankVolumeErrorPct(gsd, 0.5)
+		e90 := OilTankVolumeErrorPct(gsd, 0.9)
+		if e50 <= prev50 || e90 <= prev90 {
+			t.Errorf("errors not increasing at %v m/px", gsd)
+		}
+		if e90 <= e50 {
+			t.Errorf("90th percentile (%v) not above 50th (%v)", e90, e50)
+		}
+		prev50, prev90 = e50, e90
+	}
+	if OilTankVolumeErrorPct(1e6, 0.9) > 100 {
+		t.Error("error should cap at 100%")
+	}
+}
+
+func TestOilTankAccuracyThresholds(t *testing.T) {
+	// The follower's 3 m/px yields accurate volumes; the leader's 30 m/px
+	// does not - the core motivation of the mixed-resolution design.
+	if !OilTankVolumeAccurate(3) {
+		t.Error("3 m/px should be accurate")
+	}
+	if OilTankVolumeAccurate(30) {
+		t.Error("30 m/px should be inaccurate")
+	}
+}

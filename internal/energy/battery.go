@@ -1,0 +1,100 @@
+package energy
+
+import "fmt"
+
+// Battery simulates the state of charge of the satellite's battery over a
+// timeline of load and illumination: the time-resolved counterpart of the
+// per-orbit budget. The paper's per-orbit analysis (Fig. 16) says whether
+// an orbit's books balance; the battery model says whether the satellite
+// survives the eclipse portion while running its loads.
+type Battery struct {
+	// CapacityJ is the usable battery capacity. A 3U cubesat typically
+	// carries ~40 Wh usable, i.e. ~144 kJ.
+	CapacityJ float64
+	// SoCJ is the current state of charge.
+	SoCJ float64
+	// MinSoCJ is the depth-of-discharge floor; draining below it marks
+	// the battery as depleted.
+	MinSoCJ float64
+
+	depleted bool
+}
+
+// NewBattery returns a battery at full charge.
+func NewBattery(capacityJ float64) *Battery {
+	return &Battery{CapacityJ: capacityJ, SoCJ: capacityJ, MinSoCJ: 0.2 * capacityJ}
+}
+
+// Paper3UBattery returns a 40 Wh battery with a 20% discharge floor.
+func Paper3UBattery() *Battery { return NewBattery(40 * 3600) }
+
+// Validate reports whether the battery parameters are plausible.
+func (b *Battery) Validate() error {
+	if b.CapacityJ <= 0 {
+		return fmt.Errorf("energy: battery capacity %v must be positive", b.CapacityJ)
+	}
+	if b.MinSoCJ < 0 || b.MinSoCJ >= b.CapacityJ {
+		return fmt.Errorf("energy: discharge floor %v out of [0, capacity)", b.MinSoCJ)
+	}
+	return nil
+}
+
+// Step advances the battery by dtS seconds under loadW watts of draw,
+// harvesting solarW watts if sunlit. Charge saturates at capacity; the
+// battery is marked depleted if it hits the discharge floor.
+func (b *Battery) Step(dtS, loadW, solarW float64, sunlit bool) {
+	if dtS <= 0 {
+		return
+	}
+	net := -loadW
+	if sunlit {
+		net += solarW
+	}
+	b.SoCJ += net * dtS
+	if b.SoCJ > b.CapacityJ {
+		b.SoCJ = b.CapacityJ
+	}
+	if b.SoCJ <= b.MinSoCJ {
+		b.SoCJ = b.MinSoCJ
+		b.depleted = true
+	}
+}
+
+// Depleted reports whether the battery ever hit the discharge floor.
+func (b *Battery) Depleted() bool { return b.depleted }
+
+// SoCFraction returns the state of charge as a fraction of capacity.
+func (b *Battery) SoCFraction() float64 {
+	if b.CapacityJ <= 0 {
+		return 0
+	}
+	return b.SoCJ / b.CapacityJ
+}
+
+// SimulateOrbits runs the battery over n orbits of the given parameters
+// with a constant average load, returning the minimum state-of-charge
+// fraction reached. The orbit alternates a sunlit arc (SunlitFraction of
+// the period) and an eclipse arc.
+func (b *Battery) SimulateOrbits(p Params, avgLoadW float64, orbits int) float64 {
+	minSoC := b.SoCFraction()
+	const stepS = 10.0
+	sunlitS := p.SunlitFraction * p.OrbitPeriodS
+	for o := 0; o < orbits; o++ {
+		for t := 0.0; t < p.OrbitPeriodS; t += stepS {
+			b.Step(stepS, avgLoadW, p.SolarPanelW, t < sunlitS)
+			if f := b.SoCFraction(); f < minSoC {
+				minSoC = f
+			}
+		}
+	}
+	return minSoC
+}
+
+// AverageLoadW converts a per-orbit budget into the equivalent constant
+// load for battery simulation.
+func AverageLoadW(b *Budget) float64 {
+	if b.Params.OrbitPeriodS <= 0 {
+		return 0
+	}
+	return b.TotalJ() / b.Params.OrbitPeriodS
+}

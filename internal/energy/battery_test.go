@@ -1,0 +1,101 @@
+package energy
+
+import (
+	"testing"
+
+	"eagleeye/internal/detect"
+)
+
+func TestBatteryValidate(t *testing.T) {
+	if err := Paper3UBattery().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewBattery(0).Validate(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	b := NewBattery(100)
+	b.MinSoCJ = 200
+	if err := b.Validate(); err == nil {
+		t.Error("floor above capacity accepted")
+	}
+}
+
+func TestBatteryChargeSaturates(t *testing.T) {
+	b := NewBattery(1000)
+	b.SoCJ = 900
+	b.Step(100, 0, 10, true) // harvest 1000 J into 100 J of headroom
+	if b.SoCJ != 1000 {
+		t.Errorf("SoC = %v, want saturated at 1000", b.SoCJ)
+	}
+	if b.Depleted() {
+		t.Error("charged battery marked depleted")
+	}
+}
+
+func TestBatteryDepletes(t *testing.T) {
+	b := NewBattery(1000)
+	b.Step(1000, 10, 0, false) // 10 kJ draw in eclipse
+	if !b.Depleted() {
+		t.Error("drained battery not marked depleted")
+	}
+	if b.SoCJ != b.MinSoCJ {
+		t.Errorf("SoC = %v, want clamped at floor %v", b.SoCJ, b.MinSoCJ)
+	}
+}
+
+func TestBatteryZeroStep(t *testing.T) {
+	b := NewBattery(1000)
+	soc := b.SoCJ
+	b.Step(0, 100, 0, false)
+	b.Step(-5, 100, 0, false)
+	if b.SoCJ != soc {
+		t.Error("non-positive step changed SoC")
+	}
+}
+
+func TestLeaderSurvivesEclipseAt2xTiling(t *testing.T) {
+	// Time-resolved counterpart of Fig. 16: at 2x tiling the leader's
+	// battery rides through eclipses; at 4x it depletes.
+	p := Paper3U()
+	frameS := detect.PaperTiling().FrameTimeS(detect.YoloM())
+
+	ok := Paper3UBattery()
+	load2 := AverageLoadW(PerOrbitBudget(p, PaperProfile(RoleLeader, 2, frameS)))
+	min2 := ok.SimulateOrbits(p, load2, 5)
+	if ok.Depleted() {
+		t.Errorf("2x tiling depleted the battery (min SoC %.2f)", min2)
+	}
+
+	bad := Paper3UBattery()
+	load4 := AverageLoadW(PerOrbitBudget(p, PaperProfile(RoleLeader, 4, frameS)))
+	bad.SimulateOrbits(p, load4, 5)
+	if !bad.Depleted() {
+		t.Error("4x tiling should deplete the battery")
+	}
+}
+
+func TestMinSoCInEclipse(t *testing.T) {
+	// The minimum SoC occurs at eclipse exit; it must be strictly below
+	// full charge for any nonzero load.
+	p := Paper3U()
+	b := Paper3UBattery()
+	min := b.SimulateOrbits(p, 5, 2)
+	if min >= 1 {
+		t.Errorf("min SoC %v should dip below full", min)
+	}
+	if min < 0.2-1e-9 {
+		t.Errorf("min SoC %v below the floor", min)
+	}
+}
+
+func TestAverageLoad(t *testing.T) {
+	b := NewBudget(Paper3U())
+	b.Compute(b.Params.OrbitPeriodS) // 15 W for a whole orbit
+	if got := AverageLoadW(b); got != 15 {
+		t.Errorf("average load = %v, want 15", got)
+	}
+	zero := &Budget{}
+	if AverageLoadW(zero) != 0 {
+		t.Error("zero-period budget should give 0")
+	}
+}

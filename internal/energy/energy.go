@@ -1,0 +1,211 @@
+// Package energy models the power subsystem of a 3U cubesat in the
+// EagleEye constellation, following the cote parameters the paper cites
+// (§5.3): solar harvest over the sunlit arc of each orbit and the loads of
+// the camera, the ADACS, the onboard computer (Jetson Orin, 15 W mode) and
+// the radio. It produces the per-orbit, per-role energy accounting of the
+// paper's Fig. 16 and enforces the harvest budget that limits leader tiling
+// to ~2x (§6.2).
+package energy
+
+import "fmt"
+
+// Params describes the satellite power configuration. All powers in watts,
+// energies in joules.
+type Params struct {
+	// SolarPanelW is the panel output while illuminated.
+	SolarPanelW float64
+	// SunlitFraction is the fraction of the orbit in sunlight.
+	SunlitFraction float64
+	// OrbitPeriodS is the orbital period.
+	OrbitPeriodS float64
+	// CameraW is the imager power during a capture.
+	CameraW float64
+	// CaptureS is the imaging duration per capture.
+	CaptureS float64
+	// ADACSIdleW is the attitude-control hold power (always on).
+	ADACSIdleW float64
+	// ADACSSlewW is the additional power while slewing.
+	ADACSSlewW float64
+	// SlewRateDegS converts commanded degrees into slew seconds.
+	SlewRateDegS float64
+	// ComputeW is the onboard computer's active power.
+	ComputeW float64
+	// TXW is the downlink radio power.
+	TXW float64
+	// CrosslinkW is the inter-satellite radio power.
+	CrosslinkW float64
+}
+
+// Paper3U returns the 3U-cubesat parameters used throughout the
+// evaluation: a ~22 W deployable panel, ~62% sunlit at the paper's orbit,
+// 94-minute period, 15 W Jetson Orin compute, and S-band radios.
+func Paper3U() Params {
+	return Params{
+		SolarPanelW:    22,
+		SunlitFraction: 0.62,
+		OrbitPeriodS:   94 * 60,
+		CameraW:        5,
+		CaptureS:       0.2,
+		ADACSIdleW:     0.5,
+		ADACSSlewW:     4,
+		SlewRateDegS:   3,
+		ComputeW:       15,
+		TXW:            8,
+		CrosslinkW:     2,
+	}
+}
+
+// Validate reports whether the parameters are physically plausible.
+func (p Params) Validate() error {
+	switch {
+	case p.SolarPanelW <= 0:
+		return fmt.Errorf("energy: solar power %v must be positive", p.SolarPanelW)
+	case p.SunlitFraction <= 0 || p.SunlitFraction > 1:
+		return fmt.Errorf("energy: sunlit fraction %v out of (0,1]", p.SunlitFraction)
+	case p.OrbitPeriodS <= 0:
+		return fmt.Errorf("energy: period %v must be positive", p.OrbitPeriodS)
+	case p.SlewRateDegS <= 0:
+		return fmt.Errorf("energy: slew rate %v must be positive", p.SlewRateDegS)
+	}
+	return nil
+}
+
+// HarvestPerOrbitJ returns the total harvestable energy per orbit.
+func (p Params) HarvestPerOrbitJ() float64 {
+	return p.SolarPanelW * p.SunlitFraction * p.OrbitPeriodS
+}
+
+// Budget accumulates per-component consumption over an accounting window
+// (typically one orbit). The zero value is an empty budget for Paper3U
+// parameters; use NewBudget to bind other parameters.
+type Budget struct {
+	Params  Params
+	CameraJ float64
+	ADACSJ  float64
+	// ComputeJ covers ML inference and scheduling.
+	ComputeJ float64
+	// TXJ covers ground downlink; CrosslinkJ the inter-satellite link.
+	TXJ        float64
+	CrosslinkJ float64
+}
+
+// NewBudget returns an empty budget under the given parameters.
+func NewBudget(p Params) *Budget { return &Budget{Params: p} }
+
+// Capture accounts n camera captures.
+func (b *Budget) Capture(n int) { b.CameraJ += float64(n) * b.Params.CameraW * b.Params.CaptureS }
+
+// Slew accounts a commanded rotation of deg degrees plus hold power for
+// holdS seconds.
+func (b *Budget) Slew(deg, holdS float64) {
+	if deg > 0 {
+		b.ADACSJ += deg / b.Params.SlewRateDegS * b.Params.ADACSSlewW
+	}
+	if holdS > 0 {
+		b.ADACSJ += holdS * b.Params.ADACSIdleW
+	}
+}
+
+// Compute accounts s seconds of onboard computation.
+func (b *Budget) Compute(s float64) { b.ComputeJ += s * b.Params.ComputeW }
+
+// Downlink accounts s seconds of ground transmission.
+func (b *Budget) Downlink(s float64) { b.TXJ += s * b.Params.TXW }
+
+// Crosslink accounts s seconds of inter-satellite transmission.
+func (b *Budget) Crosslink(s float64) { b.CrosslinkJ += s * b.Params.CrosslinkW }
+
+// TotalJ returns the total consumption.
+func (b *Budget) TotalJ() float64 {
+	return b.CameraJ + b.ADACSJ + b.ComputeJ + b.TXJ + b.CrosslinkJ
+}
+
+// Feasible reports whether consumption fits within the orbit's harvest.
+func (b *Budget) Feasible() bool { return b.TotalJ() <= b.Params.HarvestPerOrbitJ() }
+
+// Utilization returns consumption as a fraction of harvest.
+func (b *Budget) Utilization() float64 {
+	h := b.Params.HarvestPerOrbitJ()
+	if h <= 0 {
+		return 0
+	}
+	return b.TotalJ() / h
+}
+
+// Role identifies the satellite type for the Fig. 16 accounting.
+type Role int8
+
+// Satellite roles in the energy analysis.
+const (
+	RoleLowResBaseline Role = iota
+	RoleHighResBaseline
+	RoleLeader
+	RoleFollower
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleLowResBaseline:
+		return "low-res-baseline"
+	case RoleHighResBaseline:
+		return "high-res-baseline"
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// OrbitProfile summarizes one orbit of activity for a role, produced by
+// the simulator or by the analytic model in PerOrbitBudget.
+type OrbitProfile struct {
+	Frames          int     // frames captured along the ground track
+	FrameComputeS   float64 // onboard inference time per frame
+	ScheduleCount   int     // schedules computed (leader only)
+	ScheduleS       float64 // compute time per schedule
+	TargetCaptures  int     // pointed captures (followers)
+	SlewDegPerOrbit float64 // total commanded rotation
+	DownlinkS       float64 // ground-station contact used
+	CrosslinkS      float64 // inter-satellite link time
+}
+
+// PerOrbitBudget builds the Fig. 16 budget for a role under the given
+// activity profile.
+func PerOrbitBudget(p Params, prof OrbitProfile) *Budget {
+	b := NewBudget(p)
+	b.Capture(prof.Frames + prof.TargetCaptures)
+	b.Compute(float64(prof.Frames)*prof.FrameComputeS + float64(prof.ScheduleCount)*prof.ScheduleS)
+	b.Slew(prof.SlewDegPerOrbit, p.OrbitPeriodS)
+	b.Downlink(prof.DownlinkS)
+	b.Crosslink(prof.CrosslinkS)
+	return b
+}
+
+// PaperProfile returns the analytic per-orbit activity for a role at the
+// given tile factor (1, 2, 4), matching §5.3: ~412 frames/orbit at the
+// 13.7 s cadence, 6 min of downlink for image-producing satellites, and
+// negligible crosslink for the leader.
+func PaperProfile(role Role, tileFactor float64, frameComputeS float64) OrbitProfile {
+	const framesPerOrbit = 412
+	prof := OrbitProfile{}
+	switch role {
+	case RoleLowResBaseline, RoleHighResBaseline:
+		prof.Frames = framesPerOrbit
+		prof.FrameComputeS = frameComputeS * tileFactor
+		prof.DownlinkS = 6 * 60
+	case RoleLeader:
+		prof.Frames = framesPerOrbit
+		prof.FrameComputeS = frameComputeS * tileFactor
+		prof.ScheduleCount = 400 // §5.3: ~400 schedule results per period
+		prof.ScheduleS = 0.01    // ~10 ms scheduling (§6.1)
+		prof.CrosslinkS = 2.5    // <1 MB/orbit at 0.4 MB/s (§5.3)
+	case RoleFollower:
+		prof.TargetCaptures = 400
+		prof.SlewDegPerOrbit = 400 * 4 // ~4 deg average repoint per capture
+		prof.DownlinkS = 6 * 60
+		prof.CrosslinkS = 2.5
+	}
+	return prof
+}

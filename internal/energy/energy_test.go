@@ -1,0 +1,139 @@
+package energy
+
+import (
+	"testing"
+
+	"eagleeye/internal/detect"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := Paper3U().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{},
+		{SolarPanelW: 20, SunlitFraction: 1.5, OrbitPeriodS: 100, SlewRateDegS: 3},
+		{SolarPanelW: 20, SunlitFraction: 0.6, OrbitPeriodS: 0, SlewRateDegS: 3},
+		{SolarPanelW: 20, SunlitFraction: 0.6, OrbitPeriodS: 100, SlewRateDegS: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHarvestPerOrbit(t *testing.T) {
+	p := Paper3U()
+	// 22 W x 0.62 x 5640 s = ~77 kJ.
+	h := p.HarvestPerOrbitJ()
+	if h < 65e3 || h > 85e3 {
+		t.Errorf("harvest = %v J", h)
+	}
+}
+
+func TestBudgetAccumulation(t *testing.T) {
+	b := NewBudget(Paper3U())
+	b.Capture(10)
+	b.Compute(100)
+	b.Slew(30, 60)
+	b.Downlink(60)
+	b.Crosslink(5)
+	if b.CameraJ != 10*5*0.2 {
+		t.Errorf("camera = %v", b.CameraJ)
+	}
+	if b.ComputeJ != 1500 {
+		t.Errorf("compute = %v", b.ComputeJ)
+	}
+	wantADACS := 30.0/3*4 + 60*0.5
+	if b.ADACSJ != wantADACS {
+		t.Errorf("adacs = %v, want %v", b.ADACSJ, wantADACS)
+	}
+	if b.TXJ != 480 {
+		t.Errorf("tx = %v", b.TXJ)
+	}
+	if b.CrosslinkJ != 10 {
+		t.Errorf("crosslink = %v", b.CrosslinkJ)
+	}
+	total := b.CameraJ + b.ADACSJ + b.ComputeJ + b.TXJ + b.CrosslinkJ
+	if b.TotalJ() != total {
+		t.Errorf("total = %v, want %v", b.TotalJ(), total)
+	}
+	if !b.Feasible() {
+		t.Error("small budget should be feasible")
+	}
+}
+
+func TestFig16TilingFeasibility(t *testing.T) {
+	// The paper: harvest supports ~2x tiling; 4x exceeds the budget.
+	p := Paper3U()
+	frameS := detect.PaperTiling().FrameTimeS(detect.YoloM())
+	for _, tc := range []struct {
+		factor   float64
+		feasible bool
+	}{
+		{1, true},
+		{2, true},
+		{4, false},
+	} {
+		prof := PaperProfile(RoleLeader, tc.factor, frameS)
+		b := PerOrbitBudget(p, prof)
+		if got := b.Feasible(); got != tc.feasible {
+			t.Errorf("tile factor %v: feasible = %v (util %.2f), want %v",
+				tc.factor, got, b.Utilization(), tc.feasible)
+		}
+	}
+}
+
+func TestLeaderUsesLessThanBaseline(t *testing.T) {
+	// The leader skips image downlink (offloaded to followers), so it uses
+	// slightly less energy than the baselines (Fig. 16 discussion).
+	p := Paper3U()
+	frameS := detect.PaperTiling().FrameTimeS(detect.YoloM())
+	leader := PerOrbitBudget(p, PaperProfile(RoleLeader, 1, frameS))
+	baseline := PerOrbitBudget(p, PaperProfile(RoleLowResBaseline, 1, frameS))
+	if leader.TotalJ() >= baseline.TotalJ() {
+		t.Errorf("leader %v J not below baseline %v J", leader.TotalJ(), baseline.TotalJ())
+	}
+}
+
+func TestFollowerNotEnergyBottleneck(t *testing.T) {
+	// Fig. 16: for all tiling factors, energy is not a bottleneck for
+	// followers (they do no systematic frame processing).
+	p := Paper3U()
+	b := PerOrbitBudget(p, PaperProfile(RoleFollower, 4, 0))
+	if !b.Feasible() {
+		t.Errorf("follower infeasible at util %.2f", b.Utilization())
+	}
+	if b.ComputeJ != 0 {
+		t.Errorf("follower compute = %v, want 0", b.ComputeJ)
+	}
+}
+
+func TestUtilizationMonotoneInTiling(t *testing.T) {
+	p := Paper3U()
+	frameS := detect.PaperTiling().FrameTimeS(detect.YoloM())
+	prev := 0.0
+	for _, f := range []float64{1, 2, 4} {
+		u := PerOrbitBudget(p, PaperProfile(RoleLeader, f, frameS)).Utilization()
+		if u <= prev {
+			t.Errorf("utilization not increasing at factor %v", f)
+		}
+		prev = u
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for _, r := range []Role{RoleLowResBaseline, RoleHighResBaseline, RoleLeader, RoleFollower, Role(9)} {
+		if r.String() == "" {
+			t.Error("empty role string")
+		}
+	}
+}
+
+func TestZeroHarvestUtilization(t *testing.T) {
+	b := NewBudget(Params{})
+	if b.Utilization() != 0 {
+		t.Error("zero-harvest utilization should be 0")
+	}
+}

@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§6). Each FigXX function produces Tables with the same rows
+// and series the paper reports; cmd/figures prints them and bench_test.go
+// wraps each in a benchmark. The DESIGN.md per-experiment index maps
+// figures to these functions.
+//
+// Two scales are provided. DefaultScale keeps runs laptop-sized (shorter
+// simulated spans, fewer constellation sizes); FullScale reproduces the
+// paper's 24-hour, up-to-40-satellite sweeps. Absolute numbers differ from
+// the paper (synthetic worlds, different solver hardware); the shapes --
+// who wins, by what factor, where the crossovers are -- are the
+// reproduction targets, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"eagleeye/internal/dataset"
+	"eagleeye/internal/sim"
+)
+
+// Scale bounds experiment cost.
+type Scale struct {
+	// DurationS is the simulated span per run.
+	DurationS float64
+	// Sizes are the constellation sizes swept (even numbers so
+	// leader-follower groups divide).
+	Sizes []int
+	// FollowerTotal is the constellation size for the follower-count
+	// sweep (divisible by 2, 3 and 4).
+	FollowerTotal int
+	// MaxSchedTargets bounds the Fig. 12a/14a target sweeps.
+	MaxSchedTargets int
+	// Seed fixes all randomness.
+	Seed int64
+	// DenseApp toggles including the 1.4M-lake workload (the most
+	// expensive) in multi-app sweeps.
+	DenseApp bool
+}
+
+// DefaultScale is sized for the benchmark suite: a few minutes end to end.
+func DefaultScale() Scale {
+	return Scale{
+		DurationS:       3 * 3600,
+		Sizes:           []int{2, 4, 8},
+		FollowerTotal:   12,
+		MaxSchedTargets: 60,
+		Seed:            1,
+		DenseApp:        true,
+	}
+}
+
+// FullScale reproduces the paper's sweeps (hours of compute).
+func FullScale() Scale {
+	return Scale{
+		DurationS:       24 * 3600,
+		Sizes:           []int{2, 4, 8, 12, 16, 20, 28, 40},
+		FollowerTotal:   24,
+		MaxSchedTargets: 100,
+		Seed:            1,
+		DenseApp:        true,
+	}
+}
+
+// Series is one plotted line: y over x.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is a figure's data: columns and rows for printing plus the raw
+// series for assertions.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+	Series  []Series
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// FindSeries returns the series with the label, or nil.
+func (t *Table) FindSeries(label string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// appCache shares generated datasets across experiments (the 1.4M-lake
+// world takes seconds to build).
+var appCache = struct {
+	sync.Mutex
+	m map[string]*dataset.Set
+}{m: make(map[string]*dataset.Set)}
+
+// app returns a cached standard dataset.
+func app(name string, seed int64) *dataset.Set {
+	appCache.Lock()
+	defer appCache.Unlock()
+	key := fmt.Sprintf("%s/%d", name, seed)
+	if s, ok := appCache.m[key]; ok {
+		return s
+	}
+	s, err := dataset.ByName(name, seed)
+	if err != nil {
+		panic(err) // names are package-internal constants
+	}
+	appCache.m[key] = s
+	return s
+}
+
+// appNames returns the workloads for multi-app figures under the scale.
+func appNames(sc Scale) []string {
+	names := []string{"ships", "airplanes", "lakes-166k"}
+	if sc.DenseApp {
+		names = append(names, "lakes-1.4m")
+	}
+	return names
+}
+
+// simCache memoizes simulation results: the figures share many identical
+// configurations (e.g. the 3 deg/s baseline rows).
+var simCache = struct {
+	sync.Mutex
+	m map[string]*sim.Result
+}{m: make(map[string]*sim.Result)}
+
+func cacheKey(cfg sim.Config) string {
+	schedName := "default"
+	if cfg.Scheduler != nil {
+		schedName = cfg.Scheduler.Name()
+	}
+	return fmt.Sprintf("%v|%d|%d|%d|%s|%v|%d|%s|%v|%v|%v|%v|%v|%s|%v",
+		cfg.Constellation.Kind, cfg.Constellation.Satellites,
+		cfg.Constellation.FollowersPerGroup, cfg.Constellation.Planes,
+		cfg.App.Name, cfg.DurationS,
+		cfg.Seed, schedName, cfg.SlewRateDegS, cfg.RecallOverride,
+		cfg.NoClustering, cfg.ClusterGreedy, cfg.ComputeDelayS,
+		cfg.Detector.Name, cfg.RecaptureDedup)
+}
+
+// runSim executes one simulation (memoized), panicking on configuration
+// errors: the harness only builds valid configs.
+func runSim(cfg sim.Config) *sim.Result {
+	key := cacheKey(cfg)
+	simCache.Lock()
+	if r, ok := simCache.m[key]; ok {
+		simCache.Unlock()
+		return r
+	}
+	simCache.Unlock()
+	r, err := sim.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	simCache.Lock()
+	simCache.m[key] = r
+	simCache.Unlock()
+	return r
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func fi(v int) string     { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testScale keeps the unit tests fast; the benchmarks exercise
+// DefaultScale and cmd/figures -full exercises FullScale.
+func testScale() Scale {
+	return Scale{
+		DurationS:       5400, // 1.5 h
+		Sizes:           []int{2, 4},
+		FollowerTotal:   12,
+		MaxSchedTargets: 30,
+		Seed:            1,
+		DenseApp:        false,
+	}
+}
+
+func lastY(s *Series) float64 {
+	if s == nil || len(s.Y) == 0 {
+		return -1
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+func TestFig03Shape(t *testing.T) {
+	tbl := Fig03()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	det := tbl.FindSeries("detect")
+	e50 := tbl.FindSeries("err50")
+	e90 := tbl.FindSeries("err90")
+	if det == nil || e50 == nil || e90 == nil {
+		t.Fatal("missing series")
+	}
+	// Detection stays high; volume error grows with GSD.
+	for _, y := range det.Y {
+		if y < 90 {
+			t.Errorf("detection accuracy %v below 90%%", y)
+		}
+	}
+	for i := 1; i < len(e50.Y); i++ {
+		if e50.Y[i] <= e50.Y[i-1] {
+			t.Error("50th error not increasing")
+		}
+		if e90.Y[i] <= e50.Y[i] {
+			t.Error("90th percentile not above 50th")
+		}
+	}
+}
+
+func TestFig04LeftShape(t *testing.T) {
+	tbl := Fig04Left()
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 cameras", len(tbl.Rows))
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tbl := Fig10()
+	s := tbl.FindSeries("lookahead")
+	if s == nil {
+		t.Fatal("missing series")
+	}
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] >= s.Y[i-1] {
+			t.Error("lookahead not decreasing with speed")
+		}
+	}
+}
+
+func TestFig14bShape(t *testing.T) {
+	tbl := Fig14b()
+	s := tbl.FindSeries("yolo_n")
+	if s == nil {
+		t.Fatal("missing series")
+	}
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] >= s.Y[i-1] {
+			t.Error("frame time not decreasing with tile size")
+		}
+	}
+	// A wide range of tile sizes meets the deadline.
+	meets := 0
+	for _, y := range s.Y {
+		if y <= 13.7 {
+			meets++
+		}
+	}
+	if meets < len(s.Y)-2 {
+		t.Errorf("only %d of %d tile sizes meet the deadline", meets, len(s.Y))
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	tbl := Fig16()
+	s := tbl.FindSeries("leader-utilization")
+	if s == nil || len(s.Y) != 3 {
+		t.Fatal("missing leader utilization series")
+	}
+	// Feasible at 1x and 2x, infeasible at 4x (the paper's claim).
+	if s.Y[0] > 1 || s.Y[1] > 1 {
+		t.Errorf("1x/2x should be feasible: %v", s.Y)
+	}
+	if s.Y[2] <= 1 {
+		t.Errorf("4x should be infeasible: %v", s.Y)
+	}
+}
+
+func TestClusteringClaim(t *testing.T) {
+	tbl := ClusteringClaim(100, 1)
+	if len(tbl.Rows) != 1 {
+		t.Fatal("want one row")
+	}
+}
+
+func TestFig12aShape(t *testing.T) {
+	sc := testScale()
+	tbl := Fig12a(sc)
+	ilp := tbl.FindSeries("ilp")
+	abb := tbl.FindSeries("abb")
+	if ilp == nil || abb == nil || len(ilp.Y) == 0 || len(abb.Y) == 0 {
+		t.Fatal("missing series")
+	}
+	// The AB&B baseline must blow up relative to the ILP at the largest
+	// common target count.
+	last := len(abb.Y) - 1
+	if abb.Y[last] < 5*ilp.Y[last] && abb.Y[last] < 100 {
+		t.Errorf("AB&B (%.1f ms) did not blow up vs ILP (%.1f ms) at %v targets",
+			abb.Y[last], ilp.Y[last], abb.X[last])
+	}
+}
+
+func TestFig14aShape(t *testing.T) {
+	sc := testScale()
+	tbl := Fig14a(sc)
+	s := tbl.FindSeries("fraction")
+	if s == nil || len(s.Y) < 4 {
+		t.Fatal("missing series")
+	}
+	// Full coverage at small counts; miss ratio grows at large counts.
+	if s.Y[0] < 0.99 {
+		t.Errorf("single target not fully covered: %v", s.Y[0])
+	}
+	if lastY(s) >= s.Y[0] {
+		t.Error("fraction did not fall with target count")
+	}
+}
+
+func TestFig11aShapes(t *testing.T) {
+	sc := testScale()
+	tables := Fig11a(sc)
+	if len(tables) != len(appNames(sc)) {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		lo := tbl.FindSeries("low-res-only")
+		hi := tbl.FindSeries("high-res-only")
+		ee := tbl.FindSeries("eagleeye-ilp")
+		if lo == nil || hi == nil || ee == nil {
+			t.Fatal("missing series")
+		}
+		// At the largest size: low-res >= eagleeye >= high-res.
+		if lastY(ee) < lastY(hi) {
+			t.Errorf("%s: EagleEye %.2f below high-res-only %.2f", tbl.Title, lastY(ee), lastY(hi))
+		}
+		if lastY(lo) < lastY(ee)-0.5 {
+			t.Errorf("%s: EagleEye %.2f above its low-res ceiling %.2f", tbl.Title, lastY(ee), lastY(lo))
+		}
+	}
+}
+
+func TestFig12bShape(t *testing.T) {
+	sc := testScale()
+	tbl := Fig12b(sc)
+	if len(tbl.Rows) != len(appNames(sc)) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	sc := testScale()
+	sc.Sizes = []int{2}
+	tables := Fig13(sc)
+	for _, tbl := range tables {
+		mix := tbl.FindSeries("mix-camera")
+		lf := tbl.FindSeries("leader-follower")
+		if mix == nil || lf == nil {
+			t.Fatal("missing series")
+		}
+		// Mix-camera coverage must not grow with compute time, and the
+		// largest model should do no better than leader-follower.
+		for i := 1; i < len(mix.Y); i++ {
+			if mix.Y[i] > mix.Y[i-1]+0.5 {
+				t.Errorf("%s: mix coverage grew with compute: %v", tbl.Title, mix.Y)
+			}
+		}
+		if lastY(mix) > lf.Y[0]+0.5 {
+			t.Errorf("%s: mix at 11.8 s (%v) above leader-follower (%v)", tbl.Title, lastY(mix), lf.Y[0])
+		}
+	}
+}
+
+func TestFig14cShape(t *testing.T) {
+	sc := testScale()
+	tbl := Fig14c(sc)
+	with := tbl.FindSeries("with")
+	without := tbl.FindSeries("without")
+	if with == nil || without == nil {
+		t.Fatal("missing series")
+	}
+	for i := range with.Y {
+		if with.Y[i] < without.Y[i]-0.5 {
+			t.Errorf("clustering hurt coverage: %v < %v", with.Y[i], without.Y[i])
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	sc := testScale()
+	tables := Fig15(sc)
+	for _, tbl := range tables {
+		s := tbl.FindSeries("normalized")
+		if s == nil || len(s.Y) == 0 {
+			t.Fatal("missing series")
+		}
+		// Normalized coverage at recall r should sit at or above r (the
+		// footprint-neighbor effect), within noise.
+		for i, r := range s.X {
+			if s.Y[i] < r-0.25 {
+				t.Errorf("%s: normalized coverage %.2f at recall %.1f fell below recall", tbl.Title, s.Y[i], r)
+			}
+		}
+	}
+}
+
+func TestAblationSlotCount(t *testing.T) {
+	sc := testScale()
+	tbl := AblationSlotCount(sc)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationPolish(t *testing.T) {
+	sc := testScale()
+	tbl := AblationPolish(sc)
+	raw := tbl.FindSeries("raw")
+	pol := tbl.FindSeries("polished")
+	if raw == nil || pol == nil {
+		t.Fatal("missing series")
+	}
+	for i := range raw.Y {
+		if pol.Y[i] < raw.Y[i]-1e-9 {
+			t.Errorf("polish reduced value at row %d: %v < %v", i, pol.Y[i], raw.Y[i])
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	tbl := Fig10()
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 10") || !strings.Contains(out, "max-lookahead") {
+		t.Errorf("render output missing content:\n%s", out)
+	}
+	RenderAll(&buf, []Table{Fig03()})
+	if !strings.Contains(buf.String(), "Fig. 3") {
+		t.Error("RenderAll missing content")
+	}
+	empty := Table{Title: "empty"}
+	empty.Render(&buf) // must not panic
+}
+
+func TestSimCacheHit(t *testing.T) {
+	sc := testScale()
+	cfg := coverageCfg(sc, "ships", 0, 2)
+	a := runSim(cfg)
+	b := runSim(cfg)
+	if a != b {
+		t.Error("identical configs not cached")
+	}
+}
+
+func TestExtOrbitPlanes(t *testing.T) {
+	sc := testScale()
+	tbl := ExtOrbitPlanes(sc)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, s := range tbl.Series {
+		if len(s.Y) == 0 {
+			t.Errorf("series %s empty", s.Label)
+		}
+	}
+}
+
+func TestExtRecapture(t *testing.T) {
+	sc := testScale()
+	tbl := ExtRecapture(sc)
+	if len(tbl.Rows) != 2 {
+		t.Fatal("want two rows")
+	}
+	sup := tbl.FindSeries("suppressed")
+	if sup == nil || sup.Y[1] <= sup.Y[0] {
+		t.Errorf("dedup did not suppress redetections: %+v", sup)
+	}
+	cov := tbl.FindSeries("coverage")
+	if cov.Y[1] < cov.Y[0]-1 {
+		t.Errorf("dedup lost coverage: %v", cov.Y)
+	}
+}
+
+func TestRenderCSVAndSlug(t *testing.T) {
+	tbl := Fig10()
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "target-speed(m/s),max-lookahead(km)") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+	if strings.Count(out, "\n") != len(tbl.Rows)+1 {
+		t.Errorf("csv rows = %d, want %d", strings.Count(out, "\n"), len(tbl.Rows)+1)
+	}
+	if slug := tbl.SlugTitle(); slug != "fig-10-max-lookahead-distance-vs-target-speed" {
+		t.Errorf("slug = %q", slug)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"eagleeye/internal/constellation"
+	"eagleeye/internal/dataset"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/sim"
+)
+
+// The §4.7 future-work extensions implemented in this reproduction:
+// multi-plane orbit design and recapture deprioritization.
+
+// ExtOrbitPlanes sweeps the orbital-plane count at a fixed constellation
+// size: as the constellation grows, spreading planes reduces ground-track
+// overlap and improves coverage (§4.7 "Orbit Design").
+func ExtOrbitPlanes(sc Scale) Table {
+	t := Table{
+		Title:   "Extension (§4.7): Coverage vs orbital planes",
+		Note:    "fixed constellation size; planes spread ascending nodes",
+		Columns: []string{"application", "planes", "coverage(%)"},
+	}
+	sats := sc.Sizes[len(sc.Sizes)-1]
+	for _, name := range []string{"ships", "lakes-166k"} {
+		s := Series{Label: name}
+		for _, planes := range []int{1, 2, 4} {
+			if planes > sats/2 {
+				break
+			}
+			cfg := coverageCfg(sc, name, constellation.LeaderFollower, sats)
+			cfg.Constellation.Planes = planes
+			r := runSim(cfg)
+			t.AddRow(name, fi(planes), f2(r.CoveragePct()))
+			s.X = append(s.X, float64(planes))
+			s.Y = append(s.Y, r.CoveragePct())
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+// ExtRecapture measures the recapture extension on a revisit-heavy
+// (near-polar) target field: with deduplication, followers stop wasting
+// captures on targets already imaged.
+func ExtRecapture(sc Scale) Table {
+	t := Table{
+		Title:   "Extension (§4.7): Recapture deprioritization",
+		Note:    "near-polar targets are revisited every orbit",
+		Columns: []string{"config", "coverage(%)", "captures", "suppressed-redetections"},
+	}
+	world := polarField(1500, sc.Seed)
+	base := sim.Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 4},
+		App:           world,
+		DurationS:     sc.DurationS * 2, // revisits need a few orbits
+		Seed:          sc.Seed,
+	}
+	off := runSim(base)
+	on := base
+	on.RecaptureDedup = true
+	rOn := runSim(on)
+	t.AddRow("without-dedup", f2(off.CoveragePct()), fi(off.Captures), fi(off.RecaptureSuppressed))
+	t.AddRow("with-dedup", f2(rOn.CoveragePct()), fi(rOn.Captures), fi(rOn.RecaptureSuppressed))
+	t.Series = []Series{
+		{Label: "coverage", X: []float64{0, 1}, Y: []float64{off.CoveragePct(), rOn.CoveragePct()}},
+		{Label: "captures", X: []float64{0, 1}, Y: []float64{float64(off.Captures), float64(rOn.Captures)}},
+		{Label: "suppressed", X: []float64{0, 1}, Y: []float64{float64(off.RecaptureSuppressed), float64(rOn.RecaptureSuppressed)}},
+	}
+	return t
+}
+
+// polarField builds the revisit-heavy world used by ExtRecapture.
+func polarField(n int, seed int64) *dataset.Set {
+	rng := newRng(seed)
+	s := &dataset.Set{Name: "polar-field"}
+	for i := 0; i < n; i++ {
+		s.Targets = append(s.Targets, dataset.Target{
+			ID:    i,
+			Pos:   geo.LatLon{Lat: 78 + rng.Float64()*4, Lon: rng.Float64()*360 - 180}.Normalize(),
+			Value: 0.5 + 0.5*rng.Float64(),
+		})
+	}
+	return s
+}

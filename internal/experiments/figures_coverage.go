@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"eagleeye/internal/constellation"
+	"eagleeye/internal/detect"
+	"eagleeye/internal/sched"
+	"eagleeye/internal/sim"
+)
+
+// coverageCfg builds a sim config for a coverage experiment.
+func coverageCfg(sc Scale, appName string, kind constellation.Kind, sats int) sim.Config {
+	return sim.Config{
+		Constellation: constellation.Config{Kind: kind, Satellites: sats},
+		App:           app(appName, sc.Seed),
+		DurationS:     sc.DurationS,
+		Seed:          sc.Seed,
+	}
+}
+
+// Fig04Right reproduces the motivation experiment: fraction of (ship)
+// targets captured versus constellation size for wide-swath low-res and
+// narrow-swath high-res homogeneous constellations.
+func Fig04Right(sc Scale) Table {
+	t := Table{
+		Title:   "Fig. 4 (right): Coverage vs satellites, Low-Res vs High-Res only",
+		Columns: []string{"satellites", "low-res-cov(%)", "high-res-cov(%)"},
+	}
+	lo := Series{Label: "low-res-only"}
+	hi := Series{Label: "high-res-only"}
+	for _, n := range sc.Sizes {
+		rl := runSim(coverageCfg(sc, "ships", constellation.LowResOnly, n))
+		rh := runSim(coverageCfg(sc, "ships", constellation.HighResOnly, n))
+		t.AddRow(fi(n), f2(rl.CoveragePct()), f2(rh.CoveragePct()))
+		lo.X, lo.Y = append(lo.X, float64(n)), append(lo.Y, rl.CoveragePct())
+		hi.X, hi.Y = append(hi.X, float64(n)), append(hi.Y, rh.CoveragePct())
+	}
+	t.Series = []Series{lo, hi}
+	return t
+}
+
+// Fig11a reproduces the end-to-end coverage comparison: Low-Res-Only,
+// High-Res-Only, EagleEye-ILP and EagleEye-Greedy across all workloads and
+// constellation sizes.
+func Fig11a(sc Scale) []Table {
+	var tables []Table
+	for _, name := range appNames(sc) {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 11a [%s]: Coverage vs satellites", name),
+			Columns: []string{"satellites", "low-res(%)", "high-res(%)",
+				"eagleeye-ilp(%)", "eagleeye-greedy(%)"},
+		}
+		series := map[string]*Series{}
+		for _, lbl := range []string{"low-res-only", "high-res-only", "eagleeye-ilp", "eagleeye-greedy"} {
+			series[lbl] = &Series{Label: lbl}
+		}
+		for _, n := range sc.Sizes {
+			rl := runSim(coverageCfg(sc, name, constellation.LowResOnly, n))
+			rh := runSim(coverageCfg(sc, name, constellation.HighResOnly, n))
+			ri := runSim(coverageCfg(sc, name, constellation.LeaderFollower, n))
+			cfgG := coverageCfg(sc, name, constellation.LeaderFollower, n)
+			cfgG.Scheduler = sched.Greedy{}
+			rg := runSim(cfgG)
+			t.AddRow(fi(n), f2(rl.CoveragePct()), f2(rh.CoveragePct()),
+				f2(ri.CoveragePct()), f2(rg.CoveragePct()))
+			for lbl, r := range map[string]*sim.Result{
+				"low-res-only": rl, "high-res-only": rh,
+				"eagleeye-ilp": ri, "eagleeye-greedy": rg,
+			} {
+				s := series[lbl]
+				s.X = append(s.X, float64(n))
+				s.Y = append(s.Y, r.CoveragePct())
+			}
+		}
+		for _, lbl := range []string{"low-res-only", "high-res-only", "eagleeye-ilp", "eagleeye-greedy"} {
+			t.Series = append(t.Series, *series[lbl])
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig01b derives the headline bar chart from the Fig. 11a sweeps: the
+// satellites needed to reach a target coverage for each system. Systems
+// that never reach it within the sweep report ">max".
+func Fig01b(sc Scale) Table {
+	// The paper's 90% threshold applies to 24 h sweeps up to 40
+	// satellites; shorter spans and smaller sweeps see proportionally
+	// less of the world, so the threshold adapts: half the best
+	// low-res coverage observed in the sweep, capped at the paper's 90%.
+	maxN := sc.Sizes[len(sc.Sizes)-1]
+	best := 0.0
+	for _, name := range appNames(sc) {
+		r := runSim(coverageCfg(sc, name, constellation.LowResOnly, maxN))
+		if c := r.CoveragePct(); c > best {
+			best = c
+		}
+	}
+	threshold := best / 2
+	if threshold > 90 {
+		threshold = 90
+	}
+	t := Table{
+		Title: fmt.Sprintf("Fig. 1b: Satellites for %.2f%% coverage", threshold),
+		Note:  "low-res-only does not deliver high-resolution data",
+		Columns: []string{"application", "low-res-only", "high-res-only",
+			"eagleeye"},
+	}
+	needed := func(appName string, kind constellation.Kind) string {
+		for _, n := range sc.Sizes {
+			r := runSim(coverageCfg(sc, appName, kind, n))
+			if r.CoveragePct() >= threshold {
+				return fi(n)
+			}
+		}
+		return fmt.Sprintf(">%d", maxN)
+	}
+	for _, name := range appNames(sc) {
+		t.AddRow(name,
+			needed(name, constellation.LowResOnly),
+			needed(name, constellation.HighResOnly),
+			needed(name, constellation.LeaderFollower))
+	}
+	return t
+}
+
+// Fig11b reproduces the slew-rate sensitivity: coverage under 1, 3 and
+// 10 deg/s ADACS across workloads (EagleEye-ILP, one follower).
+func Fig11b(sc Scale) []Table {
+	rates := []float64{1, 3, 10}
+	var tables []Table
+	for _, name := range appNames(sc) {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 11b [%s]: Coverage vs slew rate", name),
+			Columns: []string{"satellites", "slew-1(%)", "slew-3(%)", "slew-10(%)",
+				"high-res-only(%)"},
+		}
+		series := make([]*Series, len(rates))
+		for i, r := range rates {
+			series[i] = &Series{Label: fmt.Sprintf("slew-%g", r)}
+		}
+		hiS := &Series{Label: "high-res-only"}
+		for _, n := range sc.Sizes {
+			row := []string{fi(n)}
+			for i, rate := range rates {
+				cfg := coverageCfg(sc, name, constellation.LeaderFollower, n)
+				if rate != 3 {
+					// 3 deg/s is the simulator default; leaving the field
+					// zero shares the cache with the other figures.
+					cfg.SlewRateDegS = rate
+				}
+				r := runSim(cfg)
+				row = append(row, f2(r.CoveragePct()))
+				series[i].X = append(series[i].X, float64(n))
+				series[i].Y = append(series[i].Y, r.CoveragePct())
+			}
+			rh := runSim(coverageCfg(sc, name, constellation.HighResOnly, n))
+			row = append(row, f2(rh.CoveragePct()))
+			hiS.X = append(hiS.X, float64(n))
+			hiS.Y = append(hiS.Y, rh.CoveragePct())
+			t.AddRow(row...)
+		}
+		for _, s := range series {
+			t.Series = append(t.Series, *s)
+		}
+		t.Series = append(t.Series, *hiS)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig11c reproduces the follower-count sensitivity at a fixed total
+// satellite count: more groups (fewer followers each) win at low target
+// density; more followers per group win at high density.
+func Fig11c(sc Scale) []Table {
+	followerCounts := []int{1, 2, 3}
+	var tables []Table
+	for _, name := range appNames(sc) {
+		t := Table{
+			Title: fmt.Sprintf("Fig. 11c [%s]: Coverage vs followers per group (total %d sats)",
+				name, sc.FollowerTotal),
+			Columns: []string{"followers-per-group", "groups", "coverage(%)"},
+		}
+		s := Series{Label: "coverage"}
+		for _, f := range followerCounts {
+			if sc.FollowerTotal%(1+f) != 0 {
+				continue
+			}
+			cfg := coverageCfg(sc, name, constellation.LeaderFollower, sc.FollowerTotal)
+			cfg.Constellation.FollowersPerGroup = f
+			r := runSim(cfg)
+			t.AddRow(fi(f), fi(sc.FollowerTotal/(1+f)), f2(r.CoveragePct()))
+			s.X = append(s.X, float64(f))
+			s.Y = append(s.Y, r.CoveragePct())
+		}
+		t.Series = []Series{s}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig12b reproduces the targets-per-low-res-image distribution (CDF) for
+// each workload.
+func Fig12b(sc Scale) Table {
+	t := Table{
+		Title:   "Fig. 12b: Targets per low-res image (CDF percentiles)",
+		Columns: []string{"application", "p50", "p90", "p99", "max", ">19-targets(%)"},
+	}
+	for _, name := range appNames(sc) {
+		r := runSim(coverageCfg(sc, name, constellation.LeaderFollower, 2))
+		counts := append([]int(nil), r.TargetsPerImage...)
+		if len(counts) == 0 {
+			t.AddRow(name, "-", "-", "-", "-", "-")
+			continue
+		}
+		sort.Ints(counts)
+		pct := func(p float64) int { return counts[int(p*float64(len(counts)-1))] }
+		over19 := 0
+		for _, c := range counts {
+			if c > 19 {
+				over19++
+			}
+		}
+		t.AddRow(name, fi(pct(0.5)), fi(pct(0.9)), fi(pct(0.99)),
+			fi(counts[len(counts)-1]),
+			f1(100*float64(over19)/float64(len(counts))))
+		t.Series = append(t.Series, Series{
+			Label: name,
+			X:     []float64{0.5, 0.9, 0.99},
+			Y:     []float64{float64(pct(0.5)), float64(pct(0.9)), float64(pct(0.99))},
+		})
+	}
+	t.Note = "AB&B misses the frame deadline beyond 19 targets (§6.1)"
+	return t
+}
+
+// Fig13 reproduces the mix-camera comparison: coverage of leader-follower
+// versus a single dual-camera satellite under the Yolo variant compute
+// latencies.
+func Fig13(sc Scale) []Table {
+	models := detect.Catalogue()
+	var tables []Table
+	for _, name := range appNames(sc) {
+		t := Table{
+			Title:   fmt.Sprintf("Fig. 13 [%s]: Mix-camera vs leader-follower", name),
+			Note:    "per-group comparison: one leader+follower pair vs one dual-camera satellite",
+			Columns: []string{"config", "compute(s)", "coverage(%)"},
+		}
+		lf := runSim(coverageCfg(sc, name, constellation.LeaderFollower, 2))
+		t.AddRow("leader-follower", f1(detect.PaperTiling().FrameTimeS(detect.YoloN())), f2(lf.CoveragePct()))
+		s := Series{Label: "mix-camera"}
+		lfS := Series{Label: "leader-follower", X: []float64{0}, Y: []float64{lf.CoveragePct()}}
+		for _, m := range models {
+			delay := detect.PaperTiling().FrameTimeS(m)
+			cfg := coverageCfg(sc, name, constellation.MixCamera, 1)
+			cfg.ComputeDelayS = delay
+			r := runSim(cfg)
+			t.AddRow("mix-camera("+m.Name+")", f1(delay), f2(r.CoveragePct()))
+			s.X = append(s.X, delay)
+			s.Y = append(s.Y, r.CoveragePct())
+		}
+		t.Series = []Series{lfS, s}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig14c reproduces the clustering ablation: coverage with and without
+// target clustering per workload.
+func Fig14c(sc Scale) Table {
+	t := Table{
+		Title: "Fig. 14c: Target clustering coverage gain",
+		Note:  "clustering also cuts the captures (and follower actuation) spent per covered target",
+		Columns: []string{"application", "w/o-clustering(%)", "w/-clustering(%)", "gain(%)",
+			"captures-w/o", "captures-w/"},
+	}
+	with := Series{Label: "with"}
+	without := Series{Label: "without"}
+	for i, name := range appNames(sc) {
+		cfg := coverageCfg(sc, name, constellation.LeaderFollower, 2)
+		rw := runSim(cfg)
+		cfg.NoClustering = true
+		ro := runSim(cfg)
+		gain := rw.CoveragePct() - ro.CoveragePct()
+		t.AddRow(name, f2(ro.CoveragePct()), f2(rw.CoveragePct()), f2(gain),
+			fi(ro.Captures), fi(rw.Captures))
+		with.X, with.Y = append(with.X, float64(i)), append(with.Y, rw.CoveragePct())
+		without.X, without.Y = append(without.X, float64(i)), append(without.Y, ro.CoveragePct())
+	}
+	t.Series = []Series{without, with}
+	return t
+}
+
+// Fig15 reproduces the recall sensitivity: coverage degrades more slowly
+// than recall because captured footprints include undetected neighbors.
+func Fig15(sc Scale) []Table {
+	recalls := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	var tables []Table
+	for _, name := range appNames(sc) {
+		t := Table{
+			Title:   fmt.Sprintf("Fig. 15 [%s]: Coverage vs detector recall", name),
+			Columns: []string{"recall", "coverage(%)", "normalized"},
+		}
+		s := Series{Label: "normalized"}
+		base := -1.0
+		var rows [][2]float64
+		for _, rc := range recalls {
+			cfg := coverageCfg(sc, name, constellation.LeaderFollower, 2)
+			cfg.RecallOverride = rc
+			r := runSim(cfg)
+			rows = append(rows, [2]float64{rc, r.CoveragePct()})
+			if rc == 1.0 {
+				base = r.CoveragePct()
+			}
+		}
+		for _, row := range rows {
+			norm := 0.0
+			if base > 0 {
+				norm = row[1] / base
+			}
+			t.AddRow(f1(row[0]), f2(row[1]), f2(norm))
+			s.X = append(s.X, row[0])
+			s.Y = append(s.Y, norm)
+		}
+		t.Series = []Series{s}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// AblationClusterILPvsGreedy compares the ILP rectangle cover against the
+// greedy cover inside full simulations (design decision 2 in DESIGN.md).
+func AblationClusterILPvsGreedy(sc Scale) Table {
+	t := Table{
+		Title:   "Ablation: clustering ILP vs greedy cover",
+		Columns: []string{"application", "ilp-cover(%)", "greedy-cover(%)"},
+	}
+	for _, name := range appNames(sc) {
+		cfg := coverageCfg(sc, name, constellation.LeaderFollower, 2)
+		ri := runSim(cfg)
+		cfg.ClusterGreedy = true
+		rg := runSim(cfg)
+		t.AddRow(name, f2(ri.CoveragePct()), f2(rg.CoveragePct()))
+		t.Series = append(t.Series, Series{
+			Label: name,
+			X:     []float64{0, 1},
+			Y:     []float64{ri.CoveragePct(), rg.CoveragePct()},
+		})
+	}
+	return t
+}

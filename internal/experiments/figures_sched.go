@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eagleeye/internal/adacs"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/mip"
+	"eagleeye/internal/sched"
+)
+
+// prodILP returns the ILP scheduler with the same frame-rate bounds the
+// simulator deploys (the leader must fit the frame deadline, §3.2).
+func prodILP() sched.ILP {
+	return sched.ILP{MIP: mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// schedProblem builds a synthetic one-frame scheduling instance with m
+// targets ahead of nFollowers trailing followers.
+func schedProblem(m, nFollowers int, seed int64) *sched.Problem {
+	rng := newRng(seed)
+	p := &sched.Problem{
+		Env: sched.Env{
+			AltitudeM:      475e3,
+			GroundSpeedMS:  7300,
+			MaxOffNadirDeg: 11,
+			Slew:           adacs.PaperSlew(),
+		},
+	}
+	for i := 0; i < m; i++ {
+		p.Targets = append(p.Targets, sched.Target{
+			ID: i,
+			Pos: geo.Point2{
+				X: rng.Float64()*160e3 - 80e3,
+				Y: 30e3 + rng.Float64()*100e3,
+			},
+			Value: 0.5 + 0.5*rng.Float64(),
+		})
+	}
+	for i := 0; i < nFollowers; i++ {
+		sub := geo.Point2{X: 0, Y: -float64(i+1) * 100e3}
+		p.Followers = append(p.Followers, sched.Follower{SubPoint: sub, Boresight: sub})
+	}
+	return p
+}
+
+// Fig12a reproduces the scheduler-runtime comparison: the ILP scheduler
+// stays fast and insensitive to the target count, while the AB&B baseline
+// explodes and misses the frame deadline beyond ~19 targets.
+func Fig12a(sc Scale) Table {
+	t := Table{
+		Title: "Fig. 12a: Scheduling runtime vs targets per low-res image",
+		Note:  "AB&B capped at its 15 s anytime limit; '>' marks truncation",
+		Columns: []string{"targets", "ilp(ms)", "greedy(ms)", "abb(ms)",
+			"abb-optimal"},
+	}
+	ilpS := Series{Label: "ilp"}
+	greedyS := Series{Label: "greedy"}
+	abbS := Series{Label: "abb"}
+	counts := []int{1, 3, 5, 8, 12, 16, 19, 25, 40, 60, 80, 100}
+	abbLimit := 2 * time.Second
+	for _, m := range counts {
+		if m > sc.MaxSchedTargets {
+			break
+		}
+		p := schedProblem(m, 1, sc.Seed+int64(m))
+
+		tIlp := timeScheduler(prodILP(), p)
+		tGreedy := timeScheduler(sched.Greedy{}, p)
+
+		abbMS := "-"
+		abbOpt := "-"
+		if m <= 30 { // beyond this AB&B always truncates; skip the burn
+			abb := sched.ABB{TimeLimit: abbLimit}
+			start := time.Now()
+			out, err := abb.Schedule(p)
+			if err != nil {
+				panic(err)
+			}
+			el := time.Since(start)
+			if out.SolveStats.Optimal {
+				abbMS = f1(ms(el))
+			} else {
+				abbMS = ">" + f1(ms(el))
+			}
+			abbOpt = fmt.Sprintf("%v", out.SolveStats.Optimal)
+			abbS.X = append(abbS.X, float64(m))
+			abbS.Y = append(abbS.Y, ms(el))
+		}
+		t.AddRow(fi(m), f1(ms(tIlp)), f1(ms(tGreedy)), abbMS, abbOpt)
+		ilpS.X, ilpS.Y = append(ilpS.X, float64(m)), append(ilpS.Y, ms(tIlp))
+		greedyS.X, greedyS.Y = append(greedyS.X, float64(m)), append(greedyS.Y, ms(tGreedy))
+	}
+	t.Series = []Series{ilpS, greedyS, abbS}
+	return t
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func timeScheduler(s sched.Scheduler, p *sched.Problem) time.Duration {
+	start := time.Now()
+	if _, err := s.Schedule(p); err != nil {
+		panic(err)
+	}
+	return time.Since(start)
+}
+
+// Fig14a reproduces the single-follower capture limit: below ~10 targets
+// per image one follower covers everything; beyond, the miss ratio grows.
+func Fig14a(sc Scale) Table {
+	t := Table{
+		Title:   "Fig. 14a: Fraction of targets one follower covers vs targets per image",
+		Columns: []string{"targets", "captured", "fraction"},
+	}
+	s := Series{Label: "fraction"}
+	for _, m := range []int{1, 3, 5, 8, 10, 15, 20, 30, 50, 75, 100} {
+		if m > sc.MaxSchedTargets {
+			break
+		}
+		// Average a few random frames for stability.
+		const trials = 3
+		captured := 0
+		for k := 0; k < trials; k++ {
+			p := schedProblem(m, 1, sc.Seed+int64(100*m+k))
+			out, err := prodILP().Schedule(p)
+			if err != nil {
+				panic(err)
+			}
+			captured += len(out.CoveredIDs())
+		}
+		frac := float64(captured) / float64(trials*m)
+		t.AddRow(fi(m), f1(float64(captured)/trials), f2(frac))
+		s.X = append(s.X, float64(m))
+		s.Y = append(s.Y, frac)
+	}
+	t.Series = []Series{s}
+	return t
+}
+
+// AblationSlotCount sweeps the ILP's time-window discretization K
+// (design decision 1 in DESIGN.md): value and runtime versus slot count.
+func AblationSlotCount(sc Scale) Table {
+	t := Table{
+		Title:   "Ablation: ILP slot count (time-window discretization)",
+		Columns: []string{"slots", "value", "time(ms)"},
+	}
+	p := schedProblem(24, 1, sc.Seed)
+	s := Series{Label: "value"}
+	for _, k := range []int{1, 2, 3, 4, 6} {
+		solver := sched.ILP{SlotsPerTarget: k}
+		start := time.Now()
+		out, err := solver.Schedule(p)
+		if err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		t.AddRow(fi(k), f2(out.Value), f1(ms(el)))
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, out.Value)
+	}
+	t.Series = []Series{s}
+	return t
+}
+
+// AblationPolish quantifies the post-ILP re-timing and insertion pass.
+func AblationPolish(sc Scale) Table {
+	t := Table{
+		Title:   "Ablation: post-ILP polish (re-time + insert)",
+		Columns: []string{"targets", "raw-ilp", "polished", "greedy"},
+	}
+	raw := Series{Label: "raw"}
+	pol := Series{Label: "polished"}
+	for _, m := range []int{8, 16, 24, 40} {
+		if m > sc.MaxSchedTargets {
+			break
+		}
+		p := schedProblem(m, 1, sc.Seed+int64(m))
+		rawOut, err := sched.ILP{DisablePolish: true}.Schedule(p)
+		if err != nil {
+			panic(err)
+		}
+		polOut, err := sched.ILP{}.Schedule(p)
+		if err != nil {
+			panic(err)
+		}
+		gOut, err := sched.Greedy{}.Schedule(p)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fi(m), f2(rawOut.Value), f2(polOut.Value), f2(gOut.Value))
+		raw.X, raw.Y = append(raw.X, float64(m)), append(raw.Y, rawOut.Value)
+		pol.X, pol.Y = append(pol.X, float64(m)), append(pol.Y, polOut.Value)
+	}
+	t.Series = []Series{raw, pol}
+	return t
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eagleeye/internal/camera"
+	"eagleeye/internal/cluster"
+	"eagleeye/internal/core"
+	"eagleeye/internal/detect"
+	"eagleeye/internal/energy"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/mip"
+)
+
+// Fig03 reproduces the oil-tank characterization: stage-1 detection
+// accuracy and stage-2 volume-estimation error (50th/90th percentile)
+// versus GSD over the paper's 0.7-11.5 m/px range.
+func Fig03() Table {
+	t := Table{
+		Title:   "Fig. 3: Oil tank volume estimation vs GSD",
+		Columns: []string{"GSD(m/px)", "detect-acc(%)", "vol-err-50th(%)", "vol-err-90th(%)"},
+	}
+	var acc, e50, e90 Series
+	acc.Label, e50.Label, e90.Label = "detect", "err50", "err90"
+	for _, gsd := range []float64{0.7, 1.5, 3, 5, 7, 9, 11.5} {
+		a := detect.OilTankDetectionAccuracy(gsd) * 100
+		l := detect.OilTankVolumeErrorPct(gsd, 0.5)
+		h := detect.OilTankVolumeErrorPct(gsd, 0.9)
+		t.AddRow(f1(gsd), f1(a), f1(l), f1(h))
+		acc.X, acc.Y = append(acc.X, gsd), append(acc.Y, a)
+		e50.X, e50.Y = append(e50.X, gsd), append(e50.Y, l)
+		e90.X, e90.Y = append(e90.X, gsd), append(e90.Y, h)
+	}
+	t.Series = []Series{acc, e50, e90}
+	return t
+}
+
+// Fig04Left reproduces the camera swath/GSD tradeoff scatter over nine
+// real cubesat imagers.
+func Fig04Left() Table {
+	t := Table{
+		Title:   "Fig. 4 (left): GSD vs swath for real cubesat cameras",
+		Columns: []string{"camera", "swath(km)", "GSD(m/px)"},
+	}
+	s := Series{Label: "cameras"}
+	for _, m := range camera.Catalogue() {
+		t.AddRow(m.Name, f1(m.SwathM/1e3), f2(m.GSDM))
+		s.X = append(s.X, m.SwathM/1e3)
+		s.Y = append(s.Y, m.GSDM)
+	}
+	t.Series = []Series{s}
+	return t
+}
+
+// Fig10 reproduces the maximum lookahead distance versus target speed.
+func Fig10() Table {
+	t := Table{
+		Title:   "Fig. 10: Max lookahead distance vs target speed",
+		Columns: []string{"target-speed(m/s)", "max-lookahead(km)"},
+	}
+	sat, swath, gamma := core.PaperLookaheadParams()
+	s := Series{Label: "lookahead"}
+	for _, v := range []float64{5, 14, 25, 50, 100, 150, 200, 250, 300} {
+		d := core.MaxLookaheadM(sat, v, swath, gamma) / 1e3
+		t.AddRow(f1(v), f1(d))
+		s.X = append(s.X, v)
+		s.Y = append(s.Y, d)
+	}
+	t.Series = []Series{s}
+	t.Note = "ship @14 m/s and plane @250 m/s are the paper's quoted points"
+	return t
+}
+
+// Fig14b reproduces frame processing time versus tile size against the
+// frame-capture deadline.
+func Fig14b() Table {
+	const deadlineS = 13.7
+	t := Table{
+		Title:   "Fig. 14b: Frame processing time vs tile size",
+		Note:    fmt.Sprintf("frame capture deadline = %.1f s (100 km swath at 475 km)", deadlineS),
+		Columns: []string{"tile(px)", "tiles", "time(s)", "meets-deadline"},
+	}
+	m := detect.YoloN()
+	s := Series{Label: "yolo_n"}
+	for _, px := range []int{100, 200, 300, 400, 500, 600, 800, 1000} {
+		tl := detect.Tiling{FramePx: 3330, TilePx: px}
+		ft := tl.FrameTimeS(m)
+		t.AddRow(fi(px), fi(tl.Tiles()), f2(ft), fmt.Sprintf("%v", ft <= deadlineS))
+		s.X = append(s.X, float64(px))
+		s.Y = append(s.Y, ft)
+	}
+	t.Series = []Series{s}
+	return t
+}
+
+// Fig16 reproduces the per-orbit energy budget by role and tile factor.
+func Fig16() Table {
+	t := Table{
+		Title: "Fig. 16: Energy per orbit by component (normalized to harvest)",
+		Columns: []string{"role", "tile-factor", "camera", "adacs", "compute", "tx",
+			"total/harvest", "feasible"},
+	}
+	p := energy.Paper3U()
+	frameS := detect.PaperTiling().FrameTimeS(detect.YoloM())
+	roles := []energy.Role{
+		energy.RoleLowResBaseline, energy.RoleHighResBaseline,
+		energy.RoleLeader, energy.RoleFollower,
+	}
+	var util Series
+	util.Label = "leader-utilization"
+	for _, factor := range []float64{1, 2, 4} {
+		for _, role := range roles {
+			b := energy.PerOrbitBudget(p, energy.PaperProfile(role, factor, frameS))
+			h := p.HarvestPerOrbitJ()
+			t.AddRow(role.String(), f1(factor),
+				f2(b.CameraJ/h), f2(b.ADACSJ/h), f2(b.ComputeJ/h),
+				f2((b.TXJ+b.CrosslinkJ)/h), f2(b.Utilization()),
+				fmt.Sprintf("%v", b.Feasible()))
+			if role == energy.RoleLeader {
+				util.X = append(util.X, factor)
+				util.Y = append(util.Y, b.Utilization())
+			}
+		}
+	}
+	t.Series = []Series{util}
+	return t
+}
+
+// ClusteringClaim reproduces the §4.1 claim: the rectangle-cover solver
+// handles hundreds of targets per frame quickly and optimally on canonical
+// candidates.
+func ClusteringClaim(n int, seed int64) Table {
+	t := Table{
+		Title:   fmt.Sprintf("§4.1 claim: rectangle-cover runtime at %d targets", n),
+		Columns: []string{"targets", "clusters", "method", "time(ms)"},
+	}
+	pts := randomFramePoints(n, seed)
+	start := time.Now()
+	cs, method, err := cluster.Cover(pts, 10e3, 10e3, cluster.Options{
+		MaxILPCandidates: 4000,
+		MIP:              mip.Options{TimeLimit: 5 * time.Second},
+	})
+	el := time.Since(start)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow(fi(n), fi(len(cs)), method.String(), f1(float64(el.Microseconds())/1000))
+	t.Series = []Series{{Label: "ms", X: []float64{float64(n)}, Y: []float64{float64(el.Microseconds()) / 1000}}}
+	return t
+}
+
+// randomFramePoints scatters n points over a 100x100 km frame.
+func randomFramePoints(n int, seed int64) []geo.Point2 {
+	rng := newRng(seed)
+	pts := make([]geo.Point2, n)
+	for i := range pts {
+		pts[i] = geo.Point2{
+			X: rng.Float64()*100e3 - 50e3,
+			Y: rng.Float64()*100e3 - 50e3,
+		}
+	}
+	return pts
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render prints the table as aligned text, the format cmd/figures and the
+// benchmark logs use.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	if len(t.Columns) == 0 {
+		return
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, 0, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts = append(parts, fmt.Sprintf("%-*s", widths[i], c))
+			} else {
+				parts = append(parts, c)
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAll prints a set of tables.
+func RenderAll(w io.Writer, tables []Table) {
+	for i := range tables {
+		tables[i].Render(w)
+	}
+}
+
+// RenderCSV writes the table as CSV (header row then data rows), for
+// external plotting tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SlugTitle returns a filesystem-friendly name for the table.
+func (t *Table) SlugTitle() string {
+	slug := strings.ToLower(t.Title)
+	var b strings.Builder
+	dash := false
+	for _, r := range slug {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}

@@ -1,0 +1,293 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, d := range []float64{-180, -90, -45, 0, 30, 90, 179.999} {
+		if got := Rad2Deg(Deg2Rad(d)); !almostEq(got, d, 1e-12) {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+func TestWrapLonDeg(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {180, 180}, {-180, 180}, {181, -179}, {-181, 179},
+		{360, 0}, {540, 180}, {-540, 180}, {720.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := WrapLonDeg(c.in); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("WrapLonDeg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampLatDeg(t *testing.T) {
+	if ClampLatDeg(95) != 90 || ClampLatDeg(-95) != -90 || ClampLatDeg(45) != 45 {
+		t.Fatal("ClampLatDeg misbehaved")
+	}
+}
+
+func TestLatLonValid(t *testing.T) {
+	if !(LatLon{45, 120}).Valid() {
+		t.Error("valid point reported invalid")
+	}
+	if (LatLon{95, 0}).Valid() {
+		t.Error("lat 95 reported valid")
+	}
+	if (LatLon{math.NaN(), 0}).Valid() {
+		t.Error("NaN lat reported valid")
+	}
+}
+
+func TestGeodeticECEFKnownPoints(t *testing.T) {
+	// Equator / prime meridian at zero altitude: X = semi-major axis.
+	v := GeodeticToECEF(LatLon{0, 0}, 0)
+	if !almostEq(v.X, EarthEquatorialRadius, 1e-6) || !almostEq(v.Y, 0, 1e-6) || !almostEq(v.Z, 0, 1e-6) {
+		t.Errorf("equator ECEF = %+v", v)
+	}
+	// North pole: Z = polar radius.
+	v = GeodeticToECEF(LatLon{90, 0}, 0)
+	if !almostEq(v.Z, EarthPolarRadius, 1e-6) {
+		t.Errorf("north pole Z = %v, want %v", v.Z, EarthPolarRadius)
+	}
+	// 90E on the equator: Y = semi-major axis.
+	v = GeodeticToECEF(LatLon{0, 90}, 0)
+	if !almostEq(v.Y, EarthEquatorialRadius, 1e-6) {
+		t.Errorf("90E Y = %v", v.Y)
+	}
+}
+
+func TestECEFRoundTripProperty(t *testing.T) {
+	f := func(latSeed, lonSeed, altSeed uint32) bool {
+		lat := float64(latSeed%18000)/100 - 90  // [-90, 90)
+		lon := float64(lonSeed%36000)/100 - 180 // [-180, 180)
+		alt := float64(altSeed % 1000000)       // [0, 1000 km)
+		p := LatLon{lat, lon}.Normalize()
+		q, a := ECEFToGeodetic(GeodeticToECEF(p, alt))
+		if !almostEq(a, alt, 1e-3) {
+			return false
+		}
+		if !almostEq(q.Lat, p.Lat, 1e-7) {
+			return false
+		}
+		// Longitude undefined at the poles.
+		if math.Abs(p.Lat) < 89.999 && !almostEq(WrapLonDeg(q.Lon-p.Lon), 0, 1e-7) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreatCircleDistanceKnown(t *testing.T) {
+	// Quarter of the Earth's circumference: equator to pole.
+	d := GreatCircleDistance(LatLon{0, 0}, LatLon{90, 0})
+	want := math.Pi / 2 * EarthMeanRadius
+	if !almostEq(d, want, 1) {
+		t.Errorf("pole distance = %v, want %v", d, want)
+	}
+	// Symmetric.
+	a, b := LatLon{48.85, 2.35}, LatLon{40.71, -74.0}
+	if !almostEq(GreatCircleDistance(a, b), GreatCircleDistance(b, a), 1e-6) {
+		t.Error("distance not symmetric")
+	}
+	// Paris-NYC is about 5837 km.
+	if d := GreatCircleDistance(a, b); d < 5.7e6 || d > 6.0e6 {
+		t.Errorf("Paris-NYC distance = %v", d)
+	}
+	if GreatCircleDistance(a, a) != 0 {
+		t.Error("self distance not zero")
+	}
+}
+
+func TestDestinationInverseOfBearingDistance(t *testing.T) {
+	f := func(latSeed, lonSeed, brgSeed, distSeed uint32) bool {
+		p := LatLon{float64(latSeed%16000)/100 - 80, float64(lonSeed%36000)/100 - 180}.Normalize()
+		brg := float64(brgSeed % 360)
+		dist := float64(distSeed%2000000) + 10 // up to 2000 km
+		q := Destination(p, brg, dist)
+		return almostEq(GreatCircleDistance(p, q), dist, 1) &&
+			almostEq(math.Abs(WrapLonDeg(InitialBearing(p, q)-brg)), 0, 0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossAlongTrack(t *testing.T) {
+	origin := LatLon{0, 0}
+	// Track heading due north. A point due east is pure cross-track.
+	east := Destination(origin, 90, 50000)
+	xt := CrossTrackDistance(east, origin, 0)
+	if !almostEq(xt, 50000, 50) {
+		t.Errorf("cross-track = %v, want ~50000", xt)
+	}
+	at := AlongTrackDistance(east, origin, 0)
+	if !almostEq(at, 0, 50) {
+		t.Errorf("along-track = %v, want ~0", at)
+	}
+	// A point due north is pure along-track.
+	north := Destination(origin, 0, 70000)
+	if at := AlongTrackDistance(north, origin, 0); !almostEq(at, 70000, 50) {
+		t.Errorf("along-track north = %v", at)
+	}
+	if xt := CrossTrackDistance(north, origin, 0); !almostEq(xt, 0, 50) {
+		t.Errorf("cross-track north = %v", xt)
+	}
+	// A point behind has negative along-track.
+	south := Destination(origin, 180, 30000)
+	if at := AlongTrackDistance(south, origin, 0); at > -29000 {
+		t.Errorf("along-track south = %v, want ~-30000", at)
+	}
+}
+
+func TestVec3Algebra(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(w); got != (Vec3{-3, 6, -3}) {
+		t.Errorf("Cross = %+v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := (Vec3{0, 0, 2}).Unit(); got != (Vec3{0, 0, 1}) {
+		t.Errorf("Unit = %+v", got)
+	}
+	if got := (Vec3{}).Unit(); got != (Vec3{}) {
+		t.Errorf("Unit zero = %+v", got)
+	}
+	if got := (Vec3{1, 0, 0}).AngleBetween(Vec3{0, 1, 0}); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("AngleBetween = %v", got)
+	}
+	if got := (Vec3{1, 0, 0}).AngleBetween(Vec3{1, 0, 0}); !almostEq(got, 0, 1e-7) {
+		t.Errorf("AngleBetween same = %v", got)
+	}
+}
+
+func TestCrossProductOrthogonalProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g int16) bool {
+		v := Vec3{float64(a), float64(b), float64(c)}
+		w := Vec3{float64(d), float64(e), float64(g)}
+		x := v.Cross(w)
+		return almostEq(x.Dot(v), 0, 1e-6) && almostEq(x.Dot(w), 0, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRectCentered(Point2{0, 0}, 10, 4)
+	if r.Width() != 10 || r.Height() != 4 {
+		t.Fatalf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if r.Center() != (Point2{0, 0}) {
+		t.Errorf("center = %v", r.Center())
+	}
+	if r.Area() != 40 {
+		t.Errorf("area = %v", r.Area())
+	}
+	if !r.Contains(Point2{5, 2}) { // corner inclusive
+		t.Error("corner not contained")
+	}
+	if r.Contains(Point2{5.1, 0}) {
+		t.Error("outside point contained")
+	}
+	if !r.Valid() {
+		t.Error("valid rect reported invalid")
+	}
+	if (Rect{Min: Point2{1, 0}, Max: Point2{0, 1}}).Valid() {
+		t.Error("invalid rect reported valid")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Min: Point2{0, 0}, Max: Point2{2, 2}}
+	b := Rect{Min: Point2{1, 1}, Max: Point2{3, 3}}
+	c := Rect{Min: Point2{2, 2}, Max: Point2{4, 4}} // touching corner
+	d := Rect{Min: Point2{5, 5}, Max: Point2{6, 6}}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	if !a.Intersects(c) {
+		t.Error("touching rects reported disjoint")
+	}
+	if a.Intersects(d) {
+		t.Error("disjoint rects reported intersecting")
+	}
+}
+
+func TestTangentFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		f := TangentFrame{
+			Origin:     LatLon{rng.Float64()*140 - 70, rng.Float64()*360 - 180}.Normalize(),
+			BearingDeg: rng.Float64() * 360,
+		}
+		p := Point2{rng.Float64()*100000 - 50000, rng.Float64()*100000 - 50000}
+		g := f.ToGeodetic(p)
+		q := f.ToLocal(g)
+		// Within a 100 km frame the flat approximation is good to ~100 m.
+		if p.Dist(q) > 150 {
+			t.Fatalf("frame round trip error %v for p=%v at origin %v", p.Dist(q), p, f.Origin)
+		}
+	}
+}
+
+func TestPoint2Algebra(t *testing.T) {
+	p := Point2{3, 4}
+	if p.Norm() != 5 {
+		t.Errorf("Norm = %v", p.Norm())
+	}
+	if p.Add(Point2{1, 1}) != (Point2{4, 5}) {
+		t.Error("Add wrong")
+	}
+	if p.Sub(Point2{1, 1}) != (Point2{2, 3}) {
+		t.Error("Sub wrong")
+	}
+	if p.Scale(2) != (Point2{6, 8}) {
+		t.Error("Scale wrong")
+	}
+	if p.Dist(Point2{0, 0}) != 5 {
+		t.Error("Dist wrong")
+	}
+}
+
+func TestEarthSurfaceArea(t *testing.T) {
+	// The paper quotes ~510 million km^2.
+	km2 := EarthSurfaceArea / 1e6
+	if km2 < 505e6 || km2 > 515e6 {
+		t.Errorf("surface area = %v km^2", km2)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := (LatLon{1, 2}).String(); s == "" {
+		t.Error("empty LatLon string")
+	}
+	if s := (Point2{1, 2}).String(); s == "" {
+		t.Error("empty Point2 string")
+	}
+	if s := (Rect{}).String(); s == "" {
+		t.Error("empty Rect string")
+	}
+}

@@ -1,0 +1,473 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. It is the linear-algebra substrate beneath internal/mip, which
+// together replace the Google OR-Tools dependency of the paper's prototype
+// (§5.1): EagleEye's target-clustering and follower-scheduling ILPs both
+// reduce to models this solver handles exactly.
+//
+// Problems are stated as
+//
+//	maximize   c · x
+//	subject to A x (<=|=|>=) b
+//	           lower <= x <= upper   (default 0 <= x < +inf)
+//
+// The implementation is a textbook tableau simplex with Dantzig pricing and
+// a Bland-rule fallback for cycling, adequate for the dense, mid-sized
+// models EagleEye produces (hundreds of rows and columns per frame).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of a constraint row.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // ==
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Status describes the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem is a linear program in the form documented at the package level.
+// Lower and Upper may be nil, meaning all-zero lower bounds and all-+inf
+// upper bounds. Rows of A must all have len == len(C).
+type Problem struct {
+	C      []float64   // objective coefficients (maximize)
+	A      [][]float64 // constraint matrix rows
+	B      []float64   // right-hand sides
+	Senses []Sense     // one per row
+	Lower  []float64   // optional per-variable lower bounds
+	Upper  []float64   // optional per-variable upper bounds
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("lp: no variables")
+	}
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Senses) {
+		return fmt.Errorf("lp: inconsistent row counts: A=%d B=%d senses=%d",
+			len(p.A), len(p.B), len(p.Senses))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	if p.Lower != nil && len(p.Lower) != n {
+		return fmt.Errorf("lp: lower bounds length %d, want %d", len(p.Lower), n)
+	}
+	if p.Upper != nil && len(p.Upper) != n {
+		return fmt.Errorf("lp: upper bounds length %d, want %d", len(p.Upper), n)
+	}
+	for j := 0; j < n; j++ {
+		if p.lower(j) > p.upper(j)+1e-12 {
+			return fmt.Errorf("lp: variable %d has lower %v > upper %v", j, p.lower(j), p.upper(j))
+		}
+	}
+	return nil
+}
+
+func (p *Problem) lower(j int) float64 {
+	if p.Lower == nil {
+		return 0
+	}
+	return p.Lower[j]
+}
+
+func (p *Problem) upper(j int) float64 {
+	if p.Upper == nil {
+		return math.Inf(1)
+	}
+	return p.Upper[j]
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (original problem space)
+	Objective float64   // c · X
+	Iters     int       // simplex iterations used
+}
+
+const (
+	eps        = 1e-9 // pivot / reduced-cost tolerance
+	feasTol    = 1e-7 // feasibility tolerance
+	defaultMax = 200000
+)
+
+// Solve optimizes the problem. The returned error is non-nil only for
+// structurally invalid problems; infeasible/unbounded outcomes are reported
+// through Solution.Status.
+func Solve(p *Problem) (Solution, error) {
+	return SolveMaxIters(p, defaultMax)
+}
+
+// SolveMaxIters is Solve with an explicit simplex iteration limit.
+func SolveMaxIters(p *Problem, maxIters int) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	t, err := newTableau(p)
+	if err != nil {
+		// Bound-shift detected an empty box (lower > upper): infeasible.
+		return Solution{Status: StatusInfeasible}, nil
+	}
+	st := t.solve(maxIters)
+	sol := Solution{Status: st, Iters: t.iters}
+	if st != StatusOptimal {
+		return sol, nil
+	}
+	sol.X = t.extract(p)
+	sol.Objective = 0
+	for j, c := range p.C {
+		sol.Objective += c * sol.X[j]
+	}
+	return sol, nil
+}
+
+// tableau is the working state of the two-phase simplex.
+type tableau struct {
+	m, n    int         // constraint rows, structural columns (shifted vars)
+	a       [][]float64 // m x total columns
+	rhs     []float64   // m
+	basis   []int       // basic column per row
+	inBasis []bool      // per-column basis membership (mirror of basis)
+	total   int         // total columns incl. slacks/artificials
+	nslack  int
+	nartif  int
+	obj     []float64 // phase-2 objective over all columns
+	shift   []float64 // lower-bound shift per structural var
+	ncols   int       // structural columns (== n)
+	iters   int
+	artbase int // first artificial column index
+}
+
+// newTableau builds the standard-form tableau: shift lower bounds to zero,
+// turn finite upper bounds into extra <= rows, normalize negative RHS, add
+// slack/surplus/artificial columns.
+func newTableau(p *Problem) (*tableau, error) {
+	n := len(p.C)
+	shift := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo := p.lower(j)
+		if math.IsInf(lo, -1) {
+			// Free-below variables are rare in our models; represent by a
+			// large negative shift so x' = x - lo stays non-negative over
+			// the practical range.
+			lo = -1e9
+		}
+		shift[j] = lo
+		if p.upper(j) < lo-1e-12 {
+			return nil, errors.New("lp: empty variable box")
+		}
+	}
+
+	type row struct {
+		coef  []float64
+		b     float64
+		sense Sense
+	}
+	rows := make([]row, 0, len(p.A)+n)
+	for i, r := range p.A {
+		b := p.B[i]
+		// Apply lower-bound shift to RHS: sum a_ij (x'_j + lo_j) ~ b.
+		for j := 0; j < n; j++ {
+			b -= r[j] * shift[j]
+		}
+		coef := make([]float64, n)
+		copy(coef, r)
+		rows = append(rows, row{coef: coef, b: b, sense: p.Senses[i]})
+	}
+	// Upper bounds become x'_j <= ub_j - lo_j.
+	for j := 0; j < n; j++ {
+		ub := p.upper(j)
+		if math.IsInf(ub, 1) {
+			continue
+		}
+		coef := make([]float64, n)
+		coef[j] = 1
+		rows = append(rows, row{coef: coef, b: ub - shift[j], sense: LE})
+	}
+
+	m := len(rows)
+	// Normalize negative RHS.
+	for i := range rows {
+		if rows[i].b < 0 {
+			for j := range rows[i].coef {
+				rows[i].coef[j] = -rows[i].coef[j]
+			}
+			rows[i].b = -rows[i].b
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	// Count slack and artificial columns.
+	nslack, nartif := 0, 0
+	for _, r := range rows {
+		switch r.sense {
+		case LE:
+			nslack++
+		case GE:
+			nslack++
+			nartif++
+		case EQ:
+			nartif++
+		}
+	}
+	total := n + nslack + nartif
+	t := &tableau{
+		m: m, n: n, total: total, ncols: n,
+		nslack: nslack, nartif: nartif,
+		shift:   shift,
+		rhs:     make([]float64, m),
+		basis:   make([]int, m),
+		artbase: n + nslack,
+	}
+	t.a = make([][]float64, m)
+	buf := make([]float64, m*total)
+	for i := range t.a {
+		t.a[i] = buf[i*total : (i+1)*total]
+	}
+	t.inBasis = make([]bool, total)
+	slackCol := n
+	artCol := n + nslack
+	for i, r := range rows {
+		copy(t.a[i][:n], r.coef)
+		t.rhs[i] = r.b
+		switch r.sense {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.inBasis[t.basis[i]] = true
+	}
+	// Phase-2 objective over all columns (shifted space).
+	t.obj = make([]float64, total)
+	copy(t.obj[:n], p.C)
+	return t, nil
+}
+
+// solve runs phase 1 (if artificials exist) then phase 2.
+func (t *tableau) solve(maxIters int) Status {
+	if t.nartif > 0 {
+		// Phase 1: maximize -(sum of artificials).
+		ph1 := make([]float64, t.total)
+		for j := t.artbase; j < t.total; j++ {
+			ph1[j] = -1
+		}
+		st, objVal := t.optimize(ph1, maxIters, true)
+		if st == StatusUnbounded {
+			// Phase-1 objective is bounded above by 0; treat as numeric
+			// failure.
+			return StatusIterLimit
+		}
+		if st != StatusOptimal {
+			return st
+		}
+		if objVal < -feasTol {
+			return StatusInfeasible
+		}
+		// Pivot remaining artificials out of the basis where possible.
+		t.evictArtificials()
+	}
+	st, _ := t.optimize(t.obj, maxIters, false)
+	return st
+}
+
+// optimize runs simplex iterations for the given objective, returning the
+// status and the achieved objective value (in shifted space). Columns at or
+// beyond artbase are never allowed to enter during phase 2 (banArt).
+func (t *tableau) optimize(obj []float64, maxIters int, phase1 bool) (Status, float64) {
+	limit := t.total
+	if !phase1 {
+		limit = t.artbase // artificials may not re-enter
+	}
+	// Reduced costs are computed against the current basis each iteration:
+	// z_j - c_j = cB · B^-1 A_j - c_j. With an explicitly updated tableau,
+	// the tableau columns already hold B^-1 A, so price directly.
+	cb := make([]float64, t.m)
+	for iter := 0; ; iter++ {
+		if t.iters >= maxIters {
+			return StatusIterLimit, 0
+		}
+		t.iters++
+		for i := 0; i < t.m; i++ {
+			cb[i] = obj[t.basis[i]]
+		}
+		// Pricing: pick the entering column. Dantzig normally; Bland when
+		// the iteration count in this phase grows large (anti-cycling).
+		bland := iter > 4*(t.m+t.total)
+		enter := -1
+		best := eps
+		for j := 0; j < limit; j++ {
+			// Skip basic columns.
+			if t.isBasic(j) {
+				continue
+			}
+			red := obj[j]
+			for i := 0; i < t.m; i++ {
+				if cb[i] != 0 {
+					red -= cb[i] * t.a[i][j]
+				}
+			}
+			if red > best {
+				enter = j
+				if bland {
+					break
+				}
+				best = red
+			}
+		}
+		if enter < 0 {
+			// Optimal: compute objective value.
+			val := 0.0
+			for i := 0; i < t.m; i++ {
+				val += obj[t.basis[i]] * t.rhs[i]
+			}
+			return StatusOptimal, val
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				r := t.rhs[i] / aij
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return StatusUnbounded, 0
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) isBasic(j int) bool { return t.inBasis[j] }
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j < t.total; j++ {
+		pr[j] *= inv
+	}
+	t.rhs[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j < t.total; j++ {
+			ri[j] -= f * pr[j]
+		}
+		t.rhs[i] -= f * t.rhs[row]
+	}
+	t.inBasis[t.basis[row]] = false
+	t.basis[row] = col
+	t.inBasis[col] = true
+}
+
+// evictArtificials pivots basic artificial variables (at value ~0 after a
+// feasible phase 1) out of the basis when a non-artificial pivot exists.
+func (t *tableau) evictArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artbase {
+			continue
+		}
+		for j := 0; j < t.artbase; j++ {
+			if math.Abs(t.a[i][j]) > eps && !t.isBasic(j) {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+// extract recovers the original-space variable values.
+func (t *tableau) extract(p *Problem) []float64 {
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b] = t.rhs[i]
+		}
+	}
+	for j := range x {
+		x[j] += t.shift[j]
+		// Snap to bounds within tolerance to suppress simplex noise.
+		if lo := p.lower(j); x[j] < lo {
+			x[j] = lo
+		}
+		if ub := p.upper(j); x[j] > ub {
+			x[j] = ub
+		}
+	}
+	return x
+}

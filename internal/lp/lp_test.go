@@ -1,0 +1,334 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 2y st x + y <= 4, x + 3y <= 6  -> x=4, y=0, obj 12.
+	p := &Problem{
+		C:      []float64{3, 2},
+		A:      [][]float64{{1, 1}, {1, 3}},
+		B:      []float64{4, 6},
+		Senses: []Sense{LE, LE},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-12) > 1e-6 {
+		t.Errorf("objective = %v, want 12", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-6 || math.Abs(sol.X[1]) > 1e-6 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+func TestDegenerateVertex(t *testing.T) {
+	// max x + y st x <= 2, y <= 2, x + y <= 4 (redundant at the optimum).
+	p := &Problem{
+		C:      []float64{1, 1},
+		A:      [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B:      []float64{2, 2, 4},
+		Senses: []Sense{LE, LE, LE},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-4) > 1e-6 {
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestGEAndEQConstraints(t *testing.T) {
+	// max x + 2y st x + y == 3, y >= 1, x >= 0 -> x=0,y=3? y>=1 ok, obj 6.
+	p := &Problem{
+		C:      []float64{1, 2},
+		A:      [][]float64{{1, 1}, {0, 1}},
+		B:      []float64{3, 1},
+		Senses: []Sense{EQ, GE},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-6) > 1e-6 {
+		t.Errorf("objective = %v, want 6", sol.Objective)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-3) > 1e-6 {
+		t.Errorf("equality violated: %v", sol.X)
+	}
+}
+
+func TestMinimizationViaNegation(t *testing.T) {
+	// min x + y st x + 2y >= 4, 3x + y >= 6 -> vertex x=1.6, y=1.2, obj 2.8.
+	p := &Problem{
+		C:      []float64{-1, -1},
+		A:      [][]float64{{1, 2}, {3, 1}},
+		B:      []float64{4, 6},
+		Senses: []Sense{GE, GE},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(-sol.Objective-2.8) > 1e-6 {
+		t.Errorf("min objective = %v, want 2.8", -sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1}, {1}},
+		B:      []float64{1, 2},
+		Senses: []Sense{LE, GE},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with only x >= 0.
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1}},
+		B:      []float64{1},
+		Senses: []Sense{GE},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	// max x + y, x,y in [0,1], x + y <= 1.5 -> 1.5.
+	p := &Problem{
+		C:      []float64{1, 1},
+		A:      [][]float64{{1, 1}},
+		B:      []float64{1.5},
+		Senses: []Sense{LE},
+		Upper:  []float64{1, 1},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-1.5) > 1e-6 {
+		t.Errorf("objective = %v", sol.Objective)
+	}
+	for j, v := range sol.X {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Errorf("x[%d] = %v out of [0,1]", j, v)
+		}
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	// max -x - y with x >= 2, y >= 3 (via bounds), x + y <= 10.
+	p := &Problem{
+		C:      []float64{-1, -1},
+		A:      [][]float64{{1, 1}},
+		B:      []float64{10},
+		Senses: []Sense{LE},
+		Lower:  []float64{2, 3},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-3) > 1e-6 {
+		t.Errorf("x = %v, want [2 3]", sol.X)
+	}
+}
+
+func TestEmptyBoxInfeasible(t *testing.T) {
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1}},
+		B:      []float64{5},
+		Senses: []Sense{LE},
+		Lower:  []float64{3},
+		Upper:  []float64{2},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted empty box")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Problem{
+		{},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Senses: []Sense{LE}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}, Senses: []Sense{LE}, Lower: []float64{1, 2}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}, Senses: []Sense{LE}, Upper: []float64{1, 2}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max -x st -x <= -2  (i.e. x >= 2), x <= 5 -> x = 2.
+	p := &Problem{
+		C:      []float64{-1},
+		A:      [][]float64{{-1}, {1}},
+		B:      []float64{-2, 5},
+		Senses: []Sense{LE, LE},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-2) > 1e-6 {
+		t.Errorf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// Classic balanced transportation (min cost): 2 sources (10, 20),
+	// 2 sinks (15, 15), costs [[1 3],[2 1]].
+	// Optimal: s0->d0:10, s1->d0:5, s1->d1:15 -> cost 10+10+15 = 35.
+	p := &Problem{
+		C: []float64{-1, -3, -2, -1},
+		A: [][]float64{
+			{1, 1, 0, 0},
+			{0, 0, 1, 1},
+			{1, 0, 1, 0},
+			{0, 1, 0, 1},
+		},
+		B:      []float64{10, 20, 15, 15},
+		Senses: []Sense{EQ, EQ, EQ, EQ},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(-sol.Objective-35) > 1e-6 {
+		t.Errorf("cost = %v, want 35", -sol.Objective)
+	}
+}
+
+// TestRandomLPsFeasibleBounded cross-checks the solver on random LPs with a
+// guaranteed interior point against feasibility and weak-duality style
+// sanity bounds.
+func TestRandomLPsFeasibleBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		x0 := make([]float64, n) // known feasible point
+		for j := range x0 {
+			x0[j] = rng.Float64() * 5
+		}
+		p := &Problem{
+			C:      make([]float64, n),
+			Upper:  make([]float64, n),
+			Senses: make([]Sense, m),
+			B:      make([]float64, m),
+			A:      make([][]float64, m),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64()*4 - 2
+			p.Upper[j] = 10
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				p.A[i][j] = rng.Float64()*2 - 1
+				lhs += p.A[i][j] * x0[j]
+			}
+			p.B[i] = lhs + rng.Float64() // slack: x0 strictly feasible
+			p.Senses[i] = LE
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v (should be feasible and bounded)", trial, sol.Status)
+		}
+		// Solution must satisfy all constraints and bounds.
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += p.A[i][j] * sol.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				t.Fatalf("trial %d: row %d violated: %v > %v", trial, i, lhs, p.B[i])
+			}
+		}
+		for j := 0; j < n; j++ {
+			if sol.X[j] < -1e-6 || sol.X[j] > 10+1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v out of box", trial, j, sol.X[j])
+			}
+		}
+		// Optimal must be at least as good as the known feasible point.
+		v0 := 0.0
+		for j := 0; j < n; j++ {
+			v0 += p.C[j] * x0[j]
+		}
+		if sol.Objective < v0-1e-6 {
+			t.Fatalf("trial %d: objective %v below feasible %v", trial, sol.Objective, v0)
+		}
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := &Problem{
+		C:      []float64{3, 2},
+		A:      [][]float64{{1, 1}, {1, 3}},
+		B:      []float64{4, 6},
+		Senses: []Sense{LE, LE},
+	}
+	sol, err := SolveMaxIters(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusIterLimit && sol.Status != StatusOptimal {
+		t.Errorf("status = %v", sol.Status)
+	}
+}
+
+func TestSenseAndStatusStrings(t *testing.T) {
+	for _, s := range []Sense{LE, GE, EQ, Sense(9)} {
+		if s.String() == "" {
+			t.Error("empty sense string")
+		}
+	}
+	for _, s := range []Status{StatusOptimal, StatusInfeasible, StatusUnbounded, StatusIterLimit, Status(9)} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	// 40 vars, 30 constraints dense LP.
+	rng := rand.New(rand.NewSource(7))
+	n, m := 40, 30
+	p := &Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m), Senses: make([]Sense, m)}
+	for j := range p.C {
+		p.C[j] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		for j := range p.A[i] {
+			p.A[i][j] = rng.Float64()
+		}
+		p.B[i] = float64(n) / 2
+		p.Senses[i] = LE
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomBoundedLP builds a random LP over the unit box with LE rows
+// anchored to a known feasible point, so it is always feasible and bounded.
+func randomBoundedLP(rng *rand.Rand, n, m int) (*Problem, []float64) {
+	x0 := make([]float64, n)
+	for j := range x0 {
+		x0[j] = rng.Float64()
+	}
+	p := &Problem{
+		C:     make([]float64, n),
+		Upper: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.Float64()*4 - 2
+		p.Upper[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		lhs := 0.0
+		for j := range row {
+			row[j] = rng.Float64()*2 - 1
+			lhs += row[j] * x0[j]
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, lhs+rng.Float64()*0.5)
+		p.Senses = append(p.Senses, LE)
+	}
+	return p, x0
+}
+
+// TestAddingConstraintNeverImproves: appending a row can only shrink the
+// feasible region, so the optimum can only decrease (maximization).
+func TestAddingConstraintNeverImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		p, x0 := randomBoundedLP(rng, n, 1+rng.Intn(4))
+		base := mustSolve(t, p)
+
+		// Add a constraint that keeps x0 feasible.
+		row := make([]float64, n)
+		lhs := 0.0
+		for j := range row {
+			row[j] = rng.Float64()*2 - 1
+			lhs += row[j] * x0[j]
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, lhs+rng.Float64()*0.2)
+		p.Senses = append(p.Senses, LE)
+		tightened := mustSolve(t, p)
+
+		if tightened.Objective > base.Objective+1e-6 {
+			t.Fatalf("trial %d: tightening improved objective: %v > %v",
+				trial, tightened.Objective, base.Objective)
+		}
+	}
+}
+
+// TestScalingObjectiveScalesOptimum: multiplying c by k > 0 multiplies the
+// optimal value by k (same argmax set).
+func TestScalingObjectiveScalesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 30; trial++ {
+		p, _ := randomBoundedLP(rng, 2+rng.Intn(5), 1+rng.Intn(4))
+		base := mustSolve(t, p)
+		k := 0.5 + rng.Float64()*3
+		for j := range p.C {
+			p.C[j] *= k
+		}
+		scaled := mustSolve(t, p)
+		if math.Abs(scaled.Objective-k*base.Objective) > 1e-6*(1+math.Abs(k*base.Objective)) {
+			t.Fatalf("trial %d: scaled optimum %v != %v * %v",
+				trial, scaled.Objective, k, base.Objective)
+		}
+	}
+}
+
+// TestRelaxingBoundNeverHurts: raising an upper bound can only improve a
+// maximization problem.
+func TestRelaxingBoundNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		p, _ := randomBoundedLP(rng, 2+rng.Intn(5), 1+rng.Intn(3))
+		base := mustSolve(t, p)
+		j := rng.Intn(len(p.C))
+		p.Upper[j] = 2
+		relaxed := mustSolve(t, p)
+		if relaxed.Objective < base.Objective-1e-6 {
+			t.Fatalf("trial %d: relaxing bound hurt: %v < %v",
+				trial, relaxed.Objective, base.Objective)
+		}
+	}
+}
+
+// TestSolutionSatisfiesKKTStationaritySign spot-checks optimality: no
+// single-coordinate move within the box and slack constraints improves the
+// objective (first-order optimality for LPs over polytopes).
+func TestSolutionSatisfiesKKTStationaritySign(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 30; trial++ {
+		p, _ := randomBoundedLP(rng, 2+rng.Intn(4), 1+rng.Intn(3))
+		sol := mustSolve(t, p)
+		const step = 1e-5
+		for j := range p.C {
+			for _, dir := range []float64{step, -step} {
+				cand := append([]float64(nil), sol.X...)
+				cand[j] += dir
+				if cand[j] < -1e-12 || cand[j] > p.Upper[j]+1e-12 {
+					continue
+				}
+				feasible := true
+				for i, row := range p.A {
+					lhs := 0.0
+					for k2, a := range row {
+						lhs += a * cand[k2]
+					}
+					if lhs > p.B[i]+1e-12 {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				val := 0.0
+				for k2, c := range p.C {
+					val += c * cand[k2]
+				}
+				if val > sol.Objective+1e-7 {
+					t.Fatalf("trial %d: local move on x[%d] improves: %v > %v",
+						trial, j, val, sol.Objective)
+				}
+			}
+		}
+	}
+}
+
+func mustSolve(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	return sol
+}

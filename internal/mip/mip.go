@@ -1,0 +1,407 @@
+// Package mip implements a branch-and-bound mixed-integer programming
+// solver on top of the internal/lp simplex. Together they replace the
+// Google OR-Tools dependency of the paper's prototype (§5.1) for EagleEye's
+// two ILPs: target clustering (set cover) and actuation-aware follower
+// scheduling (a time-expanded flow). Both formulations have tight LP
+// relaxations, so branch and bound usually proves optimality in a handful
+// of nodes.
+package mip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"eagleeye/internal/lp"
+)
+
+// Problem is a mixed-integer program: the embedded LP plus a set of
+// variables constrained to take integer values.
+type Problem struct {
+	lp.Problem
+	// Integer[j] marks variable j as integral. Nil means all-continuous.
+	Integer []bool
+}
+
+// NewBinary returns a Problem shell with n binary variables (integer,
+// bounds [0,1]).
+func NewBinary(n int) *Problem {
+	p := &Problem{}
+	p.C = make([]float64, n)
+	p.Lower = make([]float64, n)
+	p.Upper = make([]float64, n)
+	p.Integer = make([]bool, n)
+	for j := 0; j < n; j++ {
+		p.Upper[j] = 1
+		p.Integer[j] = true
+	}
+	return p
+}
+
+// AddRow appends a constraint row. The coefficient slice is used directly.
+func (p *Problem) AddRow(coef []float64, sense lp.Sense, rhs float64) {
+	p.A = append(p.A, coef)
+	p.Senses = append(p.Senses, sense)
+	p.B = append(p.B, rhs)
+}
+
+// AddSparseRow appends a constraint given as index/value pairs.
+func (p *Problem) AddSparseRow(idx []int, val []float64, sense lp.Sense, rhs float64) {
+	row := make([]float64, len(p.C))
+	for k, j := range idx {
+		row[j] += val[k]
+	}
+	p.AddRow(row, sense, rhs)
+}
+
+// Validate extends lp validation with integer-marker checks.
+func (p *Problem) Validate() error {
+	if err := p.Problem.Validate(); err != nil {
+		return err
+	}
+	if p.Integer != nil && len(p.Integer) != len(p.C) {
+		return fmt.Errorf("mip: integer markers length %d, want %d", len(p.Integer), len(p.C))
+	}
+	return nil
+}
+
+// Status mirrors lp.Status with an extra timeout outcome.
+type Status int8
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	// StatusFeasible means the search stopped early (time or node limit)
+	// with an incumbent but no optimality proof.
+	StatusFeasible
+	// StatusLimit means the search stopped early with no incumbent.
+	StatusLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusFeasible:
+		return "feasible"
+	case StatusLimit:
+		return "limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a MIP solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	Nodes     int // branch-and-bound nodes explored
+	Gap       float64
+}
+
+// Options tunes the search. The zero value means defaults.
+type Options struct {
+	// TimeLimit bounds wall-clock search time; 0 means 10 s.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored nodes; 0 means 200000.
+	MaxNodes int
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeLimit == 0 {
+		o.TimeLimit = 10 * time.Second
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// node is a branch-and-bound subproblem: bound overrides plus its parent's
+// LP bound used as the best-first priority.
+type node struct {
+	lower, upper []float64
+	bound        float64 // parent LP objective: an upper bound for this node
+	depth        int
+}
+
+// Solve optimizes the MIP with default options.
+func Solve(p *Problem) (Solution, error) { return SolveOpts(p, Options{}) }
+
+// SolveOpts optimizes the MIP by LP-based branch and bound with best-first
+// node selection and most-fractional branching.
+func SolveOpts(p *Problem, opts Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	opts = opts.withDefaults()
+	n := len(p.C)
+
+	baseLower := make([]float64, n)
+	baseUpper := make([]float64, n)
+	for j := 0; j < n; j++ {
+		baseLower[j] = lower(&p.Problem, j)
+		baseUpper[j] = upper(&p.Problem, j)
+	}
+
+	deadline := time.Now().Add(opts.TimeLimit)
+	heap := &nodeHeap{}
+	heap.push(node{lower: baseLower, upper: baseUpper, bound: math.Inf(1)})
+
+	var (
+		incumbent    []float64
+		incumbentVal = math.Inf(-1)
+		nodes        int
+		stopped      bool
+		rootStatus   = StatusInfeasible
+		bestBound    = math.Inf(-1)
+	)
+
+	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses}
+	for heap.len() > 0 {
+		if nodes >= opts.MaxNodes || time.Now().After(deadline) {
+			stopped = true
+			break
+		}
+		nd := heap.pop()
+		// Plunge: follow one branch chain depth-first until it is pruned or
+		// integral, pushing siblings onto the heap. Diving finds an
+		// incumbent quickly so the best-first phase can prune aggressively.
+		for plunge := true; plunge; {
+			plunge = false
+			if nd.bound <= incumbentVal+1e-9 {
+				break // cannot improve
+			}
+			if nodes >= opts.MaxNodes || time.Now().After(deadline) {
+				stopped = true
+				break
+			}
+			nodes++
+			work.Lower = nd.lower
+			work.Upper = nd.upper
+			sol, err := lp.Solve(&work)
+			if err != nil {
+				return Solution{}, err
+			}
+			switch sol.Status {
+			case lp.StatusUnbounded:
+				if nodes == 1 {
+					return Solution{Status: StatusUnbounded, Nodes: nodes}, nil
+				}
+				// An unbounded child of a bounded relaxation should not
+				// occur; treat as a numeric failure of this node.
+				continue
+			case lp.StatusInfeasible, lp.StatusIterLimit:
+				continue
+			}
+			rootStatus = StatusFeasible
+			if nodes == 1 {
+				bestBound = sol.Objective
+			}
+			if sol.Objective <= incumbentVal+1e-9 {
+				break
+			}
+			// Find the most fractional integer variable.
+			branch := -1
+			worst := opts.IntTol
+			for j := 0; j < n; j++ {
+				if p.Integer == nil || !p.Integer[j] {
+					continue
+				}
+				f := sol.X[j] - math.Floor(sol.X[j])
+				dist := math.Min(f, 1-f)
+				if dist > worst {
+					worst = dist
+					branch = j
+				}
+			}
+			if branch < 0 {
+				// Integral: new incumbent.
+				if sol.Objective > incumbentVal {
+					incumbentVal = sol.Objective
+					incumbent = roundIntegers(p, sol.X, opts.IntTol)
+				}
+				break
+			}
+			v := sol.X[branch]
+			down := node{
+				lower: nd.lower, // shared: only upper changes
+				upper: cloneWith(nd.upper, branch, math.Floor(v), false),
+				bound: sol.Objective,
+				depth: nd.depth + 1,
+			}
+			up := node{
+				lower: cloneWith(nd.lower, branch, math.Ceil(v), true),
+				upper: nd.upper,
+				bound: sol.Objective,
+				depth: nd.depth + 1,
+			}
+			downOK := down.upper[branch] >= nd.lower[branch]-1e-12
+			upOK := up.lower[branch] <= nd.upper[branch]+1e-12
+			// Dive toward the nearer integer; push the sibling.
+			frac := v - math.Floor(v)
+			diveDown := frac < 0.5
+			switch {
+			case downOK && upOK:
+				if diveDown {
+					nd = down
+					heap.push(up)
+				} else {
+					nd = up
+					heap.push(down)
+				}
+				plunge = true
+			case downOK:
+				nd = down
+				plunge = true
+			case upOK:
+				nd = up
+				plunge = true
+			}
+		}
+	}
+
+	out := Solution{Nodes: nodes}
+	switch {
+	case incumbent != nil && !stopped:
+		out.Status = StatusOptimal
+		out.X = incumbent
+		out.Objective = incumbentVal
+	case incumbent != nil:
+		out.Status = StatusFeasible
+		out.X = incumbent
+		out.Objective = incumbentVal
+		if !math.IsInf(bestBound, -1) {
+			out.Gap = bestBound - incumbentVal
+		}
+	case stopped:
+		out.Status = StatusLimit
+	default:
+		out.Status = rootStatus
+		if rootStatus == StatusFeasible {
+			// LP was feasible but no integral point was found anywhere in
+			// the fully-explored tree: the integer problem is infeasible.
+			out.Status = StatusInfeasible
+		}
+	}
+	return out, nil
+}
+
+func lower(p *lp.Problem, j int) float64 {
+	if p.Lower == nil {
+		return 0
+	}
+	return p.Lower[j]
+}
+
+func upper(p *lp.Problem, j int) float64 {
+	if p.Upper == nil {
+		return math.Inf(1)
+	}
+	return p.Upper[j]
+}
+
+func cloneWith(src []float64, j int, v float64, isLower bool) []float64 {
+	dst := make([]float64, len(src))
+	copy(dst, src)
+	if isLower {
+		if v > dst[j] {
+			dst[j] = v
+		}
+	} else if v < dst[j] {
+		dst[j] = v
+	}
+	return dst
+}
+
+func roundIntegers(p *Problem, x []float64, tol float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j := range out {
+		if p.Integer != nil && p.Integer[j] {
+			out[j] = math.Round(out[j])
+		}
+	}
+	_ = tol
+	return out
+}
+
+// nodeHeap is a max-heap on node.bound (best-first), breaking ties by depth
+// (deeper first, to find incumbents quickly).
+type nodeHeap struct{ ns []node }
+
+func (h *nodeHeap) len() int { return len(h.ns) }
+
+func (h *nodeHeap) less(i, j int) bool {
+	if h.ns[i].bound != h.ns[j].bound {
+		return h.ns[i].bound > h.ns[j].bound
+	}
+	return h.ns[i].depth > h.ns[j].depth
+}
+
+func (h *nodeHeap) push(n node) {
+	h.ns = append(h.ns, n)
+	i := len(h.ns) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ns[i], h.ns[parent] = h.ns[parent], h.ns[i]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() node {
+	top := h.ns[0]
+	last := len(h.ns) - 1
+	h.ns[0] = h.ns[last]
+	h.ns = h.ns[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ns) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.ns) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ns[i], h.ns[smallest] = h.ns[smallest], h.ns[i]
+		i = smallest
+	}
+	return top
+}
+
+// ErrNoSolution is returned by convenience helpers when a solve ends
+// without a usable solution.
+var ErrNoSolution = errors.New("mip: no solution")
+
+// Values extracts a rounded []int from a binary solution, for callers that
+// index decisions by position.
+func (s Solution) Values() ([]int, error) {
+	if s.X == nil {
+		return nil, ErrNoSolution
+	}
+	out := make([]int, len(s.X))
+	for j, v := range s.X {
+		out[j] = int(math.Round(v))
+	}
+	return out, nil
+}

@@ -1,0 +1,321 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"eagleeye/internal/lp"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	return sol
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary.
+	// Best: a + c = 17 (weight 5); b + c = 20 (weight 6) -> 20.
+	p := NewBinary(3)
+	p.C = []float64{10, 13, 7}
+	p.AddRow([]float64{3, 4, 2}, lp.LE, 6)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-20) > 1e-6 {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	vals, err := sol.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 || vals[1] != 1 || vals[2] != 1 {
+		t.Errorf("values = %v, want [0 1 1]", vals)
+	}
+}
+
+func TestFractionalLPIntegerGap(t *testing.T) {
+	// max x st 2x <= 3, x integer -> LP gives 1.5, MIP must give 1.
+	p := &Problem{}
+	p.C = []float64{1}
+	p.Integer = []bool{true}
+	p.AddRow([]float64{2}, lp.LE, 3)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-1) > 1e-6 {
+		t.Errorf("objective = %v, want 1", sol.Objective)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y, x integer, y continuous; x + y <= 2.5, x <= 1.7.
+	// x=1 (integer), y=1.5 -> 3.5.
+	p := &Problem{}
+	p.C = []float64{2, 1}
+	p.Integer = []bool{true, false}
+	p.AddRow([]float64{1, 1}, lp.LE, 2.5)
+	p.AddRow([]float64{1, 0}, lp.LE, 1.7)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-3.5) > 1e-6 {
+		t.Errorf("objective = %v, want 3.5", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-1) > 1e-6 {
+		t.Errorf("x = %v, want 1", sol.X[0])
+	}
+}
+
+func TestInfeasibleMIP(t *testing.T) {
+	// 0.4 <= x <= 0.6, x integer: LP feasible, no integer point.
+	p := &Problem{}
+	p.C = []float64{1}
+	p.Integer = []bool{true}
+	p.Lower = []float64{0.4}
+	p.Upper = []float64{0.6}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	p := NewBinary(1)
+	p.C = []float64{1}
+	p.AddRow([]float64{1}, lp.GE, 3) // binary can't reach 3
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{}
+	p.C = []float64{1}
+	p.Integer = []bool{true}
+	p.AddRow([]float64{1}, lp.GE, 0)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Errorf("status = %v", sol.Status)
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Universe {1..5}; sets A={1,2,3}, B={2,4}, C={3,4}, D={4,5}, E={1,5}.
+	// Min cover: A + D = 2 sets.
+	sets := [][]int{{0, 1, 2}, {1, 3}, {2, 3}, {3, 4}, {0, 4}}
+	p := NewBinary(len(sets))
+	for j := range p.C {
+		p.C[j] = -1 // minimize count
+	}
+	for elem := 0; elem < 5; elem++ {
+		row := make([]float64, len(sets))
+		for j, s := range sets {
+			for _, e := range s {
+				if e == elem {
+					row[j] = 1
+				}
+			}
+		}
+		p.AddRow(row, lp.GE, 1)
+	}
+	sol := solveOK(t, p)
+	if math.Abs(-sol.Objective-2) > 1e-6 {
+		t.Errorf("cover size = %v, want 2", -sol.Objective)
+	}
+}
+
+// bruteForceBinary enumerates all binary assignments for cross-checking.
+func bruteForceBinary(p *Problem) (best float64, found bool) {
+	n := len(p.C)
+	best = math.Inf(-1)
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for i, row := range p.A {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					lhs += row[j]
+				}
+			}
+			switch p.Senses[i] {
+			case lp.LE:
+				ok = ok && lhs <= p.B[i]+1e-9
+			case lp.GE:
+				ok = ok && lhs >= p.B[i]-1e-9
+			case lp.EQ:
+				ok = ok && math.Abs(lhs-p.B[i]) <= 1e-9
+			}
+		}
+		if !ok {
+			continue
+		}
+		val := 0.0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				val += p.C[j]
+			}
+		}
+		if val > best {
+			best = val
+			found = true
+		}
+	}
+	return best, found
+}
+
+func TestRandomBinaryMIPsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(8) // up to 10 binaries
+		m := 1 + rng.Intn(5)
+		p := NewBinary(n)
+		for j := 0; j < n; j++ {
+			p.C[j] = math.Round(rng.Float64()*20 - 5)
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = math.Round(rng.Float64()*6 - 2)
+			}
+			sense := lp.LE
+			if rng.Intn(3) == 0 {
+				sense = lp.GE
+			}
+			p.AddRow(row, sense, math.Round(rng.Float64()*8-1))
+		}
+		want, feasible := bruteForceBinary(p)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible {
+			if sol.Status != StatusInfeasible {
+				t.Fatalf("trial %d: brute force infeasible but solver says %v", trial, sol.Status)
+			}
+			continue
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v, want optimal", trial, sol.Status)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: objective %v, want %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+func TestGeneralIntegerVariables(t *testing.T) {
+	// max 3x + 4y st x + 2y <= 14, 3x - y >= 0, x - y <= 2; x, y integer.
+	// Known optimum: x=6, y=4 -> 34.
+	p := &Problem{}
+	p.C = []float64{3, 4}
+	p.Integer = []bool{true, true}
+	p.AddRow([]float64{1, 2}, lp.LE, 14)
+	p.AddRow([]float64{3, -1}, lp.GE, 0)
+	p.AddRow([]float64{1, -1}, lp.LE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-34) > 1e-6 {
+		t.Errorf("objective = %v, want 34", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-6) > 1e-6 || math.Abs(sol.X[1]-4) > 1e-6 {
+		t.Errorf("x = %v, want [6 4]", sol.X)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 25
+	p := NewBinary(n)
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.Float64()
+	}
+	row := make([]float64, n)
+	for j := range row {
+		row[j] = rng.Float64() + 0.5
+	}
+	p.AddRow(row, lp.LE, float64(n)/4)
+	sol, err := SolveOpts(p, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Nodes > 1 {
+		t.Errorf("explored %d nodes with MaxNodes=1", sol.Nodes)
+	}
+	if sol.Status == StatusOptimal && sol.Nodes == 1 {
+		// A root-integral solve is legitimately optimal in one node.
+		return
+	}
+	if sol.Status != StatusFeasible && sol.Status != StatusLimit {
+		t.Errorf("status = %v", sol.Status)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	p := NewBinary(2)
+	p.C = []float64{1, 1}
+	p.AddRow([]float64{1, 1}, lp.LE, 1)
+	sol, err := SolveOpts(p, Options{TimeLimit: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Errorf("status = %v", sol.Status)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewBinary(2)
+	p.C = []float64{1, 1}
+	p.Integer = []bool{true} // wrong length
+	if err := p.Validate(); err == nil {
+		t.Error("mismatched Integer length accepted")
+	}
+}
+
+func TestAddSparseRow(t *testing.T) {
+	p := NewBinary(4)
+	p.C = []float64{1, 1, 1, 1}
+	p.AddSparseRow([]int{0, 2}, []float64{1, 1}, lp.LE, 1)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-3) > 1e-6 {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestValuesNoSolution(t *testing.T) {
+	var s Solution
+	if _, err := s.Values(); err == nil {
+		t.Error("want error for empty solution")
+	}
+}
+
+func BenchmarkKnapsack20(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 20
+	p := NewBinary(n)
+	row := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.C[j] = 1 + rng.Float64()*9
+		row[j] = 1 + rng.Float64()*9
+	}
+	p.AddRow(row, lp.LE, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eagleeye/internal/lp"
+)
+
+// TestMIPNeverExceedsLPRelaxation: integer restrictions can only lower a
+// maximization optimum relative to the LP relaxation.
+func TestMIPNeverExceedsLPRelaxation(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(7)
+		p := NewBinary(n)
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64()*10 - 2
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 3
+			}
+			p.AddRow(row, lp.LE, rng.Float64()*float64(n))
+		}
+		relax := p.Problem // copy of the embedded LP
+		lpSol, err := lp.Solve(&relax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mipSol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpSol.Status != lp.StatusOptimal {
+			continue
+		}
+		if mipSol.Status == StatusOptimal && mipSol.Objective > lpSol.Objective+1e-6 {
+			t.Fatalf("trial %d: MIP %v exceeds LP relaxation %v",
+				trial, mipSol.Objective, lpSol.Objective)
+		}
+	}
+}
+
+// TestMIPSolutionIntegral: every integer-marked variable in an optimal
+// solution is integral and within bounds, and all rows hold.
+func TestMIPSolutionIntegral(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		p := NewBinary(n)
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64() * 5
+		}
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1 + rng.Float64()*2
+		}
+		p.AddRow(row, lp.LE, float64(n))
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		lhs := 0.0
+		for j, v := range sol.X {
+			if math.Abs(v-math.Round(v)) > 1e-9 {
+				t.Fatalf("trial %d: x[%d]=%v not integral", trial, j, v)
+			}
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("trial %d: x[%d]=%v out of [0,1]", trial, j, v)
+			}
+			lhs += row[j] * v
+		}
+		if lhs > float64(n)+1e-6 {
+			t.Fatalf("trial %d: constraint violated", trial)
+		}
+	}
+}
+
+// TestMonotoneInRHS: loosening a <= RHS can only improve the optimum.
+func TestMonotoneInRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(6)
+		// Derive both problems from one parameter set.
+		seed := rng.Int63()
+		mk := func(budget float64) *Problem {
+			r := rand.New(rand.NewSource(seed))
+			p := NewBinary(n)
+			row := make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.C[j] = 1 + r.Float64()*4
+				row[j] = 1 + r.Float64()*4
+			}
+			p.AddRow(row, lp.LE, budget)
+			return p
+		}
+		tight, err := Solve(mk(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loose, err := Solve(mk(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tight.Status == StatusOptimal && loose.Status == StatusOptimal &&
+			loose.Objective < tight.Objective-1e-6 {
+			t.Fatalf("trial %d: loosening hurt: %v < %v", trial, loose.Objective, tight.Objective)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kepler's-equation machinery for eccentric orbits. The EagleEye
+// constellation flies circular orbits, but real TLEs (and disposal or
+// transfer phases) are elliptical; these helpers let FromTLE accept any
+// bound orbit instead of rejecting eccentricity outright.
+
+// SolveKepler returns the eccentric anomaly E satisfying Kepler's equation
+// M = E - e*sin(E), using Newton iteration with a bisection-safe start.
+// M is the mean anomaly in radians; e the eccentricity in [0, 1).
+func SolveKepler(meanAnomaly, e float64) (float64, error) {
+	if e < 0 || e >= 1 {
+		return 0, fmt.Errorf("orbit: eccentricity %v out of [0,1)", e)
+	}
+	m := math.Mod(meanAnomaly, 2*math.Pi)
+	if m < 0 {
+		m += 2 * math.Pi
+	}
+	// Standard starter: E0 = M + e*sin(M) is within the Newton basin for
+	// all e < 1 on [0, 2pi).
+	ecc := m + e*math.Sin(m)
+	for i := 0; i < 50; i++ {
+		f := ecc - e*math.Sin(ecc) - m
+		fp := 1 - e*math.Cos(ecc)
+		step := f / fp
+		ecc -= step
+		if math.Abs(step) < 1e-14 {
+			break
+		}
+	}
+	return ecc, nil
+}
+
+// TrueAnomaly converts an eccentric anomaly to the true anomaly.
+func TrueAnomaly(eccentricAnomaly, e float64) float64 {
+	cosE := math.Cos(eccentricAnomaly)
+	sinE := math.Sin(eccentricAnomaly)
+	denom := 1 - e*cosE
+	cosNu := (cosE - e) / denom
+	sinNu := math.Sqrt(1-e*e) * sinE / denom
+	return math.Atan2(sinNu, cosNu)
+}
+
+// RadiusAt returns the orbital radius at eccentric anomaly E for semi-major
+// axis a and eccentricity e.
+func RadiusAt(a, e, eccentricAnomaly float64) float64 {
+	return a * (1 - e*math.Cos(eccentricAnomaly))
+}
+
+// EllipticalState computes the position angle (argument of latitude
+// relative to perigee, i.e. the true anomaly) and radius at time t for a
+// bound Keplerian orbit.
+type EllipticalState struct {
+	TrueAnomalyRad float64
+	RadiusM        float64
+}
+
+// PropagateElliptical advances a bound orbit: given semi-major axis a (m),
+// eccentricity e, and mean anomaly at epoch M0 (rad), it returns the state
+// dt seconds later.
+func PropagateElliptical(a, e, m0, dtS float64) (EllipticalState, error) {
+	if a <= 0 {
+		return EllipticalState{}, fmt.Errorf("orbit: semi-major axis %v must be positive", a)
+	}
+	const mu = 3.986004418e14
+	n := math.Sqrt(mu / (a * a * a))
+	m := m0 + n*dtS
+	ecc, err := SolveKepler(m, e)
+	if err != nil {
+		return EllipticalState{}, err
+	}
+	return EllipticalState{
+		TrueAnomalyRad: TrueAnomaly(ecc, e),
+		RadiusM:        RadiusAt(a, e, ecc),
+	}, nil
+}

@@ -1,0 +1,128 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKeplerCircular(t *testing.T) {
+	// e = 0: E = M exactly.
+	for _, m := range []float64{0, 0.5, math.Pi, 5.0} {
+		e, err := SolveKepler(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Mod(m, 2*math.Pi)
+		if math.Abs(e-want) > 1e-12 {
+			t.Errorf("E(%v, 0) = %v, want %v", m, e, want)
+		}
+	}
+}
+
+func TestSolveKeplerSatisfiesEquation(t *testing.T) {
+	f := func(mSeed, eSeed uint32) bool {
+		m := float64(mSeed%62832) / 1e4 // [0, 2pi)
+		e := float64(eSeed%9500) / 1e4  // [0, 0.95)
+		ecc, err := SolveKepler(m, e)
+		if err != nil {
+			return false
+		}
+		// Kepler's equation holds.
+		back := ecc - e*math.Sin(ecc)
+		return math.Abs(math.Mod(back-m+3*math.Pi, 2*math.Pi)-math.Pi) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveKeplerRejectsBadEccentricity(t *testing.T) {
+	if _, err := SolveKepler(1, 1); err == nil {
+		t.Error("e=1 accepted")
+	}
+	if _, err := SolveKepler(1, -0.1); err == nil {
+		t.Error("negative e accepted")
+	}
+}
+
+func TestTrueAnomalySymmetry(t *testing.T) {
+	// At perigee (E=0) and apogee (E=pi) the true anomaly matches E.
+	for _, e := range []float64{0, 0.3, 0.8} {
+		if nu := TrueAnomaly(0, e); math.Abs(nu) > 1e-12 {
+			t.Errorf("nu at perigee (e=%v) = %v", e, nu)
+		}
+		if nu := TrueAnomaly(math.Pi, e); math.Abs(nu-math.Pi) > 1e-9 {
+			t.Errorf("nu at apogee (e=%v) = %v", e, nu)
+		}
+	}
+	// For e > 0 the true anomaly leads the eccentric anomaly in the first
+	// half of the orbit.
+	if nu := TrueAnomaly(1.0, 0.3); nu <= 1.0 {
+		t.Errorf("nu = %v should lead E = 1.0", nu)
+	}
+}
+
+func TestRadiusBounds(t *testing.T) {
+	a, e := 7000e3, 0.1
+	rp := RadiusAt(a, e, 0)
+	ra := RadiusAt(a, e, math.Pi)
+	if math.Abs(rp-a*(1-e)) > 1e-6 {
+		t.Errorf("perigee radius = %v", rp)
+	}
+	if math.Abs(ra-a*(1+e)) > 1e-6 {
+		t.Errorf("apogee radius = %v", ra)
+	}
+}
+
+func TestPropagateEllipticalPeriodicity(t *testing.T) {
+	a, e, m0 := 6871e3, 0.05, 0.3
+	const mu = 3.986004418e14
+	period := 2 * math.Pi * math.Sqrt(a*a*a/mu)
+	s0, err := PropagateElliptical(a, e, m0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := PropagateElliptical(a, e, m0, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s0.TrueAnomalyRad-s1.TrueAnomalyRad) > 1e-6 {
+		t.Errorf("true anomaly not periodic: %v vs %v", s0.TrueAnomalyRad, s1.TrueAnomalyRad)
+	}
+	if math.Abs(s0.RadiusM-s1.RadiusM) > 1 {
+		t.Errorf("radius not periodic: %v vs %v", s0.RadiusM, s1.RadiusM)
+	}
+}
+
+func TestPropagateEllipticalSpeedsNearPerigee(t *testing.T) {
+	// Kepler's second law: the true anomaly sweeps faster near perigee
+	// than near apogee.
+	a, e := 7000e3, 0.2
+	const dt = 10.0
+	s0, _ := PropagateElliptical(a, e, 0, 0) // perigee
+	s1, _ := PropagateElliptical(a, e, 0, dt)
+	perigeeRate := angDiff(s1.TrueAnomalyRad, s0.TrueAnomalyRad) / dt
+
+	sA0, _ := PropagateElliptical(a, e, math.Pi, 0) // apogee
+	sA1, _ := PropagateElliptical(a, e, math.Pi, dt)
+	apogeeRate := angDiff(sA1.TrueAnomalyRad, sA0.TrueAnomalyRad) / dt
+
+	if perigeeRate <= apogeeRate {
+		t.Errorf("perigee rate %v not above apogee rate %v", perigeeRate, apogeeRate)
+	}
+}
+
+func TestPropagateEllipticalErrors(t *testing.T) {
+	if _, err := PropagateElliptical(0, 0.1, 0, 10); err == nil {
+		t.Error("zero axis accepted")
+	}
+	if _, err := PropagateElliptical(7000e3, 1.2, 0, 10); err == nil {
+		t.Error("hyperbolic eccentricity accepted")
+	}
+}
+
+func angDiff(a, b float64) float64 {
+	d := math.Mod(a-b+3*math.Pi, 2*math.Pi) - math.Pi
+	return math.Abs(d)
+}

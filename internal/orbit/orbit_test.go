@@ -1,0 +1,238 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eagleeye/internal/geo"
+	"eagleeye/internal/tle"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func paperProp(t *testing.T) *Propagator {
+	t.Helper()
+	p, err := New(epoch, 475e3, 97.2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(epoch, 50e3, 97, 0, 0); err == nil {
+		t.Error("want error below LEO")
+	}
+	if _, err := New(epoch, 3000e3, 97, 0, 0); err == nil {
+		t.Error("want error above LEO")
+	}
+}
+
+func TestPeriodMatchesPaper(t *testing.T) {
+	p := paperProp(t)
+	// The paper quotes ~94 minutes at 475 km.
+	if min := p.PeriodSeconds() / 60; min < 93 || min > 95 {
+		t.Errorf("period = %.2f min, want ~94", min)
+	}
+}
+
+func TestAltitudeConstant(t *testing.T) {
+	p := paperProp(t)
+	for _, dt := range []float64{0, 100, 1000, 5000, 86400} {
+		s := p.StateAtElapsed(dt)
+		if math.Abs(s.AltitudeM-475e3) > 1 {
+			t.Errorf("altitude at %v s = %v", dt, s.AltitudeM)
+		}
+	}
+}
+
+func TestGroundSpeed(t *testing.T) {
+	p := paperProp(t)
+	// LEO ground speed should be ~7-7.5 km/s (paper: V=7.5 km/s at 500 km).
+	v := p.GroundSpeedMS()
+	if v < 6800 || v > 7800 {
+		t.Errorf("ground speed = %v m/s", v)
+	}
+}
+
+func TestInclinationBoundsLatitude(t *testing.T) {
+	p := paperProp(t)
+	maxLat := 0.0
+	for dt := 0.0; dt < 2*p.PeriodSeconds(); dt += 10 {
+		s := p.StateAtElapsed(dt)
+		if a := math.Abs(s.SubPoint.Lat); a > maxLat {
+			maxLat = a
+		}
+	}
+	// For a retrograde orbit at inclination i, max |lat| = 180 - i = 82.8.
+	if maxLat < 80 || maxLat > 83.5 {
+		t.Errorf("max |lat| = %v, want ~82.8", maxLat)
+	}
+}
+
+func TestSubPointStartsAtAscendingNode(t *testing.T) {
+	p := paperProp(t)
+	s := p.StateAtElapsed(0)
+	if math.Abs(s.SubPoint.Lat) > 0.01 {
+		t.Errorf("lat at u=0 should be ~0, got %v", s.SubPoint.Lat)
+	}
+}
+
+func TestGroundTrackAdvancesWestward(t *testing.T) {
+	p := paperProp(t)
+	// Successive ascending-node crossings shift west because Earth rotates
+	// under the orbit: one period at ~94 min shifts ~23.5 degrees.
+	period := p.PeriodSeconds()
+	lon0 := p.StateAtElapsed(0).SubPoint.Lon
+	lon1 := p.StateAtElapsed(period).SubPoint.Lon
+	shift := geo.WrapLonDeg(lon1 - lon0)
+	if shift > -20 || shift < -28 {
+		t.Errorf("nodal shift = %v deg, want ~-23.5", shift)
+	}
+}
+
+func TestFrameCadence(t *testing.T) {
+	p := paperProp(t)
+	// 100 km swath at ~7.3 km/s ground speed: ~13-15 s cadence, the paper's
+	// "15 s at 500 km with a 100 km swath" frame deadline.
+	c := p.FrameCadenceS(100e3)
+	if c < 12 || c > 16 {
+		t.Errorf("frame cadence = %v s", c)
+	}
+}
+
+func TestPhaseOffsetIsAlongTrackSeparation(t *testing.T) {
+	// A follower trailing by the paper's 100 km should see the leader's
+	// sub-satellite point ~100 km ahead at equal times.
+	leader, err := New(epoch, 475e3, 97.2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepM := 100e3
+	degPerM := 360 / (2 * math.Pi * geo.EarthMeanRadius) // ground arc -> phase angle
+	follower, err := New(epoch, 475e3, 97.2, 0, -sepM*degPerM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []float64{0, 500, 2000} {
+		ls := leader.StateAtElapsed(dt)
+		fs := follower.StateAtElapsed(dt)
+		d := geo.GreatCircleDistance(ls.SubPoint, fs.SubPoint)
+		if math.Abs(d-100e3) > 3e3 {
+			t.Errorf("dt=%v: separation = %v m, want ~100 km", dt, d)
+		}
+	}
+}
+
+func TestFollowerArrivesWhereLeaderWas(t *testing.T) {
+	leader, _ := New(epoch, 475e3, 97.2, 0, 0)
+	degPerM := 360 / (2 * math.Pi * geo.EarthMeanRadius) // ground arc -> phase angle
+	follower, _ := New(epoch, 475e3, 97.2, 0, -100e3*degPerM)
+	// The follower reaches the leader's current sub-point after roughly
+	// sep / orbital ground-rate seconds. (Earth rotation moves the point
+	// slightly east meanwhile, so allow a few km.)
+	lag := 100e3 / (leader.OrbitalSpeedMS() * geo.EarthMeanRadius / (geo.EarthMeanRadius + 475e3))
+	ls := leader.StateAtElapsed(1000)
+	fs := follower.StateAtElapsed(1000 + lag)
+	if d := geo.GreatCircleDistance(ls.SubPoint, fs.SubPoint); d > 8e3 {
+		t.Errorf("follower misses leader's point by %v m", d)
+	}
+}
+
+func TestStateAtMatchesElapsed(t *testing.T) {
+	p := paperProp(t)
+	s1 := p.StateAt(epoch.Add(1234 * time.Second))
+	s2 := p.StateAtElapsed(1234)
+	if s1.SubPoint != s2.SubPoint {
+		t.Errorf("StateAt and StateAtElapsed disagree: %v vs %v", s1.SubPoint, s2.SubPoint)
+	}
+}
+
+func TestGroundTrack(t *testing.T) {
+	p := paperProp(t)
+	trk := p.GroundTrack(0, 100, 10)
+	if len(trk) != 11 {
+		t.Fatalf("len = %d, want 11", len(trk))
+	}
+	for i := 1; i < len(trk); i++ {
+		d := geo.GreatCircleDistance(trk[i-1].SubPoint, trk[i].SubPoint)
+		if d < 60e3 || d > 80e3 {
+			t.Errorf("step %d distance = %v m", i, d)
+		}
+	}
+	if p.GroundTrack(0, 100, 0) != nil {
+		t.Error("want nil for zero step")
+	}
+	if p.GroundTrack(0, -5, 1) != nil {
+		t.Error("want nil for negative duration")
+	}
+}
+
+func TestHeadingMostlySouthOrNorth(t *testing.T) {
+	// A near-polar orbit's heading should be mostly meridional away from
+	// the poles.
+	p := paperProp(t)
+	s := p.StateAtElapsed(60) // just north of the equator heading north-ish
+	// Retrograde (97.2 deg) orbits ascend slightly west of north.
+	if !(s.HeadingDeg > 315 || s.HeadingDeg < 45) {
+		t.Errorf("ascending heading = %v, want northward", s.HeadingDeg)
+	}
+	sHalf := p.StateAtElapsed(p.PeriodSeconds() / 2)
+	if !(sHalf.HeadingDeg > 135 && sHalf.HeadingDeg < 225) {
+		t.Errorf("descending heading = %v, want southward", sHalf.HeadingDeg)
+	}
+}
+
+func TestFromTLE(t *testing.T) {
+	spec := tle.PaperOrbit(epoch)
+	el, err := spec.Generate(0, 1, 0, "EE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromTLE(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.AltitudeM()-475e3) > 2e3 {
+		t.Errorf("altitude from TLE = %v", p.AltitudeM())
+	}
+	if min := p.PeriodSeconds() / 60; min < 93 || min > 95 {
+		t.Errorf("period from TLE = %v min", min)
+	}
+	// Eccentric TLE is rejected.
+	el.Eccentricity = 0.2
+	if _, err := FromTLE(el); err == nil {
+		t.Error("want error for eccentric TLE")
+	}
+	// Invalid TLE is rejected.
+	el.Eccentricity = 0
+	el.InclinationDeg = -5
+	if _, err := FromTLE(el); err == nil {
+		t.Error("want error for invalid TLE")
+	}
+}
+
+func TestJ2RegressionSignByInclination(t *testing.T) {
+	pro, _ := New(epoch, 475e3, 51.6, 0, 0)   // prograde: westward regression
+	retro, _ := New(epoch, 475e3, 97.2, 0, 0) // retrograde: eastward precession
+	if pro.raanDot >= 0 {
+		t.Errorf("prograde raanDot = %v, want negative", pro.raanDot)
+	}
+	if retro.raanDot <= 0 {
+		t.Errorf("retrograde raanDot = %v, want positive", retro.raanDot)
+	}
+	// Sun-synchronous drift is ~0.9856 deg/day; 97.2 at 475km should be close.
+	degPerDay := geo.Rad2Deg(retro.raanDot) * 86400
+	if degPerDay < 0.7 || degPerDay > 1.3 {
+		t.Errorf("nodal precession = %v deg/day, want ~1", degPerDay)
+	}
+}
+
+func BenchmarkStateAtElapsed(b *testing.B) {
+	p, _ := New(epoch, 475e3, 97.2, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.StateAtElapsed(float64(i % 86400))
+	}
+}

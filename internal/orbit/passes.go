@@ -1,0 +1,109 @@
+package orbit
+
+import (
+	"eagleeye/internal/geo"
+)
+
+// Pass prediction: when does a satellite's sensor swath sweep over a
+// ground target? Constellation designers use this for revisit-rate
+// analysis (§2.2 lists revisit rate as a first-class requirement), and
+// the recapture extension's evaluation uses it to pick revisit-heavy
+// target fields.
+
+// Pass is one overflight of a ground target.
+type Pass struct {
+	// StartS/EndS bound the interval (seconds from epoch offset 0) during
+	// which the target lies within the swath.
+	StartS, EndS float64
+	// MinCrossTrackM is the closest cross-track approach during the pass.
+	MinCrossTrackM float64
+}
+
+// Duration returns the pass length in seconds.
+func (p Pass) Duration() float64 { return p.EndS - p.StartS }
+
+// Passes scans [0, durS] in coarse steps and returns every interval during
+// which the target is within halfSwathM of the sub-satellite track. The
+// scan step adapts to the swath so that no pass is skipped (a pass at
+// 7.3 km/s across a 100 km swath lasts >13 s; the scanner samples at a
+// quarter of that).
+func Passes(p *Propagator, target geo.LatLon, halfSwathM, durS float64) []Pass {
+	if halfSwathM <= 0 || durS <= 0 {
+		return nil
+	}
+	minPassS := 2 * halfSwathM / p.GroundSpeedMS()
+	step := minPassS / 4
+	if step < 1 {
+		step = 1
+	}
+	var out []Pass
+	inPass := false
+	var cur Pass
+	for ts := 0.0; ts <= durS; ts += step {
+		d := geo.GreatCircleDistance(p.StateAtElapsed(ts).SubPoint, target)
+		inside := d <= halfSwathM
+		switch {
+		case inside && !inPass:
+			inPass = true
+			cur = Pass{StartS: refineEdge(p, target, halfSwathM, ts-step, ts), MinCrossTrackM: d}
+		case inside && inPass:
+			if d < cur.MinCrossTrackM {
+				cur.MinCrossTrackM = d
+			}
+		case !inside && inPass:
+			cur.EndS = refineEdge(p, target, halfSwathM, ts, ts-step)
+			out = append(out, cur)
+			inPass = false
+		}
+	}
+	if inPass {
+		cur.EndS = durS
+		out = append(out, cur)
+	}
+	return out
+}
+
+// refineEdge bisects between an outside time and an inside time for the
+// swath-crossing instant. The arguments are (outside, inside) so the same
+// helper refines both entries and exits.
+func refineEdge(p *Propagator, target geo.LatLon, halfSwathM, outside, inside float64) float64 {
+	if outside < 0 {
+		outside = 0
+	}
+	for i := 0; i < 24; i++ {
+		mid := (outside + inside) / 2
+		d := geo.GreatCircleDistance(p.StateAtElapsed(mid).SubPoint, target)
+		if d <= halfSwathM {
+			inside = mid
+		} else {
+			outside = mid
+		}
+	}
+	return (outside + inside) / 2
+}
+
+// RevisitStats summarizes the gaps between consecutive passes.
+type RevisitStats struct {
+	Passes  int
+	MeanGap float64 // seconds between pass starts; 0 if fewer than 2 passes
+	MaxGap  float64
+}
+
+// Revisit computes revisit statistics for a target over the duration.
+func Revisit(p *Propagator, target geo.LatLon, halfSwathM, durS float64) RevisitStats {
+	passes := Passes(p, target, halfSwathM, durS)
+	st := RevisitStats{Passes: len(passes)}
+	if len(passes) < 2 {
+		return st
+	}
+	var sum float64
+	for i := 1; i < len(passes); i++ {
+		gap := passes[i].StartS - passes[i-1].StartS
+		sum += gap
+		if gap > st.MaxGap {
+			st.MaxGap = gap
+		}
+	}
+	st.MeanGap = sum / float64(len(passes)-1)
+	return st
+}

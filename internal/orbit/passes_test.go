@@ -1,0 +1,83 @@
+package orbit
+
+import (
+	"testing"
+
+	"eagleeye/internal/geo"
+)
+
+func TestPassesOverSubPoint(t *testing.T) {
+	p := paperProp(t)
+	// A target exactly on the ground track shortly after epoch.
+	target := p.StateAtElapsed(300).SubPoint
+	passes := Passes(p, target, 50e3, 2000)
+	if len(passes) == 0 {
+		t.Fatal("no passes over an on-track target")
+	}
+	first := passes[0]
+	// The pass must bracket t=300 and approach within a few km.
+	if first.StartS > 300 || first.EndS < 300 {
+		t.Errorf("pass [%v, %v] does not bracket 300", first.StartS, first.EndS)
+	}
+	if first.MinCrossTrackM > 10e3 {
+		t.Errorf("min cross-track = %v for on-track target", first.MinCrossTrackM)
+	}
+	// Pass length ~ 2*halfswath / groundspeed = 13.7 s.
+	if d := first.Duration(); d < 10 || d > 20 {
+		t.Errorf("pass duration = %v s", d)
+	}
+}
+
+func TestPassesNoneForFarTarget(t *testing.T) {
+	p := paperProp(t)
+	// The sub-point at t=300, displaced 500 km cross-track, is missed by a
+	// 50 km half-swath within a single orbit fraction.
+	s := p.StateAtElapsed(300)
+	off := geo.Destination(s.SubPoint, s.HeadingDeg+90, 500e3)
+	if got := Passes(p, off, 50e3, 600); len(got) != 0 {
+		t.Errorf("unexpected passes: %+v", got)
+	}
+	if Passes(p, off, 0, 600) != nil {
+		t.Error("zero swath should return nil")
+	}
+	if Passes(p, off, 50e3, 0) != nil {
+		t.Error("zero duration should return nil")
+	}
+}
+
+func TestPolarRevisit(t *testing.T) {
+	p := paperProp(t)
+	// Near-polar targets see far more frequent passes than equatorial
+	// ones: successive orbits' apex points shift only ~330 km along the
+	// maximum-latitude circle, so a target at the first orbit's apex is
+	// revisited by the next orbits' tracks. Find the apex numerically.
+	apexT, apexLat := 0.0, 0.0
+	for ts := 0.0; ts < p.PeriodSeconds(); ts += 5 {
+		if lat := p.StateAtElapsed(ts).SubPoint.Lat; lat > apexLat {
+			apexLat, apexT = lat, ts
+		}
+	}
+	target := p.StateAtElapsed(apexT).SubPoint
+	st := Revisit(p, target, 400e3, 6*p.PeriodSeconds())
+	if st.Passes < 2 {
+		t.Fatalf("polar target passes = %d, want >= 2", st.Passes)
+	}
+	if st.MeanGap <= 0 || st.MaxGap < st.MeanGap {
+		t.Errorf("gap stats inconsistent: %+v", st)
+	}
+	// The mean gap cannot be shorter than half a period (at most two
+	// crossings per orbit, minus bisection slack).
+	if st.MeanGap < p.PeriodSeconds()/2-120 {
+		t.Errorf("mean gap %v below half a period", st.MeanGap)
+	}
+}
+
+func TestEquatorialRevisitSparse(t *testing.T) {
+	p := paperProp(t)
+	// An equatorial target with a narrow swath sees at most a pass or two
+	// per day: the motivation for larger constellations.
+	st := Revisit(p, geo.LatLon{Lat: 0, Lon: 40}, 50e3, 86400)
+	if st.Passes > 4 {
+		t.Errorf("equatorial passes = %d, implausibly many", st.Passes)
+	}
+}

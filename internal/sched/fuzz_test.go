@@ -1,0 +1,25 @@
+package sched
+
+import "testing"
+
+// FuzzDecodeSchedule ensures arbitrary crosslink bytes never panic the
+// decoder, and that accepted messages re-encode identically.
+func FuzzDecodeSchedule(f *testing.F) {
+	good, _ := EncodeSchedule(1, []Capture{{TargetID: 3, Time: 1.5, Follower: 1, Aim: pt(1, 2)}})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x45, 0x59, 0x45, 0x31, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		fi, captures, err := DecodeSchedule(msg)
+		if err != nil {
+			return
+		}
+		re, err := EncodeSchedule(fi, captures)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		if string(re) != string(msg) {
+			t.Fatalf("round trip mismatch: %x vs %x", re, msg)
+		}
+	})
+}

@@ -1,0 +1,439 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"eagleeye/internal/lp"
+	"eagleeye/internal/mip"
+)
+
+// inf is the open upper bound used for implicitly-capped edge variables.
+var inf = math.Inf(1)
+
+// ILP is EagleEye's actuation-aware scheduler (§4.3): the generalized
+// traveling-salesman formulation solved as an integer linear program.
+//
+// The continuous-time problem is discretized into a time-expanded graph:
+// each (follower, target) imaging window contributes a small number of
+// candidate capture slots; an edge connects two slots of one follower when
+// the Eq. 1 actuation constraint admits pointing from the first target to
+// the second in the elapsed time. Binary edge variables then describe one
+// pointing route per follower (a path from its virtual source), and a
+// covered variable per target collects the value of distinct captures --
+// exactly the paper's objective with its Hit-set union. The LP relaxation
+// of this flow-like model is near-integral, which is what makes millisecond
+// solves possible where the AB&B baseline needs seconds (§6.1).
+//
+// Two practical reductions keep frame-rate solves cheap and are ablated in
+// the benchmarks: the slot count per window adapts to the target count, and
+// very dense frames are pre-trimmed to the most valuable MaxTargets targets
+// (one follower can physically capture only ~15-17 targets during a pass,
+// so the trim does not bind the optimum in practice).
+type ILP struct {
+	// SlotsPerTarget fixes the discretization; 0 adapts to problem size.
+	SlotsPerTarget int
+	// MaxSuccessors caps outgoing edges per slot node; 0 adapts.
+	MaxSuccessors int
+	// MaxTargets pre-trims dense frames to the top-valued targets;
+	// 0 means 30 (scaled by the follower count).
+	MaxTargets int
+	// MIP forwards solver limits.
+	MIP mip.Options
+	// DisablePolish skips the post-solve re-timing and insertion pass
+	// (see polish.go); used by the ablation benchmarks.
+	DisablePolish bool
+	// fallback is used if the MIP fails to produce any solution.
+	fallback Greedy
+}
+
+// Name implements Scheduler.
+func (ILP) Name() string { return "ilp" }
+
+// slotNode is one candidate capture: follower fi images target (index ti in
+// the trimmed slice) at time t.
+type slotNode struct {
+	fi, ti int
+	t      float64
+}
+
+// ilpEdge connects a source (from == -1-fi) or slot node to a later slot
+// node of the same follower.
+type ilpEdge struct{ from, to int }
+
+// ilpModel is the assembled time-expanded flow ILP, kept for extraction and
+// for white-box tests.
+type ilpModel struct {
+	targets  []Target
+	nodes    []slotNode
+	edges    []ilpEdge
+	srcEdges [][]int // per follower: edge indices out of its source
+	outEdges [][]int // per node: edge indices out
+	prob     *mip.Problem
+	ne       int // edge-variable count; cover variables follow
+}
+
+// Schedule implements Scheduler. Multi-follower instances whose joint
+// time-expanded model would be large are decomposed sequentially: follower
+// i is scheduled over the targets followers 0..i-1 did not take. Followers
+// trail one another along the track, so the decomposition mirrors their
+// physical precedence; the joint model is kept for small instances where
+// coordinated splits matter most.
+func (s ILP) Schedule(p *Problem) (Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	if len(p.Followers) > 1 && s.estimateNodes(p) > 90 {
+		return s.scheduleSequential(p)
+	}
+	return s.scheduleJoint(p)
+}
+
+// estimateNodes predicts the joint model's slot-node count.
+func (s ILP) estimateNodes(p *Problem) int {
+	k := s.SlotsPerTarget
+	if k <= 0 {
+		k = 3
+	}
+	n := 0
+	for _, f := range p.Followers {
+		for _, tgt := range p.Targets {
+			if tgt.Value <= 0 {
+				continue
+			}
+			if _, _, ok := p.Window(f, tgt); ok {
+				n += k
+			}
+		}
+	}
+	return n
+}
+
+// scheduleSequential runs the single-follower ILP per follower in trail
+// order, removing captured targets between solves.
+func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
+	out := Schedule{Captures: make([][]Capture, len(p.Followers))}
+	taken := make(map[int]bool)
+	stats := Stats{Algorithm: "ilp", Optimal: true}
+	for fi, f := range p.Followers {
+		var rem []Target
+		for _, t := range p.Targets {
+			if !taken[t.ID] {
+				rem = append(rem, t)
+			}
+		}
+		sub := &Problem{Env: p.Env, Targets: rem, Followers: []Follower{f}}
+		subOut, err := s.scheduleJoint(sub)
+		if err != nil {
+			return Schedule{}, err
+		}
+		for _, c := range subOut.Captures[0] {
+			c.Follower = fi
+			out.Captures[fi] = append(out.Captures[fi], c)
+			taken[c.TargetID] = true
+		}
+		stats.Nodes += subOut.SolveStats.Nodes
+		// Sequential decomposition is itself a heuristic, so the joint
+		// optimum is not certified even if each sub-solve is.
+		stats.Optimal = false
+	}
+	if !s.DisablePolish {
+		polish(p, &out)
+	}
+	byID := targetByID(p)
+	out.Value = 0
+	for _, id := range out.CoveredIDs() {
+		out.Value += byID[id].Value
+	}
+	out.SolveStats = stats
+	return out, nil
+}
+
+// scheduleJoint builds and solves the full time-expanded model.
+func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
+	m := s.buildModel(p)
+	if len(m.nodes) == 0 {
+		return Schedule{
+			Captures:   make([][]Capture, len(p.Followers)),
+			SolveStats: Stats{Algorithm: "ilp", Optimal: true},
+		}, nil
+	}
+	opts := s.MIP
+	if opts.TimeLimit == 0 {
+		// The leader must finish scheduling well inside the frame cadence
+		// (§3.2); bound each solve and fall back to the incumbent or to
+		// greedy beyond it.
+		opts.TimeLimit = 2 * time.Second
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 4000
+	}
+	sol, err := mip.SolveOpts(m.prob, opts)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("sched: ilp solve: %w", err)
+	}
+	if sol.Status != mip.StatusOptimal && sol.Status != mip.StatusFeasible {
+		// The empty schedule is always feasible, so this indicates solver
+		// distress (limits with no incumbent); fall back to greedy.
+		out, ferr := s.fallback.Schedule(p)
+		if ferr != nil {
+			return Schedule{}, ferr
+		}
+		out.SolveStats.Algorithm = "ilp(greedy-fallback)"
+		return out, nil
+	}
+	out := m.extract(p, sol.X)
+	if !s.DisablePolish {
+		polish(p, &out)
+	}
+	out.SolveStats = Stats{
+		Algorithm: "ilp",
+		Nodes:     sol.Nodes,
+		Optimal:   sol.Status == mip.StatusOptimal,
+	}
+	return out, nil
+}
+
+// buildModel assembles the time-expanded flow ILP for the problem.
+func (s ILP) buildModel(p *Problem) *ilpModel {
+	m := &ilpModel{targets: s.trimTargets(p)}
+	if len(m.targets) == 0 {
+		return m
+	}
+	k := s.SlotsPerTarget
+	if k <= 0 {
+		switch {
+		case len(m.targets) <= 8:
+			k = 4
+		case len(m.targets) <= 30:
+			k = 3
+		default:
+			k = 2
+		}
+	}
+	for fi, f := range p.Followers {
+		for ti, tgt := range m.targets {
+			w0, w1, ok := p.Window(f, tgt)
+			if !ok {
+				continue
+			}
+			for q := 0; q < k; q++ {
+				t := w0 + (w1-w0)*(float64(q)+0.5)/float64(k)
+				m.nodes = append(m.nodes, slotNode{fi: fi, ti: ti, t: t})
+			}
+		}
+	}
+	if len(m.nodes) == 0 {
+		return m
+	}
+	sort.Slice(m.nodes, func(a, b int) bool {
+		if m.nodes[a].t != m.nodes[b].t {
+			return m.nodes[a].t < m.nodes[b].t
+		}
+		if m.nodes[a].ti != m.nodes[b].ti {
+			return m.nodes[a].ti < m.nodes[b].ti
+		}
+		return m.nodes[a].fi < m.nodes[b].fi
+	})
+
+	maxSucc := s.MaxSuccessors
+	if maxSucc <= 0 {
+		if len(m.nodes) <= 60 {
+			maxSucc = len(m.nodes)
+		} else {
+			maxSucc = 10
+		}
+	}
+
+	for vi, v := range m.nodes {
+		f := p.Followers[v.fi]
+		if p.TransitionFeasible(f, f.Boresight, 0, m.targets[v.ti].Pos, v.t) {
+			m.edges = append(m.edges, ilpEdge{from: -1 - v.fi, to: vi})
+		}
+	}
+	for ui, u := range m.nodes {
+		// For each successor target, keep only the earliest feasible slot:
+		// arriving sooner never forecloses later transitions (the polish
+		// pass re-times to earliest anyway), and this keeps the edge count
+		// linear in the node count. Fan-out is capped at maxSucc distinct
+		// successor targets.
+		seenTarget := make(map[int]bool)
+		for vi := ui + 1; vi < len(m.nodes) && len(seenTarget) < maxSucc; vi++ {
+			v := m.nodes[vi]
+			if v.fi != u.fi || v.ti == u.ti || v.t <= u.t || seenTarget[v.ti] {
+				continue
+			}
+			f := p.Followers[u.fi]
+			if p.TransitionFeasible(f, m.targets[u.ti].Pos, u.t, m.targets[v.ti].Pos, v.t) {
+				m.edges = append(m.edges, ilpEdge{from: ui, to: vi})
+				seenTarget[v.ti] = true
+			}
+		}
+	}
+
+	// Variables: one binary per edge, then one continuous cover variable
+	// per target (integral at any optimum with binary edges).
+	m.ne = len(m.edges)
+	nz := len(m.targets)
+	prob := &mip.Problem{}
+	prob.C = make([]float64, m.ne+nz)
+	prob.Lower = make([]float64, m.ne+nz)
+	prob.Upper = make([]float64, m.ne+nz)
+	prob.Integer = make([]bool, m.ne+nz)
+	const tie = 1e-6 // discourage valueless motion
+	for e := 0; e < m.ne; e++ {
+		prob.C[e] = -tie
+		// No explicit upper bound: every edge enters some node, and that
+		// node's in(v) <= 1 row already caps the edge at 1. Explicit bounds
+		// would each become a simplex row and dominate the tableau size.
+		prob.Upper[e] = inf
+		prob.Integer[e] = true
+	}
+	for j := 0; j < nz; j++ {
+		prob.C[m.ne+j] = m.targets[j].Value
+		prob.Upper[m.ne+j] = 1
+	}
+
+	inEdges := make([][]int, len(m.nodes))
+	m.outEdges = make([][]int, len(m.nodes))
+	m.srcEdges = make([][]int, len(p.Followers))
+	for ei, e := range m.edges {
+		if e.from < 0 {
+			m.srcEdges[-1-e.from] = append(m.srcEdges[-1-e.from], ei)
+		} else {
+			m.outEdges[e.from] = append(m.outEdges[e.from], ei)
+		}
+		inEdges[e.to] = append(inEdges[e.to], ei)
+	}
+	ones := func(k int) []float64 {
+		v := make([]float64, k)
+		for i := range v {
+			v[i] = 1
+		}
+		return v
+	}
+	// in(v) <= 1 and out(v) - in(v) <= 0. The conservation row is emitted
+	// even for nodes with no inbound edges: otherwise their outbound edges
+	// would be unconstrained and flow could spontaneously start mid-graph,
+	// covering targets through chains no follower actually flies.
+	for vi := range m.nodes {
+		if len(inEdges[vi]) > 0 {
+			prob.AddSparseRow(inEdges[vi], ones(len(inEdges[vi])), lp.LE, 1)
+		}
+		if len(m.outEdges[vi]) > 0 {
+			idx := append(append([]int(nil), m.outEdges[vi]...), inEdges[vi]...)
+			val := make([]float64, len(idx))
+			for i := range val {
+				if i < len(m.outEdges[vi]) {
+					val[i] = 1
+				} else {
+					val[i] = -1
+				}
+			}
+			prob.AddSparseRow(idx, val, lp.LE, 0)
+		}
+	}
+	// One route per follower.
+	for fi := range p.Followers {
+		if len(m.srcEdges[fi]) > 0 {
+			prob.AddSparseRow(m.srcEdges[fi], ones(len(m.srcEdges[fi])), lp.LE, 1)
+		}
+	}
+	// z_j <= total inflow into any slot of target j.
+	inflowByTarget := make([][]int, nz)
+	for vi, v := range m.nodes {
+		inflowByTarget[v.ti] = append(inflowByTarget[v.ti], inEdges[vi]...)
+	}
+	for j := 0; j < nz; j++ {
+		idx := append([]int{m.ne + j}, inflowByTarget[j]...)
+		val := make([]float64, len(idx))
+		val[0] = 1
+		for i := 1; i < len(val); i++ {
+			val[i] = -1
+		}
+		prob.AddSparseRow(idx, val, lp.LE, 0)
+	}
+	m.prob = prob
+	return m
+}
+
+// extract walks the selected edges into per-follower capture sequences.
+func (m *ilpModel) extract(p *Problem, x []float64) Schedule {
+	out := Schedule{Captures: make([][]Capture, len(p.Followers))}
+	used := func(ei int) bool { return x[ei] > 0.5 }
+	for fi := range p.Followers {
+		cur := -1
+		for _, ei := range m.srcEdges[fi] {
+			if used(ei) {
+				cur = m.edges[ei].to
+				break
+			}
+		}
+		seen := make(map[int]bool)
+		for cur >= 0 && !seen[cur] {
+			seen[cur] = true
+			v := m.nodes[cur]
+			out.Captures[fi] = append(out.Captures[fi], Capture{
+				TargetID: m.targets[v.ti].ID,
+				Time:     v.t,
+				Follower: fi,
+				Aim:      m.targets[v.ti].Pos,
+			})
+			next := -1
+			for _, ei := range m.outEdges[cur] {
+				if used(ei) {
+					next = m.edges[ei].to
+					break
+				}
+			}
+			cur = next
+		}
+	}
+	byID := targetByID(p)
+	for _, id := range out.CoveredIDs() {
+		out.Value += byID[id].Value
+	}
+	return out
+}
+
+// trimTargets drops targets with no window for any follower and, for very
+// dense frames, keeps only the MaxTargets most valuable ones.
+func (s ILP) trimTargets(p *Problem) []Target {
+	var out []Target
+	for _, tgt := range p.Targets {
+		if tgt.Value <= 0 {
+			continue
+		}
+		for _, f := range p.Followers {
+			if _, _, ok := p.Window(f, tgt); ok {
+				out = append(out, tgt)
+				break
+			}
+		}
+	}
+	limit := s.MaxTargets
+	if limit <= 0 {
+		limit = 30
+	}
+	// Allow proportionally more targets when there are more followers.
+	limit *= len(p.Followers)
+	if len(out) > limit {
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].Value != out[b].Value {
+				return out[a].Value > out[b].Value
+			}
+			return out[a].ID < out[b].ID
+		})
+		out = out[:limit]
+	}
+	// Restore a deterministic spatial order (by along-track position).
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Pos.Y != out[b].Pos.Y {
+			return out[a].Pos.Y < out[b].Pos.Y
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

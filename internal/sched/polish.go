@@ -1,0 +1,109 @@
+package sched
+
+import "sort"
+
+// polish improves a feasible schedule without changing the scheduling
+// algorithm's structural decisions:
+//
+//  1. re-time: each follower's capture sequence is shifted to its earliest
+//     feasible times (optimal for a fixed order by an exchange argument),
+//     recovering slack that the ILP's slot discretization leaves behind; and
+//  2. insert: uncovered targets are greedily inserted into sequence
+//     positions where the suffix can still be re-timed feasibly.
+//
+// The result is always feasible and never worth less than the input. This
+// is how the implementation bridges the gap between the paper's
+// continuous-time ILP formulation (OR-Tools) and our discretized one; the
+// ablation bench BenchmarkAblationPolish quantifies the step.
+func polish(p *Problem, s *Schedule) {
+	byID := targetByID(p)
+	covered := make(map[int]bool)
+	for _, seq := range s.Captures {
+		for _, c := range seq {
+			covered[c.TargetID] = true
+		}
+	}
+
+	// Pass 1: earliest re-timing per follower.
+	for fi := range s.Captures {
+		retime(p, p.Followers[fi], s.Captures[fi], byID)
+	}
+
+	// Pass 2: greedy insertion of uncovered targets, most valuable first.
+	var uncovered []Target
+	for _, t := range p.Targets {
+		if !covered[t.ID] && t.Value > 0 {
+			uncovered = append(uncovered, t)
+		}
+	}
+	sort.Slice(uncovered, func(a, b int) bool {
+		if uncovered[a].Value != uncovered[b].Value {
+			return uncovered[a].Value > uncovered[b].Value
+		}
+		return uncovered[a].ID < uncovered[b].ID
+	})
+	for _, tgt := range uncovered {
+		for fi := range s.Captures {
+			if tryInsert(p, p.Followers[fi], &s.Captures[fi], fi, tgt, byID) {
+				covered[tgt.ID] = true
+				break
+			}
+		}
+	}
+
+	// Recompute value over distinct targets.
+	s.Value = 0
+	for _, id := range s.CoveredIDs() {
+		s.Value += byID[id].Value
+	}
+}
+
+// retime rewrites capture times to the earliest feasible schedule for the
+// given order. It returns false (leaving seq untouched) if the order is
+// infeasible, which polish treats as "keep the original times".
+func retime(p *Problem, f Follower, seq []Capture, byID map[int]Target) bool {
+	times := make([]float64, len(seq))
+	t := 0.0
+	aim := f.Boresight
+	for i, c := range seq {
+		tgt, ok := byID[c.TargetID]
+		if !ok {
+			return false
+		}
+		w0, w1, ok := p.Window(f, tgt)
+		if !ok {
+			return false
+		}
+		arr := p.EarliestArrival(f, aim, t, tgt.Pos)
+		if arr < w0 {
+			arr = w0
+		}
+		if arr > w1 {
+			return false
+		}
+		times[i] = arr
+		t, aim = arr, tgt.Pos
+	}
+	for i := range seq {
+		seq[i].Time = times[i]
+	}
+	return true
+}
+
+// tryInsert attempts to insert tgt into every position of seq, keeping the
+// first position where the whole sequence remains feasible after earliest
+// re-timing. Returns true on success.
+func tryInsert(p *Problem, f Follower, seq *[]Capture, fi int, tgt Target, byID map[int]Target) bool {
+	cur := *seq
+	for pos := 0; pos <= len(cur); pos++ {
+		trial := make([]Capture, 0, len(cur)+1)
+		trial = append(trial, cur[:pos]...)
+		trial = append(trial, Capture{TargetID: tgt.ID, Follower: fi, Aim: tgt.Pos})
+		trial = append(trial, cur[pos:]...)
+		if retime(p, f, trial, byID) {
+			*seq = trial
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomFrame builds a random single-follower frame instance.
+func randomFrame(rng *rand.Rand, m int) *Problem {
+	targets := make([]Target, m)
+	for i := range targets {
+		targets[i] = Target{
+			ID:    i + 1,
+			Pos:   pt(rng.Float64()*160e3-80e3, 20e3+rng.Float64()*110e3),
+			Value: 0.5 + rng.Float64(),
+		}
+	}
+	return frameProblem(targets, 1)
+}
+
+// TestABBDominatesILPOnSmallInstances: AB&B is exact on a single follower,
+// so its value upper-bounds the (discretized, polished) ILP; both must be
+// feasible.
+func TestABBDominatesILPOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 15; trial++ {
+		p := randomFrame(rng, 2+rng.Intn(5))
+		abbOut, err := ABB{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !abbOut.SolveStats.Optimal {
+			continue // truncated search proves nothing
+		}
+		ilpOut, err := ILP{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ilpOut.Value > abbOut.Value+1e-9 {
+			t.Fatalf("trial %d: ILP %v exceeds exact AB&B %v", trial, ilpOut.Value, abbOut.Value)
+		}
+		if err := ValidateSchedule(p, &abbOut); err != nil {
+			t.Fatalf("trial %d abb: %v", trial, err)
+		}
+		if err := ValidateSchedule(p, &ilpOut); err != nil {
+			t.Fatalf("trial %d ilp: %v", trial, err)
+		}
+	}
+}
+
+// TestAllSchedulersAlwaysFeasible: every scheduler's output passes the
+// constraint validator across random instances and follower counts.
+func TestAllSchedulersAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	for trial := 0; trial < 12; trial++ {
+		m := 1 + rng.Intn(20)
+		nf := 1 + rng.Intn(3)
+		targets := make([]Target, m)
+		for i := range targets {
+			targets[i] = Target{
+				ID:    i + 1,
+				Pos:   pt(rng.Float64()*180e3-90e3, -20e3+rng.Float64()*160e3),
+				Value: 0.5 + rng.Float64(),
+			}
+		}
+		p := frameProblem(targets, nf)
+		// Cap the AB&B search: feasibility is what is under test here, and
+		// its exponential exact search is exercised elsewhere.
+		schedulers := []Scheduler{ILP{}, Greedy{}, ABB{TimeLimit: 200 * time.Millisecond, MaxNodes: 100000}}
+		for _, s := range schedulers {
+			out, err := s.Schedule(p)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
+			}
+			if err := ValidateSchedule(p, &out); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
+			}
+		}
+	}
+}
+
+// TestValueMonotoneInTargetValues: doubling every target value doubles the
+// schedule's value for the same covered set or better (the optimizer can
+// only do at least as well).
+func TestValueMonotoneInTargetValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 8; trial++ {
+		p := randomFrame(rng, 3+rng.Intn(8))
+		base, err := ILP{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doubled := &Problem{Env: p.Env, Followers: p.Followers}
+		for _, tgt := range p.Targets {
+			tgt.Value *= 2
+			doubled.Targets = append(doubled.Targets, tgt)
+		}
+		out, err := ILP{}.Schedule(doubled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Value < 2*base.Value-1e-6 {
+			t.Fatalf("trial %d: doubled-value schedule %v below 2x base %v", trial, out.Value, base.Value)
+		}
+	}
+}
+
+// TestMoreFollowersNeverWorse: adding a follower can only increase the
+// achievable value on the same frame.
+func TestMoreFollowersNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	for trial := 0; trial < 6; trial++ {
+		m := 8 + rng.Intn(16)
+		targets := make([]Target, m)
+		for i := range targets {
+			targets[i] = Target{
+				ID:    i + 1,
+				Pos:   pt(rng.Float64()*160e3-80e3, 20e3+rng.Float64()*60e3),
+				Value: 1,
+			}
+		}
+		one := frameProblem(targets, 1)
+		two := frameProblem(targets, 2)
+		out1, err := ILP{}.Schedule(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out2, err := ILP{}.Schedule(two)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow a small tolerance: the sequential decomposition of the
+		// two-follower case is heuristic.
+		if out2.Value < out1.Value-0.5 {
+			t.Fatalf("trial %d: 2 followers (%v) clearly below 1 (%v)", trial, out2.Value, out1.Value)
+		}
+	}
+}
+
+// TestGreedyNeverCapturesOutsideWindows is implied by ValidateSchedule but
+// asserted separately over many random instances for the greedy path,
+// whose window clamping is hand-rolled.
+func TestGreedyNeverCapturesOutsideWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	for trial := 0; trial < 20; trial++ {
+		p := randomFrame(rng, 1+rng.Intn(25))
+		out, err := Greedy{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := targetByID(p)
+		for _, seq := range out.Captures {
+			for _, c := range seq {
+				w0, w1, ok := p.Window(p.Followers[c.Follower], byID[c.TargetID])
+				if !ok || c.Time < w0-1e-9 || c.Time > w1+1e-9 {
+					t.Fatalf("trial %d: capture at %v outside window [%v,%v]", trial, c.Time, w0, w1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"eagleeye/internal/geo"
+)
+
+// Wire format for crosslinked schedules (§5.3): the leader sends each
+// follower its capture sequence as a compact binary message -- a magic
+// header, the follower index, and one (time, aim) tuple per capture. The
+// paper bounds each schedule result at 2 KB; EncodeSchedule enforces the
+// bound so oversized schedules fail loudly instead of silently saturating
+// the S-band link.
+
+const (
+	wireMagic   = 0x45594531 // "EYE1"
+	wireHeader  = 4 + 2 + 2  // magic + follower + count
+	wireCapture = 4 + 8 + 8 + 8
+	// MaxScheduleBytes is the §5.3 per-schedule crosslink bound.
+	MaxScheduleBytes = 2048
+)
+
+// EncodeSchedule serializes one follower's capture sequence.
+func EncodeSchedule(followerIdx int, captures []Capture) ([]byte, error) {
+	if followerIdx < 0 || followerIdx > math.MaxUint16 {
+		return nil, fmt.Errorf("sched: follower index %d out of range", followerIdx)
+	}
+	if len(captures) > math.MaxUint16 {
+		return nil, fmt.Errorf("sched: %d captures exceed format limit", len(captures))
+	}
+	size := wireHeader + wireCapture*len(captures)
+	if size > MaxScheduleBytes {
+		return nil, fmt.Errorf("sched: schedule of %d captures is %d bytes, above the %d-byte crosslink bound",
+			len(captures), size, MaxScheduleBytes)
+	}
+	buf := new(bytes.Buffer)
+	buf.Grow(size)
+	writeU32 := func(v uint32) { _ = binary.Write(buf, binary.BigEndian, v) }
+	writeU32(wireMagic)
+	_ = binary.Write(buf, binary.BigEndian, uint16(followerIdx))
+	_ = binary.Write(buf, binary.BigEndian, uint16(len(captures)))
+	for _, c := range captures {
+		if c.TargetID < math.MinInt32 || c.TargetID > math.MaxInt32 {
+			return nil, fmt.Errorf("sched: target id %d out of wire range", c.TargetID)
+		}
+		_ = binary.Write(buf, binary.BigEndian, int32(c.TargetID))
+		_ = binary.Write(buf, binary.BigEndian, c.Time)
+		_ = binary.Write(buf, binary.BigEndian, c.Aim.X)
+		_ = binary.Write(buf, binary.BigEndian, c.Aim.Y)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSchedule parses a wire message back into the follower index and
+// capture sequence.
+func DecodeSchedule(msg []byte) (followerIdx int, captures []Capture, err error) {
+	if len(msg) < wireHeader {
+		return 0, nil, fmt.Errorf("sched: message of %d bytes too short", len(msg))
+	}
+	r := bytes.NewReader(msg)
+	var magic uint32
+	if err := binary.Read(r, binary.BigEndian, &magic); err != nil {
+		return 0, nil, err
+	}
+	if magic != wireMagic {
+		return 0, nil, fmt.Errorf("sched: bad magic %#x", magic)
+	}
+	var fi, count uint16
+	if err := binary.Read(r, binary.BigEndian, &fi); err != nil {
+		return 0, nil, err
+	}
+	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+		return 0, nil, err
+	}
+	want := wireHeader + wireCapture*int(count)
+	if len(msg) != want {
+		return 0, nil, fmt.Errorf("sched: message is %d bytes, want %d for %d captures",
+			len(msg), want, count)
+	}
+	captures = make([]Capture, 0, count)
+	for k := 0; k < int(count); k++ {
+		var id int32
+		var tm, x, y float64
+		if err := binary.Read(r, binary.BigEndian, &id); err != nil {
+			return 0, nil, err
+		}
+		if err := binary.Read(r, binary.BigEndian, &tm); err != nil {
+			return 0, nil, err
+		}
+		if err := binary.Read(r, binary.BigEndian, &x); err != nil {
+			return 0, nil, err
+		}
+		if err := binary.Read(r, binary.BigEndian, &y); err != nil {
+			return 0, nil, err
+		}
+		captures = append(captures, Capture{
+			TargetID: int(id),
+			Time:     tm,
+			Follower: int(fi),
+			Aim:      geo.Point2{X: x, Y: y},
+		})
+	}
+	return int(fi), captures, nil
+}
+
+// EncodeAll serializes a whole schedule: one message per follower.
+func EncodeAll(s *Schedule) ([][]byte, error) {
+	out := make([][]byte, 0, len(s.Captures))
+	for fi, seq := range s.Captures {
+		msg, err := EncodeSchedule(fi, seq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, msg)
+	}
+	return out, nil
+}
+
+// MaxCapturesPerMessage returns the largest capture sequence that fits the
+// crosslink bound.
+func MaxCapturesPerMessage() int {
+	return (MaxScheduleBytes - wireHeader) / wireCapture
+}

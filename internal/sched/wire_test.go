@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eagleeye/internal/geo"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	captures := []Capture{
+		{TargetID: 3, Time: 1.25, Follower: 1, Aim: pt(-3e3, 45e3)},
+		{TargetID: 7, Time: 4.5, Follower: 1, Aim: pt(2e3, 60e3)},
+		{TargetID: -2, Time: 9.75, Follower: 1, Aim: pt(0, 75e3)},
+	}
+	msg, err := EncodeSchedule(1, captures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, got, err := DecodeSchedule(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi != 1 {
+		t.Errorf("follower = %d", fi)
+	}
+	if len(got) != len(captures) {
+		t.Fatalf("captures = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != captures[i] {
+			t.Errorf("capture %d: %+v != %+v", i, got[i], captures[i])
+		}
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSeed) % (MaxCapturesPerMessage() + 1)
+		captures := make([]Capture, n)
+		for i := range captures {
+			captures[i] = Capture{
+				TargetID: rng.Intn(1000) - 100,
+				Time:     rng.Float64() * 30,
+				Follower: 2,
+				Aim:      pt(rng.Float64()*100e3-50e3, rng.Float64()*100e3),
+			}
+		}
+		msg, err := EncodeSchedule(2, captures)
+		if err != nil {
+			return false
+		}
+		if len(msg) > MaxScheduleBytes {
+			return false
+		}
+		fi, got, err := DecodeSchedule(msg)
+		if err != nil || fi != 2 || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != captures[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireSizeBound(t *testing.T) {
+	// The paper's 2 KB bound admits ~72 captures -- comfortably above the
+	// ~100-cluster worst case split across followers.
+	max := MaxCapturesPerMessage()
+	if max < 50 {
+		t.Errorf("max captures per message = %d, unexpectedly small", max)
+	}
+	big := make([]Capture, max+1)
+	for i := range big {
+		big[i] = Capture{TargetID: i, Aim: pt(0, 0)}
+	}
+	if _, err := EncodeSchedule(0, big); err == nil {
+		t.Error("oversized schedule accepted")
+	}
+	fits := make([]Capture, max)
+	for i := range fits {
+		fits[i] = Capture{TargetID: i, Aim: pt(0, 0)}
+	}
+	msg, err := EncodeSchedule(0, fits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) > MaxScheduleBytes {
+		t.Errorf("message %d bytes exceeds bound", len(msg))
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeSchedule([]byte{1, 2}); err == nil {
+		t.Error("short message accepted")
+	}
+	msg, _ := EncodeSchedule(0, []Capture{{TargetID: 1, Aim: pt(0, 0)}})
+	// Corrupt magic.
+	bad := append([]byte(nil), msg...)
+	bad[0] ^= 0xFF
+	if _, _, err := DecodeSchedule(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated body.
+	if _, _, err := DecodeSchedule(msg[:len(msg)-4]); err == nil {
+		t.Error("truncated message accepted")
+	}
+}
+
+func TestWireEncodeErrors(t *testing.T) {
+	if _, err := EncodeSchedule(-1, nil); err == nil {
+		t.Error("negative follower accepted")
+	}
+	if _, err := EncodeSchedule(1<<17, nil); err == nil {
+		t.Error("huge follower accepted")
+	}
+	if _, err := EncodeSchedule(0, []Capture{{TargetID: 1 << 40}}); err == nil {
+		t.Error("out-of-range target id accepted")
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	// End to end: schedule a real frame, encode per-follower messages,
+	// decode them, and recover identical sequences.
+	targets := mkTargets([]geo.Point2{pt(-3e3, 45e3), pt(2e3, 60e3), pt(-1e3, 75e3)}, 1)
+	p := frameProblem(targets, 2)
+	out, err := ILP{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := EncodeAll(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %d, want one per follower", len(msgs))
+	}
+	for fi, msg := range msgs {
+		gotFi, got, err := DecodeSchedule(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotFi != fi {
+			t.Errorf("follower %d decoded as %d", fi, gotFi)
+		}
+		if len(got) != len(out.Captures[fi]) {
+			t.Errorf("follower %d: %d captures decoded, want %d", fi, len(got), len(out.Captures[fi]))
+		}
+		for i := range got {
+			if got[i] != out.Captures[fi][i] {
+				t.Errorf("follower %d capture %d mismatch", fi, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"eagleeye/internal/constellation"
+	"eagleeye/internal/dataset"
+	"eagleeye/internal/geo"
+)
+
+// The §4.7 extensions: multi-plane orbit design and recapture
+// deprioritization.
+
+func TestMultiPlaneSpreadsGroundTracks(t *testing.T) {
+	one, err := constellation.Build(constellation.Config{
+		Kind: constellation.LeaderFollower, Satellites: 8, Planes: 1,
+	}, DefaultEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := constellation.Build(constellation.Config{
+		Kind: constellation.LeaderFollower, Satellites: 8, Planes: 2,
+	}, DefaultEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two planes, group 0 and group 1 leaders fly different planes:
+	// their sub-points at equal times diverge from the single-plane case.
+	onePts := make([]geo.LatLon, 4)
+	twoPts := make([]geo.LatLon, 4)
+	for g := 0; g < 4; g++ {
+		onePts[g] = one.Groups[g].Leader.Prop.StateAtElapsed(1000).SubPoint
+		twoPts[g] = two.Groups[g].Leader.Prop.StateAtElapsed(1000).SubPoint
+	}
+	same := 0
+	for g := 0; g < 4; g++ {
+		if geo.GreatCircleDistance(onePts[g], twoPts[g]) < 1e3 {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Error("two-plane constellation identical to single-plane")
+	}
+	// Planes must not exceed groups.
+	if _, err := constellation.Build(constellation.Config{
+		Kind: constellation.LeaderFollower, Satellites: 2, Planes: 3,
+	}, DefaultEpoch); err == nil {
+		t.Error("more planes than groups accepted")
+	}
+}
+
+func TestMultiPlaneSimulates(t *testing.T) {
+	w := smallWorld(1500, 21)
+	r1 := run(t, Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 8, Planes: 1},
+		App:           w, DurationS: 3 * 3600, Seed: 1,
+	})
+	r2 := run(t, Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 8, Planes: 2},
+		App:           w, DurationS: 3 * 3600, Seed: 1,
+	})
+	if r1.Frames != r2.Frames {
+		t.Errorf("frame counts differ: %d vs %d", r1.Frames, r2.Frames)
+	}
+	if r2.HighResCaptured == 0 {
+		t.Error("two-plane constellation captured nothing")
+	}
+}
+
+func TestRecaptureSuppression(t *testing.T) {
+	// Near-polar targets are revisited every orbit (ground tracks converge
+	// toward the inclination limit), so a several-hour run re-detects
+	// already-captured targets; with dedup enabled the leader suppresses
+	// them.
+	w := polarWorld(800, 22)
+	base := run(t, Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 4},
+		App:           w, DurationS: 6 * 3600, Seed: 1,
+	})
+	dedup := run(t, Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 4},
+		App:           w, DurationS: 6 * 3600, Seed: 1, RecaptureDedup: true,
+	})
+	if base.RecaptureSuppressed != 0 {
+		t.Error("suppression counted without the extension")
+	}
+	if dedup.RecaptureSuppressed == 0 {
+		t.Fatal("polar world saw no revisits; the registry is not working")
+	}
+	// Deduplication must not lose distinct-target coverage.
+	if dedup.HighResCaptured < base.HighResCaptured-2 {
+		t.Errorf("dedup lost coverage: %d vs %d", dedup.HighResCaptured, base.HighResCaptured)
+	}
+	// And it should spend fewer captures on duplicates.
+	if dedup.Captures > base.Captures {
+		t.Errorf("dedup increased capture count: %d vs %d", dedup.Captures, base.Captures)
+	}
+}
+
+func TestRecaptureDeterministic(t *testing.T) {
+	w := smallWorld(800, 23)
+	cfg := Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 2},
+		App:           w, DurationS: 3 * 3600, Seed: 5, RecaptureDedup: true,
+	}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.HighResCaptured != b.HighResCaptured || a.RecaptureSuppressed != b.RecaptureSuppressed {
+		t.Error("recapture extension not deterministic")
+	}
+}
+
+// polarWorld scatters static targets in the near-polar band where the
+// paper orbit's ground tracks converge and revisit every orbit.
+func polarWorld(n int, seed int64) *dataset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := &dataset.Set{Name: "polar"}
+	for i := 0; i < n; i++ {
+		s.Targets = append(s.Targets, dataset.Target{
+			ID:    i,
+			Pos:   geo.LatLon{Lat: 78 + rng.Float64()*4, Lon: rng.Float64()*360 - 180}.Normalize(),
+			Value: 0.5 + 0.5*rng.Float64(),
+		})
+	}
+	return s
+}
+
+func TestTraceEmitsRecords(t *testing.T) {
+	w := smallWorld(1000, 30)
+	var buf bytes.Buffer
+	r := run(t, Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 2},
+		App:           w, DurationS: 2 * 3600, Seed: 1, Trace: &buf,
+	})
+	lines := 0
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		lines++
+		if rec.Targets <= 0 {
+			t.Error("trace for an empty frame")
+		}
+		if rec.Covered > rec.Captures {
+			t.Errorf("covered %d > captures %d", rec.Covered, rec.Captures)
+		}
+	}
+	if lines != r.FramesWithTargets {
+		t.Errorf("trace lines %d != non-empty frames %d", lines, r.FramesWithTargets)
+	}
+}
+
+func TestTraceWriteErrorSurfaces(t *testing.T) {
+	w := smallWorld(500, 31)
+	_, err := Run(Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 2},
+		App:           w, DurationS: 2 * 3600, Seed: 1, Trace: failWriter{},
+	})
+	if err == nil {
+		t.Error("trace write error not surfaced")
+	}
+}
+
+// failWriter always errors.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = errors.New("sink failure")

@@ -1,0 +1,602 @@
+// Package sim is the orbital-edge-computing simulator that drives the
+// evaluation: the equivalent of the cote simulator the paper's prototype
+// uses (§5.1). It propagates a constellation over a target world for a
+// configurable duration, runs the EagleEye leader pipeline on every
+// low-resolution frame (detection, clustering, actuation-aware
+// scheduling), executes follower schedules with full actuation and
+// off-nadir constraints, and accounts coverage, runtime, communication and
+// energy -- everything the paper's figures report.
+//
+// Baselines share the same machinery: Low-Res-Only and High-Res-Only
+// constellations reduce to nadir strip coverage; the mix-camera variant
+// reuses the leader pipeline with the satellite scheduling itself after
+// its own compute delay (Fig. 9/13).
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"eagleeye/internal/adacs"
+	"eagleeye/internal/camera"
+	"eagleeye/internal/cluster"
+	"eagleeye/internal/comms"
+	"eagleeye/internal/constellation"
+	"eagleeye/internal/core"
+	"eagleeye/internal/dataset"
+	"eagleeye/internal/detect"
+	"eagleeye/internal/energy"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/mip"
+	"eagleeye/internal/sched"
+)
+
+// DefaultEpoch anchors all simulations; fixing it keeps every experiment
+// reproducible.
+var DefaultEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Config describes one simulation run.
+type Config struct {
+	// Constellation is the organization under test.
+	Constellation constellation.Config
+	// App is the target workload.
+	App *dataset.Set
+	// Scheduler schedules followers; nil means the ILP scheduler.
+	Scheduler sched.Scheduler
+	// Detector is the leader's ML model; zero means YoloN.
+	Detector detect.Model
+	// Tiling is the frame decomposition; zero means PaperTiling.
+	Tiling detect.Tiling
+	// NoClustering disables target clustering (Fig. 14c ablation).
+	NoClustering bool
+	// ClusterGreedy forces the greedy cover (clustering ablation).
+	ClusterGreedy bool
+	// RecallOverride in (0,1] overrides detector recall (Fig. 15).
+	RecallOverride float64
+	// DurationS is the simulated span; 0 means 24 h.
+	DurationS float64
+	// Seed drives all stochastic components.
+	Seed int64
+	// SlewRateDegS overrides the ADACS rate; 0 means the paper's 3 deg/s.
+	SlewRateDegS float64
+	// ComputeDelayS overrides the modeled leader compute latency
+	// (mix-camera sensitivity, Fig. 13); 0 means model the tiling latency.
+	ComputeDelayS float64
+	// ValidateSchedules re-checks every schedule against C1-C3 (slower;
+	// used by tests).
+	ValidateSchedules bool
+	// RecaptureDedup enables the §4.7 recapture extension: leaders
+	// deprioritize detections at ground positions the constellation has
+	// already captured at high resolution, freeing follower time for new
+	// targets.
+	RecaptureDedup bool
+	// Trace, when non-nil, receives one JSON line per processed leader
+	// frame (see TraceRecord).
+	Trace io.Writer
+}
+
+// Result aggregates one run.
+type Result struct {
+	Kind string // constellation organization
+	App  string
+
+	TotalTargets    int
+	HighResCaptured int // distinct targets inside captured high-res images
+	LowResSeen      int // distinct targets inside leader low-res frames
+
+	Frames            int
+	FramesWithTargets int
+	Detections        int
+	Clusters          int
+	Captures          int
+
+	// TargetsPerImage holds the per-nonempty-frame truth target count
+	// (Fig. 12b's CDF).
+	TargetsPerImage []int
+
+	SchedSolves    int
+	SchedWallTotal time.Duration
+	SchedWallMax   time.Duration
+	MissedDeadline int // frames whose compute+scheduling exceeded the cadence
+
+	// RecaptureSuppressed counts detections deprioritized by the §4.7
+	// recapture extension.
+	RecaptureSuppressed int
+
+	// CrosslinkBytes is the total schedule traffic leaders sent (wire
+	// encoding, §5.3 bound enforced per message).
+	CrosslinkBytes float64
+	// DownlinkableFraction is the share of captured images the followers'
+	// per-orbit ground contact can actually return to Earth.
+	DownlinkableFraction float64
+
+	LeaderBudget   *energy.Budget // per-orbit average, leader/mono role
+	FollowerBudget *energy.Budget // per-orbit average across followers
+}
+
+// CoveragePct returns the headline metric: the percentage of targets
+// captured at high resolution (for Low-Res-Only, the percentage seen at
+// low resolution -- the paper plots it as the physical upper bound, noting
+// it does not deliver high-resolution data).
+func (r *Result) CoveragePct() float64 {
+	if r.TotalTargets == 0 {
+		return 0
+	}
+	n := r.HighResCaptured
+	if r.Kind == constellation.LowResOnly.String() {
+		n = r.LowResSeen
+	}
+	return 100 * float64(n) / float64(r.TotalTargets)
+}
+
+// LowResSeenPct returns the fraction of targets seen in low-resolution.
+func (r *Result) LowResSeenPct() float64 {
+	if r.TotalTargets == 0 {
+		return 0
+	}
+	return 100 * float64(r.LowResSeen) / float64(r.TotalTargets)
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("sim: no app workload")
+	}
+	if cfg.DurationS == 0 {
+		cfg.DurationS = 86400
+	}
+	if cfg.Scheduler == nil {
+		// Frame-rate solves: bound the MIP search tightly; the polish pass
+		// and the greedy fallback keep truncated solves near-optimal.
+		cfg.Scheduler = sched.ILP{MIP: mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}}
+	}
+	if cfg.Detector.PerTileS == 0 {
+		cfg.Detector = detect.YoloN()
+	}
+	if cfg.Tiling.FramePx == 0 {
+		cfg.Tiling = detect.PaperTiling()
+	}
+	cons, err := constellation.Build(cfg.Constellation, DefaultEpoch)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Kind:         cons.Config.Kind.String(),
+		App:          cfg.App.Name,
+		TotalTargets: len(cfg.App.Targets),
+	}
+	st := &runState{
+		cfg:      cfg,
+		cons:     cons,
+		res:      res,
+		index:    dataset.NewTimedIndex(cfg.App, 2, 600),
+		captured: make([]bool, len(cfg.App.Targets)),
+		seen:     make([]bool, len(cfg.App.Targets)),
+		leaderB:  energy.NewBudget(energyParams(cfg)),
+		folB:     energy.NewBudget(energyParams(cfg)),
+		capCells: make(map[int64]bool),
+		trace:    newTraceWriter(cfg.Trace),
+	}
+
+	switch cons.Config.Kind {
+	case constellation.LowResOnly, constellation.HighResOnly:
+		st.runStripCoverage()
+	case constellation.LeaderFollower, constellation.MixCamera:
+		if err := st.runLeaderFollower(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sim: unsupported kind %v", cons.Config.Kind)
+	}
+
+	for _, c := range st.captured {
+		if c {
+			res.HighResCaptured++
+		}
+	}
+	for _, s := range st.seen {
+		if s {
+			res.LowResSeen++
+		}
+	}
+	st.finalizeEnergy()
+	st.finalizeComms()
+	if err := st.trace.Err(); err != nil {
+		return nil, fmt.Errorf("sim: trace: %w", err)
+	}
+	return res, nil
+}
+
+// finalizeComms computes how much of the captured imagery the downlink can
+// return: followers see a ground station ~6 min/orbit (§5.3), and each
+// high-resolution image is ~33 MB.
+func (st *runState) finalizeComms() {
+	if st.res.Captures == 0 {
+		st.res.DownlinkableFraction = 1
+		return
+	}
+	nFollowers := 0
+	for _, g := range st.cons.Groups {
+		nFollowers += len(g.Followers)
+		if len(g.Followers) == 0 {
+			nFollowers++ // mix-camera: the satellite downlinks its own captures
+		}
+	}
+	link := comms.PaperDownlink()
+	orbits := st.cfg.DurationS / (94 * 60)
+	if orbits < 1 {
+		orbits = 1
+	}
+	hr := camera.PaperHighRes()
+	imgBytes := comms.ImageBytes(hr.FramePixels(), 3)
+	capacityImages := link.CapacityPerOrbitBytes() / imgBytes * orbits * float64(nFollowers)
+	frac := capacityImages / float64(st.res.Captures)
+	if frac > 1 {
+		frac = 1
+	}
+	st.res.DownlinkableFraction = frac
+}
+
+// runState carries the mutable simulation state.
+type runState struct {
+	cfg      Config
+	cons     *constellation.Constellation
+	res      *Result
+	index    *dataset.TimedIndex
+	captured []bool
+	seen     []bool
+	leaderB  *energy.Budget
+	folB     *energy.Budget
+	// capCells is the recapture registry: ~2 km ground cells already
+	// captured at high resolution (used when cfg.RecaptureDedup is set).
+	capCells map[int64]bool
+	trace    *traceWriter
+}
+
+// capCellKey quantizes a geodetic position into the recapture registry.
+func capCellKey(p geo.LatLon) int64 {
+	const cellDeg = 0.02 // ~2 km
+	r := int64(math.Floor((p.Lat + 90) / cellDeg))
+	c := int64(math.Floor((geo.WrapLonDeg(p.Lon) + 180) / cellDeg))
+	return r*1000000 + c
+}
+
+func energyParams(cfg Config) energy.Params {
+	p := energy.Paper3U()
+	if cfg.SlewRateDegS > 0 {
+		p.SlewRateDegS = cfg.SlewRateDegS
+	}
+	return p
+}
+
+func (st *runState) slewModel() adacs.SlewModel {
+	m := adacs.PaperSlew()
+	if st.cfg.SlewRateDegS > 0 {
+		m.RateDegS = st.cfg.SlewRateDegS
+	}
+	return m
+}
+
+// frameRadius returns the candidate-query radius covering a w x h frame
+// plus detection jitter and target-motion margin.
+func frameRadius(w, h float64) float64 {
+	return math.Hypot(w, h)/2 + 5e3
+}
+
+// targetsInFrame collects (targetIndex, local position) for active targets
+// inside the frame footprint at elapsed time ts.
+func (st *runState) targetsInFrame(f geo.TangentFrame, w, h float64, ts float64) ([]int32, []geo.Point2) {
+	cands := st.index.Near(f.Origin, frameRadius(w, h), ts)
+	var idx []int32
+	var pts []geo.Point2
+	for _, ci := range cands {
+		tgt := &st.index.Set().Targets[ci]
+		if !tgt.ActiveAt(ts) {
+			continue
+		}
+		lp := f.ToLocal(tgt.PosAt(ts))
+		if math.Abs(lp.X) <= w/2 && math.Abs(lp.Y) <= h/2 {
+			idx = append(idx, ci)
+			pts = append(pts, lp)
+		}
+	}
+	return idx, pts
+}
+
+// runStripCoverage handles the homogeneous baselines: each satellite
+// continuously images its nadir strip; a target is covered when it falls
+// inside the swath. Consecutive frames tile the ground track, so the loop
+// walks the track in long steps with a swath-wide, step-long footprint.
+func (st *runState) runStripCoverage() {
+	for _, sat := range st.cons.Sats {
+		swath := sat.LowRes.SwathM
+		highRes := false
+		if !sat.HasLowRes() {
+			swath = sat.HighRes.SwathM
+			highRes = true
+		}
+		stepS := 50e3 / sat.Prop.GroundSpeedMS() // 50 km along-track steps
+		stepLen := sat.Prop.GroundSpeedMS() * stepS
+		for ts := 0.0; ts < st.cfg.DurationS; ts += stepS {
+			s := sat.Prop.StateAtElapsed(ts)
+			f := geo.TangentFrame{Origin: s.SubPoint, BearingDeg: s.HeadingDeg}
+			idx, _ := st.targetsInFrame(f, swath, stepLen, ts)
+			st.res.Frames++
+			if len(idx) == 0 {
+				continue
+			}
+			st.res.FramesWithTargets++
+			for _, ci := range idx {
+				st.seen[ci] = true
+				if highRes {
+					st.captured[ci] = true
+				}
+			}
+		}
+		// Energy: continuous imaging and processing along the track.
+		framesPerDay := st.cfg.DurationS / (swath / sat.Prop.GroundSpeedMS())
+		st.leaderB.Capture(int(framesPerDay))
+		st.leaderB.Compute(framesPerDay * st.cfg.Tiling.FrameTimeS(st.cfg.Detector))
+	}
+}
+
+// runLeaderFollower runs the EagleEye operating model (and the mix-camera
+// variant, where the "follower" is the leader itself after its compute
+// delay).
+func (st *runState) runLeaderFollower() error {
+	cfg := st.cfg
+	for gi, grp := range st.cons.Groups {
+		leader := grp.Leader
+		cadence := leader.Prop.FrameCadenceS(leader.LowRes.FootprintAlongM())
+		computeS := cfg.ComputeDelayS
+		if computeS == 0 {
+			computeS = cfg.Tiling.FrameTimeS(cfg.Detector)
+		}
+
+		followers := grp.Followers
+		mix := len(followers) == 0 // mix-camera: self-follower
+		env := sched.Env{
+			AltitudeM:      leader.Prop.AltitudeM(),
+			GroundSpeedMS:  leader.Prop.GroundSpeedMS(),
+			MaxOffNadirDeg: leader.LowRes.MaxOffNadirDeg,
+			Slew:           st.slewModel(),
+		}
+		if mix {
+			env.MaxOffNadirDeg = leader.HighRes.MaxOffNadirDeg
+			// The satellite must be back at nadir for the next frame.
+			env.HorizonS = math.Max(0, cadence-computeS-1)
+		} else {
+			env.MaxOffNadirDeg = grp.Followers[0].HighRes.MaxOffNadirDeg
+		}
+
+		pipe := &core.Pipeline{
+			Detector:      cfg.Detector,
+			Tiling:        cfg.Tiling,
+			UseClustering: !cfg.NoClustering,
+			// Frame-rate clustering: bound the set-cover ILP per frame;
+			// dense frames fall back to the greedy cover, as the energy
+			// and deadline budgets require.
+			ClusterOpts: cluster.Options{
+				ForceGreedy:      cfg.ClusterGreedy,
+				MaxILPCandidates: 400,
+				MIP:              mip.Options{TimeLimit: 150 * time.Millisecond, MaxNodes: 40},
+			},
+			Scheduler:      cfg.Scheduler,
+			HighResSwathM:  highResSwath(grp, leader),
+			RecallOverride: cfg.RecallOverride,
+		}
+
+		frameIdx := 0
+		for ts := 0.0; ts < cfg.DurationS; ts += cadence {
+			frameIdx++
+			ls := leader.Prop.StateAtElapsed(ts)
+			w := leader.LowRes.SwathM
+			h := leader.LowRes.FootprintAlongM()
+			// A frame captured at ts covers the swath ahead of the
+			// leader's nadir (Fig. 9): the leader overflies the imaged
+			// area during the ~13.7 s it spends computing, which is why
+			// the separation equals the swath width -- a follower 100 km
+			// back is still behind the frame area when the schedule
+			// arrives, whatever the compute latency, while a mix-camera
+			// satellite has flown into its own frame and must look
+			// backward at targets whose windows are closing.
+			center := geo.Destination(ls.SubPoint, ls.HeadingDeg, h/2)
+			frame := geo.TangentFrame{Origin: center, BearingDeg: ls.HeadingDeg}
+			idx, pts := st.targetsInFrame(frame, w, h, ts)
+			st.res.Frames++
+			st.leaderB.Capture(1)
+			st.leaderB.Compute(computeS)
+			if len(idx) == 0 {
+				continue
+			}
+			st.res.FramesWithTargets++
+			st.res.TargetsPerImage = append(st.res.TargetsPerImage, len(idx))
+			for _, ci := range idx {
+				st.seen[ci] = true
+			}
+
+			// Schedule starts when the leader finishes computing.
+			tSched := ts + computeS
+			var fols []sched.Follower
+			if mix {
+				sub := frame.ToLocal(leader.Prop.StateAtElapsed(tSched).SubPoint)
+				fols = []sched.Follower{{SubPoint: sub, Boresight: sub}}
+			} else {
+				for _, f := range followers {
+					sub := frame.ToLocal(f.Prop.StateAtElapsed(tSched).SubPoint)
+					fols = append(fols, sched.Follower{SubPoint: sub, Boresight: sub})
+				}
+			}
+
+			pipe.Rng = rand.New(rand.NewSource(frameSeed(cfg.Seed, gi, frameIdx)))
+			if cfg.RecaptureDedup {
+				// §4.7 recapture: detections at already-captured ground
+				// cells are deprioritized to a tenth of their score.
+				pipe.PriorityScale = func(lp geo.Point2) float64 {
+					if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
+						st.res.RecaptureSuppressed++
+						return 0.1
+					}
+					return 1
+				}
+			}
+			fres, err := pipe.ProcessFrame(core.Frame{
+				Truth:  pts,
+				Bounds: geo.NewRectCentered(geo.Point2{}, w, h),
+				GSDM:   leader.LowRes.GSDM,
+			}, fols, env)
+			if err != nil {
+				return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
+			}
+			st.res.Detections += len(fres.Detections)
+			st.res.Clusters += len(fres.Clusters)
+			st.res.SchedSolves++
+			st.res.SchedWallTotal += fres.SchedWall
+			if fres.SchedWall > st.res.SchedWallMax {
+				st.res.SchedWallMax = fres.SchedWall
+			}
+			if computeS+fres.SchedWall.Seconds() > cadence {
+				st.res.MissedDeadline++
+			}
+			if cfg.ValidateSchedules {
+				if err := validateAgainstPipeline(&fres, fols, env); err != nil {
+					return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
+				}
+			}
+			st.executeSchedule(frame, tSched, &fres, grp, leader, mix)
+			st.res.CrosslinkBytes += fres.CrosslinkBytes
+			st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
+			st.trace.emit(TraceRecord{
+				Group:    gi,
+				Frame:    frameIdx,
+				TimeS:    ts,
+				Lat:      frame.Origin.Lat,
+				Lon:      frame.Origin.Lon,
+				Targets:  len(idx),
+				Detected: len(fres.Detections),
+				Clusters: len(fres.Clusters),
+				Captures: fres.Schedule.NumCaptures(),
+				Covered:  len(fres.Schedule.CoveredIDs()),
+				SchedMS:  float64(fres.SchedWall.Microseconds()) / 1000,
+				Deadline: computeS+fres.SchedWall.Seconds() <= cadence,
+			})
+		}
+	}
+	return nil
+}
+
+func highResSwath(grp constellation.Group, leader *constellation.Satellite) float64 {
+	if len(grp.Followers) > 0 {
+		return grp.Followers[0].HighRes.SwathM
+	}
+	return leader.HighRes.SwathM
+}
+
+// executeSchedule scores captures: a truth target counts as captured when
+// its true position at the capture time lies inside the captured
+// footprint. Moving targets may drift out between detection and capture --
+// exactly the §4.6 lookahead effect.
+func (st *runState) executeSchedule(frame geo.TangentFrame, tSched float64, fres *core.Result, grp constellation.Group, leader *constellation.Satellite, mix bool) {
+	swath := highResSwath(grp, leader)
+	for _, seq := range fres.Schedule.Captures {
+		var prevAim geo.Point2
+		prevT := 0.0
+		first := true
+		for _, c := range seq {
+			absT := tSched + c.Time
+			fp := geo.NewRectCentered(c.Aim, swath, swath)
+			// Re-query around the aim point at capture time: targets may
+			// have moved into or out of the footprint.
+			cands := st.index.Near(frame.ToGeodetic(c.Aim), frameRadius(swath, swath), absT)
+			for _, ci := range cands {
+				tgt := &st.index.Set().Targets[ci]
+				if !tgt.ActiveAt(absT) {
+					continue
+				}
+				if fp.Contains(frame.ToLocal(tgt.PosAt(absT))) {
+					st.captured[ci] = true
+					if st.cfg.RecaptureDedup {
+						st.capCells[capCellKey(tgt.PosAt(absT))] = true
+					}
+				}
+			}
+			st.res.Captures++
+			st.folB.Capture(1)
+			if !first {
+				// Approximate the commanded rotation by the aim-point
+				// angular separation at capture times.
+				ang := adacs.PointingAngleDeg(
+					geo.Point2{X: prevAim.X, Y: prevAim.Y - 50e3}, prevAim,
+					geo.Point2{X: c.Aim.X, Y: c.Aim.Y - 50e3}, c.Aim,
+					leader.Prop.AltitudeM())
+				st.folB.Slew(ang, c.Time-prevT)
+			}
+			first = false
+			prevAim, prevT = c.Aim, c.Time
+		}
+	}
+}
+
+// validateAgainstPipeline reconstructs the scheduling problem from the
+// pipeline output and re-checks constraints C1-C3.
+func validateAgainstPipeline(fres *core.Result, fols []sched.Follower, env sched.Env) error {
+	var targets []sched.Target
+	if len(fres.Clusters) > 0 {
+		for i, c := range fres.Clusters {
+			val := 0.0
+			for _, m := range c.Members {
+				val += fres.Detections[m].Confidence
+			}
+			targets = append(targets, sched.Target{ID: i, Pos: c.Center(), Value: val})
+		}
+	} else {
+		for i, d := range fres.Detections {
+			targets = append(targets, sched.Target{ID: i, Pos: d.Pos, Value: d.Confidence})
+		}
+	}
+	prob := &sched.Problem{Env: env, Targets: targets, Followers: fols}
+	return sched.ValidateSchedule(prob, &fres.Schedule)
+}
+
+// frameSeed derives a deterministic per-frame RNG seed.
+func frameSeed(seed int64, group, frame int) int64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(group)*0xBF58476D1CE4E5B9 + uint64(frame)*0x94D049BB133111EB
+	h ^= h >> 31
+	return int64(h & 0x7FFFFFFFFFFFFFFF)
+}
+
+// finalizeEnergy converts accumulated totals into per-orbit averages.
+func (st *runState) finalizeEnergy() {
+	period := 94 * 60.0
+	orbits := st.cfg.DurationS / period
+	if orbits <= 0 {
+		orbits = 1
+	}
+	scale := func(b *energy.Budget, n float64) *energy.Budget {
+		if n <= 0 {
+			n = 1
+		}
+		out := energy.NewBudget(b.Params)
+		out.CameraJ = b.CameraJ / orbits / n
+		out.ADACSJ = b.ADACSJ/orbits/n + b.Params.ADACSIdleW*period
+		out.ComputeJ = b.ComputeJ / orbits / n
+		out.TXJ = b.TXJ / orbits / n
+		out.CrosslinkJ = b.CrosslinkJ / orbits / n
+		return out
+	}
+	nLeaders := float64(len(st.cons.Groups))
+	nFollowers := 0.0
+	for _, g := range st.cons.Groups {
+		nFollowers += float64(len(g.Followers))
+	}
+	st.res.LeaderBudget = scale(st.leaderB, nLeaders)
+	st.res.FollowerBudget = scale(st.folB, nFollowers)
+	// Followers downlink the captured imagery (6 min/orbit contact).
+	if nFollowers > 0 {
+		st.res.FollowerBudget.Downlink(6 * 60)
+	}
+}

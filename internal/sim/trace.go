@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Tracing: when Config.Trace is set, the simulator emits one JSON line per
+// processed leader frame -- what was in view, what the detector found, how
+// it was clustered, what the schedule did, and how long scheduling took.
+// Traces make individual scheduling decisions inspectable (the ASPLOS
+// artifact-evaluation style "show me one frame" question) and feed
+// external plotting without rerunning simulations.
+
+// TraceRecord is one frame's trace line.
+type TraceRecord struct {
+	Group    int     `json:"group"`
+	Frame    int     `json:"frame"`
+	TimeS    float64 `json:"t"`
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	Targets  int     `json:"targets"`
+	Detected int     `json:"detected"`
+	Clusters int     `json:"clusters,omitempty"`
+	Captures int     `json:"captures"`
+	Covered  int     `json:"covered"` // distinct targets scheduled
+	SchedMS  float64 `json:"sched_ms"`
+	Deadline bool    `json:"deadline_met"`
+}
+
+// traceWriter serializes records to the configured writer.
+type traceWriter struct {
+	enc *json.Encoder
+	err error
+}
+
+func newTraceWriter(w io.Writer) *traceWriter {
+	if w == nil {
+		return nil
+	}
+	return &traceWriter{enc: json.NewEncoder(w)}
+}
+
+// emit writes one record, remembering the first error (the simulation is
+// not aborted for trace I/O trouble; Err is surfaced at the end).
+func (tw *traceWriter) emit(rec TraceRecord) {
+	if tw == nil || tw.err != nil {
+		return
+	}
+	tw.err = tw.enc.Encode(rec)
+}
+
+// Err returns the first trace write error, if any.
+func (tw *traceWriter) Err() error {
+	if tw == nil {
+		return nil
+	}
+	return tw.err
+}

@@ -1,0 +1,37 @@
+package tle
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures arbitrary input never panics the TLE parser and that
+// accepted inputs survive a format round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(issTLE[1] + "\n" + issTLE[2])
+	f.Add("garbage")
+	f.Add("1 \n2 ")
+	f.Fuzz(func(t *testing.T, input string) {
+		lines := strings.Split(input, "\n")
+		if len(lines) > 3 {
+			lines = lines[:3]
+		}
+		parsed, err := Parse(lines...)
+		if err != nil {
+			return
+		}
+		l1, l2 := parsed.Format()
+		if _, err := Parse(l1, l2); err != nil {
+			t.Fatalf("accepted TLE does not round trip: %v\n%s\n%s", err, l1, l2)
+		}
+	})
+}
+
+// FuzzParseAll ensures arbitrary streams never panic the stream parser.
+func FuzzParseAll(f *testing.F) {
+	f.Add("NAME\n" + issTLE[1] + "\n" + issTLE[2] + "\n")
+	f.Add("\n\n1 x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ParseAll(strings.NewReader(input))
+	})
+}

@@ -1,0 +1,73 @@
+package tle
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// OrbitSpec describes the circular orbit a constellation deploys into.
+// The paper's evaluation (§5.3) uses a polar sun-synchronous-style orbit:
+// inclination 97.2°, altitude 475 km, period ~94 minutes, all satellites in
+// the same orbital plane.
+type OrbitSpec struct {
+	AltitudeM      float64   // orbit altitude above the mean-radius sphere, meters
+	InclinationDeg float64   // inclination, degrees
+	RAANDeg        float64   // right ascension of ascending node, degrees
+	Epoch          time.Time // element epoch
+}
+
+// PaperOrbit returns the orbit used throughout the paper's evaluation.
+func PaperOrbit(epoch time.Time) OrbitSpec {
+	return OrbitSpec{
+		AltitudeM:      475e3,
+		InclinationDeg: 97.2,
+		RAANDeg:        0,
+		Epoch:          epoch,
+	}
+}
+
+// MeanMotionRevPerDay returns the mean motion for a circular orbit at the
+// spec's altitude.
+func (s OrbitSpec) MeanMotionRevPerDay() float64 {
+	const (
+		mu = 3.986004418e14
+		re = 6371008.8
+	)
+	a := re + s.AltitudeM
+	period := 2 * math.Pi * math.Sqrt(a*a*a/mu)
+	return 86400 / period
+}
+
+// Generate produces a TLE for satellite index idx (0-based) of a
+// constellation of n satellites evenly phased within the spec's single
+// orbital plane, with an extra phase offset in degrees (used to trail
+// followers behind their leader by a fixed along-track distance).
+func (s OrbitSpec) Generate(idx, n int, phaseOffsetDeg float64, name string) (TLE, error) {
+	if n <= 0 {
+		return TLE{}, fmt.Errorf("tle: constellation size %d must be positive", n)
+	}
+	if idx < 0 || idx >= n {
+		return TLE{}, fmt.Errorf("tle: index %d out of range [0,%d)", idx, n)
+	}
+	ma := math.Mod(360*float64(idx)/float64(n)+phaseOffsetDeg, 360)
+	if ma < 0 {
+		ma += 360
+	}
+	t := TLE{
+		Name:           name,
+		CatalogNumber:  90000 + idx,
+		Classification: 'U',
+		IntlDesignator: fmt.Sprintf("26%03dA", idx%1000),
+		Epoch:          s.Epoch,
+		InclinationDeg: s.InclinationDeg,
+		RAANDeg:        math.Mod(s.RAANDeg+360, 360),
+		Eccentricity:   0,
+		ArgPerigeeDeg:  0,
+		MeanAnomalyDeg: ma,
+		MeanMotion:     s.MeanMotionRevPerDay(),
+		ElementSet:     1,
+		RevNumber:      1,
+	}
+	return t, t.Validate()
+}

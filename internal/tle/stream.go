@@ -1,0 +1,81 @@
+package tle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseAll reads a Celestrak-style element stream: any mix of 3-line
+// (name + two element lines) and bare 2-line entries, blank lines ignored.
+// It returns every parsed set, or the first error with its line number.
+func ParseAll(r io.Reader) ([]TLE, error) {
+	sc := bufio.NewScanner(r)
+	var out []TLE
+	var pending []string // 0 or 1 name line, then element lines
+	lineNo := 0
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		t, err := Parse(pending...)
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		pending = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "1 "):
+			// A line-1 must follow an optional name only.
+			if len(pending) > 1 {
+				return nil, fmt.Errorf("tle: line %d: unexpected element line 1", lineNo)
+			}
+			pending = append(pending, line)
+		case strings.HasPrefix(line, "2 "):
+			if len(pending) == 0 || !strings.HasPrefix(pending[len(pending)-1], "1 ") {
+				return nil, fmt.Errorf("tle: line %d: element line 2 without line 1", lineNo)
+			}
+			pending = append(pending, line)
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("tle: line %d: %w", lineNo, err)
+			}
+		default:
+			// A name line; any incomplete pending entry is an error.
+			if len(pending) != 0 {
+				return nil, fmt.Errorf("tle: line %d: name line inside element set", lineNo)
+			}
+			pending = append(pending, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("tle: truncated element set at end of stream")
+	}
+	return out, nil
+}
+
+// WriteAll formats element sets as a 3-line-per-entry stream.
+func WriteAll(w io.Writer, sets []TLE) error {
+	for _, t := range sets {
+		l1, l2 := t.Format()
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("SAT-%05d", t.CatalogNumber)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n%s\n%s\n", name, l1, l2); err != nil {
+			return err
+		}
+	}
+	return nil
+}

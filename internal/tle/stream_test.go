@@ -1,0 +1,68 @@
+package tle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseAllMixedStream(t *testing.T) {
+	spec := PaperOrbit(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	var buf bytes.Buffer
+	var sets []TLE
+	for i := 0; i < 3; i++ {
+		el, err := spec.Generate(i, 3, 0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		el.Name = ""
+		sets = append(sets, el)
+	}
+	if err := WriteAll(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	// Append a bare 2-line entry (no name).
+	l1, l2 := sets[0].Format()
+	buf.WriteString("\n" + l1 + "\n" + l2 + "\n")
+
+	got, err := ParseAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d sets, want 4", len(got))
+	}
+	for i, g := range got {
+		if g.InclinationDeg != 97.2 {
+			t.Errorf("set %d inclination = %v", i, g.InclinationDeg)
+		}
+	}
+	// Names synthesized by WriteAll survive the round trip.
+	if !strings.HasPrefix(got[0].Name, "SAT-") {
+		t.Errorf("name = %q", got[0].Name)
+	}
+}
+
+func TestParseAllErrors(t *testing.T) {
+	spec := PaperOrbit(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	el, _ := spec.Generate(0, 1, 0, "X")
+	l1, l2 := el.Format()
+
+	cases := []string{
+		l1,                               // truncated: line 1 without line 2
+		l2,                               // line 2 without line 1
+		"NAME\nNAME2\n" + l1 + "\n" + l2, // name inside pending entry
+		"NAME\n" + l1,                    // truncated at EOF
+	}
+	for i, c := range cases {
+		if _, err := ParseAll(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+	// Empty stream is fine.
+	got, err := ParseAll(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v, %d sets", err, len(got))
+	}
+}

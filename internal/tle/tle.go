@@ -1,0 +1,301 @@
+// Package tle parses, validates, formats and generates NORAD two-line
+// element sets (TLEs). The paper's prototype instantiates its polar orbit
+// from Celestrak TLEs (§5.3); this package provides the equivalent:
+// constellations are described by generated TLEs, and operators can load
+// real Celestrak elements through Parse.
+package tle
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TLE is a parsed two-line element set. Angles are degrees, mean motion is
+// revolutions per day, per the TLE convention.
+type TLE struct {
+	Name           string    // optional line 0 (satellite name)
+	CatalogNumber  int       // NORAD catalog number
+	Classification byte      // 'U', 'C' or 'S'
+	IntlDesignator string    // international designator, e.g. "24001A"
+	Epoch          time.Time // epoch in UTC
+	MeanMotionDot  float64   // first derivative of mean motion / 2 (rev/day^2)
+	BStar          float64   // drag term (1/earth radii)
+	ElementSet     int       // element set number
+	InclinationDeg float64   // orbit inclination
+	RAANDeg        float64   // right ascension of the ascending node
+	Eccentricity   float64   // dimensionless
+	ArgPerigeeDeg  float64   // argument of perigee
+	MeanAnomalyDeg float64   // mean anomaly at epoch
+	MeanMotion     float64   // revolutions per day
+	RevNumber      int       // revolution number at epoch
+}
+
+// PeriodSeconds returns the orbital period implied by the mean motion.
+func (t TLE) PeriodSeconds() float64 {
+	if t.MeanMotion <= 0 {
+		return 0
+	}
+	return 86400.0 / t.MeanMotion
+}
+
+// SemiMajorAxisM returns the semi-major axis in meters implied by the mean
+// motion via Kepler's third law (mu = 3.986004418e14 m^3/s^2).
+func (t TLE) SemiMajorAxisM() float64 {
+	p := t.PeriodSeconds()
+	if p == 0 {
+		return 0
+	}
+	const mu = 3.986004418e14
+	return math.Cbrt(mu * p * p / (4 * math.Pi * math.Pi))
+}
+
+// Validate reports whether the element values are physically plausible.
+func (t TLE) Validate() error {
+	switch {
+	case t.InclinationDeg < 0 || t.InclinationDeg > 180:
+		return fmt.Errorf("tle: inclination %v out of [0,180]", t.InclinationDeg)
+	case t.Eccentricity < 0 || t.Eccentricity >= 1:
+		return fmt.Errorf("tle: eccentricity %v out of [0,1)", t.Eccentricity)
+	case t.MeanMotion <= 0 || t.MeanMotion > 20:
+		return fmt.Errorf("tle: mean motion %v rev/day implausible", t.MeanMotion)
+	case t.RAANDeg < 0 || t.RAANDeg >= 360:
+		return fmt.Errorf("tle: RAAN %v out of [0,360)", t.RAANDeg)
+	case t.ArgPerigeeDeg < 0 || t.ArgPerigeeDeg >= 360:
+		return fmt.Errorf("tle: argument of perigee %v out of [0,360)", t.ArgPerigeeDeg)
+	case t.MeanAnomalyDeg < 0 || t.MeanAnomalyDeg >= 360:
+		return fmt.Errorf("tle: mean anomaly %v out of [0,360)", t.MeanAnomalyDeg)
+	case math.Abs(t.MeanMotionDot) >= 1:
+		// The field is a bare fraction (".00016717"); magnitudes >= 1 are
+		// unphysical and unrepresentable in the fixed columns.
+		return fmt.Errorf("tle: mean motion derivative %v out of (-1,1)", t.MeanMotionDot)
+	case math.Abs(t.BStar) >= 1:
+		// Drag terms are ~1e-3 1/earth-radii; >= 1 cannot be encoded in
+		// the 8-character assumed-decimal field.
+		return fmt.Errorf("tle: bstar %v out of (-1,1)", t.BStar)
+	}
+	return nil
+}
+
+// checksum computes the TLE modulo-10 checksum of the first 68 characters:
+// digits count their value, '-' counts 1, everything else 0.
+func checksum(line string) int {
+	sum := 0
+	for i := 0; i < len(line) && i < 68; i++ {
+		c := line[i]
+		switch {
+		case c >= '0' && c <= '9':
+			sum += int(c - '0')
+		case c == '-':
+			sum++
+		}
+	}
+	return sum % 10
+}
+
+// Parse parses a TLE from two or three lines (a leading name line is
+// optional). Checksums are verified.
+func Parse(lines ...string) (TLE, error) {
+	var t TLE
+	var l1, l2 string
+	switch len(lines) {
+	case 2:
+		l1, l2 = lines[0], lines[1]
+	case 3:
+		t.Name = strings.TrimSpace(lines[0])
+		l1, l2 = lines[1], lines[2]
+	default:
+		return t, fmt.Errorf("tle: want 2 or 3 lines, got %d", len(lines))
+	}
+	if len(l1) < 69 || len(l2) < 69 {
+		return t, fmt.Errorf("tle: lines must be at least 69 characters (got %d, %d)", len(l1), len(l2))
+	}
+	if l1[0] != '1' || l2[0] != '2' {
+		return t, fmt.Errorf("tle: bad line numbers %q, %q", l1[0], l2[0])
+	}
+	if got, want := int(l1[68]-'0'), checksum(l1); got != want {
+		return t, fmt.Errorf("tle: line 1 checksum %d, want %d", got, want)
+	}
+	if got, want := int(l2[68]-'0'), checksum(l2); got != want {
+		return t, fmt.Errorf("tle: line 2 checksum %d, want %d", got, want)
+	}
+
+	var err error
+	if t.CatalogNumber, err = atoiField(l1[2:7]); err != nil {
+		return t, fmt.Errorf("tle: catalog number: %w", err)
+	}
+	t.Classification = l1[7]
+	t.IntlDesignator = strings.TrimSpace(l1[9:17])
+	if t.Epoch, err = parseEpoch(l1[18:32]); err != nil {
+		return t, err
+	}
+	if t.MeanMotionDot, err = parseFloatField(l1[33:43]); err != nil {
+		return t, fmt.Errorf("tle: mean motion dot: %w", err)
+	}
+	if t.BStar, err = parseAssumedDecimal(l1[53:61]); err != nil {
+		return t, fmt.Errorf("tle: bstar: %w", err)
+	}
+	if t.ElementSet, err = atoiField(l1[64:68]); err != nil {
+		return t, fmt.Errorf("tle: element set: %w", err)
+	}
+
+	if t.InclinationDeg, err = parseFloatField(l2[8:16]); err != nil {
+		return t, fmt.Errorf("tle: inclination: %w", err)
+	}
+	if t.RAANDeg, err = parseFloatField(l2[17:25]); err != nil {
+		return t, fmt.Errorf("tle: raan: %w", err)
+	}
+	ecc, err := atoiField(l2[26:33])
+	if err != nil {
+		return t, fmt.Errorf("tle: eccentricity: %w", err)
+	}
+	t.Eccentricity = float64(ecc) / 1e7
+	if t.ArgPerigeeDeg, err = parseFloatField(l2[34:42]); err != nil {
+		return t, fmt.Errorf("tle: arg perigee: %w", err)
+	}
+	if t.MeanAnomalyDeg, err = parseFloatField(l2[43:51]); err != nil {
+		return t, fmt.Errorf("tle: mean anomaly: %w", err)
+	}
+	if t.MeanMotion, err = parseFloatField(l2[52:63]); err != nil {
+		return t, fmt.Errorf("tle: mean motion: %w", err)
+	}
+	if t.RevNumber, err = atoiField(l2[63:68]); err != nil {
+		return t, fmt.Errorf("tle: rev number: %w", err)
+	}
+	return t, t.Validate()
+}
+
+func atoiField(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func parseFloatField(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// parseAssumedDecimal parses the TLE "assumed decimal point" exponent form,
+// e.g. " 12345-3" = 0.12345e-3 and "-12345+1" = -0.12345e+1.
+func parseAssumedDecimal(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "00000-0" || s == "00000+0" {
+		return 0, nil
+	}
+	sign := 1.0
+	if s[0] == '-' {
+		sign = -1
+		s = s[1:]
+	} else if s[0] == '+' {
+		s = s[1:]
+	}
+	if len(s) < 2 {
+		return 0, fmt.Errorf("assumed decimal field too short: %q", s)
+	}
+	expPart := s[len(s)-2:]
+	mantPart := s[:len(s)-2]
+	mant, err := strconv.ParseFloat("0."+mantPart, 64)
+	if err != nil {
+		return 0, err
+	}
+	exp, err := strconv.Atoi(strings.Replace(expPart, "+", "", 1))
+	if err != nil {
+		return 0, err
+	}
+	return sign * mant * math.Pow(10, float64(exp)), nil
+}
+
+// parseEpoch parses the YYDDD.DDDDDDDD epoch field.
+func parseEpoch(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 5 {
+		return time.Time{}, fmt.Errorf("tle: epoch field %q too short", s)
+	}
+	yy, err := strconv.Atoi(s[:2])
+	if err != nil {
+		return time.Time{}, fmt.Errorf("tle: epoch year: %w", err)
+	}
+	year := 2000 + yy
+	if yy >= 57 { // TLE convention: 57-99 are 1957-1999.
+		year = 1900 + yy
+	}
+	dayFrac, err := strconv.ParseFloat(s[2:], 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("tle: epoch day: %w", err)
+	}
+	base := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
+	return base.Add(time.Duration((dayFrac - 1) * 86400 * float64(time.Second))), nil
+}
+
+// Format renders the TLE as two 69-character lines with valid checksums.
+func (t TLE) Format() (line1, line2 string) {
+	epochYY := t.Epoch.Year() % 100
+	dayOfYear := float64(t.Epoch.YearDay()) +
+		(time.Duration(t.Epoch.Hour())*time.Hour+
+			time.Duration(t.Epoch.Minute())*time.Minute+
+			time.Duration(t.Epoch.Second())*time.Second+
+			time.Duration(t.Epoch.Nanosecond())).Seconds()/86400
+
+	l1 := fmt.Sprintf("1 %05d%c %-8s %02d%012.8f %s %s %s 0 %4d",
+		t.CatalogNumber%100000, t.Classification, t.IntlDesignator,
+		epochYY, dayOfYear,
+		formatMeanMotionDot(t.MeanMotionDot),
+		" 00000-0", // second derivative (8-char assumed-decimal), always zero here
+		formatAssumedDecimal(t.BStar),
+		t.ElementSet%10000)
+	l1 = pad69(l1)
+	l1 += strconv.Itoa(checksum(l1))
+
+	l2 := fmt.Sprintf("2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
+		t.CatalogNumber%100000, t.InclinationDeg, t.RAANDeg,
+		int(math.Round(t.Eccentricity*1e7)),
+		t.ArgPerigeeDeg, t.MeanAnomalyDeg, t.MeanMotion, t.RevNumber%100000)
+	l2 = pad69(l2)
+	l2 += strconv.Itoa(checksum(l2))
+	return l1, l2
+}
+
+func pad69(s string) string {
+	for len(s) < 68 {
+		s += " "
+	}
+	return s[:68]
+}
+
+func formatMeanMotionDot(v float64) string {
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	frac := fmt.Sprintf("%.8f", v)
+	return sign + frac[1:] // drop leading 0, keep ".XXXXXXXX"
+}
+
+func formatAssumedDecimal(v float64) string {
+	if v == 0 {
+		return " 00000-0"
+	}
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	exp := int(math.Floor(math.Log10(v))) + 1
+	mant := v / math.Pow(10, float64(exp))
+	m := int(math.Round(mant * 1e5))
+	if m >= 100000 { // rounding pushed the mantissa over; renormalize
+		m /= 10
+		exp++
+	}
+	expSign := "+"
+	if exp < 0 {
+		expSign = "-"
+		exp = -exp
+	}
+	return fmt.Sprintf("%s%05d%s%d", sign, m, expSign, exp)
+}
