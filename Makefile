@@ -1,0 +1,27 @@
+# Tier-1 gate: every PR must keep `make tier1` green. The race detector
+# is part of the gate because the simulator runs constellation groups on
+# a worker pool (sim.Config.Workers).
+
+GO ?= go
+
+.PHONY: build vet test race tier1 bench figures
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+tier1: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+figures:
+	$(GO) run ./cmd/figures

@@ -15,6 +15,7 @@ package eagleeye
 // outside the timed region and only once per benchmark, regardless of b.N.
 
 import (
+	"math/rand"
 	"os"
 	"testing"
 
@@ -227,6 +228,45 @@ func BenchmarkExtensionRecapture(b *testing.B) {
 	}
 	emit(b, []experiments.Table{t}, "suppressed", lastOf(&t, "suppressed"))
 }
+
+// benchWorld scatters n static targets around a few ground-track
+// hotspots the paper orbit crosses within the first hours.
+func benchWorld(n int, seed int64) []Target {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{0, 0}, {20, 40}, {-30, 120}, {50, -80}, {-10, -60}}
+	out := make([]Target, 0, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		out = append(out, Target{
+			Lat: c[0] + rng.NormFloat64()*3,
+			Lon: c[1] + rng.NormFloat64()*3,
+		})
+	}
+	return out
+}
+
+// benchmarkRunWorkers times one full 4-group leader-follower simulation
+// through the public facade at the given worker count; the
+// Sequential/Parallel4 pair reports the parallel runner's speedup.
+func benchmarkRunWorkers(b *testing.B, workers int) {
+	targets := benchWorld(1500, 9)
+	cfg := Config{
+		Satellites:    8,
+		Targets:       targets,
+		DurationHours: 1,
+		Seed:          1,
+		Workers:       workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSequential(b *testing.B) { benchmarkRunWorkers(b, 1) }
+func BenchmarkRunParallel4(b *testing.B)  { benchmarkRunWorkers(b, 4) }
 
 // safeRatio returns a/b, or 0 when b is 0.
 func safeRatio(a, vb float64) float64 {

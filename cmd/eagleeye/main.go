@@ -33,6 +33,7 @@ func main() {
 		planes    = flag.Int("planes", 1, "orbital planes (§4.7 orbit-design extension)")
 		recapture = flag.Bool("recapture-dedup", false, "deprioritize already-captured targets (§4.7)")
 		traceFile = flag.String("trace", "", "write a per-frame JSON trace to this file")
+		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		OrbitPlanes:       *planes,
 		RecaptureDedup:    *recapture,
 		Trace:             trace,
+		Workers:           *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eagleeye:", err)

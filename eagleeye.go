@@ -109,6 +109,10 @@ type Config struct {
 	// Trace, when non-nil, receives one JSON line per processed leader
 	// frame: what was in view, what was detected, what the schedule did.
 	Trace io.Writer
+	// Workers runs independent constellation groups (or strip satellites)
+	// on this many goroutines: 0 means all CPUs, 1 sequential. Results
+	// and traces are deterministic for any value at a fixed seed.
+	Workers int
 }
 
 // Target is a ground target in a custom world.
@@ -287,6 +291,7 @@ func toSimConfig(cfg Config) (sim.Config, error) {
 	out.ClusterGreedy = cfg.GreedyClustering
 	out.RecaptureDedup = cfg.RecaptureDedup
 	out.Trace = cfg.Trace
+	out.Workers = cfg.Workers
 	out.RecallOverride = cfg.RecallOverride
 	out.SlewRateDegS = cfg.SlewRateDegS
 	out.ComputeDelayS = cfg.MixComputeDelayS

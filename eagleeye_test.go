@@ -51,6 +51,36 @@ func TestRunCustomTargets(t *testing.T) {
 	}
 }
 
+func TestRunWorkersMatchSequential(t *testing.T) {
+	// The -workers fast path must not change any reported metric.
+	targets := benchWorld(400, 17)
+	base := Config{
+		Satellites:    8,
+		Targets:       targets,
+		DurationHours: 1,
+		Seed:          5,
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 4
+	a, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HighResCaptured != b.HighResCaptured || a.Detections != b.Detections ||
+		a.Captures != b.Captures || a.CoveragePct != b.CoveragePct ||
+		a.CrosslinkKB != b.CrosslinkKB ||
+		a.LeaderEnergyUtilization != b.LeaderEnergyUtilization ||
+		a.FollowerEnergyUtilization != b.FollowerEnergyUtilization {
+		t.Errorf("parallel run diverges from sequential:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
 func TestRunBuiltinDatasetShortSim(t *testing.T) {
 	r, err := Run(Config{
 		Dataset:       DatasetShips,

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"math"
+	"sync"
 
 	"eagleeye/internal/geo"
 )
@@ -15,12 +16,14 @@ type Index struct {
 	cellDeg float64
 	atTime  float64
 	cells   map[int64][]int32
+	// stride is the cell-key row stride: one more than the column count,
+	// so any longitude cell (including lon = +180 after wrapping) fits a
+	// row without aliasing into its neighbor.
+	stride int64
 	// maxSpeed widens queries when positions were indexed at a different
 	// time than the query.
 	maxSpeed float64
 }
-
-const indexLatRows = 4096 // cell-key stride; supports cellDeg >= ~0.05
 
 // NewIndex builds a grid index of the set's positions at elapsed time
 // atTime (targets inactive at that time are still indexed; callers filter
@@ -34,6 +37,7 @@ func NewIndex(s *Set, cellDeg float64, atTime float64) *Index {
 		cellDeg: cellDeg,
 		atTime:  atTime,
 		cells:   make(map[int64][]int32),
+		stride:  int64(math.Ceil(360/cellDeg)) + 1,
 	}
 	for i, t := range s.Targets {
 		if t.SpeedMS > ix.maxSpeed {
@@ -49,7 +53,7 @@ func NewIndex(s *Set, cellDeg float64, atTime float64) *Index {
 func (ix *Index) key(lat, lon float64) int64 {
 	r := int64(math.Floor((lat + 90) / ix.cellDeg))
 	c := int64(math.Floor((geo.WrapLonDeg(lon) + 180) / ix.cellDeg))
-	return r*indexLatRows + c
+	return r*ix.stride + c
 }
 
 // Near returns indices of targets whose indexed position lies within
@@ -91,11 +95,16 @@ func (ix *Index) Near(p geo.LatLon, radiusM float64, queryTime float64) []int32 
 }
 
 // TimedIndex maintains per-time-bucket indices for moving target sets,
-// rebuilding lazily as the simulation advances.
+// rebuilding lazily as the simulation advances. It is safe for concurrent
+// use: the parallel simulator shares one TimedIndex across worker
+// goroutines, so bucket construction is mutex-guarded (a completed Index
+// is immutable and read without locking).
 type TimedIndex struct {
 	set     *Set
 	cellDeg float64
 	bucketS float64
+
+	mu      sync.RWMutex
 	buckets map[int64]*Index
 }
 
@@ -115,10 +124,18 @@ func (tx *TimedIndex) Near(p geo.LatLon, radiusM float64, ts float64) []int32 {
 		ts = 0
 	}
 	b := int64(math.Floor(ts / tx.bucketS))
-	ix, ok := tx.buckets[b]
-	if !ok {
-		ix = NewIndex(tx.set, tx.cellDeg, float64(b)*tx.bucketS)
-		tx.buckets[b] = ix
+	tx.mu.RLock()
+	ix := tx.buckets[b]
+	tx.mu.RUnlock()
+	if ix == nil {
+		// Double-checked build: another worker may have populated the
+		// bucket while we waited for the write lock.
+		tx.mu.Lock()
+		if ix = tx.buckets[b]; ix == nil {
+			ix = NewIndex(tx.set, tx.cellDeg, float64(b)*tx.bucketS)
+			tx.buckets[b] = ix
+		}
+		tx.mu.Unlock()
 	}
 	return ix.Near(p, radiusM, ts)
 }

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"eagleeye/internal/geo"
+)
+
+// TestIndexFineCellNoAliasing pins the cell-key stride to the column
+// count. The old fixed stride of 4096 aliased columns into neighboring
+// rows for cellDeg below ~0.088 (360/cellDeg columns): the two targets
+// below land in cells (row 1800, col 1000) and (row 1799, col 5096),
+// which collide under a 4096 stride (1800*4096+1000 == 1799*4096+5096),
+// so a tight query around the first target dragged in a target half a
+// world away.
+func TestIndexFineCellNoAliasing(t *testing.T) {
+	s := &Set{Name: "alias"}
+	near := geo.LatLon{Lat: 0.025, Lon: -129.975}
+	far := geo.LatLon{Lat: -0.025, Lon: 74.825}
+	s.Targets = append(s.Targets,
+		Target{ID: 0, Pos: near, Value: 1},
+		Target{ID: 1, Pos: far, Value: 1},
+	)
+	ix := NewIndex(s, 0.05, 0)
+	got := ix.Near(near, 1e3, 0)
+	foundNear := false
+	for _, ci := range got {
+		switch ci {
+		case 0:
+			foundNear = true
+		case 1:
+			t.Errorf("candidate set contains a target %.0f km away",
+				geo.GreatCircleDistance(near, far)/1e3)
+		}
+	}
+	if !foundNear {
+		t.Error("query missed the target in its own cell")
+	}
+}
+
+// TestIndexCoarseCellsStillFind guards the stride change at the default
+// coarse resolution: nearby targets keep being found.
+func TestIndexCoarseCellsStillFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &Set{Name: "coarse"}
+	for i := 0; i < 200; i++ {
+		s.Targets = append(s.Targets, Target{
+			ID:    i,
+			Pos:   geo.LatLon{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*360 - 180}.Normalize(),
+			Value: 1,
+		})
+	}
+	ix := NewIndex(s, 2, 0)
+	for i, tgt := range s.Targets {
+		found := false
+		for _, ci := range ix.Near(tgt.Pos, 10e3, 0) {
+			if ci == int32(i) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("target %d at %+v not in its own neighborhood", i, tgt.Pos)
+		}
+	}
+}
+
+// TestTimedIndexConcurrentNear hammers one TimedIndex from several
+// goroutines so that bucket construction races with lookups -- the access
+// pattern of the parallel simulator. Before bucket builds were
+// mutex-guarded this failed under -race.
+func TestTimedIndexConcurrentNear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := &Set{Name: "conc", Moving: true}
+	for i := 0; i < 400; i++ {
+		s.Targets = append(s.Targets, Target{
+			ID:         i,
+			Pos:        geo.LatLon{Lat: rng.Float64()*120 - 60, Lon: rng.Float64()*360 - 180}.Normalize(),
+			SpeedMS:    50 + rng.Float64()*150,
+			HeadingDeg: rng.Float64() * 360,
+			Value:      1,
+		})
+	}
+	tx := NewTimedIndex(s, 2, 60)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Interleave bucket times across goroutines so the same
+				// bucket is requested concurrently before it exists.
+				ts := float64(((i*7 + w*3) % 40) * 60)
+				p := geo.LatLon{Lat: float64(i%120 - 60), Lon: float64((w*45+i)%360 - 180)}
+				tx.Near(p, 2e5, ts)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tx.Set() != s {
+		t.Error("Set accessor lost the underlying set")
+	}
+}

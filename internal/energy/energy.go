@@ -115,6 +115,16 @@ func (b *Budget) Downlink(s float64) { b.TXJ += s * b.Params.TXW }
 // Crosslink accounts s seconds of inter-satellite transmission.
 func (b *Budget) Crosslink(s float64) { b.CrosslinkJ += s * b.Params.CrosslinkW }
 
+// Add accumulates o's consumption into b. The parallel simulator merges
+// per-worker private budgets this way; parameters stay b's own.
+func (b *Budget) Add(o *Budget) {
+	b.CameraJ += o.CameraJ
+	b.ADACSJ += o.ADACSJ
+	b.ComputeJ += o.ComputeJ
+	b.TXJ += o.TXJ
+	b.CrosslinkJ += o.CrosslinkJ
+}
+
 // TotalJ returns the total consumption.
 func (b *Budget) TotalJ() float64 {
 	return b.CameraJ + b.ADACSJ + b.ComputeJ + b.TXJ + b.CrosslinkJ

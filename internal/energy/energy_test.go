@@ -64,6 +64,34 @@ func TestBudgetAccumulation(t *testing.T) {
 	}
 }
 
+func TestBudgetAdd(t *testing.T) {
+	a := NewBudget(Paper3U())
+	a.Capture(10)
+	a.Compute(100)
+	a.Slew(30, 60)
+	a.Downlink(60)
+	a.Crosslink(5)
+	b := NewBudget(Paper3U())
+	b.Capture(3)
+	b.Compute(7)
+
+	sum := NewBudget(Paper3U())
+	sum.Add(a)
+	sum.Add(b)
+	if sum.CameraJ != a.CameraJ+b.CameraJ {
+		t.Errorf("camera = %v, want %v", sum.CameraJ, a.CameraJ+b.CameraJ)
+	}
+	if sum.ComputeJ != a.ComputeJ+b.ComputeJ {
+		t.Errorf("compute = %v, want %v", sum.ComputeJ, a.ComputeJ+b.ComputeJ)
+	}
+	if sum.ADACSJ != a.ADACSJ || sum.TXJ != a.TXJ || sum.CrosslinkJ != a.CrosslinkJ {
+		t.Errorf("adacs/tx/crosslink not carried over: %+v", sum)
+	}
+	if sum.TotalJ() != a.TotalJ()+b.TotalJ() {
+		t.Errorf("total = %v, want %v", sum.TotalJ(), a.TotalJ()+b.TotalJ())
+	}
+}
+
 func TestFig16TilingFeasibility(t *testing.T) {
 	// The paper: harvest supports ~2x tiling; 4x exceeds the budget.
 	p := Paper3U()

@@ -51,8 +51,11 @@ func ExtRecapture(sc Scale) Table {
 	base := sim.Config{
 		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 4},
 		App:           world,
-		DurationS:     sc.DurationS * 2, // revisits need a few orbits
-		Seed:          sc.Seed,
+		// The recapture registry is per leader group (no inter-group
+		// crosslink exists to share it), so suppression needs each group
+		// to re-overfly its *own* captures: a few full orbits.
+		DurationS: sc.DurationS * 4,
+		Seed:      sc.Seed,
 	}
 	off := runSim(base)
 	on := base

@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"testing"
+
+	"eagleeye/internal/constellation"
+)
+
+// benchmarkRun measures a full multi-group leader-follower run at the
+// given worker count; compare BenchmarkRunWorkers1 against
+// BenchmarkRunWorkers4 for the parallel-runner speedup (the groups are
+// independent, so scaling should be near-linear until the pool runs out
+// of groups or cores).
+func benchmarkRun(b *testing.B, workers int) {
+	w := smallWorld(2000, 60)
+	cfg := Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 8},
+		App:           w, DurationS: 2 * 3600, Seed: 1, Workers: workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunWorkers1(b *testing.B) { benchmarkRun(b, 1) }
+func BenchmarkRunWorkers2(b *testing.B) { benchmarkRun(b, 2) }
+func BenchmarkRunWorkers4(b *testing.B) { benchmarkRun(b, 4) }

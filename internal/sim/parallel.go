@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"eagleeye/internal/constellation"
+	"eagleeye/internal/dataset"
+)
+
+// Parallel execution: constellation groups share no state by
+// construction (§3's organization gives each leader its own followers
+// and ground track), so the simulator runs one job per group (or per
+// satellite for the strip baselines) on a bounded worker pool. Each job
+// owns a private runState; Run merges them in job order afterwards,
+// which keeps any worker count byte-identical to a sequential run at a
+// fixed seed. The only shared structure is the dataset.TimedIndex, which
+// is safe for concurrent readers.
+
+// runJobs executes the jobs on cfg.Workers goroutines (0 means
+// GOMAXPROCS) and returns the private states in job order. The
+// first-failing job's error (in job order, not completion order) is
+// returned so parallel runs report the same error as sequential ones.
+func runJobs(cfg Config, cons *constellation.Constellation, index *dataset.TimedIndex, jobs []func(*runState) error) ([]*runState, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	states := make([]*runState, len(jobs))
+	errs := make([]error, len(jobs))
+	runOne := func(i int) {
+		st := newRunState(cfg, cons, index)
+		states[i] = st
+		errs[i] = jobs[i](st)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			runOne(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return states, nil
+}

@@ -68,14 +68,25 @@ type Config struct {
 	// ValidateSchedules re-checks every schedule against C1-C3 (slower;
 	// used by tests).
 	ValidateSchedules bool
-	// RecaptureDedup enables the §4.7 recapture extension: leaders
-	// deprioritize detections at ground positions the constellation has
+	// RecaptureDedup enables the §4.7 recapture extension: each leader
+	// deprioritizes detections at ground positions its own group has
 	// already captured at high resolution, freeing follower time for new
-	// targets.
+	// targets. The registry is per group -- sharing it across groups would
+	// require inter-group communication the constellation does not have.
 	RecaptureDedup bool
 	// Trace, when non-nil, receives one JSON line per processed leader
-	// frame (see TraceRecord).
+	// frame (see TraceRecord). Records are emitted in group order, frames
+	// in time order within each group, regardless of Workers.
 	Trace io.Writer
+	// Workers bounds the concurrent goroutines executing per-group
+	// (leader-follower, mix-camera) or per-satellite (strip-coverage)
+	// jobs. 0 means runtime.GOMAXPROCS(0); 1 runs sequentially. Every
+	// job works against private accumulators and a deterministic merge
+	// folds them in group order, so the Result and trace are identical
+	// for any worker count at a fixed seed (timing-derived fields --
+	// scheduler wall clock and deadline misses -- excepted). A custom
+	// Scheduler must be safe for concurrent use when Workers != 1.
+	Workers int
 }
 
 // Result aggregates one run.
@@ -169,43 +180,66 @@ func Run(cfg Config) (*Result, error) {
 		App:          cfg.App.Name,
 		TotalTargets: len(cfg.App.Targets),
 	}
-	st := &runState{
-		cfg:      cfg,
-		cons:     cons,
-		res:      res,
-		index:    dataset.NewTimedIndex(cfg.App, 2, 600),
-		captured: make([]bool, len(cfg.App.Targets)),
-		seen:     make([]bool, len(cfg.App.Targets)),
-		leaderB:  energy.NewBudget(energyParams(cfg)),
-		folB:     energy.NewBudget(energyParams(cfg)),
-		capCells: make(map[int64]bool),
-		trace:    newTraceWriter(cfg.Trace),
-	}
+	// The timed index is the only state shared between jobs; it is safe
+	// for concurrent readers.
+	index := dataset.NewTimedIndex(cfg.App, 2, 600)
 
+	// Independent jobs: one per satellite for the strip baselines, one
+	// per leader group otherwise (groups share no state by construction).
+	var jobs []func(*runState) error
 	switch cons.Config.Kind {
 	case constellation.LowResOnly, constellation.HighResOnly:
-		st.runStripCoverage()
+		for _, sat := range cons.Sats {
+			sat := sat
+			jobs = append(jobs, func(st *runState) error {
+				st.runStripSat(sat)
+				return nil
+			})
+		}
 	case constellation.LeaderFollower, constellation.MixCamera:
-		if err := st.runLeaderFollower(); err != nil {
-			return nil, err
+		for gi := range cons.Groups {
+			gi := gi
+			jobs = append(jobs, func(st *runState) error {
+				return st.runGroup(gi, cons.Groups[gi])
+			})
 		}
 	default:
 		return nil, fmt.Errorf("sim: unsupported kind %v", cons.Config.Kind)
 	}
 
-	for _, c := range st.captured {
+	states, err := runJobs(cfg, cons, index, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: fold private accumulators in job order, so a
+	// parallel run reduces exactly like the sequential one.
+	agg := newRunState(cfg, cons, index)
+	agg.res = res
+	for _, s := range states {
+		s.mergeInto(agg)
+	}
+
+	for _, c := range agg.captured {
 		if c {
 			res.HighResCaptured++
 		}
 	}
-	for _, s := range st.seen {
+	for _, s := range agg.seen {
 		if s {
 			res.LowResSeen++
 		}
 	}
-	st.finalizeEnergy()
-	st.finalizeComms()
-	if err := st.trace.Err(); err != nil {
+	agg.finalizeEnergy()
+	agg.finalizeComms()
+
+	tw := newTraceWriter(cfg.Trace)
+	for _, s := range states {
+		for _, rec := range s.trace {
+			tw.emit(rec)
+		}
+	}
+	if err := tw.Err(); err != nil {
 		return nil, fmt.Errorf("sim: trace: %w", err)
 	}
 	return res, nil
@@ -241,20 +275,75 @@ func (st *runState) finalizeComms() {
 	st.res.DownlinkableFraction = frac
 }
 
-// runState carries the mutable simulation state.
+// runState carries one job's private simulation state. Every group (or
+// strip satellite) gets its own instance, so jobs run concurrently
+// without synchronization; mergeInto folds them back deterministically.
 type runState struct {
 	cfg      Config
 	cons     *constellation.Constellation
 	res      *Result
-	index    *dataset.TimedIndex
+	index    *dataset.TimedIndex // shared; safe for concurrent readers
 	captured []bool
 	seen     []bool
 	leaderB  *energy.Budget
 	folB     *energy.Budget
-	// capCells is the recapture registry: ~2 km ground cells already
-	// captured at high resolution (used when cfg.RecaptureDedup is set).
+	// capCells is the recapture registry: ~2 km ground cells this group
+	// already captured at high resolution (used when cfg.RecaptureDedup
+	// is set).
 	capCells map[int64]bool
-	trace    *traceWriter
+	// trace buffers this job's frame records; they are emitted in group
+	// order after all jobs complete.
+	trace []TraceRecord
+}
+
+// newRunState allocates a private accumulator set for one job.
+func newRunState(cfg Config, cons *constellation.Constellation, index *dataset.TimedIndex) *runState {
+	return &runState{
+		cfg:      cfg,
+		cons:     cons,
+		res:      &Result{},
+		index:    index,
+		captured: make([]bool, len(cfg.App.Targets)),
+		seen:     make([]bool, len(cfg.App.Targets)),
+		leaderB:  energy.NewBudget(energyParams(cfg)),
+		folB:     energy.NewBudget(energyParams(cfg)),
+		capCells: make(map[int64]bool),
+	}
+}
+
+// mergeInto folds this job's private accumulators into dst. Callers
+// invoke it in job order; every reduction below is either
+// order-insensitive (counters, bitmap unions, maxima) or explicitly
+// ordered by that call sequence (per-image counts), which is what makes
+// parallel runs byte-identical to sequential ones.
+func (st *runState) mergeInto(dst *runState) {
+	r, p := dst.res, st.res
+	r.Frames += p.Frames
+	r.FramesWithTargets += p.FramesWithTargets
+	r.Detections += p.Detections
+	r.Clusters += p.Clusters
+	r.Captures += p.Captures
+	r.TargetsPerImage = append(r.TargetsPerImage, p.TargetsPerImage...)
+	r.SchedSolves += p.SchedSolves
+	r.SchedWallTotal += p.SchedWallTotal
+	if p.SchedWallMax > r.SchedWallMax {
+		r.SchedWallMax = p.SchedWallMax
+	}
+	r.MissedDeadline += p.MissedDeadline
+	r.RecaptureSuppressed += p.RecaptureSuppressed
+	r.CrosslinkBytes += p.CrosslinkBytes
+	for i, c := range st.captured {
+		if c {
+			dst.captured[i] = true
+		}
+	}
+	for i, s := range st.seen {
+		if s {
+			dst.seen[i] = true
+		}
+	}
+	dst.leaderB.Add(st.leaderB)
+	dst.folB.Add(st.folB)
 }
 
 // capCellKey quantizes a geodetic position into the recapture registry.
@@ -307,184 +396,191 @@ func (st *runState) targetsInFrame(f geo.TangentFrame, w, h float64, ts float64)
 	return idx, pts
 }
 
-// runStripCoverage handles the homogeneous baselines: each satellite
+// runStripSat handles one satellite of the homogeneous baselines: it
 // continuously images its nadir strip; a target is covered when it falls
 // inside the swath. Consecutive frames tile the ground track, so the loop
 // walks the track in long steps with a swath-wide, step-long footprint.
-func (st *runState) runStripCoverage() {
-	for _, sat := range st.cons.Sats {
-		swath := sat.LowRes.SwathM
-		highRes := false
-		if !sat.HasLowRes() {
-			swath = sat.HighRes.SwathM
-			highRes = true
+func (st *runState) runStripSat(sat *constellation.Satellite) {
+	swath := sat.LowRes.SwathM
+	highRes := false
+	if !sat.HasLowRes() {
+		swath = sat.HighRes.SwathM
+		highRes = true
+	}
+	stepS := 50e3 / sat.Prop.GroundSpeedMS() // 50 km along-track steps
+	stepLen := sat.Prop.GroundSpeedMS() * stepS
+	for ts := 0.0; ts < st.cfg.DurationS; ts += stepS {
+		s := sat.Prop.StateAtElapsed(ts)
+		f := geo.TangentFrame{Origin: s.SubPoint, BearingDeg: s.HeadingDeg}
+		idx, _ := st.targetsInFrame(f, swath, stepLen, ts)
+		st.res.Frames++
+		if len(idx) == 0 {
+			continue
 		}
-		stepS := 50e3 / sat.Prop.GroundSpeedMS() // 50 km along-track steps
-		stepLen := sat.Prop.GroundSpeedMS() * stepS
-		for ts := 0.0; ts < st.cfg.DurationS; ts += stepS {
-			s := sat.Prop.StateAtElapsed(ts)
-			f := geo.TangentFrame{Origin: s.SubPoint, BearingDeg: s.HeadingDeg}
-			idx, _ := st.targetsInFrame(f, swath, stepLen, ts)
-			st.res.Frames++
-			if len(idx) == 0 {
-				continue
-			}
-			st.res.FramesWithTargets++
-			for _, ci := range idx {
-				st.seen[ci] = true
-				if highRes {
-					st.captured[ci] = true
-				}
+		st.res.FramesWithTargets++
+		for _, ci := range idx {
+			st.seen[ci] = true
+			if highRes {
+				st.captured[ci] = true
 			}
 		}
-		// Energy: continuous imaging and processing along the track.
-		framesPerDay := st.cfg.DurationS / (swath / sat.Prop.GroundSpeedMS())
+	}
+	// Energy: continuous imaging along the track. High-res strip
+	// satellites capture only -- they run no ML detection -- and book to
+	// the follower-role budget; low-res satellites detect on every frame
+	// and book to the leader/mono budget.
+	framesPerDay := st.cfg.DurationS / (swath / sat.Prop.GroundSpeedMS())
+	if highRes {
+		st.folB.Capture(int(framesPerDay))
+	} else {
 		st.leaderB.Capture(int(framesPerDay))
 		st.leaderB.Compute(framesPerDay * st.cfg.Tiling.FrameTimeS(st.cfg.Detector))
 	}
 }
 
-// runLeaderFollower runs the EagleEye operating model (and the mix-camera
-// variant, where the "follower" is the leader itself after its compute
-// delay).
-func (st *runState) runLeaderFollower() error {
+// runGroup runs one group of the EagleEye operating model (or the
+// mix-camera variant, where the "follower" is the leader itself after its
+// compute delay). Groups are independent by construction -- each leader
+// has its own followers and ground track -- so runGroup only touches the
+// job's private runState and the concurrency-safe shared index.
+func (st *runState) runGroup(gi int, grp constellation.Group) error {
 	cfg := st.cfg
-	for gi, grp := range st.cons.Groups {
-		leader := grp.Leader
-		cadence := leader.Prop.FrameCadenceS(leader.LowRes.FootprintAlongM())
-		computeS := cfg.ComputeDelayS
-		if computeS == 0 {
-			computeS = cfg.Tiling.FrameTimeS(cfg.Detector)
+	leader := grp.Leader
+	cadence := leader.Prop.FrameCadenceS(leader.LowRes.FootprintAlongM())
+	computeS := cfg.ComputeDelayS
+	if computeS == 0 {
+		computeS = cfg.Tiling.FrameTimeS(cfg.Detector)
+	}
+
+	followers := grp.Followers
+	mix := len(followers) == 0 // mix-camera: self-follower
+	env := sched.Env{
+		AltitudeM:     leader.Prop.AltitudeM(),
+		GroundSpeedMS: leader.Prop.GroundSpeedMS(),
+		Slew:          st.slewModel(),
+	}
+	// The off-nadir limit belongs to whichever camera executes the
+	// schedule: the leader's own high-res camera in the mix variant,
+	// the followers' otherwise.
+	if mix {
+		env.MaxOffNadirDeg = leader.HighRes.MaxOffNadirDeg
+		// The satellite must be back at nadir for the next frame.
+		env.HorizonS = math.Max(0, cadence-computeS-1)
+	} else {
+		env.MaxOffNadirDeg = followers[0].HighRes.MaxOffNadirDeg
+	}
+
+	pipe := &core.Pipeline{
+		Detector:      cfg.Detector,
+		Tiling:        cfg.Tiling,
+		UseClustering: !cfg.NoClustering,
+		// Frame-rate clustering: bound the set-cover ILP per frame;
+		// dense frames fall back to the greedy cover, as the energy
+		// and deadline budgets require.
+		ClusterOpts: cluster.Options{
+			ForceGreedy:      cfg.ClusterGreedy,
+			MaxILPCandidates: 400,
+			MIP:              mip.Options{TimeLimit: 150 * time.Millisecond, MaxNodes: 40},
+		},
+		Scheduler:      cfg.Scheduler,
+		HighResSwathM:  highResSwath(grp, leader),
+		RecallOverride: cfg.RecallOverride,
+	}
+
+	frameIdx := 0
+	for ts := 0.0; ts < cfg.DurationS; ts += cadence {
+		frameIdx++
+		ls := leader.Prop.StateAtElapsed(ts)
+		w := leader.LowRes.SwathM
+		h := leader.LowRes.FootprintAlongM()
+		// A frame captured at ts covers the swath ahead of the
+		// leader's nadir (Fig. 9): the leader overflies the imaged
+		// area during the ~13.7 s it spends computing, which is why
+		// the separation equals the swath width -- a follower 100 km
+		// back is still behind the frame area when the schedule
+		// arrives, whatever the compute latency, while a mix-camera
+		// satellite has flown into its own frame and must look
+		// backward at targets whose windows are closing.
+		center := geo.Destination(ls.SubPoint, ls.HeadingDeg, h/2)
+		frame := geo.TangentFrame{Origin: center, BearingDeg: ls.HeadingDeg}
+		idx, pts := st.targetsInFrame(frame, w, h, ts)
+		st.res.Frames++
+		st.leaderB.Capture(1)
+		st.leaderB.Compute(computeS)
+		if len(idx) == 0 {
+			continue
+		}
+		st.res.FramesWithTargets++
+		st.res.TargetsPerImage = append(st.res.TargetsPerImage, len(idx))
+		for _, ci := range idx {
+			st.seen[ci] = true
 		}
 
-		followers := grp.Followers
-		mix := len(followers) == 0 // mix-camera: self-follower
-		env := sched.Env{
-			AltitudeM:      leader.Prop.AltitudeM(),
-			GroundSpeedMS:  leader.Prop.GroundSpeedMS(),
-			MaxOffNadirDeg: leader.LowRes.MaxOffNadirDeg,
-			Slew:           st.slewModel(),
-		}
+		// Schedule starts when the leader finishes computing.
+		tSched := ts + computeS
+		var fols []sched.Follower
 		if mix {
-			env.MaxOffNadirDeg = leader.HighRes.MaxOffNadirDeg
-			// The satellite must be back at nadir for the next frame.
-			env.HorizonS = math.Max(0, cadence-computeS-1)
+			sub := frame.ToLocal(leader.Prop.StateAtElapsed(tSched).SubPoint)
+			fols = []sched.Follower{{SubPoint: sub, Boresight: sub}}
 		} else {
-			env.MaxOffNadirDeg = grp.Followers[0].HighRes.MaxOffNadirDeg
+			for _, f := range followers {
+				sub := frame.ToLocal(f.Prop.StateAtElapsed(tSched).SubPoint)
+				fols = append(fols, sched.Follower{SubPoint: sub, Boresight: sub})
+			}
 		}
 
-		pipe := &core.Pipeline{
-			Detector:      cfg.Detector,
-			Tiling:        cfg.Tiling,
-			UseClustering: !cfg.NoClustering,
-			// Frame-rate clustering: bound the set-cover ILP per frame;
-			// dense frames fall back to the greedy cover, as the energy
-			// and deadline budgets require.
-			ClusterOpts: cluster.Options{
-				ForceGreedy:      cfg.ClusterGreedy,
-				MaxILPCandidates: 400,
-				MIP:              mip.Options{TimeLimit: 150 * time.Millisecond, MaxNodes: 40},
-			},
-			Scheduler:      cfg.Scheduler,
-			HighResSwathM:  highResSwath(grp, leader),
-			RecallOverride: cfg.RecallOverride,
+		pipe.Rng = rand.New(rand.NewSource(frameSeed(cfg.Seed, gi, frameIdx)))
+		if cfg.RecaptureDedup {
+			// §4.7 recapture: detections at already-captured ground
+			// cells are deprioritized to a tenth of their score.
+			pipe.PriorityScale = func(lp geo.Point2) float64 {
+				if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
+					st.res.RecaptureSuppressed++
+					return 0.1
+				}
+				return 1
+			}
 		}
-
-		frameIdx := 0
-		for ts := 0.0; ts < cfg.DurationS; ts += cadence {
-			frameIdx++
-			ls := leader.Prop.StateAtElapsed(ts)
-			w := leader.LowRes.SwathM
-			h := leader.LowRes.FootprintAlongM()
-			// A frame captured at ts covers the swath ahead of the
-			// leader's nadir (Fig. 9): the leader overflies the imaged
-			// area during the ~13.7 s it spends computing, which is why
-			// the separation equals the swath width -- a follower 100 km
-			// back is still behind the frame area when the schedule
-			// arrives, whatever the compute latency, while a mix-camera
-			// satellite has flown into its own frame and must look
-			// backward at targets whose windows are closing.
-			center := geo.Destination(ls.SubPoint, ls.HeadingDeg, h/2)
-			frame := geo.TangentFrame{Origin: center, BearingDeg: ls.HeadingDeg}
-			idx, pts := st.targetsInFrame(frame, w, h, ts)
-			st.res.Frames++
-			st.leaderB.Capture(1)
-			st.leaderB.Compute(computeS)
-			if len(idx) == 0 {
-				continue
-			}
-			st.res.FramesWithTargets++
-			st.res.TargetsPerImage = append(st.res.TargetsPerImage, len(idx))
-			for _, ci := range idx {
-				st.seen[ci] = true
-			}
-
-			// Schedule starts when the leader finishes computing.
-			tSched := ts + computeS
-			var fols []sched.Follower
-			if mix {
-				sub := frame.ToLocal(leader.Prop.StateAtElapsed(tSched).SubPoint)
-				fols = []sched.Follower{{SubPoint: sub, Boresight: sub}}
-			} else {
-				for _, f := range followers {
-					sub := frame.ToLocal(f.Prop.StateAtElapsed(tSched).SubPoint)
-					fols = append(fols, sched.Follower{SubPoint: sub, Boresight: sub})
-				}
-			}
-
-			pipe.Rng = rand.New(rand.NewSource(frameSeed(cfg.Seed, gi, frameIdx)))
-			if cfg.RecaptureDedup {
-				// §4.7 recapture: detections at already-captured ground
-				// cells are deprioritized to a tenth of their score.
-				pipe.PriorityScale = func(lp geo.Point2) float64 {
-					if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
-						st.res.RecaptureSuppressed++
-						return 0.1
-					}
-					return 1
-				}
-			}
-			fres, err := pipe.ProcessFrame(core.Frame{
-				Truth:  pts,
-				Bounds: geo.NewRectCentered(geo.Point2{}, w, h),
-				GSDM:   leader.LowRes.GSDM,
-			}, fols, env)
-			if err != nil {
+		fres, err := pipe.ProcessFrame(core.Frame{
+			Truth:  pts,
+			Bounds: geo.NewRectCentered(geo.Point2{}, w, h),
+			GSDM:   leader.LowRes.GSDM,
+		}, fols, env)
+		if err != nil {
+			return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
+		}
+		st.res.Detections += len(fres.Detections)
+		st.res.Clusters += len(fres.Clusters)
+		st.res.SchedSolves++
+		st.res.SchedWallTotal += fres.SchedWall
+		if fres.SchedWall > st.res.SchedWallMax {
+			st.res.SchedWallMax = fres.SchedWall
+		}
+		if computeS+fres.SchedWall.Seconds() > cadence {
+			st.res.MissedDeadline++
+		}
+		if cfg.ValidateSchedules {
+			if err := validateAgainstPipeline(&fres, fols, env); err != nil {
 				return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
 			}
-			st.res.Detections += len(fres.Detections)
-			st.res.Clusters += len(fres.Clusters)
-			st.res.SchedSolves++
-			st.res.SchedWallTotal += fres.SchedWall
-			if fres.SchedWall > st.res.SchedWallMax {
-				st.res.SchedWallMax = fres.SchedWall
-			}
-			if computeS+fres.SchedWall.Seconds() > cadence {
-				st.res.MissedDeadline++
-			}
-			if cfg.ValidateSchedules {
-				if err := validateAgainstPipeline(&fres, fols, env); err != nil {
-					return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
-				}
-			}
-			st.executeSchedule(frame, tSched, &fres, grp, leader, mix)
-			st.res.CrosslinkBytes += fres.CrosslinkBytes
-			st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
-			st.trace.emit(TraceRecord{
-				Group:    gi,
-				Frame:    frameIdx,
-				TimeS:    ts,
-				Lat:      frame.Origin.Lat,
-				Lon:      frame.Origin.Lon,
-				Targets:  len(idx),
-				Detected: len(fres.Detections),
-				Clusters: len(fres.Clusters),
-				Captures: fres.Schedule.NumCaptures(),
-				Covered:  len(fres.Schedule.CoveredIDs()),
-				SchedMS:  float64(fres.SchedWall.Microseconds()) / 1000,
-				Deadline: computeS+fres.SchedWall.Seconds() <= cadence,
-			})
 		}
+		st.executeSchedule(frame, tSched, &fres, grp, leader, mix)
+		st.res.CrosslinkBytes += fres.CrosslinkBytes
+		st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
+		st.trace = append(st.trace, TraceRecord{
+			Group:    gi,
+			Frame:    frameIdx,
+			TimeS:    ts,
+			Lat:      frame.Origin.Lat,
+			Lon:      frame.Origin.Lon,
+			Targets:  len(idx),
+			Detected: len(fres.Detections),
+			Clusters: len(fres.Clusters),
+			Captures: fres.Schedule.NumCaptures(),
+			Covered:  len(fres.Schedule.CoveredIDs()),
+			SchedMS:  float64(fres.SchedWall.Microseconds()) / 1000,
+			Deadline: computeS+fres.SchedWall.Seconds() <= cadence,
+		})
 	}
 	return nil
 }
@@ -502,7 +598,15 @@ func highResSwath(grp constellation.Group, leader *constellation.Satellite) floa
 // exactly the §4.6 lookahead effect.
 func (st *runState) executeSchedule(frame geo.TangentFrame, tSched float64, fres *core.Result, grp constellation.Group, leader *constellation.Satellite, mix bool) {
 	swath := highResSwath(grp, leader)
-	for _, seq := range fres.Schedule.Captures {
+	for fi, seq := range fres.Schedule.Captures {
+		// Slew energy depends on the executing satellite's own altitude:
+		// the leader itself in the mix variant, follower fi otherwise
+		// (groups may mix altitudes).
+		exec := leader
+		if !mix && fi < len(grp.Followers) {
+			exec = grp.Followers[fi]
+		}
+		altM := exec.Prop.AltitudeM()
 		var prevAim geo.Point2
 		prevT := 0.0
 		first := true
@@ -532,7 +636,7 @@ func (st *runState) executeSchedule(frame geo.TangentFrame, tSched float64, fres
 				ang := adacs.PointingAngleDeg(
 					geo.Point2{X: prevAim.X, Y: prevAim.Y - 50e3}, prevAim,
 					geo.Point2{X: c.Aim.X, Y: c.Aim.Y - 50e3}, c.Aim,
-					leader.Prop.AltitudeM())
+					altM)
 				st.folB.Slew(ang, c.Time-prevT)
 			}
 			first = false
@@ -592,10 +696,16 @@ func (st *runState) finalizeEnergy() {
 	nFollowers := 0.0
 	for _, g := range st.cons.Groups {
 		nFollowers += float64(len(g.Followers))
+		if g.Leader.Role == constellation.RoleMono && !g.Leader.HasLowRes() {
+			// High-Res-Only strip satellites book capture energy to the
+			// follower-role budget (they point-and-shoot, never detect).
+			nFollowers++
+		}
 	}
 	st.res.LeaderBudget = scale(st.leaderB, nLeaders)
 	st.res.FollowerBudget = scale(st.folB, nFollowers)
-	// Followers downlink the captured imagery (6 min/orbit contact).
+	// Image-producing satellites downlink the captured imagery
+	// (6 min/orbit contact): followers, and high-res strip monos.
 	if nFollowers > 0 {
 		st.res.FollowerBudget.Downlink(6 * 60)
 	}

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"eagleeye/internal/constellation"
@@ -117,6 +120,138 @@ func TestDeterminism(t *testing.T) {
 	if a.HighResCaptured != b.HighResCaptured || a.Detections != b.Detections ||
 		a.LowResSeen != b.LowResSeen || a.Captures != b.Captures {
 		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// normalized strips the timing-derived fields (scheduler wall clock and
+// deadline misses vary with machine load) so results can be compared
+// byte-for-byte across worker counts.
+func normalized(r *Result) Result {
+	c := *r
+	c.SchedWallTotal = 0
+	c.SchedWallMax = 0
+	c.MissedDeadline = 0
+	return c
+}
+
+// decodeTrace parses a JSON trace and zeroes its timing fields.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []TraceRecord {
+	t.Helper()
+	var out []TraceRecord
+	dec := json.NewDecoder(buf)
+	for dec.More() {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		rec.SchedMS = 0
+		rec.Deadline = false
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestWorkersDeterministic(t *testing.T) {
+	// The tentpole guarantee: Workers=N is byte-identical to Workers=1
+	// (same Result, same trace stream) for a fixed seed, across every
+	// organization and with the recapture extension on.
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"leader-follower-4-groups", Config{
+			Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 8},
+			App:           smallWorld(1500, 50), DurationS: 2 * 3600, Seed: 7,
+		}},
+		{"mix-camera", Config{
+			Constellation: constellation.Config{Kind: constellation.MixCamera, Satellites: 4},
+			App:           smallWorld(1200, 51), DurationS: 2 * 3600, Seed: 7,
+		}},
+		{"high-res-only", Config{
+			Constellation: constellation.Config{Kind: constellation.HighResOnly, Satellites: 4},
+			App:           smallWorld(1200, 52), DurationS: 2 * 3600, Seed: 7,
+		}},
+		{"recapture-dedup", Config{
+			Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 8},
+			App:           polarWorld(600, 53), DurationS: 4 * 3600, Seed: 7, RecaptureDedup: true,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tr1, trN bytes.Buffer
+			seq := tc.cfg
+			seq.Workers = 1
+			seq.Trace = &tr1
+			par := tc.cfg
+			par.Workers = 4
+			par.Trace = &trN
+			a := run(t, seq)
+			b := run(t, par)
+			if na, nb := normalized(a), normalized(b); !reflect.DeepEqual(na, nb) {
+				t.Errorf("Workers=1 and Workers=4 diverge:\n%+v\nvs\n%+v", na, nb)
+			}
+			ta := decodeTrace(t, &tr1)
+			tb := decodeTrace(t, &trN)
+			if !reflect.DeepEqual(ta, tb) {
+				t.Errorf("traces diverge: %d vs %d records", len(ta), len(tb))
+			}
+		})
+	}
+}
+
+func TestWorkersDefaultMatchesSequential(t *testing.T) {
+	// Workers=0 (all CPUs) must agree with the sequential run too.
+	w := smallWorld(1000, 54)
+	cfg := Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 4},
+		App:           w, DurationS: 2 * 3600, Seed: 3,
+	}
+	seq := cfg
+	seq.Workers = 1
+	par := cfg // Workers: 0
+	a := run(t, seq)
+	b := run(t, par)
+	if na, nb := normalized(a), normalized(b); !reflect.DeepEqual(na, nb) {
+		t.Errorf("Workers=0 diverges from Workers=1:\n%+v\nvs\n%+v", na, nb)
+	}
+}
+
+func TestHighResOnlyEnergyAttribution(t *testing.T) {
+	// High-Res-Only satellites point-and-shoot: capture energy books to
+	// the follower-role budget, no ML compute anywhere, downlink on the
+	// imagery producers.
+	w := smallWorld(1000, 55)
+	hi := run(t, Config{
+		Constellation: constellation.Config{Kind: constellation.HighResOnly, Satellites: 2},
+		App:           w, DurationS: 3 * 3600, Seed: 1,
+	})
+	if hi.LeaderBudget == nil || hi.FollowerBudget == nil {
+		t.Fatal("budgets missing")
+	}
+	if hi.FollowerBudget.CameraJ <= 0 {
+		t.Error("high-res strip capture energy missing from follower budget")
+	}
+	if hi.FollowerBudget.ComputeJ != 0 {
+		t.Error("high-res-only satellites run no detection; compute energy booked")
+	}
+	if hi.FollowerBudget.TXJ <= 0 {
+		t.Error("high-res imagery downlink energy missing")
+	}
+	if hi.LeaderBudget.CameraJ != 0 || hi.LeaderBudget.ComputeJ != 0 {
+		t.Errorf("no low-res role exists in a high-res-only run: %+v", hi.LeaderBudget)
+	}
+
+	// Low-Res-Only keeps booking to the leader/mono budget: continuous
+	// detection compute plus captures.
+	lo := run(t, Config{
+		Constellation: constellation.Config{Kind: constellation.LowResOnly, Satellites: 2},
+		App:           w, DurationS: 3 * 3600, Seed: 1,
+	})
+	if lo.LeaderBudget.CameraJ <= 0 || lo.LeaderBudget.ComputeJ <= 0 {
+		t.Errorf("low-res strip energy missing: %+v", lo.LeaderBudget)
+	}
+	if lo.FollowerBudget.CameraJ != 0 {
+		t.Error("low-res-only run booked capture energy to the follower budget")
 	}
 }
 
