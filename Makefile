@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench figures
+.PHONY: build vet test race tier1 bench bench-solver figures
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ tier1: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Solver smoke benches: one iteration of every lp/mip/sched/cluster bench.
+# CI runs this to catch solver-path regressions that compile and pass unit
+# tests but crash or hang only on benchmark-sized instances.
+bench-solver:
+	$(GO) test -run=xxx -bench=. -benchmem -benchtime=1x \
+		./internal/lp ./internal/mip ./internal/sched ./internal/cluster
 
 figures:
 	$(GO) run ./cmd/figures

@@ -79,6 +79,10 @@ func main() {
 		fmt.Printf("  scheduler:          mean %.1f ms, max %.1f ms, %d missed deadlines\n",
 			r.SchedulerMeanMS, r.SchedulerMaxMS, r.MissedDeadlines)
 	}
+	if r.SolverNodes > 0 {
+		fmt.Printf("  ilp solver:         %d B&B nodes, %d simplex iters, %.1f ms pivoting\n",
+			r.SolverNodes, r.SolverIters, r.SolverPivotMS)
+	}
 	fmt.Printf("  energy utilization: leader %.2f, follower %.2f (fraction of per-orbit harvest)\n",
 		r.LeaderEnergyUtilization, r.FollowerEnergyUtilization)
 }

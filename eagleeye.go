@@ -147,6 +147,13 @@ type Result struct {
 	SchedulerMaxMS  float64
 	MissedDeadlines int
 
+	// Solver cost totals across all scheduling and clustering ILP solves:
+	// branch-and-bound nodes, simplex iterations, and milliseconds spent
+	// inside the LP pivot loop.
+	SolverNodes   int
+	SolverIters   int
+	SolverPivotMS float64
+
 	// RecaptureSuppressed counts re-detections deprioritized by the
 	// recapture extension.
 	RecaptureSuppressed int
@@ -193,6 +200,9 @@ func Run(cfg Config) (*Result, error) {
 		out.SchedulerMeanMS = float64(r.SchedWallTotal.Microseconds()) / 1000 / float64(r.SchedSolves)
 		out.SchedulerMaxMS = float64(r.SchedWallMax.Microseconds()) / 1000
 	}
+	out.SolverNodes = r.SchedNodes + r.ClusterNodes
+	out.SolverIters = r.SchedIters + r.ClusterIters
+	out.SolverPivotMS = float64((r.SchedPivotWall + r.ClusterPivotWall).Microseconds()) / 1000
 	if r.LeaderBudget != nil {
 		out.LeaderEnergyUtilization = r.LeaderBudget.Utilization()
 	}

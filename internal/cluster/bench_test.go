@@ -1,0 +1,27 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagleeye/internal/geo"
+)
+
+// BenchmarkILPCover times the set-cover ILP alone (candidate enumeration
+// excluded) on a frame-sized instance, the clustering hot path.
+func BenchmarkILPCover(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geo.Point2, 40)
+	for i := range pts {
+		pts[i] = pt(rng.Float64()*60e3, rng.Float64()*60e3)
+	}
+	opts := Options{}.withDefaults()
+	cands := candidates(pts, 10e3, 10e3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := ilpCover(pts, cands, opts.MIP); !ok {
+			b.Fatal("ilp cover failed")
+		}
+	}
+}

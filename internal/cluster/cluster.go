@@ -81,16 +81,32 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// SolveStats reports the ILP solver cost of a cover. All fields are zero
+// when the greedy path ran (no candidates, ForceGreedy, or budget fallback).
+type SolveStats struct {
+	Nodes     int           // branch-and-bound nodes explored
+	Iters     int           // simplex iterations across all nodes
+	Gap       float64       // bound - incumbent when the solve stopped early
+	PivotWall time.Duration // wall time spent inside LP solves
+}
+
 // Cover returns a set of w x h rectangles covering every input point, the
 // method that produced it, and an error for degenerate inputs. Every point
 // appears in exactly one cluster's Members (assigned to the first covering
 // rectangle in output order), while rectangles may spatially overlap.
 func Cover(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method, error) {
+	cs, method, _, err := CoverStats(pts, w, h, opt)
+	return cs, method, err
+}
+
+// CoverStats is Cover plus the ILP solver statistics, for callers that
+// surface per-frame solver cost (the simulator trace).
+func CoverStats(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method, SolveStats, error) {
 	if w <= 0 || h <= 0 {
-		return nil, 0, fmt.Errorf("cluster: rectangle %v x %v must be positive", w, h)
+		return nil, 0, SolveStats{}, fmt.Errorf("cluster: rectangle %v x %v must be positive", w, h)
 	}
 	if len(pts) == 0 {
-		return nil, MethodILP, nil
+		return nil, MethodILP, SolveStats{}, nil
 	}
 	opt = opt.withDefaults()
 
@@ -98,13 +114,16 @@ func Cover(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method, erro
 	greedyBoxes := greedyCover(pts, cands)
 	method := MethodGreedy
 	boxes := greedyBoxes
+	var stats SolveStats
 	if !opt.ForceGreedy && len(cands) <= opt.MaxILPCandidates {
-		if ilpBoxes, ok := ilpCover(pts, cands, opt.MIP); ok && len(ilpBoxes) <= len(greedyBoxes) {
+		ilpBoxes, st, ok := ilpCover(pts, cands, opt.MIP)
+		stats = st
+		if ok && len(ilpBoxes) <= len(greedyBoxes) {
 			boxes = ilpBoxes
 			method = MethodILP
 		}
 	}
-	return assign(pts, boxes), method, nil
+	return assign(pts, boxes), method, stats, nil
 }
 
 // candidate is a rectangle placement plus the bitset of points it covers.
@@ -267,7 +286,7 @@ func popcount(x uint64) int {
 
 // ilpCover solves the set-cover ILP: minimize the number of selected
 // candidates subject to every point being covered at least once.
-func ilpCover(pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect, bool) {
+func ilpCover(pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect, SolveStats, bool) {
 	n := len(pts)
 	p := mip.NewBinary(len(cands))
 	for j := range p.C {
@@ -283,13 +302,14 @@ func ilpCover(pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect
 			}
 		}
 		if !any {
-			return nil, false
+			return nil, SolveStats{}, false
 		}
 		p.AddRow(row, lp.GE, 1)
 	}
 	sol, err := mip.SolveOpts(p, opts)
+	stats := SolveStats{Nodes: sol.Nodes, Iters: sol.Iters, Gap: sol.Gap, PivotWall: sol.PivotWall}
 	if err != nil || (sol.Status != mip.StatusOptimal && sol.Status != mip.StatusFeasible) {
-		return nil, false
+		return nil, stats, false
 	}
 	var boxes []geo.Rect
 	for j, v := range sol.X {
@@ -297,7 +317,7 @@ func ilpCover(pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect
 			boxes = append(boxes, cands[j].box)
 		}
 	}
-	return boxes, true
+	return boxes, stats, true
 }
 
 // assign maps each point to the first covering rectangle, producing the

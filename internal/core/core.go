@@ -73,6 +73,8 @@ type Result struct {
 	SchedWall time.Duration
 	// ClusterMethod records whether the ILP or the greedy cover ran.
 	ClusterMethod cluster.Method
+	// ClusterStats carries the cover ILP's solver cost (zero when greedy).
+	ClusterStats cluster.SolveStats
 	// CrosslinkBytes is the schedule traffic to the followers.
 	CrosslinkBytes float64
 }
@@ -127,12 +129,13 @@ func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.E
 		if boxEdge <= 0 {
 			boxEdge = swath
 		}
-		cs, method, err := cluster.Cover(pts, boxEdge, boxEdge, p.ClusterOpts)
+		cs, method, cstats, err := cluster.CoverStats(pts, boxEdge, boxEdge, p.ClusterOpts)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: clustering: %w", err)
 		}
 		res.Clusters = cs
 		res.ClusterMethod = method
+		res.ClusterStats = cstats
 		for i, c := range cs {
 			val := 0.0
 			for _, m := range c.Members {

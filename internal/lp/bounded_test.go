@@ -1,0 +1,182 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFreeVariableFarOptimum pins the free-variable regression: the old
+// tableau shifted free-below variables by a hardcoded -1e9, so any model
+// whose optimum sat far from that anchor was numerically poisoned. The
+// bounded rework splits fully-free variables into x⁺ - x⁻, which must
+// recover an optimum millions away from zero exactly.
+func TestFreeVariableFarOptimum(t *testing.T) {
+	inf := math.Inf(1)
+	p := &Problem{
+		C:      []float64{-1},
+		A:      [][]float64{{1}},
+		B:      []float64{-2e6},
+		Senses: []Sense{GE},
+		Lower:  []float64{math.Inf(-1)},
+		Upper:  []float64{inf},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-(-2e6)) > 1e-3 || math.Abs(sol.Objective-2e6) > 1e-3 {
+		t.Errorf("free-variable optimum: x = %v obj = %v, want x = -2e6 obj = 2e6", sol.X[0], sol.Objective)
+	}
+}
+
+// TestFreeVariableInEquality exercises the split representation inside an
+// equality row, where both halves of x⁺ - x⁻ carry coefficients.
+func TestFreeVariableInEquality(t *testing.T) {
+	p := &Problem{
+		C:      []float64{1, -1},
+		A:      [][]float64{{1, 1}},
+		B:      []float64{-5e5},
+		Senses: []Sense{EQ},
+		Lower:  []float64{math.Inf(-1), 0},
+		Upper:  []float64{math.Inf(1), math.Inf(1)},
+	}
+	sol := solveOK(t, p)
+	// x = -5e5 - y, objective = -5e5 - 2y, maximized at y = 0.
+	if math.Abs(sol.X[0]-(-5e5)) > 1e-3 || math.Abs(sol.X[1]) > 1e-6 {
+		t.Errorf("equality free variable: x = %v, want (-5e5, 0)", sol.X)
+	}
+}
+
+// TestFreeBelowMirrored covers the free-below, finite-above case, which the
+// solver handles by mirroring (x = upper - x').
+func TestFreeBelowMirrored(t *testing.T) {
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1}},
+		B:      []float64{4e6},
+		Senses: []Sense{LE},
+		Lower:  []float64{math.Inf(-1)},
+		Upper:  []float64{7e6},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-4e6) > 1e-3 {
+		t.Errorf("mirrored free-below: x = %v, want 4e6", sol.X[0])
+	}
+	// Without the row, the variable bound itself decides.
+	p2 := &Problem{C: []float64{1}, Lower: []float64{math.Inf(-1)}, Upper: []float64{7e6}}
+	sol2 := solveOK(t, p2)
+	if math.Abs(sol2.X[0]-7e6) > 1e-3 {
+		t.Errorf("mirrored bound optimum: x = %v, want 7e6", sol2.X[0])
+	}
+}
+
+// TestBoundFlipsWithoutRows solves a rowless box problem: the optimum is
+// reached purely by flipping variables to their profitable bound, with no
+// pivots available at all.
+func TestBoundFlipsWithoutRows(t *testing.T) {
+	p := &Problem{
+		C:     []float64{2, -1, 3},
+		Lower: []float64{0, 0, 0},
+		Upper: []float64{1, 1, 2},
+	}
+	sol := solveOK(t, p)
+	want := []float64{1, 0, 2}
+	for j, w := range want {
+		if math.Abs(sol.X[j]-w) > 1e-9 {
+			t.Fatalf("box optimum: x = %v, want %v", sol.X, want)
+		}
+	}
+	if math.Abs(sol.Objective-8) > 1e-9 {
+		t.Errorf("box objective = %v, want 8", sol.Objective)
+	}
+}
+
+// TestBasicLeavesAtUpperBound forces the ratio-test branch where a basic
+// variable exits the basis at its upper bound rather than at zero.
+func TestBasicLeavesAtUpperBound(t *testing.T) {
+	// max x subject to x - y <= 0: x chases y, and y is capped at 3.
+	p := &Problem{
+		C:      []float64{1, 0},
+		A:      [][]float64{{1, -1}},
+		B:      []float64{0},
+		Senses: []Sense{LE},
+		Lower:  []float64{0, 0},
+		Upper:  []float64{5, 3},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-3) > 1e-9 {
+		t.Errorf("objective = %v, want 3 (x capped through y's upper bound)", sol.Objective)
+	}
+}
+
+// TestWorkspaceMatchesSolve checks that a reused Workspace returns the same
+// status and objective as the validating one-shot path across random
+// bounded LPs, including re-solves with mutated bounds (the branch-and-bound
+// access pattern).
+func TestWorkspaceMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var ws Workspace
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		p, _ := randomBoundedLP(rng, n, m)
+		want := mustSolve(t, p)
+		got := ws.Solve(p)
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: workspace status %v, solve status %v", trial, got.Status, want.Status)
+		}
+		if want.Status == StatusOptimal && math.Abs(got.Objective-want.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+			t.Fatalf("trial %d: workspace objective %v, solve objective %v", trial, got.Objective, want.Objective)
+		}
+		// Re-solve the same shape with one variable clamped, as branch and
+		// bound does; the workspace must agree with a fresh solve again.
+		j := rng.Intn(n)
+		p.Upper[j] = math.Floor(p.Upper[j] * rng.Float64()) // 0 or the old bound
+
+		want, err := SolveMaxIters(p, 200000) // clamping may be infeasible; compare statuses too
+		if err != nil {
+			t.Fatalf("trial %d (clamped): %v", trial, err)
+		}
+		got = ws.Solve(p)
+		if got.Status != want.Status {
+			t.Fatalf("trial %d (clamped): workspace status %v, solve status %v", trial, got.Status, want.Status)
+		}
+		if want.Status == StatusOptimal && math.Abs(got.Objective-want.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+			t.Fatalf("trial %d (clamped): workspace objective %v, solve objective %v", trial, got.Objective, want.Objective)
+		}
+	}
+}
+
+// TestWorkspaceResolveAllocsNothing is the tentpole's allocation guarantee:
+// after the first solve sizes the arena, re-solving a same-shaped problem
+// performs zero heap allocations.
+func TestWorkspaceResolveAllocsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, _ := randomBoundedLP(rng, 8, 6)
+	var ws Workspace
+	ws.Solve(p) // size the arena
+	allocs := testing.AllocsPerRun(50, func() {
+		if sol := ws.Solve(p); sol.Status != StatusOptimal {
+			t.Fatalf("re-solve status %v", sol.Status)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("re-solve allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestUpperBoundsNoExtraRows verifies upper bounds are honored on a problem
+// whose every variable finishes at a bound, mixing finite ranges and a
+// constraint that binds one variable below its cap.
+func TestUpperBoundsNoExtraRows(t *testing.T) {
+	p := &Problem{
+		C:      []float64{3, 2, 1},
+		A:      [][]float64{{1, 1, 1}},
+		B:      []float64{2.5},
+		Senses: []Sense{LE},
+		Lower:  []float64{0, 0, 0},
+		Upper:  []float64{1, 1, 1},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-5.5) > 1e-9 {
+		t.Errorf("objective = %v, want 5.5 (x=(1,1,0.5))", sol.Objective)
+	}
+}

@@ -10,9 +10,19 @@
 //	subject to A x (<=|=|>=) b
 //	           lower <= x <= upper   (default 0 <= x < +inf)
 //
-// The implementation is a textbook tableau simplex with Dantzig pricing and
-// a Bland-rule fallback for cycling, adequate for the dense, mid-sized
-// models EagleEye produces (hundreds of rows and columns per frame).
+// The implementation is a bounded-variable tableau simplex with Dantzig
+// pricing and a Bland-rule fallback for cycling: variable bounds are
+// handled implicitly (nonbasic variables sit at either bound and may flip
+// between them without a pivot), so finite upper bounds cost no tableau
+// rows. For the all-binary MIPs EagleEye builds this halves the row count
+// relative to the textbook "upper bound = extra <= row" encoding. Free
+// variables are handled natively: a free-below variable with a finite
+// upper bound is mirrored (x = upper - x'), and a fully free variable is
+// split into x⁺ - x⁻.
+//
+// A Workspace reuses the tableau arena across solves of same-shaped
+// problems, which is what makes per-node re-solves in branch and bound
+// allocation-free.
 package lp
 
 import (
@@ -151,108 +161,177 @@ func SolveMaxIters(p *Problem, maxIters int) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	t, err := newTableau(p)
-	if err != nil {
-		// Bound-shift detected an empty box (lower > upper): infeasible.
-		return Solution{Status: StatusInfeasible}, nil
+	var ws Workspace
+	return ws.SolveMaxIters(p, maxIters), nil
+}
+
+// Workspace owns the solver's working arrays so repeated solves of
+// same-shaped problems -- branch-and-bound nodes differing only in bounds
+// -- reuse one arena instead of allocating a fresh m x total tableau per
+// solve. The zero value is ready to use. A Workspace is not safe for
+// concurrent use, and the X slice of a returned Solution aliases an
+// internal buffer: it is valid only until the next solve on the same
+// workspace (copy it to keep it).
+//
+// Workspace solves skip Problem.Validate for speed; callers must pass
+// structurally valid problems (package-level Solve validates).
+type Workspace struct {
+	t tableau
+	// grow-only arenas backing the tableau.
+	abuf  []float64 // m x total matrix storage
+	cols  []varCol  // per-variable column mapping
+	brow  []float64 // adjusted RHS per row
+	esens []Sense   // effective sense per row (after sign normalization)
+	flip  []bool    // row was sign-normalized
+	ph1   []float64 // phase-1 objective
+	red   []float64 // reduced costs
+	vals  []float64 // structural column values during extraction
+	xbuf  []float64 // extracted solution
+}
+
+// Solve optimizes with the default iteration limit, reusing the arena.
+func (ws *Workspace) Solve(p *Problem) Solution {
+	return ws.SolveMaxIters(p, defaultMax)
+}
+
+// SolveMaxIters optimizes with an explicit simplex iteration limit,
+// reusing the arena. See the Workspace doc for aliasing and validation
+// caveats.
+func (ws *Workspace) SolveMaxIters(p *Problem, maxIters int) Solution {
+	if !ws.build(p) {
+		// Bound analysis found an empty variable box: infeasible.
+		return Solution{Status: StatusInfeasible}
 	}
-	st := t.solve(maxIters)
+	t := &ws.t
+	st := t.solve(ws, maxIters)
 	sol := Solution{Status: st, Iters: t.iters}
 	if st != StatusOptimal {
-		return sol, nil
+		return sol
 	}
-	sol.X = t.extract(p)
-	sol.Objective = 0
+	ws.xbuf = growFloats(ws.xbuf, len(p.C))
+	sol.X = ws.xbuf[:len(p.C)]
+	ws.vals = growFloats(ws.vals, t.ncols)
+	t.extract(p, ws.cols, ws.vals[:t.ncols], sol.X)
 	for j, c := range p.C {
 		sol.Objective += c * sol.X[j]
 	}
-	return sol, nil
+	return sol
 }
 
-// tableau is the working state of the two-phase simplex.
+// varCol maps one original variable onto structural tableau columns.
+type varCol struct {
+	col    int     // primary column index
+	neg    int     // second column of a split free variable; -1 if none
+	shift  float64 // lower bound (normal) or upper bound (mirror)
+	mirror bool    // x = shift - x': free-below with finite upper
+}
+
+// tableau is the working state of the bounded-variable two-phase simplex.
+// Invariants: a holds B^-1 A (updated by pivots), rhs holds the CURRENT
+// basic-variable values (not B^-1 b: nonbasic variables at their upper
+// bound contribute), and every nonbasic column sits at 0 or at rng[j]
+// per atUpper[j] in the shifted space.
 type tableau struct {
-	m, n    int         // constraint rows, structural columns (shifted vars)
-	a       [][]float64 // m x total columns
-	rhs     []float64   // m
-	basis   []int       // basic column per row
-	inBasis []bool      // per-column basis membership (mirror of basis)
+	m       int         // constraint rows
 	total   int         // total columns incl. slacks/artificials
-	nslack  int
+	ncols   int         // structural columns
+	a       [][]float64 // m x total
+	rhs     []float64   // m: basic-variable values
+	rng     []float64   // per-column range upper-lower (shifted); +inf ok
+	obj     []float64   // phase-2 objective per column
+	basis   []int       // basic column per row
+	inBasis []bool      // per-column basis membership
+	atUpper []bool      // nonbasic column sits at its upper bound
+	cb      []float64   // scratch: objective of basic columns
 	nartif  int
-	obj     []float64 // phase-2 objective over all columns
-	shift   []float64 // lower-bound shift per structural var
-	ncols   int       // structural columns (== n)
-	iters   int
 	artbase int // first artificial column index
+	iters   int
 }
 
-// newTableau builds the standard-form tableau: shift lower bounds to zero,
-// turn finite upper bounds into extra <= rows, normalize negative RHS, add
-// slack/surplus/artificial columns.
-func newTableau(p *Problem) (*tableau, error) {
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// build assembles the tableau for p inside the workspace arena. It
+// returns false when some variable box is empty (lower > upper), which
+// the caller reports as infeasible.
+func (ws *Workspace) build(p *Problem) bool {
 	n := len(p.C)
-	shift := make([]float64, n)
+	if cap(ws.cols) < n {
+		ws.cols = make([]varCol, n)
+	}
+	ws.cols = ws.cols[:n]
+	ncols := 0
 	for j := 0; j < n; j++ {
-		lo := p.lower(j)
-		if math.IsInf(lo, -1) {
-			// Free-below variables are rare in our models; represent by a
-			// large negative shift so x' = x - lo stays non-negative over
-			// the practical range.
-			lo = -1e9
+		lo, up := p.lower(j), p.upper(j)
+		if up < lo-1e-12 {
+			return false
 		}
-		shift[j] = lo
-		if p.upper(j) < lo-1e-12 {
-			return nil, errors.New("lp: empty variable box")
+		vc := varCol{col: ncols, neg: -1}
+		switch {
+		case !math.IsInf(lo, -1):
+			vc.shift = lo
+			ncols++
+		case !math.IsInf(up, 1):
+			// Free below, capped above: mirror so x' = up - x >= 0.
+			vc.mirror = true
+			vc.shift = up
+			ncols++
+		default:
+			// Fully free: split into x⁺ - x⁻.
+			vc.neg = ncols + 1
+			ncols += 2
 		}
+		ws.cols[j] = vc
 	}
 
-	type row struct {
-		coef  []float64
-		b     float64
-		sense Sense
+	m := len(p.A)
+	ws.brow = growFloats(ws.brow, m)
+	ws.flip = growBools(ws.flip, m)
+	if cap(ws.esens) < m {
+		ws.esens = make([]Sense, m)
 	}
-	rows := make([]row, 0, len(p.A)+n)
-	for i, r := range p.A {
-		b := p.B[i]
-		// Apply lower-bound shift to RHS: sum a_ij (x'_j + lo_j) ~ b.
-		for j := 0; j < n; j++ {
-			b -= r[j] * shift[j]
-		}
-		coef := make([]float64, n)
-		copy(coef, r)
-		rows = append(rows, row{coef: coef, b: b, sense: p.Senses[i]})
-	}
-	// Upper bounds become x'_j <= ub_j - lo_j.
-	for j := 0; j < n; j++ {
-		ub := p.upper(j)
-		if math.IsInf(ub, 1) {
-			continue
-		}
-		coef := make([]float64, n)
-		coef[j] = 1
-		rows = append(rows, row{coef: coef, b: ub - shift[j], sense: LE})
-	}
-
-	m := len(rows)
-	// Normalize negative RHS.
-	for i := range rows {
-		if rows[i].b < 0 {
-			for j := range rows[i].coef {
-				rows[i].coef[j] = -rows[i].coef[j]
-			}
-			rows[i].b = -rows[i].b
-			switch rows[i].sense {
-			case LE:
-				rows[i].sense = GE
-			case GE:
-				rows[i].sense = LE
-			}
-		}
-	}
-	// Count slack and artificial columns.
+	ws.esens = ws.esens[:m]
 	nslack, nartif := 0, 0
-	for _, r := range rows {
-		switch r.sense {
+	for i, row := range p.A {
+		b := p.B[i]
+		// Shift contributions: x = shift + x' (normal) or shift - x'
+		// (mirror) both subtract a_ij * shift from the RHS.
+		for j := 0; j < n; j++ {
+			if ws.cols[j].neg < 0 {
+				b -= row[j] * ws.cols[j].shift
+			}
+		}
+		s := p.Senses[i]
+		fl := b < 0 // normalize negative RHS by negating the row
+		if fl {
+			b = -b
+			switch s {
+			case LE:
+				s = GE
+			case GE:
+				s = LE
+			}
+		}
+		ws.brow[i], ws.esens[i], ws.flip[i] = b, s, fl
+		switch s {
 		case LE:
 			nslack++
 		case GE:
@@ -262,59 +341,111 @@ func newTableau(p *Problem) (*tableau, error) {
 			nartif++
 		}
 	}
-	total := n + nslack + nartif
-	t := &tableau{
-		m: m, n: n, total: total, ncols: n,
-		nslack: nslack, nartif: nartif,
-		shift:   shift,
-		rhs:     make([]float64, m),
-		basis:   make([]int, m),
-		artbase: n + nslack,
+
+	total := ncols + nslack + nartif
+	t := &ws.t
+	t.m, t.total, t.ncols = m, total, ncols
+	t.nartif, t.artbase = nartif, ncols+nslack
+	t.iters = 0
+
+	ws.abuf = growFloats(ws.abuf, m*total)
+	for i := range ws.abuf[:m*total] {
+		ws.abuf[i] = 0
 	}
-	t.a = make([][]float64, m)
-	buf := make([]float64, m*total)
-	for i := range t.a {
-		t.a[i] = buf[i*total : (i+1)*total]
+	if cap(t.a) < m {
+		t.a = make([][]float64, m)
 	}
-	t.inBasis = make([]bool, total)
-	slackCol := n
-	artCol := n + nslack
-	for i, r := range rows {
-		copy(t.a[i][:n], r.coef)
-		t.rhs[i] = r.b
-		switch r.sense {
+	t.a = t.a[:m]
+	for i := 0; i < m; i++ {
+		t.a[i] = ws.abuf[i*total : (i+1)*total]
+	}
+	t.rhs = growFloats(t.rhs, m)
+	t.basis = growInts(t.basis, m)
+	t.cb = growFloats(t.cb, m)
+	t.inBasis = growBools(t.inBasis, total)
+	t.atUpper = growBools(t.atUpper, total)
+	t.rng = growFloats(t.rng, total)
+	t.obj = growFloats(t.obj, total)
+	for j := 0; j < total; j++ {
+		t.inBasis[j] = false
+		t.atUpper[j] = false
+		t.rng[j] = math.Inf(1)
+		t.obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		vc := ws.cols[j]
+		switch {
+		case vc.neg >= 0:
+			t.obj[vc.col], t.obj[vc.neg] = p.C[j], -p.C[j]
+		case vc.mirror:
+			t.obj[vc.col] = -p.C[j]
+		default:
+			t.obj[vc.col] = p.C[j]
+			if up := p.upper(j); !math.IsInf(up, 1) {
+				r := up - vc.shift
+				if r < 0 {
+					r = 0 // lower ~ upper within tolerance: fixed variable
+				}
+				t.rng[vc.col] = r
+			}
+		}
+	}
+
+	slackCol, artCol := ncols, t.artbase
+	for i, row := range p.A {
+		sgn := 1.0
+		if ws.flip[i] {
+			sgn = -1
+		}
+		ri := t.a[i]
+		for j := 0; j < n; j++ {
+			vc := ws.cols[j]
+			c := row[j] * sgn
+			if vc.neg >= 0 {
+				ri[vc.col] = c
+				ri[vc.neg] = -c
+			} else if vc.mirror {
+				ri[vc.col] = -c
+			} else {
+				ri[vc.col] = c
+			}
+		}
+		t.rhs[i] = ws.brow[i]
+		switch ws.esens[i] {
 		case LE:
-			t.a[i][slackCol] = 1
+			ri[slackCol] = 1
 			t.basis[i] = slackCol
 			slackCol++
 		case GE:
-			t.a[i][slackCol] = -1
+			ri[slackCol] = -1
 			slackCol++
-			t.a[i][artCol] = 1
+			ri[artCol] = 1
 			t.basis[i] = artCol
 			artCol++
 		case EQ:
-			t.a[i][artCol] = 1
+			ri[artCol] = 1
 			t.basis[i] = artCol
 			artCol++
 		}
 		t.inBasis[t.basis[i]] = true
 	}
-	// Phase-2 objective over all columns (shifted space).
-	t.obj = make([]float64, total)
-	copy(t.obj[:n], p.C)
-	return t, nil
+	ws.red = growFloats(ws.red, total)
+	return true
 }
 
 // solve runs phase 1 (if artificials exist) then phase 2.
-func (t *tableau) solve(maxIters int) Status {
+func (t *tableau) solve(ws *Workspace, maxIters int) Status {
 	if t.nartif > 0 {
 		// Phase 1: maximize -(sum of artificials).
-		ph1 := make([]float64, t.total)
+		ws.ph1 = growFloats(ws.ph1, t.total)
+		ph1 := ws.ph1[:t.total]
+		for j := range ph1 {
+			ph1[j] = 0
+		}
 		for j := t.artbase; j < t.total; j++ {
 			ph1[j] = -1
 		}
-		st, objVal := t.optimize(ph1, maxIters, true)
+		st, objVal := t.optimize(ws, ph1, maxIters, true)
 		if st == StatusUnbounded {
 			// Phase-1 objective is bounded above by 0; treat as numeric
 			// failure.
@@ -329,22 +460,20 @@ func (t *tableau) solve(maxIters int) Status {
 		// Pivot remaining artificials out of the basis where possible.
 		t.evictArtificials()
 	}
-	st, _ := t.optimize(t.obj, maxIters, false)
+	st, _ := t.optimize(ws, t.obj, maxIters, false)
 	return st
 }
 
 // optimize runs simplex iterations for the given objective, returning the
 // status and the achieved objective value (in shifted space). Columns at or
-// beyond artbase are never allowed to enter during phase 2 (banArt).
-func (t *tableau) optimize(obj []float64, maxIters int, phase1 bool) (Status, float64) {
+// beyond artbase are never allowed to enter during phase 2.
+func (t *tableau) optimize(ws *Workspace, obj []float64, maxIters int, phase1 bool) (Status, float64) {
 	limit := t.total
 	if !phase1 {
 		limit = t.artbase // artificials may not re-enter
 	}
-	// Reduced costs are computed against the current basis each iteration:
-	// z_j - c_j = cB · B^-1 A_j - c_j. With an explicitly updated tableau,
-	// the tableau columns already hold B^-1 A, so price directly.
-	cb := make([]float64, t.m)
+	cb := t.cb
+	red := ws.red
 	for iter := 0; ; iter++ {
 		if t.iters >= maxIters {
 			return StatusIterLimit, 0
@@ -353,69 +482,140 @@ func (t *tableau) optimize(obj []float64, maxIters int, phase1 bool) (Status, fl
 		for i := 0; i < t.m; i++ {
 			cb[i] = obj[t.basis[i]]
 		}
-		// Pricing: pick the entering column. Dantzig normally; Bland when
-		// the iteration count in this phase grows large (anti-cycling).
-		bland := iter > 4*(t.m+t.total)
-		enter := -1
-		best := eps
-		for j := 0; j < limit; j++ {
-			// Skip basic columns.
-			if t.isBasic(j) {
+		// Price every column in one row-major sweep: red = c - A^T cB
+		// (the tableau columns hold B^-1 A, so this is the reduced cost).
+		copy(red[:limit], obj[:limit])
+		for i := 0; i < t.m; i++ {
+			c := cb[i]
+			if c == 0 {
 				continue
 			}
-			red := obj[j]
-			for i := 0; i < t.m; i++ {
-				if cb[i] != 0 {
-					red -= cb[i] * t.a[i][j]
-				}
+			ri := t.a[i]
+			for j := 0; j < limit; j++ {
+				red[j] -= c * ri[j]
 			}
-			if red > best {
+		}
+		// Entering column: a nonbasic at its lower bound improves by
+		// increasing (red > 0); one at its upper bound by decreasing
+		// (red < 0). Dantzig normally; Bland (first eligible) when the
+		// iteration count in this phase grows large (anti-cycling).
+		bland := iter > 4*(t.m+t.total)
+		enter := -1
+		dir := 1.0
+		best := eps
+		for j := 0; j < limit; j++ {
+			if t.inBasis[j] || t.rng[j] == 0 {
+				continue // basic, or fixed by its bounds
+			}
+			r := red[j]
+			if t.atUpper[j] {
+				r = -r
+			}
+			if r > best {
 				enter = j
+				dir = 1
+				if t.atUpper[j] {
+					dir = -1
+				}
 				if bland {
 					break
 				}
-				best = red
+				best = r
 			}
 		}
 		if enter < 0 {
-			// Optimal: compute objective value.
-			val := 0.0
-			for i := 0; i < t.m; i++ {
-				val += obj[t.basis[i]] * t.rhs[i]
-			}
-			return StatusOptimal, val
+			return StatusOptimal, t.objValue(obj)
 		}
-		// Ratio test.
-		leave := -1
-		bestRatio := math.Inf(1)
+		// Ratio test along direction dir: the entering variable moves by
+		// step >= 0 until (a) a basic variable hits its lower bound,
+		// (b) a basic variable hits its upper bound, or (c) the entering
+		// variable reaches its own opposite bound (a bound flip: no
+		// pivot, just reanchor the column).
+		step := t.rng[enter]
+		fl := !math.IsInf(step, 1)
+		leave, leaveAtUpper := -1, false
 		for i := 0; i < t.m; i++ {
-			aij := t.a[i][enter]
-			if aij > eps {
-				r := t.rhs[i] / aij
-				if r < bestRatio-eps || (r < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
-					bestRatio = r
-					leave = i
+			w := dir * t.a[i][enter]
+			var r float64
+			var hitUpper bool
+			if w > eps {
+				r = t.rhs[i] / w
+			} else if w < -eps {
+				ub := t.rng[t.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
 				}
+				r = (ub - t.rhs[i]) / -w
+				hitUpper = true
+			} else {
+				continue
+			}
+			if r < step-eps || (r < step+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				step = r
+				leave = i
+				leaveAtUpper = hitUpper
+				fl = false
 			}
 		}
-		if leave < 0 {
+		if leave < 0 && !fl {
 			return StatusUnbounded, 0
 		}
-		t.pivot(leave, enter)
+		if step < 0 {
+			step = 0 // degenerate: clamp numerical noise
+		}
+		if fl {
+			// Bound flip: the entering variable swings to its other
+			// bound; basic values shift, the basis is unchanged.
+			for i := 0; i < t.m; i++ {
+				t.rhs[i] -= step * dir * t.a[i][enter]
+			}
+			t.atUpper[enter] = !t.atUpper[enter]
+			continue
+		}
+		t.pivot(leave, enter, dir, step, leaveAtUpper)
 	}
 }
 
-func (t *tableau) isBasic(j int) bool { return t.inBasis[j] }
+// objValue computes the current objective in shifted space: basic values
+// plus nonbasic-at-upper contributions.
+func (t *tableau) objValue(obj []float64) float64 {
+	val := 0.0
+	for i := 0; i < t.m; i++ {
+		val += obj[t.basis[i]] * t.rhs[i]
+	}
+	for j := 0; j < t.total; j++ {
+		if t.atUpper[j] && !t.inBasis[j] {
+			val += obj[j] * t.rng[j]
+		}
+	}
+	return val
+}
 
-// pivot performs a Gauss-Jordan pivot on (row, col).
-func (t *tableau) pivot(row, col int) {
+// pivot moves the entering column into the basis at row `row`, with the
+// entering variable having travelled `step` from its current bound in
+// direction `dir`. The leaving variable exits at its lower bound, or at
+// its upper bound when leaveAtUpper is set. rhs is updated to the new
+// basic values directly (it holds values, not B^-1 b), then the matrix
+// gets the usual Gauss-Jordan elimination.
+func (t *tableau) pivot(row, col int, dir, step float64, leaveAtUpper bool) {
+	for i := 0; i < t.m; i++ {
+		if i != row {
+			t.rhs[i] -= step * dir * t.a[i][col]
+		}
+	}
+	if dir > 0 {
+		t.rhs[row] = step // entered rising from its lower bound
+	} else {
+		t.rhs[row] = t.rng[col] - step // entered falling from its upper bound
+	}
+	lv := t.basis[row]
+	t.atUpper[lv] = leaveAtUpper
+
 	pr := t.a[row]
-	pv := pr[col]
-	inv := 1 / pv
+	inv := 1 / pr[col]
 	for j := 0; j < t.total; j++ {
 		pr[j] *= inv
 	}
-	t.rhs[row] *= inv
 	for i := 0; i < t.m; i++ {
 		if i == row {
 			continue
@@ -428,39 +628,60 @@ func (t *tableau) pivot(row, col int) {
 		for j := 0; j < t.total; j++ {
 			ri[j] -= f * pr[j]
 		}
-		t.rhs[i] -= f * t.rhs[row]
 	}
-	t.inBasis[t.basis[row]] = false
+	t.inBasis[lv] = false
 	t.basis[row] = col
 	t.inBasis[col] = true
+	t.atUpper[col] = false
 }
 
 // evictArtificials pivots basic artificial variables (at value ~0 after a
 // feasible phase 1) out of the basis when a non-artificial pivot exists.
+// A zero-step pivot swaps the basis without moving the point.
 func (t *tableau) evictArtificials() {
 	for i := 0; i < t.m; i++ {
 		if t.basis[i] < t.artbase {
 			continue
 		}
 		for j := 0; j < t.artbase; j++ {
-			if math.Abs(t.a[i][j]) > eps && !t.isBasic(j) {
-				t.pivot(i, j)
+			if !t.inBasis[j] && math.Abs(t.a[i][j]) > eps {
+				dir := 1.0
+				if t.atUpper[j] {
+					dir = -1
+				}
+				t.pivot(i, j, dir, 0, false)
 				break
 			}
 		}
 	}
 }
 
-// extract recovers the original-space variable values.
-func (t *tableau) extract(p *Problem) []float64 {
-	x := make([]float64, t.n)
+// extract recovers the original-space variable values into x, using vals
+// (len ncols) as scratch for per-column values in shifted space.
+func (t *tableau) extract(p *Problem, cols []varCol, vals, x []float64) {
+	// Structural column values: basic from rhs, nonbasic at one bound.
+	for c := range vals {
+		if t.atUpper[c] {
+			vals[c] = t.rng[c]
+		} else {
+			vals[c] = 0
+		}
+	}
 	for i, b := range t.basis {
-		if b < t.n {
-			x[b] = t.rhs[i]
+		if b < t.ncols {
+			vals[b] = t.rhs[i]
 		}
 	}
 	for j := range x {
-		x[j] += t.shift[j]
+		vc := cols[j]
+		switch {
+		case vc.neg >= 0:
+			x[j] = vals[vc.col] - vals[vc.neg]
+		case vc.mirror:
+			x[j] = vc.shift - vals[vc.col]
+		default:
+			x[j] = vc.shift + vals[vc.col]
+		}
 		// Snap to bounds within tolerance to suppress simplex noise.
 		if lo := p.lower(j); x[j] < lo {
 			x[j] = lo
@@ -469,5 +690,4 @@ func (t *tableau) extract(p *Problem) []float64 {
 			x[j] = ub
 		}
 	}
-	return x
 }

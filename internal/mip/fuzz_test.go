@@ -1,0 +1,74 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eagleeye/internal/lp"
+)
+
+// FuzzBinaryMIPDifferential cross-checks the branch-and-bound solver
+// against exhaustive enumeration on small random binary MIPs (up to 8
+// variables and 6 rows): statuses must agree and, when an optimum exists,
+// the objectives must match. The byte seed drives a PRNG so every fuzz
+// input maps to one deterministic instance.
+func FuzzBinaryMIPDifferential(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(987654321))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7) // up to 8 binaries
+		m := 1 + rng.Intn(6) // up to 6 rows
+		p := NewBinary(n)
+		for j := 0; j < n; j++ {
+			p.C[j] = math.Round(rng.Float64()*20 - 8)
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				// Integer coefficients in [-4, 4] with some zeros keep the
+				// brute-force feasibility decision numerically exact.
+				row[j] = math.Round(rng.Float64()*8 - 4)
+			}
+			sense := []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+			p.AddRow(row, sense, math.Round(rng.Float64()*10-3))
+		}
+
+		truth, feasible := bruteForceBinary(p)
+		sol, err := SolveOpts(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case feasible && sol.Status != StatusOptimal:
+			t.Fatalf("seed %d: brute force found optimum %v, solver says %v", seed, truth, sol.Status)
+		case !feasible && sol.Status != StatusInfeasible:
+			t.Fatalf("seed %d: brute force proves infeasibility, solver says %v", seed, sol.Status)
+		}
+		if !feasible {
+			return
+		}
+		if math.Abs(sol.Objective-truth) > 1e-6 {
+			t.Fatalf("seed %d: solver objective %v, brute force %v", seed, sol.Objective, truth)
+		}
+		// The returned point must itself be feasible and integral, and
+		// worth what the solution claims.
+		val := 0.0
+		for j := range sol.X {
+			r := math.Round(sol.X[j])
+			if math.Abs(sol.X[j]-r) > 1e-6 || r < 0 || r > 1 {
+				t.Fatalf("seed %d: non-binary component %v", seed, sol.X)
+			}
+			val += p.C[j] * r
+		}
+		if math.Abs(val-truth) > 1e-6 {
+			t.Fatalf("seed %d: point value %v, optimum %v", seed, val, truth)
+		}
+		if !feasiblePoint(&p.Problem, sol.X) {
+			t.Fatalf("seed %d: returned point violates a constraint: %v", seed, sol.X)
+		}
+	})
+}

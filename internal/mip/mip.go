@@ -103,9 +103,15 @@ type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
-	Nodes     int // branch-and-bound nodes explored
-	Gap       float64
+	Nodes     int           // branch-and-bound nodes explored
+	Gap       float64       // best bound minus incumbent on early stop
+	Iters     int           // total simplex iterations across all nodes
+	PivotWall time.Duration // wall time spent inside LP solves
 }
+
+// feasTol is the absolute-plus-relative feasibility tolerance used when
+// verifying rounded incumbents against the constraint rows.
+const feasTol = 1e-6
 
 // Options tunes the search. The zero value means defaults.
 type Options struct {
@@ -115,6 +121,9 @@ type Options struct {
 	MaxNodes int
 	// IntTol is the integrality tolerance; 0 means 1e-6.
 	IntTol float64
+	// MaxLPIters bounds the simplex iterations of each node relaxation;
+	// 0 means the lp package default.
+	MaxLPIters int
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +135,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
+	}
+	if o.MaxLPIters == 0 {
+		o.MaxLPIters = 200000
 	}
 	return o
 }
@@ -166,10 +178,19 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 		incumbentVal = math.Inf(-1)
 		nodes        int
 		stopped      bool
-		rootStatus   = StatusInfeasible
-		bestBound    = math.Inf(-1)
+		anyOptimal   bool // some node LP solved to optimality
+		sawLimit     bool // some node LP was abandoned (iter limit / numerics)
+		stopBound    = math.Inf(-1)
+		iters        int
+		pivotWall    time.Duration
+		ws           lp.Workspace
 	)
 
+	// One workspace serves every node: the tableau arena is built once and
+	// re-solved with mutated bounds, so the per-node m x total allocation
+	// of the old path disappears. p was validated above, so the workspace's
+	// validation-free solve is safe. Solution.X aliases the workspace and is
+	// copied before being kept (roundIntegers copies).
 	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses}
 	for heap.len() > 0 {
 		if nodes >= opts.MaxNodes || time.Now().After(deadline) {
@@ -187,30 +208,36 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 			}
 			if nodes >= opts.MaxNodes || time.Now().After(deadline) {
 				stopped = true
+				// This node's bound stays valid for the gap computation even
+				// though we never solved it.
+				if nd.bound > stopBound {
+					stopBound = nd.bound
+				}
 				break
 			}
 			nodes++
 			work.Lower = nd.lower
 			work.Upper = nd.upper
-			sol, err := lp.Solve(&work)
-			if err != nil {
-				return Solution{}, err
-			}
+			start := time.Now()
+			sol := ws.SolveMaxIters(&work, opts.MaxLPIters)
+			pivotWall += time.Since(start)
+			iters += sol.Iters
 			switch sol.Status {
 			case lp.StatusUnbounded:
 				if nodes == 1 {
-					return Solution{Status: StatusUnbounded, Nodes: nodes}, nil
+					return Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall}, nil
 				}
 				// An unbounded child of a bounded relaxation should not
 				// occur; treat as a numeric failure of this node.
+				sawLimit = true
 				continue
-			case lp.StatusInfeasible, lp.StatusIterLimit:
+			case lp.StatusIterLimit:
+				sawLimit = true
+				continue
+			case lp.StatusInfeasible:
 				continue
 			}
-			rootStatus = StatusFeasible
-			if nodes == 1 {
-				bestBound = sol.Objective
-			}
+			anyOptimal = true
 			if sol.Objective <= incumbentVal+1e-9 {
 				break
 			}
@@ -229,10 +256,13 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 				}
 			}
 			if branch < 0 {
-				// Integral: new incumbent.
-				if sol.Objective > incumbentVal {
-					incumbentVal = sol.Objective
-					incumbent = roundIntegers(p, sol.X, opts.IntTol)
+				// Integral within tolerance: candidate incumbent. Rounding
+				// the near-integer components can push a tightly satisfied
+				// row past its RHS, so the candidate is re-verified against
+				// the constraints before it is installed.
+				if cand, val := integralIncumbent(p, sol.X); val > incumbentVal {
+					incumbentVal = val
+					incumbent = cand
 				}
 				break
 			}
@@ -274,7 +304,7 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 		}
 	}
 
-	out := Solution{Nodes: nodes}
+	out := Solution{Nodes: nodes, Iters: iters, PivotWall: pivotWall}
 	switch {
 	case incumbent != nil && !stopped:
 		out.Status = StatusOptimal
@@ -284,18 +314,30 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 		out.Status = StatusFeasible
 		out.X = incumbent
 		out.Objective = incumbentVal
-		if !math.IsInf(bestBound, -1) {
-			out.Gap = bestBound - incumbentVal
+		// The proven upper bound at the moment the search stopped is the
+		// max over the incumbent, the node in hand when the stop hit, and
+		// every node still open on the heap -- not the root relaxation,
+		// which goes stale as soon as the first branch tightens it.
+		bound := math.Max(incumbentVal, stopBound)
+		for i := range heap.ns {
+			if b := heap.ns[i].bound; b > bound {
+				bound = b
+			}
 		}
+		out.Gap = bound - incumbentVal
 	case stopped:
 		out.Status = StatusLimit
+	case anyOptimal:
+		// LP relaxations solved but no integral point was found anywhere
+		// in the fully-explored tree: the integer problem is infeasible.
+		out.Status = StatusInfeasible
+	case sawLimit:
+		// No node ever solved to optimality and at least one was abandoned
+		// at the simplex iteration limit: the search is inconclusive, not
+		// proof of infeasibility.
+		out.Status = StatusLimit
 	default:
-		out.Status = rootStatus
-		if rootStatus == StatusFeasible {
-			// LP was feasible but no integral point was found anywhere in
-			// the fully-explored tree: the integer problem is infeasible.
-			out.Status = StatusInfeasible
-		}
+		out.Status = StatusInfeasible
 	}
 	return out, nil
 }
@@ -327,16 +369,57 @@ func cloneWith(src []float64, j int, v float64, isLower bool) []float64 {
 	return dst
 }
 
-func roundIntegers(p *Problem, x []float64, tol float64) []float64 {
-	out := make([]float64, len(x))
-	copy(out, x)
-	for j := range out {
+// integralIncumbent turns a near-integral LP point into an incumbent: it
+// rounds the integer components, verifies the rounded point still satisfies
+// every constraint row, and falls back to the raw (LP-feasible) point when
+// rounding broke feasibility. The returned slice is a fresh copy -- x may
+// alias solver-internal storage -- and the returned value is the objective
+// recomputed at the returned point.
+func integralIncumbent(p *Problem, x []float64) ([]float64, float64) {
+	cand := make([]float64, len(x))
+	copy(cand, x)
+	for j := range cand {
 		if p.Integer != nil && p.Integer[j] {
-			out[j] = math.Round(out[j])
+			cand[j] = math.Round(cand[j])
 		}
 	}
-	_ = tol
-	return out
+	if !feasiblePoint(&p.Problem, cand) {
+		copy(cand, x)
+	}
+	val := 0.0
+	for j, c := range p.C {
+		val += c * cand[j]
+	}
+	return cand, val
+}
+
+// feasiblePoint reports whether x satisfies every constraint row of p
+// within an absolute-plus-relative tolerance. Variable bounds are not
+// re-checked: rounding moves a point by at most the integrality tolerance,
+// which cannot escape the (integral) branch bounds.
+func feasiblePoint(p *lp.Problem, x []float64) bool {
+	for i, row := range p.A {
+		dot := 0.0
+		for j, a := range row {
+			dot += a * x[j]
+		}
+		tol := feasTol * (1 + math.Abs(p.B[i]))
+		switch p.Senses[i] {
+		case lp.LE:
+			if dot > p.B[i]+tol {
+				return false
+			}
+		case lp.GE:
+			if dot < p.B[i]-tol {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(dot-p.B[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // nodeHeap is a max-heap on node.bound (best-first), breaking ties by depth

@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a dense single-frame instance sized like a busy
+// leader frame: nTargets scattered across the reachable band 40-140 km
+// ahead of the followers.
+func benchProblem(nTargets, nFollowers int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	targets := make([]Target, nTargets)
+	for i := range targets {
+		targets[i] = Target{
+			ID:    i + 1,
+			Pos:   pt(rng.Float64()*30e3-15e3, 40e3+rng.Float64()*100e3),
+			Value: 0.5 + rng.Float64()*0.5,
+		}
+	}
+	return frameProblem(targets, nFollowers)
+}
+
+func benchmarkILPSchedule(b *testing.B, nTargets, nFollowers int) {
+	p := benchProblem(nTargets, nFollowers, 7)
+	s := ILP{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.Schedule(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumCaptures() == 0 {
+			b.Fatal("empty schedule on a dense frame")
+		}
+	}
+}
+
+// BenchmarkILPSchedule times the joint time-expanded ILP on a single
+// follower (the paper's per-frame hot path).
+func BenchmarkILPSchedule(b *testing.B) { benchmarkILPSchedule(b, 20, 1) }
+
+// BenchmarkILPSchedule40x2 exercises the sequential multi-follower
+// decomposition over a dense frame.
+func BenchmarkILPSchedule40x2(b *testing.B) { benchmarkILPSchedule(b, 40, 2) }

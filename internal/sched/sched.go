@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"eagleeye/internal/adacs"
 	"eagleeye/internal/geo"
@@ -163,11 +164,16 @@ type Schedule struct {
 	SolveStats Stats
 }
 
-// Stats reports how a schedule was computed.
+// Stats reports how a schedule was computed. The solver-cost fields
+// (Iters, PivotWall, Gap) are populated by the ILP scheduler and zero for
+// the search/greedy baselines, where they have no meaning.
 type Stats struct {
 	Algorithm string
 	Nodes     int // search nodes / B&B nodes, when meaningful
 	Optimal   bool
+	Iters     int           // simplex iterations across all B&B nodes
+	Gap       float64       // bound - incumbent when the solve stopped early
+	PivotWall time.Duration // wall time spent inside LP solves
 }
 
 // CoveredIDs returns the distinct captured target IDs in ascending order.

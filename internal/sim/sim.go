@@ -113,6 +113,17 @@ type Result struct {
 	SchedWallMax   time.Duration
 	MissedDeadline int // frames whose compute+scheduling exceeded the cadence
 
+	// Solver cost aggregates: branch-and-bound nodes and simplex
+	// iterations summed over all scheduling and clustering ILP solves,
+	// and the wall time spent inside the LP pivot loop. They make solver
+	// load visible without a profiler; per-frame values are in the trace.
+	SchedNodes       int
+	SchedIters       int
+	SchedPivotWall   time.Duration
+	ClusterNodes     int
+	ClusterIters     int
+	ClusterPivotWall time.Duration
+
 	// RecaptureSuppressed counts detections deprioritized by the §4.7
 	// recapture extension.
 	RecaptureSuppressed int
@@ -330,6 +341,12 @@ func (st *runState) mergeInto(dst *runState) {
 		r.SchedWallMax = p.SchedWallMax
 	}
 	r.MissedDeadline += p.MissedDeadline
+	r.SchedNodes += p.SchedNodes
+	r.SchedIters += p.SchedIters
+	r.SchedPivotWall += p.SchedPivotWall
+	r.ClusterNodes += p.ClusterNodes
+	r.ClusterIters += p.ClusterIters
+	r.ClusterPivotWall += p.ClusterPivotWall
 	r.RecaptureSuppressed += p.RecaptureSuppressed
 	r.CrosslinkBytes += p.CrosslinkBytes
 	for i, c := range st.captured {
@@ -556,6 +573,12 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		if fres.SchedWall > st.res.SchedWallMax {
 			st.res.SchedWallMax = fres.SchedWall
 		}
+		st.res.SchedNodes += fres.Schedule.SolveStats.Nodes
+		st.res.SchedIters += fres.Schedule.SolveStats.Iters
+		st.res.SchedPivotWall += fres.Schedule.SolveStats.PivotWall
+		st.res.ClusterNodes += fres.ClusterStats.Nodes
+		st.res.ClusterIters += fres.ClusterStats.Iters
+		st.res.ClusterPivotWall += fres.ClusterStats.PivotWall
 		if computeS+fres.SchedWall.Seconds() > cadence {
 			st.res.MissedDeadline++
 		}
@@ -568,18 +591,23 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		st.res.CrosslinkBytes += fres.CrosslinkBytes
 		st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
 		st.trace = append(st.trace, TraceRecord{
-			Group:    gi,
-			Frame:    frameIdx,
-			TimeS:    ts,
-			Lat:      frame.Origin.Lat,
-			Lon:      frame.Origin.Lon,
-			Targets:  len(idx),
-			Detected: len(fres.Detections),
-			Clusters: len(fres.Clusters),
-			Captures: fres.Schedule.NumCaptures(),
-			Covered:  len(fres.Schedule.CoveredIDs()),
-			SchedMS:  float64(fres.SchedWall.Microseconds()) / 1000,
-			Deadline: computeS+fres.SchedWall.Seconds() <= cadence,
+			Group:        gi,
+			Frame:        frameIdx,
+			TimeS:        ts,
+			Lat:          frame.Origin.Lat,
+			Lon:          frame.Origin.Lon,
+			Targets:      len(idx),
+			Detected:     len(fres.Detections),
+			Clusters:     len(fres.Clusters),
+			Captures:     fres.Schedule.NumCaptures(),
+			Covered:      len(fres.Schedule.CoveredIDs()),
+			SchedMS:      float64(fres.SchedWall.Microseconds()) / 1000,
+			Deadline:     computeS+fres.SchedWall.Seconds() <= cadence,
+			SchedNodes:   fres.Schedule.SolveStats.Nodes,
+			SchedIters:   fres.Schedule.SolveStats.Iters,
+			SchedGap:     fres.Schedule.SolveStats.Gap,
+			ClusterNodes: fres.ClusterStats.Nodes,
+			ClusterIters: fres.ClusterStats.Iters,
 		})
 	}
 	return nil

@@ -131,6 +131,14 @@ func normalized(r *Result) Result {
 	c.SchedWallTotal = 0
 	c.SchedWallMax = 0
 	c.MissedDeadline = 0
+	c.SchedPivotWall = 0
+	c.ClusterPivotWall = 0
+	// Node/iteration counts are deterministic except when a solve is cut
+	// off by its wall-clock limit, which depends on machine load.
+	c.SchedNodes = 0
+	c.SchedIters = 0
+	c.ClusterNodes = 0
+	c.ClusterIters = 0
 	return c
 }
 
@@ -146,6 +154,11 @@ func decodeTrace(t *testing.T, buf *bytes.Buffer) []TraceRecord {
 		}
 		rec.SchedMS = 0
 		rec.Deadline = false
+		rec.SchedNodes = 0
+		rec.SchedIters = 0
+		rec.SchedGap = 0
+		rec.ClusterNodes = 0
+		rec.ClusterIters = 0
 		out = append(out, rec)
 	}
 	return out

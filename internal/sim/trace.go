@@ -26,6 +26,14 @@ type TraceRecord struct {
 	Covered  int     `json:"covered"` // distinct targets scheduled
 	SchedMS  float64 `json:"sched_ms"`
 	Deadline bool    `json:"deadline_met"`
+	// Solver cost of the frame's two ILPs. Like SchedMS/Deadline, the
+	// counts can vary across runs when a solve is truncated by its wall
+	// time limit, so determinism checks must mask them.
+	SchedNodes   int     `json:"sched_nodes,omitempty"`
+	SchedIters   int     `json:"sched_iters,omitempty"`
+	SchedGap     float64 `json:"sched_gap,omitempty"`
+	ClusterNodes int     `json:"cluster_nodes,omitempty"`
+	ClusterIters int     `json:"cluster_iters,omitempty"`
 }
 
 // traceWriter serializes records to the configured writer.
