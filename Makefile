@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-solver figures
+.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke figures
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ bench:
 bench-solver:
 	$(GO) test -run=xxx -bench=. -benchmem -benchtime=1x \
 		./internal/lp ./internal/mip ./internal/sched ./internal/cluster
+
+# Frame-loop benchmark: measures a full simulator run (ns/op, B/op,
+# allocs/op) and appends a machine-readable point to BENCH_sim.json.
+bench-sim:
+	$(GO) run ./cmd/benchsim -out BENCH_sim.json
+
+# One-iteration benchsim pass for CI: catches frame-loop regressions that
+# only show up at benchmark scale, without CI timing noise mattering.
+bench-sim-smoke:
+	$(GO) run ./cmd/benchsim -iters 1
 
 figures:
 	$(GO) run ./cmd/figures

@@ -1,0 +1,150 @@
+// Command benchsim benchmarks the simulator's frame loop and writes a
+// machine-readable measurement point, so performance history can be
+// committed alongside the code (BENCH_sim.json) and CI can smoke-run the
+// benchmark on every change. The workload mirrors the sim package's
+// BenchmarkRunWorkers benchmarks: a 2000-target static set clustered
+// around five sites, an 8-satellite leader-follower constellation, a
+// 2-hour pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"eagleeye/internal/constellation"
+	"eagleeye/internal/dataset"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/sim"
+)
+
+// point is one benchmark measurement, shaped for appending to a BENCH_*.json
+// time series (one JSON object per run).
+type point struct {
+	Name        string  `json:"name"`
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Targets     int     `json:"targets"`
+	Satellites  int     `json:"satellites"`
+	DurationS   float64 `json:"duration_s"`
+	Iters       int     `json:"iters"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func benchWorld(n int, seed int64) *dataset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := &dataset.Set{Name: "benchsim"}
+	centers := []geo.LatLon{
+		{Lat: 0, Lon: 0}, {Lat: 20, Lon: 40}, {Lat: -30, Lon: 120},
+		{Lat: 50, Lon: -80}, {Lat: -10, Lon: -60},
+	}
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		s.Targets = append(s.Targets, dataset.Target{
+			ID:    i,
+			Pos:   geo.LatLon{Lat: c.Lat + rng.NormFloat64()*3, Lon: c.Lon + rng.NormFloat64()*3}.Normalize(),
+			Value: 0.5 + 0.5*rng.Float64(),
+		})
+	}
+	return s
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "", "append the JSON point to this file ('' means stdout only)")
+		workers = flag.Int("workers", 1, "simulation worker goroutines")
+		iters   = flag.Int("iters", 0, "fixed iteration count (0 lets the benchmark framework decide)")
+		targets = flag.Int("targets", 2000, "workload size")
+		sats    = flag.Int("sats", 8, "constellation size")
+		hours   = flag.Float64("hours", 2, "simulated pass duration")
+	)
+	flag.Parse()
+
+	cfg := sim.Config{
+		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: *sats},
+		App:           benchWorld(*targets, 60),
+		DurationS:     *hours * 3600,
+		Seed:          1,
+		Workers:       *workers,
+	}
+	// Warm the grow-only arenas and pools so the point reflects steady state.
+	if _, err := sim.Run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+
+	bench := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var res testing.BenchmarkResult
+	if *iters > 0 {
+		// Fixed-iteration mode (CI smoke): run the loop body directly under
+		// a single timed pass.
+		start := time.Now()
+		var mem0, mem1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&mem0)
+		for i := 0; i < *iters; i++ {
+			if _, err := sim.Run(cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsim:", err)
+				os.Exit(1)
+			}
+		}
+		runtime.ReadMemStats(&mem1)
+		res = testing.BenchmarkResult{
+			N:         *iters,
+			T:         time.Since(start),
+			MemAllocs: mem1.Mallocs - mem0.Mallocs,
+			MemBytes:  mem1.TotalAlloc - mem0.TotalAlloc,
+		}
+	} else {
+		res = testing.Benchmark(bench)
+	}
+
+	p := point{
+		Name:        "sim/RunWorkers",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     *workers,
+		Targets:     *targets,
+		Satellites:  *sats,
+		DurationS:   *hours * 3600,
+		Iters:       res.N,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	enc, err := json.Marshal(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(enc))
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := fmt.Fprintln(f, string(enc)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"sync"
+
+	"eagleeye/internal/geo"
+	"eagleeye/internal/mip"
+)
+
+// coverArena is the per-cover scratch of the clusterer: candidate
+// enumeration working sets, the set-cover problem shell, and the MIP
+// workspace. The simulator covers one frame's detections per leader frame
+// for tens of thousands of frames, so this is what keeps the clustering
+// step's steady state allocation-free. Arenas are pooled (CoverStats is a
+// free function called from many worker goroutines); an arena is owned by
+// exactly one cover at a time and nothing returned by Cover/CoverStats
+// aliases it (clusters are freshly assembled by assign).
+type coverArena struct {
+	ws   mip.Workspace
+	prob mip.Problem
+
+	order []int
+	span  []int
+	cands []candidate
+	keep  []bool
+
+	// masks backs the candidate bitsets, carved sequentially; candidate
+	// masks are dead once CoverStats returns, so the chunk is reused.
+	masks   []uint64
+	maskOff int
+
+	// seen dedups candidates by a hash of their covered set, mapping to the
+	// first candidate index with that hash (verified by mask equality, so a
+	// hash collision merely keeps a harmless duplicate candidate).
+	seen map[uint64]int
+
+	covered []uint64
+	gBoxes  []geo.Rect
+	iBoxes  []geo.Rect
+
+	// rows backs the dense set-cover constraint rows; same carve-and-zero
+	// discipline as the scheduler's row arena.
+	rows    []float64
+	rowsOff int
+	rowsW   int
+}
+
+var coverArenas = sync.Pool{New: func() any { return new(coverArena) }}
+
+func getCoverArena() *coverArena  { return coverArenas.Get().(*coverArena) }
+func putCoverArena(a *coverArena) { coverArenas.Put(a) }
+
+// newMask carves the next zeroed words-long bitset from the mask chunk.
+func (a *coverArena) newMask(words int) []uint64 {
+	if len(a.masks)-a.maskOff < words {
+		size := 256 * words
+		if size < 4096 {
+			size = 4096
+		}
+		a.masks = make([]uint64, size)
+		a.maskOff = 0
+	}
+	m := a.masks[a.maskOff : a.maskOff+words : a.maskOff+words]
+	a.maskOff += words
+	clear(m)
+	return m
+}
+
+// dropMask returns the most recent newMask carve to the chunk (used when a
+// candidate turns out to be empty or a duplicate).
+func (a *coverArena) dropMask(words int) { a.maskOff -= words }
+
+// seenMap returns the arena's dedup map, emptied.
+func (a *coverArena) seenMap() map[uint64]int {
+	if a.seen == nil {
+		a.seen = make(map[uint64]int)
+	} else {
+		clear(a.seen)
+	}
+	return a.seen
+}
+
+// resetRows prepares the row arena for up to maxRows dense rows of width w.
+func (a *coverArena) resetRows(maxRows, w int) {
+	a.rows = growFloats(a.rows, maxRows*w)
+	a.rowsOff = 0
+	a.rowsW = w
+}
+
+// carveRow returns the next zeroed dense row from the row arena.
+func (a *coverArena) carveRow() []float64 {
+	row := a.rows[a.rowsOff : a.rowsOff+a.rowsW : a.rowsOff+a.rowsW]
+	a.rowsOff += a.rowsW
+	clear(row)
+	return row
+}
+
+// maskHash is an FNV-1a style fold over the bitset words; it only needs to
+// be deterministic and well mixed (collisions degrade dedup, not
+// correctness).
+func maskHash(mask []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, m := range mask {
+		h ^= m
+		h *= 1099511628211
+	}
+	return h
+}
+
+func masksEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growUints(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}

@@ -16,11 +16,12 @@ func BenchmarkILPCover(b *testing.B) {
 		pts[i] = pt(rng.Float64()*60e3, rng.Float64()*60e3)
 	}
 	opts := Options{}.withDefaults()
-	cands := candidates(pts, 10e3, 10e3)
+	ar := new(coverArena)
+	cands := candidates(ar, pts, 10e3, 10e3)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, ok := ilpCover(pts, cands, opts.MIP); !ok {
+		if _, _, ok := ilpCover(ar, pts, cands, opts.MIP); !ok {
 			b.Fatal("ilp cover failed")
 		}
 	}

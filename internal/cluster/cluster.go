@@ -17,9 +17,10 @@
 package cluster
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"eagleeye/internal/geo"
@@ -110,13 +111,16 @@ func CoverStats(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method,
 	}
 	opt = opt.withDefaults()
 
-	cands := candidates(pts, w, h)
-	greedyBoxes := greedyCover(pts, cands)
+	ar := getCoverArena()
+	defer putCoverArena(ar)
+
+	cands := candidates(ar, pts, w, h)
+	greedyBoxes := greedyCover(ar, pts, cands)
 	method := MethodGreedy
 	boxes := greedyBoxes
 	var stats SolveStats
 	if !opt.ForceGreedy && len(cands) <= opt.MaxILPCandidates {
-		ilpBoxes, st, ok := ilpCover(pts, cands, opt.MIP)
+		ilpBoxes, st, ok := ilpCover(ar, pts, cands, opt.MIP)
 		stats = st
 		if ok && len(ilpBoxes) <= len(greedyBoxes) {
 			boxes = ilpBoxes
@@ -148,32 +152,37 @@ func subsetOf(a, b []uint64) bool {
 // candidates enumerates canonical rectangle placements: left edge at some
 // point's x, bottom edge at some point's y (restricted to y-values of points
 // within the x-span, which preserves optimality), deduplicated by covered
-// set and pruned of dominated placements.
-func candidates(pts []geo.Point2, w, h float64) []candidate {
+// set and pruned of dominated placements. All working sets, including the
+// candidate masks, are carved from the arena; candidates are only valid
+// until the arena is released.
+func candidates(ar *coverArena, pts []geo.Point2, w, h float64) []candidate {
 	n := len(pts)
 	words := maskWords(n)
-	order := make([]int, n)
+	order := growInts(ar.order, n)
+	ar.order = order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X < pts[order[b]].X })
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(pts[a].X, pts[b].X) })
 
-	seen := make(map[string]struct{})
-	var out []candidate
+	ar.maskOff = 0
+	seen := ar.seenMap()
+	out := ar.cands[:0]
 	const eps = 1e-9
 	for _, i := range order {
 		x0 := pts[i].X
 		// Points within the x-span [x0, x0+w].
-		var span []int
+		span := ar.span[:0]
 		for _, j := range order {
 			if pts[j].X >= x0-eps && pts[j].X <= x0+w+eps {
 				span = append(span, j)
 			}
 		}
+		ar.span = span
 		for _, j := range span {
 			y0 := pts[j].Y
 			box := geo.Rect{Min: geo.Point2{X: x0, Y: y0}, Max: geo.Point2{X: x0 + w, Y: y0 + h}}
-			mask := make([]uint64, words)
+			mask := ar.newMask(words)
 			any := false
 			for _, k := range span {
 				if pts[k].Y >= y0-eps && pts[k].Y <= y0+h+eps {
@@ -182,20 +191,28 @@ func candidates(pts []geo.Point2, w, h float64) []candidate {
 				}
 			}
 			if !any {
+				ar.dropMask(words)
 				continue
 			}
-			key := maskKey(mask)
-			if _, dup := seen[key]; dup {
-				continue
+			key := maskHash(mask)
+			if fi, hit := seen[key]; hit {
+				if masksEqual(out[fi].mask, mask) {
+					ar.dropMask(words)
+					continue
+				}
+				// Hash collision between distinct masks: keep the candidate
+				// (dedup is only an optimization) and leave the map entry.
+			} else {
+				seen[key] = len(out)
 			}
-			seen[key] = struct{}{}
 			out = append(out, candidate{box: box, mask: mask})
 		}
 	}
 	// Dominance pruning: drop candidates whose covered set is a strict
 	// subset of another's. Quadratic, so only for moderate counts.
 	if len(out) <= 1500 {
-		keep := make([]bool, len(out))
+		keep := growBools(ar.keep, len(out))
+		ar.keep = keep
 		for i := range keep {
 			keep[i] = true
 		}
@@ -220,27 +237,21 @@ func candidates(pts []geo.Point2, w, h float64) []candidate {
 		}
 		out = pruned
 	}
+	ar.cands = out
 	return out
-}
-
-func maskKey(mask []uint64) string {
-	b := make([]byte, len(mask)*8)
-	for k, m := range mask {
-		for s := 0; s < 8; s++ {
-			b[k*8+s] = byte(m >> (8 * uint(s)))
-		}
-	}
-	return string(b)
 }
 
 // greedyCover picks the candidate covering the most uncovered points until
 // all are covered. Candidates always include a singleton for every point,
-// so the loop terminates.
-func greedyCover(pts []geo.Point2, cands []candidate) []geo.Rect {
+// so the loop terminates. The returned boxes live in arena scratch.
+func greedyCover(ar *coverArena, pts []geo.Point2, cands []candidate) []geo.Rect {
 	n := len(pts)
-	covered := make([]uint64, maskWords(n))
+	covered := growUints(ar.covered, maskWords(n))
+	ar.covered = covered
+	clear(covered)
 	remaining := n
-	var boxes []geo.Rect
+	boxes := ar.gBoxes[:0]
+	defer func() { ar.gBoxes = boxes }()
 	for remaining > 0 {
 		best, bestGain := -1, 0
 		for ci, c := range cands {
@@ -285,15 +296,29 @@ func popcount(x uint64) int {
 }
 
 // ilpCover solves the set-cover ILP: minimize the number of selected
-// candidates subject to every point being covered at least once.
-func ilpCover(pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect, SolveStats, bool) {
+// candidates subject to every point being covered at least once. The
+// problem shell, constraint rows, and solver state all come from the arena;
+// the returned boxes live in arena scratch.
+func ilpCover(ar *coverArena, pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect, SolveStats, bool) {
 	n := len(pts)
-	p := mip.NewBinary(len(cands))
-	for j := range p.C {
+	nc := len(cands)
+	p := &ar.prob
+	p.C = growFloats(p.C, nc)
+	p.Lower = growFloats(p.Lower, nc)
+	p.Upper = growFloats(p.Upper, nc)
+	p.Integer = growBools(p.Integer, nc)
+	for j := 0; j < nc; j++ {
 		p.C[j] = -1 // maximize -count == minimize count
+		p.Lower[j] = 0
+		p.Upper[j] = 1
+		p.Integer[j] = true
 	}
+	p.A = p.A[:0]
+	p.Senses = p.Senses[:0]
+	p.B = p.B[:0]
+	ar.resetRows(n, nc)
 	for i := 0; i < n; i++ {
-		row := make([]float64, len(cands))
+		row := ar.carveRow()
 		any := false
 		for j, c := range cands {
 			if hasBit(c.mask, i) {
@@ -306,17 +331,18 @@ func ilpCover(pts []geo.Point2, cands []candidate, opts mip.Options) ([]geo.Rect
 		}
 		p.AddRow(row, lp.GE, 1)
 	}
-	sol, err := mip.SolveOpts(p, opts)
+	sol, err := ar.ws.SolveOpts(p, opts)
 	stats := SolveStats{Nodes: sol.Nodes, Iters: sol.Iters, Gap: sol.Gap, PivotWall: sol.PivotWall}
 	if err != nil || (sol.Status != mip.StatusOptimal && sol.Status != mip.StatusFeasible) {
 		return nil, stats, false
 	}
-	var boxes []geo.Rect
+	boxes := ar.iBoxes[:0]
 	for j, v := range sol.X {
 		if math.Round(v) >= 1 {
 			boxes = append(boxes, cands[j].box)
 		}
 	}
+	ar.iBoxes = boxes
 	return boxes, stats, true
 }
 

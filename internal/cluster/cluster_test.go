@@ -130,7 +130,7 @@ func TestILPAtMostGreedy(t *testing.T) {
 // candidate subsets (exponential; tiny inputs only).
 func bruteForceMinCover(t *testing.T, pts []geo.Point2, w, h float64) int {
 	t.Helper()
-	cands := candidates(pts, w, h)
+	cands := candidates(new(coverArena), pts, w, h)
 	n := len(pts)
 	best := n + 1
 	var rec func(i int, mask []uint64, used int)

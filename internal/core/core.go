@@ -59,6 +59,18 @@ type Pipeline struct {
 	PriorityScale func(geo.Point2) float64
 	// Rng drives the statistical detector. Required.
 	Rng *rand.Rand
+
+	// Per-frame scratch reused across ProcessFrame calls (the simulator
+	// calls one Pipeline per group for tens of thousands of frames).
+	// Nothing in Result aliases these: detections copy positions, clusters
+	// hold member indices and boxes, and schedules copy aim points. A
+	// Pipeline is single-goroutine, as the Rng field already requires.
+	scratchPts     []geo.Point2
+	scratchTargets []sched.Target
+	scratchWire    []byte
+	// emptyCaps backs the no-detections Schedule; callers treat returned
+	// schedules as read-only.
+	emptyCaps [][]sched.Capture
 }
 
 // Result is everything one frame produced.
@@ -106,19 +118,23 @@ func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.E
 		}
 	}
 	if len(res.Detections) == 0 {
-		res.Schedule = sched.Schedule{Captures: make([][]sched.Capture, len(followers))}
+		if len(p.emptyCaps) != len(followers) {
+			p.emptyCaps = make([][]sched.Capture, len(followers))
+		}
+		res.Schedule = sched.Schedule{Captures: p.emptyCaps}
 		return res, nil
 	}
 
 	// Build capture tasks: one per cluster (or one per detection when
 	// clustering is off). Priorities are summed detection confidences
 	// (§3.2, §4.1).
-	var targets []sched.Target
+	targets := p.scratchTargets[:0]
 	if p.UseClustering {
-		pts := make([]geo.Point2, len(res.Detections))
-		for i, d := range res.Detections {
-			pts[i] = d.Pos
+		pts := p.scratchPts[:0]
+		for _, d := range res.Detections {
+			pts = append(pts, d.Pos)
 		}
+		p.scratchPts = pts
 		swath := p.HighResSwathM
 		if swath <= 0 {
 			swath = 10e3
@@ -149,6 +165,8 @@ func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.E
 		}
 	}
 
+	p.scratchTargets = targets
+
 	prob := &sched.Problem{Env: env, Targets: targets, Followers: followers}
 	start := time.Now()
 	schedule, err := p.Scheduler.Schedule(prob)
@@ -166,7 +184,8 @@ func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.E
 			if max := sched.MaxCapturesPerMessage(); len(chunk) > max {
 				chunk = seq[:max]
 			}
-			msg, err := sched.EncodeSchedule(fi, chunk)
+			msg, err := sched.AppendSchedule(p.scratchWire[:0], fi, chunk)
+			p.scratchWire = msg
 			if err != nil {
 				// Conservative fallback: the analytic message size.
 				res.CrosslinkBytes += comms.ScheduleMessageBytes(len(chunk))

@@ -1,8 +1,11 @@
 package dataset
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
+
+	"eagleeye/internal/geo"
 )
 
 // FuzzReadJSON ensures arbitrary JSON never panics the dataset importer.
@@ -17,6 +20,57 @@ func FuzzReadJSON(f *testing.F) {
 		}
 		if err := s.Validate(); err != nil {
 			t.Fatalf("accepted set fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzNearConsistency drives the grid index with arbitrary query points,
+// radii, and cell sizes, checking the three-way invariant NearInto ≡ Near
+// ≡ brute force: both query paths agree element-for-element, no candidate
+// is reported twice, and no in-radius target is missed.
+func FuzzNearConsistency(f *testing.F) {
+	f.Add(int64(1), 12.0, 34.0, 80e3, 2.0)
+	f.Add(int64(2), 79.5, -179.0, 900e3, 3.0)
+	f.Add(int64(3), -85.0, 10.0, 2.2e6, 0.5)
+	f.Add(int64(4), 59.0, 0.0, 2.446e6, 2.0) // old lon-wrap duplicate window
+	f.Fuzz(func(t *testing.T, seed int64, lat, lon, radiusM, cellDeg float64) {
+		if !(lat >= -90 && lat <= 90) || !(lon >= -360 && lon <= 360) {
+			t.Skip()
+		}
+		if !(radiusM >= 0 && radiusM <= 2.5e7) || !(cellDeg >= 0.05 && cellDeg <= 10) {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := &Set{Name: "fuzz"}
+		for i := 0; i < 200; i++ {
+			s.Targets = append(s.Targets, Target{
+				ID:    i,
+				Pos:   geo.LatLon{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}.Normalize(),
+				Value: 1,
+			})
+		}
+		ix := NewIndex(s, cellDeg, 0)
+		q := geo.LatLon{Lat: lat, Lon: lon}.Normalize()
+		got := ix.Near(q, radiusM, 0)
+		into := ix.NearInto(q, radiusM, 0, make([]int32, 0, 8))
+		if len(got) != len(into) {
+			t.Fatalf("Near %d results, NearInto %d", len(got), len(into))
+		}
+		seen := make(map[int32]bool, len(got))
+		for i := range got {
+			if got[i] != into[i] {
+				t.Fatalf("result %d differs: %d vs %d", i, got[i], into[i])
+			}
+			if seen[got[i]] {
+				t.Fatalf("duplicate candidate %d", got[i])
+			}
+			seen[got[i]] = true
+		}
+		for i, tgt := range s.Targets {
+			if geo.GreatCircleDistance(tgt.Pos, q) <= radiusM && !seen[int32(i)] {
+				t.Fatalf("missed target %d (radius %.0f, distance %.0f)",
+					i, radiusM, geo.GreatCircleDistance(tgt.Pos, q))
+			}
 		}
 	})
 }

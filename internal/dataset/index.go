@@ -15,11 +15,19 @@ type Index struct {
 	set     *Set
 	cellDeg float64
 	atTime  float64
-	cells   map[int64][]int32
+	// Cell storage is CSR over the dense row*stride+col key space: cell k
+	// holds arena[offsets[k]:offsets[k+1]], members in input order. A flat
+	// offsets array replaces the old map of cells: the query loop touches
+	// every cell in a window, and the per-cell map hashing dominated the
+	// lookup cost on large static sets.
+	offsets []int32
+	arena   []int32
 	// stride is the cell-key row stride: one more than the column count,
 	// so any longitude cell (including lon = +180 after wrapping) fits a
 	// row without aliasing into its neighbor.
 	stride int64
+	// nrows bounds the latitude rows; queries clamp to [0, nrows).
+	nrows int64
 	// maxSpeed widens queries when positions were indexed at a different
 	// time than the query.
 	maxSpeed float64
@@ -36,23 +44,61 @@ func NewIndex(s *Set, cellDeg float64, atTime float64) *Index {
 		set:     s,
 		cellDeg: cellDeg,
 		atTime:  atTime,
-		cells:   make(map[int64][]int32),
 		stride:  int64(math.Ceil(360/cellDeg)) + 1,
+		nrows:   int64(math.Ceil(180/cellDeg)) + 1,
 	}
-	for i, t := range s.Targets {
+	// Counting-sort build: count members per cell, prefix-sum into the CSR
+	// offsets, then scatter indices in input order (so cell membership
+	// order matches the old per-cell appends exactly).
+	ncells := ix.nrows * ix.stride
+	keys := make([]int64, len(s.Targets))
+	offsets := make([]int32, ncells+1)
+	for i := range s.Targets {
+		t := &s.Targets[i]
 		if t.SpeedMS > ix.maxSpeed {
 			ix.maxSpeed = t.SpeedMS
 		}
 		p := t.PosAt(atTime)
 		k := ix.key(p.Lat, p.Lon)
-		ix.cells[k] = append(ix.cells[k], int32(i))
+		keys[i] = k
+		offsets[k+1]++
 	}
+	for c := int64(1); c <= ncells; c++ {
+		offsets[c] += offsets[c-1]
+	}
+	arena := make([]int32, len(s.Targets))
+	cur := make([]int32, ncells)
+	copy(cur, offsets[:ncells])
+	for i, k := range keys {
+		arena[cur[k]] = int32(i)
+		cur[k]++
+	}
+	ix.offsets = offsets
+	ix.arena = arena
 	return ix
 }
 
+// cell returns cell k's member block. k must be in [0, nrows*stride).
+func (ix *Index) cell(k int64) []int32 {
+	return ix.arena[ix.offsets[k]:ix.offsets[k+1]]
+}
+
+// Set returns the underlying target set.
+func (ix *Index) Set() *Set { return ix.set }
+
 func (ix *Index) key(lat, lon float64) int64 {
 	r := int64(math.Floor((lat + 90) / ix.cellDeg))
+	if r < 0 {
+		r = 0
+	} else if r >= ix.nrows {
+		r = ix.nrows - 1
+	}
 	c := int64(math.Floor((geo.WrapLonDeg(lon) + 180) / ix.cellDeg))
+	if c < 0 {
+		c = 0
+	} else if c >= ix.stride {
+		c = ix.stride - 1
+	}
 	return r*ix.stride + c
 }
 
@@ -61,37 +107,102 @@ func (ix *Index) key(lat, lon float64) int64 {
 // queryTime widens the radius by the distance moving targets may have
 // travelled since indexing.
 func (ix *Index) Near(p geo.LatLon, radiusM float64, queryTime float64) []int32 {
+	return ix.NearInto(p, radiusM, queryTime, nil)
+}
+
+// NearInto is Near appending into a caller-owned slice (usually sliced to
+// length zero), returning the extended slice. The simulator's frame loop
+// reuses one scratch slice per worker instead of allocating per query.
+func (ix *Index) NearInto(p geo.LatLon, radiusM float64, queryTime float64, out []int32) []int32 {
 	pad := ix.maxSpeed * math.Abs(queryTime-ix.atTime)
-	radDeg := (radiusM + pad) / 111e3 // meters per degree latitude
+	radDeg := (radiusM + pad) / 111e3 // meters per degree latitude (conservative)
+	if radDeg > 180 {
+		radDeg = 180
+	}
 	latLo := p.Lat - radDeg
 	latHi := p.Lat + radDeg
-	var out []int32
+	// Longitude half-window in degrees, valid for every row of the query.
+	// For a circle clear of the poles the extreme longitude offset is
+	// asin(sin r / cos lat), attained at the tangent parallel rather than
+	// the query latitude; the old per-row radDeg/cos(poleward) window
+	// under-covered trans-polar reach and, near its 360-degree overflow,
+	// wrapped past its own starting cell and reported candidates twice. A
+	// circle containing a pole reaches every longitude, so those queries
+	// scan full rows.
+	poleIn := math.Abs(p.Lat)+radDeg >= 90
+	var lonWin float64
+	if !poleIn {
+		sinR := math.Sin(geo.Deg2Rad(radDeg))
+		cosLat := math.Cos(geo.Deg2Rad(p.Lat))
+		lonWin = geo.Rad2Deg(math.Asin(math.Min(1, sinR/cosLat)))
+	}
+	lonQ := geo.WrapLonDeg(p.Lon)
 	for lat := latLo; lat <= latHi+ix.cellDeg; lat += ix.cellDeg {
 		if lat < -90-ix.cellDeg || lat > 90+ix.cellDeg {
 			continue
 		}
-		// Longitude span must be computed at the row's most poleward
-		// latitude, where meridians converge fastest.
-		poleward := math.Max(math.Abs(lat), math.Abs(lat+ix.cellDeg))
-		if poleward >= 88 {
-			// Near the poles: scan the whole latitude row.
-			for lon := -180.0; lon < 180; lon += ix.cellDeg {
-				out = append(out, ix.cells[ix.key(lat, lon)]...)
-			}
+		row := int64(math.Floor((lat + 90) / ix.cellDeg))
+		if row < 0 || row >= ix.nrows {
 			continue
 		}
-		lonRad := radDeg / math.Cos(geo.Deg2Rad(poleward))
-		if lonRad >= 180 {
-			for lon := -180.0; lon < 180; lon += ix.cellDeg {
-				out = append(out, ix.cells[ix.key(lat, lon)]...)
-			}
+		// Clamp a padded span approaching one full row to a single
+		// full-row pass so the walk never revisits its starting cell
+		// (the 2-cell slack absorbs column-flooring at both ends).
+		if poleIn || 2*lonWin+3*ix.cellDeg >= 360 {
+			out = ix.appendRow(out, row)
 			continue
 		}
-		for lon := p.Lon - lonRad; lon <= p.Lon+lonRad+ix.cellDeg; lon += ix.cellDeg {
-			out = append(out, ix.cells[ix.key(lat, geo.WrapLonDeg(lon))]...)
+		// Column span [lo, hi] with one cell of slack, split at the
+		// antimeridian. A split range always touches lon = ±180, whose
+		// targets live in the extra seam column (WrapLonDeg maps -180 to
+		// +180, past the last regular column) — the old lon-walk keyed its
+		// -180 step into that seam column and skipped the first regular
+		// cell of the row.
+		lo := lonQ - lonWin
+		hi := lonQ + lonWin + ix.cellDeg
+		switch {
+		case lo < -180:
+			out = ix.appendCols(out, row, ix.col(lo+360), ix.stride-2)
+			out = append(out, ix.cell(row*ix.stride+ix.stride-1)...)
+			out = ix.appendCols(out, row, 0, ix.col(hi))
+		case hi >= 180:
+			out = ix.appendCols(out, row, ix.col(lo), ix.stride-2)
+			out = append(out, ix.cell(row*ix.stride+ix.stride-1)...)
+			out = ix.appendCols(out, row, 0, ix.col(hi-360))
+		default:
+			out = ix.appendCols(out, row, ix.col(lo), ix.col(hi))
 		}
 	}
 	return out
+}
+
+// col maps an unwrapped longitude to its column index (no range clamping).
+func (ix *Index) col(lon float64) int64 {
+	return int64(math.Floor((lon + 180) / ix.cellDeg))
+}
+
+// appendCols appends the cells of columns [cLo, cHi] of a row, clamped to
+// the regular-column range.
+func (ix *Index) appendCols(out []int32, row, cLo, cHi int64) []int32 {
+	if cLo < 0 {
+		cLo = 0
+	}
+	if cHi > ix.stride-2 {
+		cHi = ix.stride - 2
+	}
+	if cHi < cLo {
+		return out
+	}
+	// One contiguous CSR range covers the whole column span.
+	base := row * ix.stride
+	return append(out, ix.arena[ix.offsets[base+cLo]:ix.offsets[base+cHi+1]]...)
+}
+
+// appendRow appends every cell of a latitude row to out, including the
+// extra seam column holding lon = +180.
+func (ix *Index) appendRow(out []int32, row int64) []int32 {
+	base := row * ix.stride
+	return append(out, ix.arena[ix.offsets[base]:ix.offsets[base+ix.stride]]...)
 }
 
 // TimedIndex maintains per-time-bucket indices for moving target sets,
@@ -119,6 +230,13 @@ func NewTimedIndex(s *Set, cellDeg, bucketS float64) *TimedIndex {
 
 // Near returns candidate indices near p at elapsed time ts.
 func (tx *TimedIndex) Near(p geo.LatLon, radiusM float64, ts float64) []int32 {
+	return tx.NearInto(p, radiusM, ts, nil)
+}
+
+// NearInto is Near appending into a caller-owned slice. The scratch slice
+// stays private to the calling goroutine; only the bucket lookup/build is
+// synchronized.
+func (tx *TimedIndex) NearInto(p geo.LatLon, radiusM float64, ts float64, out []int32) []int32 {
 	if !tx.set.Moving {
 		// Static sets need a single bucket.
 		ts = 0
@@ -137,7 +255,7 @@ func (tx *TimedIndex) Near(p geo.LatLon, radiusM float64, ts float64) []int32 {
 		}
 		tx.mu.Unlock()
 	}
-	return ix.Near(p, radiusM, ts)
+	return ix.NearInto(p, radiusM, ts, out)
 }
 
 // Set returns the underlying target set.

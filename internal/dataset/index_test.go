@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -101,5 +102,84 @@ func TestTimedIndexConcurrentNear(t *testing.T) {
 	wg.Wait()
 	if tx.Set() != s {
 		t.Error("Set accessor lost the underlying set")
+	}
+}
+
+// TestNearNoDuplicateCandidates pins the longitude-span clamp. With
+// cellDeg=2 and a query at (59, 0), a radius near 2446 km makes the row at
+// lat ~81 scan a padded span of just under 360 degrees plus slack cells:
+// the walk wrapped past its own starting cell and reported that cell's
+// targets twice, inflating TargetsPerImage/Detections downstream.
+func TestNearNoDuplicateCandidates(t *testing.T) {
+	s := &Set{Name: "dup"}
+	id := 0
+	for _, lat := range []float64{59, 75, 81} {
+		for lon := -180.0; lon < 180; lon += 2 {
+			s.Targets = append(s.Targets, Target{
+				ID:    id,
+				Pos:   geo.LatLon{Lat: lat, Lon: lon + 0.5},
+				Value: 1,
+			})
+			id++
+		}
+	}
+	ix := NewIndex(s, 2, 0)
+	q := geo.LatLon{Lat: 59, Lon: 0}
+	seen := make(map[int32]int)
+	for radiusM := 2.40e6; radiusM <= 2.50e6; radiusM *= 1.0005 {
+		got := ix.Near(q, radiusM, 0)
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, ci := range got {
+			seen[ci]++
+			if seen[ci] > 1 {
+				t.Fatalf("radius %.0f: candidate %d reported %d times", radiusM, ci, seen[ci])
+			}
+		}
+	}
+}
+
+// TestNearIntoDifferential checks NearInto ≡ Near ≡ brute force on a
+// random world: identical slices from both query paths, no duplicates,
+// and every target whose indexed position lies within the radius present.
+func TestNearIntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := &Set{Name: "diff"}
+	for i := 0; i < 500; i++ {
+		s.Targets = append(s.Targets, Target{
+			ID:    i,
+			Pos:   geo.LatLon{Lat: rng.Float64()*178 - 89, Lon: rng.Float64()*360 - 180}.Normalize(),
+			Value: 1,
+		})
+	}
+	for _, cellDeg := range []float64{0.5, 2, 7} {
+		ix := NewIndex(s, cellDeg, 0)
+		scratch := make([]int32, 0, 64)
+		for qi := 0; qi < 50; qi++ {
+			q := geo.LatLon{Lat: rng.Float64()*178 - 89, Lon: rng.Float64()*360 - 180}.Normalize()
+			radiusM := math.Exp(rng.Float64()*8) * 1e3 // 1e3 .. ~3e6 m
+			got := ix.Near(q, radiusM, 0)
+			scratch = ix.NearInto(q, radiusM, 0, scratch[:0])
+			if len(got) != len(scratch) {
+				t.Fatalf("cell %.1f query %d: Near %d results, NearInto %d", cellDeg, qi, len(got), len(scratch))
+			}
+			seen := make(map[int32]bool, len(got))
+			for i := range got {
+				if got[i] != scratch[i] {
+					t.Fatalf("cell %.1f query %d: result %d differs: %d vs %d", cellDeg, qi, i, got[i], scratch[i])
+				}
+				if seen[got[i]] {
+					t.Fatalf("cell %.1f query %d: duplicate candidate %d", cellDeg, qi, got[i])
+				}
+				seen[got[i]] = true
+			}
+			for i, tgt := range s.Targets {
+				if geo.GreatCircleDistance(tgt.Pos, q) <= radiusM && !seen[int32(i)] {
+					t.Fatalf("cell %.1f query %d (radius %.0f): missed target %d at distance %.0f",
+						cellDeg, qi, radiusM, i, geo.GreatCircleDistance(tgt.Pos, q))
+				}
+			}
+		}
 	}
 }

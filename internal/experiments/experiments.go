@@ -137,13 +137,14 @@ func cacheKey(cfg sim.Config) string {
 	if cfg.Scheduler != nil {
 		schedName = cfg.Scheduler.Name()
 	}
-	return fmt.Sprintf("%v|%d|%d|%d|%s|%v|%d|%s|%v|%v|%v|%v|%v|%s|%v",
+	return fmt.Sprintf("%v|%d|%d|%d|%s|%v|%d|%s|%v|%v|%v|%v|%v|%s|%v|%d:%d",
 		cfg.Constellation.Kind, cfg.Constellation.Satellites,
 		cfg.Constellation.FollowersPerGroup, cfg.Constellation.Planes,
 		cfg.App.Name, cfg.DurationS,
 		cfg.Seed, schedName, cfg.SlewRateDegS, cfg.RecallOverride,
 		cfg.NoClustering, cfg.ClusterGreedy, cfg.ComputeDelayS,
-		cfg.Detector.Name, cfg.RecaptureDedup)
+		cfg.Detector.Name, cfg.RecaptureDedup,
+		cfg.Tiling.FramePx, cfg.Tiling.TilePx)
 }
 
 // runSim executes one simulation (memoized), panicking on configuration

@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"eagleeye/internal/dataset"
+	"eagleeye/internal/detect"
+	"eagleeye/internal/sim"
 )
 
 // testScale keeps the unit tests fast; the benchmarks exercise
@@ -331,5 +335,24 @@ func TestRenderCSVAndSlug(t *testing.T) {
 	}
 	if slug := tbl.SlugTitle(); slug != "fig-10-max-lookahead-distance-vs-target-speed" {
 		t.Errorf("slug = %q", slug)
+	}
+}
+
+// TestCacheKeyDistinguishesTiling is a regression test for a cache-key
+// collision: two configs differing only in the detector tiling used to map
+// to the same memoized simulation result, so tiling sweeps could silently
+// reuse the wrong run.
+func TestCacheKeyDistinguishesTiling(t *testing.T) {
+	cfg := sim.Config{App: &dataset.Set{Name: "ships"}}
+	a := cacheKey(cfg)
+	cfg.Tiling = detect.Tiling{FramePx: 4096, TilePx: 512}
+	b := cacheKey(cfg)
+	if a == b {
+		t.Fatalf("cacheKey ignores tiling: %q", a)
+	}
+	cfg.Tiling = detect.Tiling{FramePx: 4096, TilePx: 1024}
+	c := cacheKey(cfg)
+	if b == c {
+		t.Fatalf("cacheKey ignores tile size: %q", b)
 	}
 }

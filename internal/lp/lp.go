@@ -490,9 +490,10 @@ func (t *tableau) optimize(ws *Workspace, obj []float64, maxIters int, phase1 bo
 			if c == 0 {
 				continue
 			}
-			ri := t.a[i]
-			for j := 0; j < limit; j++ {
-				red[j] -= c * ri[j]
+			ri := t.a[i][:limit]
+			rd := red[:len(ri)]
+			for j, v := range ri {
+				rd[j] -= c * v
 			}
 		}
 		// Entering column: a nonbasic at its lower bound improves by
@@ -611,9 +612,9 @@ func (t *tableau) pivot(row, col int, dir, step float64, leaveAtUpper bool) {
 	lv := t.basis[row]
 	t.atUpper[lv] = leaveAtUpper
 
-	pr := t.a[row]
+	pr := t.a[row][:t.total]
 	inv := 1 / pr[col]
-	for j := 0; j < t.total; j++ {
+	for j := range pr {
 		pr[j] *= inv
 	}
 	for i := 0; i < t.m; i++ {
@@ -624,9 +625,9 @@ func (t *tableau) pivot(row, col int, dir, step float64, leaveAtUpper bool) {
 		if f == 0 {
 			continue
 		}
-		ri := t.a[i]
-		for j := 0; j < t.total; j++ {
-			ri[j] -= f * pr[j]
+		ri := t.a[i][:len(pr)]
+		for j, v := range pr {
+			ri[j] -= f * v
 		}
 	}
 	t.inBasis[lv] = false

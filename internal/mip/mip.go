@@ -153,193 +153,12 @@ type node struct {
 // Solve optimizes the MIP with default options.
 func Solve(p *Problem) (Solution, error) { return SolveOpts(p, Options{}) }
 
-// SolveOpts optimizes the MIP by LP-based branch and bound with best-first
-// node selection and most-fractional branching.
+// SolveOpts optimizes the MIP with a throwaway Workspace. Callers that
+// solve many similarly shaped problems should hold a Workspace and use its
+// SolveOpts method, which reuses the search and tableau arenas.
 func SolveOpts(p *Problem, opts Options) (Solution, error) {
-	if err := p.Validate(); err != nil {
-		return Solution{}, err
-	}
-	opts = opts.withDefaults()
-	n := len(p.C)
-
-	baseLower := make([]float64, n)
-	baseUpper := make([]float64, n)
-	for j := 0; j < n; j++ {
-		baseLower[j] = lower(&p.Problem, j)
-		baseUpper[j] = upper(&p.Problem, j)
-	}
-
-	deadline := time.Now().Add(opts.TimeLimit)
-	heap := &nodeHeap{}
-	heap.push(node{lower: baseLower, upper: baseUpper, bound: math.Inf(1)})
-
-	var (
-		incumbent    []float64
-		incumbentVal = math.Inf(-1)
-		nodes        int
-		stopped      bool
-		anyOptimal   bool // some node LP solved to optimality
-		sawLimit     bool // some node LP was abandoned (iter limit / numerics)
-		stopBound    = math.Inf(-1)
-		iters        int
-		pivotWall    time.Duration
-		ws           lp.Workspace
-	)
-
-	// One workspace serves every node: the tableau arena is built once and
-	// re-solved with mutated bounds, so the per-node m x total allocation
-	// of the old path disappears. p was validated above, so the workspace's
-	// validation-free solve is safe. Solution.X aliases the workspace and is
-	// copied before being kept (roundIntegers copies).
-	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses}
-	for heap.len() > 0 {
-		if nodes >= opts.MaxNodes || time.Now().After(deadline) {
-			stopped = true
-			break
-		}
-		nd := heap.pop()
-		// Plunge: follow one branch chain depth-first until it is pruned or
-		// integral, pushing siblings onto the heap. Diving finds an
-		// incumbent quickly so the best-first phase can prune aggressively.
-		for plunge := true; plunge; {
-			plunge = false
-			if nd.bound <= incumbentVal+1e-9 {
-				break // cannot improve
-			}
-			if nodes >= opts.MaxNodes || time.Now().After(deadline) {
-				stopped = true
-				// This node's bound stays valid for the gap computation even
-				// though we never solved it.
-				if nd.bound > stopBound {
-					stopBound = nd.bound
-				}
-				break
-			}
-			nodes++
-			work.Lower = nd.lower
-			work.Upper = nd.upper
-			start := time.Now()
-			sol := ws.SolveMaxIters(&work, opts.MaxLPIters)
-			pivotWall += time.Since(start)
-			iters += sol.Iters
-			switch sol.Status {
-			case lp.StatusUnbounded:
-				if nodes == 1 {
-					return Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall}, nil
-				}
-				// An unbounded child of a bounded relaxation should not
-				// occur; treat as a numeric failure of this node.
-				sawLimit = true
-				continue
-			case lp.StatusIterLimit:
-				sawLimit = true
-				continue
-			case lp.StatusInfeasible:
-				continue
-			}
-			anyOptimal = true
-			if sol.Objective <= incumbentVal+1e-9 {
-				break
-			}
-			// Find the most fractional integer variable.
-			branch := -1
-			worst := opts.IntTol
-			for j := 0; j < n; j++ {
-				if p.Integer == nil || !p.Integer[j] {
-					continue
-				}
-				f := sol.X[j] - math.Floor(sol.X[j])
-				dist := math.Min(f, 1-f)
-				if dist > worst {
-					worst = dist
-					branch = j
-				}
-			}
-			if branch < 0 {
-				// Integral within tolerance: candidate incumbent. Rounding
-				// the near-integer components can push a tightly satisfied
-				// row past its RHS, so the candidate is re-verified against
-				// the constraints before it is installed.
-				if cand, val := integralIncumbent(p, sol.X); val > incumbentVal {
-					incumbentVal = val
-					incumbent = cand
-				}
-				break
-			}
-			v := sol.X[branch]
-			down := node{
-				lower: nd.lower, // shared: only upper changes
-				upper: cloneWith(nd.upper, branch, math.Floor(v), false),
-				bound: sol.Objective,
-				depth: nd.depth + 1,
-			}
-			up := node{
-				lower: cloneWith(nd.lower, branch, math.Ceil(v), true),
-				upper: nd.upper,
-				bound: sol.Objective,
-				depth: nd.depth + 1,
-			}
-			downOK := down.upper[branch] >= nd.lower[branch]-1e-12
-			upOK := up.lower[branch] <= nd.upper[branch]+1e-12
-			// Dive toward the nearer integer; push the sibling.
-			frac := v - math.Floor(v)
-			diveDown := frac < 0.5
-			switch {
-			case downOK && upOK:
-				if diveDown {
-					nd = down
-					heap.push(up)
-				} else {
-					nd = up
-					heap.push(down)
-				}
-				plunge = true
-			case downOK:
-				nd = down
-				plunge = true
-			case upOK:
-				nd = up
-				plunge = true
-			}
-		}
-	}
-
-	out := Solution{Nodes: nodes, Iters: iters, PivotWall: pivotWall}
-	switch {
-	case incumbent != nil && !stopped:
-		out.Status = StatusOptimal
-		out.X = incumbent
-		out.Objective = incumbentVal
-	case incumbent != nil:
-		out.Status = StatusFeasible
-		out.X = incumbent
-		out.Objective = incumbentVal
-		// The proven upper bound at the moment the search stopped is the
-		// max over the incumbent, the node in hand when the stop hit, and
-		// every node still open on the heap -- not the root relaxation,
-		// which goes stale as soon as the first branch tightens it.
-		bound := math.Max(incumbentVal, stopBound)
-		for i := range heap.ns {
-			if b := heap.ns[i].bound; b > bound {
-				bound = b
-			}
-		}
-		out.Gap = bound - incumbentVal
-	case stopped:
-		out.Status = StatusLimit
-	case anyOptimal:
-		// LP relaxations solved but no integral point was found anywhere
-		// in the fully-explored tree: the integer problem is infeasible.
-		out.Status = StatusInfeasible
-	case sawLimit:
-		// No node ever solved to optimality and at least one was abandoned
-		// at the simplex iteration limit: the search is inconclusive, not
-		// proof of infeasibility.
-		out.Status = StatusLimit
-	default:
-		out.Status = StatusInfeasible
-	}
-	return out, nil
+	var w Workspace
+	return w.SolveOpts(p, opts)
 }
 
 func lower(p *lp.Problem, j int) float64 {
@@ -354,19 +173,6 @@ func upper(p *lp.Problem, j int) float64 {
 		return math.Inf(1)
 	}
 	return p.Upper[j]
-}
-
-func cloneWith(src []float64, j int, v float64, isLower bool) []float64 {
-	dst := make([]float64, len(src))
-	copy(dst, src)
-	if isLower {
-		if v > dst[j] {
-			dst[j] = v
-		}
-	} else if v < dst[j] {
-		dst[j] = v
-	}
-	return dst
 }
 
 // integralIncumbent turns a near-integral LP point into an incumbent: it

@@ -1,0 +1,254 @@
+package mip
+
+import (
+	"math"
+	"time"
+
+	"eagleeye/internal/lp"
+)
+
+// Workspace owns the branch-and-bound working state -- the base bounds, the
+// node heap, the branch-bound arena, and the underlying LP workspace -- so
+// repeated solves of similarly shaped problems (the scheduler solves one
+// small MIP per simulation frame) reuse one set of allocations instead of
+// rebuilding the tableau arena every call. The zero value is ready to use.
+//
+// A Workspace is not safe for concurrent use. Solution.X is a fresh copy
+// and stays valid across later solves on the same workspace.
+type Workspace struct {
+	lpws      lp.Workspace
+	baseLower []float64
+	baseUpper []float64
+	heap      nodeHeap
+	// bounds is the arena behind the branch nodes' bound vectors. Chunks
+	// are carved monotonically during one solve; a chunk abandoned by
+	// growth stays referenced by the live nodes that were carved from it,
+	// and every node is dead by the time the offset resets at the next
+	// solve.
+	bounds    []float64
+	boundsOff int
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// cloneBranch copies src into the bounds arena and applies the branch: a
+// raised lower bound (isLower) or a lowered upper bound.
+func (w *Workspace) cloneBranch(src []float64, j int, v float64, isLower bool) []float64 {
+	n := len(src)
+	if len(w.bounds)-w.boundsOff < n {
+		sz := 256 * n
+		if sz < 4096 {
+			sz = 4096
+		}
+		w.bounds = make([]float64, sz)
+		w.boundsOff = 0
+	}
+	dst := w.bounds[w.boundsOff : w.boundsOff+n : w.boundsOff+n]
+	w.boundsOff += n
+	copy(dst, src)
+	if isLower {
+		if v > dst[j] {
+			dst[j] = v
+		}
+	} else if v < dst[j] {
+		dst[j] = v
+	}
+	return dst
+}
+
+// SolveOpts optimizes the MIP by LP-based branch and bound with best-first
+// node selection and most-fractional branching, reusing the workspace
+// arenas across calls.
+func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	opts = opts.withDefaults()
+	n := len(p.C)
+
+	w.baseLower = growF(w.baseLower, n)
+	w.baseUpper = growF(w.baseUpper, n)
+	for j := 0; j < n; j++ {
+		w.baseLower[j] = lower(&p.Problem, j)
+		w.baseUpper[j] = upper(&p.Problem, j)
+	}
+	w.boundsOff = 0
+
+	deadline := time.Now().Add(opts.TimeLimit)
+	heap := &w.heap
+	heap.ns = heap.ns[:0]
+	heap.push(node{lower: w.baseLower, upper: w.baseUpper, bound: math.Inf(1)})
+
+	var (
+		incumbent    []float64
+		incumbentVal = math.Inf(-1)
+		nodes        int
+		stopped      bool
+		anyOptimal   bool // some node LP solved to optimality
+		sawLimit     bool // some node LP was abandoned (iter limit / numerics)
+		stopBound    = math.Inf(-1)
+		iters        int
+		pivotWall    time.Duration
+	)
+
+	// One LP workspace serves every node: the tableau arena is built once
+	// and re-solved with mutated bounds, so the per-node m x total
+	// allocation of the old path disappears. p was validated above, so the
+	// workspace's validation-free solve is safe. Solution.X aliases the
+	// workspace and is copied before being kept (roundIntegers copies).
+	ws := &w.lpws
+	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses}
+	for heap.len() > 0 {
+		if nodes >= opts.MaxNodes || time.Now().After(deadline) {
+			stopped = true
+			break
+		}
+		nd := heap.pop()
+		// Plunge: follow one branch chain depth-first until it is pruned or
+		// integral, pushing siblings onto the heap. Diving finds an
+		// incumbent quickly so the best-first phase can prune aggressively.
+		for plunge := true; plunge; {
+			plunge = false
+			if nd.bound <= incumbentVal+1e-9 {
+				break // cannot improve
+			}
+			if nodes >= opts.MaxNodes || time.Now().After(deadline) {
+				stopped = true
+				// This node's bound stays valid for the gap computation even
+				// though we never solved it.
+				if nd.bound > stopBound {
+					stopBound = nd.bound
+				}
+				break
+			}
+			nodes++
+			work.Lower = nd.lower
+			work.Upper = nd.upper
+			start := time.Now()
+			sol := ws.SolveMaxIters(&work, opts.MaxLPIters)
+			pivotWall += time.Since(start)
+			iters += sol.Iters
+			switch sol.Status {
+			case lp.StatusUnbounded:
+				if nodes == 1 {
+					return Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall}, nil
+				}
+				// An unbounded child of a bounded relaxation should not
+				// occur; treat as a numeric failure of this node.
+				sawLimit = true
+				continue
+			case lp.StatusIterLimit:
+				sawLimit = true
+				continue
+			case lp.StatusInfeasible:
+				continue
+			}
+			anyOptimal = true
+			if sol.Objective <= incumbentVal+1e-9 {
+				break
+			}
+			// Find the most fractional integer variable.
+			branch := -1
+			worst := opts.IntTol
+			for j := 0; j < n; j++ {
+				if p.Integer == nil || !p.Integer[j] {
+					continue
+				}
+				f := sol.X[j] - math.Floor(sol.X[j])
+				dist := math.Min(f, 1-f)
+				if dist > worst {
+					worst = dist
+					branch = j
+				}
+			}
+			if branch < 0 {
+				// Integral within tolerance: candidate incumbent. Rounding
+				// the near-integer components can push a tightly satisfied
+				// row past its RHS, so the candidate is re-verified against
+				// the constraints before it is installed.
+				if cand, val := integralIncumbent(p, sol.X); val > incumbentVal {
+					incumbentVal = val
+					incumbent = cand
+				}
+				break
+			}
+			v := sol.X[branch]
+			down := node{
+				lower: nd.lower, // shared: only upper changes
+				upper: w.cloneBranch(nd.upper, branch, math.Floor(v), false),
+				bound: sol.Objective,
+				depth: nd.depth + 1,
+			}
+			up := node{
+				lower: w.cloneBranch(nd.lower, branch, math.Ceil(v), true),
+				upper: nd.upper,
+				bound: sol.Objective,
+				depth: nd.depth + 1,
+			}
+			downOK := down.upper[branch] >= nd.lower[branch]-1e-12
+			upOK := up.lower[branch] <= nd.upper[branch]+1e-12
+			// Dive toward the nearer integer; push the sibling.
+			frac := v - math.Floor(v)
+			diveDown := frac < 0.5
+			switch {
+			case downOK && upOK:
+				if diveDown {
+					nd = down
+					heap.push(up)
+				} else {
+					nd = up
+					heap.push(down)
+				}
+				plunge = true
+			case downOK:
+				nd = down
+				plunge = true
+			case upOK:
+				nd = up
+				plunge = true
+			}
+		}
+	}
+
+	out := Solution{Nodes: nodes, Iters: iters, PivotWall: pivotWall}
+	switch {
+	case incumbent != nil && !stopped:
+		out.Status = StatusOptimal
+		out.X = incumbent
+		out.Objective = incumbentVal
+	case incumbent != nil:
+		out.Status = StatusFeasible
+		out.X = incumbent
+		out.Objective = incumbentVal
+		// The proven upper bound at the moment the search stopped is the
+		// max over the incumbent, the node in hand when the stop hit, and
+		// every node still open on the heap -- not the root relaxation,
+		// which goes stale as soon as the first branch tightens it.
+		bound := math.Max(incumbentVal, stopBound)
+		for i := range heap.ns {
+			if b := heap.ns[i].bound; b > bound {
+				bound = b
+			}
+		}
+		out.Gap = bound - incumbentVal
+	case stopped:
+		out.Status = StatusLimit
+	case anyOptimal:
+		// LP relaxations solved but no integral point was found anywhere
+		// in the fully-explored tree: the integer problem is infeasible.
+		out.Status = StatusInfeasible
+	case sawLimit:
+		// No node ever solved to optimality and at least one was abandoned
+		// at the simplex iteration limit: the search is inconclusive, not
+		// proof of infeasibility.
+		out.Status = StatusLimit
+	default:
+		out.Status = StatusInfeasible
+	}
+	return out, nil
+}

@@ -45,6 +45,13 @@ type Propagator struct {
 	raanDot   float64 // J2 secular RAAN drift, rad/s
 	gst0      float64 // Greenwich sidereal angle at epoch, rad
 	earthRate float64 // rad/s
+	sinI      float64 // sin/cos of the (fixed) inclination
+	cosI      float64
+	// groundSpeedMS memoizes the mean sub-point ground speed over one
+	// orbit. It is fixed by the orbit geometry, computed once at
+	// construction; the old per-call version propagated 16 states on every
+	// invocation and sat on the simulator's per-group setup path.
+	groundSpeedMS float64
 }
 
 // New constructs a propagator for a circular orbit.
@@ -65,7 +72,7 @@ func New(epoch time.Time, altitudeM, incDeg, raanDeg, argLatDeg float64) (*Propa
 	// dΩ/dt = -3/2 J2 (Re/a)^2 n cos i.
 	re := geo.EarthEquatorialRadius
 	raanDot := -1.5 * geo.EarthJ2 * (re / a) * (re / a) * n * math.Cos(inc)
-	return &Propagator{
+	p := &Propagator{
 		epoch:     epoch,
 		a:         a,
 		inc:       inc,
@@ -75,7 +82,10 @@ func New(epoch time.Time, altitudeM, incDeg, raanDeg, argLatDeg float64) (*Propa
 		raanDot:   raanDot,
 		gst0:      0, // epoch defines the Earth-fixed frame alignment
 		earthRate: geo.EarthRotationRate,
-	}, nil
+	}
+	p.sinI, p.cosI = math.Sincos(inc)
+	p.groundSpeedMS = p.meanGroundSpeedMS()
+	return p, nil
 }
 
 // FromTLE constructs a propagator from a parsed two-line element set,
@@ -121,6 +131,15 @@ func (p *Propagator) eciAt(dt float64) geo.Vec3 {
 	}
 }
 
+// subPointFromECEF projects an Earth-fixed position onto the spherical
+// sub-satellite point.
+func subPointFromECEF(e geo.Vec3) geo.LatLon {
+	r := e.Norm()
+	lat := geo.Rad2Deg(math.Asin(e.Z / r))
+	lon := geo.Rad2Deg(math.Atan2(e.Y, e.X))
+	return geo.LatLon{Lat: lat, Lon: lon}.Normalize()
+}
+
 // ecefAt rotates the inertial position into the Earth-fixed frame.
 func (p *Propagator) ecefAt(dt float64) geo.Vec3 {
 	eci := p.eciAt(dt)
@@ -135,11 +154,7 @@ func (p *Propagator) ecefAt(dt float64) geo.Vec3 {
 
 // subPointAt returns the spherical sub-satellite point at elapsed seconds dt.
 func (p *Propagator) subPointAt(dt float64) geo.LatLon {
-	e := p.ecefAt(dt)
-	r := e.Norm()
-	lat := geo.Rad2Deg(math.Asin(e.Z / r))
-	lon := geo.Rad2Deg(math.Atan2(e.Y, e.X))
-	return geo.LatLon{Lat: lat, Lon: lon}.Normalize()
+	return subPointFromECEF(p.ecefAt(dt))
 }
 
 // StateAt returns the full kinematic state at time t.
@@ -154,18 +169,23 @@ func (p *Propagator) StateAtElapsed(dt float64) State {
 	return p.stateAtDT(dt, p.epoch.Add(time.Duration(dt*float64(time.Second))))
 }
 
+// fdStepS is the finite-difference step used to derive ground speed and
+// heading from two sub-point samples.
+const fdStepS = 0.5
+
 func (p *Propagator) stateAtDT(dt float64, t time.Time) State {
-	const h = 0.5 // finite-difference step, seconds
+	// One ECEF evaluation per sample point: the sub-point is derived from
+	// the position instead of re-propagating through subPointAt.
 	e := p.ecefAt(dt)
-	sp := p.subPointAt(dt)
-	spNext := p.subPointAt(dt + h)
+	sp := subPointFromECEF(e)
+	spNext := subPointFromECEF(p.ecefAt(dt + fdStepS))
 	dist := geo.GreatCircleDistance(sp, spNext)
 	return State{
 		Time:          t,
 		ECEF:          e,
 		SubPoint:      sp,
 		AltitudeM:     e.Norm() - geo.EarthMeanRadius,
-		GroundSpeedMS: dist / h,
+		GroundSpeedMS: dist / fdStepS,
 		HeadingDeg:    geo.InitialBearing(sp, spNext),
 	}
 }
@@ -179,15 +199,19 @@ func (p *Propagator) GroundTrack(startS, durS, stepS float64) []State {
 	}
 	n := int(durS/stepS) + 1
 	out := make([]State, 0, n)
+	st := p.NewStepper(startS, stepS)
 	for i := 0; i < n; i++ {
-		out = append(out, p.StateAtElapsed(startS+float64(i)*stepS))
+		out = append(out, st.State())
+		st.Advance()
 	}
 	return out
 }
 
-// GroundSpeedMS returns the mean ground speed over one orbit. For the
-// paper's 475 km orbit this is ~7.3 km/s.
-func (p *Propagator) GroundSpeedMS() float64 {
+// GroundSpeedMS returns the mean ground speed over one orbit, memoized at
+// construction. For the paper's 475 km orbit this is ~7.3 km/s.
+func (p *Propagator) GroundSpeedMS() float64 { return p.groundSpeedMS }
+
+func (p *Propagator) meanGroundSpeedMS() float64 {
 	// Sub-satellite angular rate ~ orbital rate; Earth rotation modulates by
 	// latitude, so sample a quarter orbit for the mean.
 	period := p.PeriodSeconds()

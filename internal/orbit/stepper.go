@@ -1,0 +1,136 @@
+package orbit
+
+import (
+	"math"
+	"time"
+
+	"eagleeye/internal/geo"
+)
+
+// resyncSteps bounds the recurrence drift: after this many incremental
+// advances the stepper recomputes its angles from math.Sincos. 256 steps of
+// last-ulp rotation error accumulate to ~1e-14 on the unit circle (~1e-7 m
+// at LEO radius), far below the simulator's 5 km geometric margins.
+const resyncSteps = 256
+
+// Stepper propagates a satellite along fixed-cadence sample times
+// incrementally. The cadence-locked loops in the simulator (frame loop,
+// strip coverage, ground tracks) advance three angles — argument of
+// latitude, RAAN, and Earth rotation — by a constant increment per sample,
+// so their sines and cosines follow from the angle-sum identities with six
+// multiply-adds per angle instead of fresh math.Sin/math.Cos calls.
+//
+// A Stepper is single-goroutine; each loop owns its own.
+type Stepper struct {
+	p     *Propagator
+	stepS float64
+	dt    float64 // elapsed seconds past the epoch at the current sample
+	steps int     // incremental advances since the last exact resync
+
+	sinU, cosU float64 // argument of latitude at dt
+	sinO, cosO float64 // RAAN at dt
+	sinT, cosT float64 // Earth rotation angle at dt
+
+	// Per-step rotation: sin/cos of each angle's per-sample increment.
+	dSinU, dCosU float64
+	dSinO, dCosO float64
+	dSinT, dCosT float64
+
+	// Finite-difference rotation: sin/cos of each angle's advance over
+	// fdStepS seconds, for the speed/heading sample in State.
+	hSinU, hCosU float64
+	hSinO, hCosO float64
+	hSinT, hCosT float64
+}
+
+// NewStepper returns a stepper positioned at startS seconds past the epoch
+// that advances by stepS seconds per Advance call.
+func (p *Propagator) NewStepper(startS, stepS float64) *Stepper {
+	s := &Stepper{p: p, stepS: stepS, dt: startS}
+	s.dSinU, s.dCosU = math.Sincos(p.n * stepS)
+	s.dSinO, s.dCosO = math.Sincos(p.raanDot * stepS)
+	s.dSinT, s.dCosT = math.Sincos(p.earthRate * stepS)
+	s.hSinU, s.hCosU = math.Sincos(p.n * fdStepS)
+	s.hSinO, s.hCosO = math.Sincos(p.raanDot * fdStepS)
+	s.hSinT, s.hCosT = math.Sincos(p.earthRate * fdStepS)
+	s.resync()
+	return s
+}
+
+// Elapsed returns the current sample time in seconds past the epoch.
+func (s *Stepper) Elapsed() float64 { return s.dt }
+
+// Advance moves to the next sample time.
+func (s *Stepper) Advance() {
+	s.dt += s.stepS
+	s.steps++
+	if s.steps >= resyncSteps {
+		s.resync()
+		return
+	}
+	s.sinU, s.cosU = rotate(s.sinU, s.cosU, s.dSinU, s.dCosU)
+	s.sinO, s.cosO = rotate(s.sinO, s.cosO, s.dSinO, s.dCosO)
+	s.sinT, s.cosT = rotate(s.sinT, s.cosT, s.dSinT, s.dCosT)
+}
+
+func (s *Stepper) resync() {
+	p := s.p
+	s.sinU, s.cosU = math.Sincos(p.u0 + p.n*s.dt)
+	s.sinO, s.cosO = math.Sincos(p.raan0 + p.raanDot*s.dt)
+	s.sinT, s.cosT = math.Sincos(p.gst0 + p.earthRate*s.dt)
+	s.steps = 0
+}
+
+// rotate advances (sin a, cos a) to (sin(a+d), cos(a+d)) given (sin d, cos d).
+func rotate(sinA, cosA, sinD, cosD float64) (float64, float64) {
+	return sinA*cosD + cosA*sinD, cosA*cosD - sinA*sinD
+}
+
+// ecefFrom assembles the Earth-fixed position from angle sines/cosines.
+func (s *Stepper) ecefFrom(sinU, cosU, sinO, cosO, sinT, cosT float64) geo.Vec3 {
+	p := s.p
+	x := p.a * (cosO*cosU - sinO*sinU*p.cosI)
+	y := p.a * (sinO*cosU + cosO*sinU*p.cosI)
+	z := p.a * (sinU * p.sinI)
+	return geo.Vec3{
+		X: cosT*x + sinT*y,
+		Y: -sinT*x + cosT*y,
+		Z: z,
+	}
+}
+
+// ECEF returns the Earth-fixed position at the current sample time.
+func (s *Stepper) ECEF() geo.Vec3 {
+	return s.ecefFrom(s.sinU, s.cosU, s.sinO, s.cosO, s.sinT, s.cosT)
+}
+
+// SubPoint returns the sub-satellite point at the current sample time. It is
+// the cheap path for loops that only need a query position.
+func (s *Stepper) SubPoint() geo.LatLon {
+	return subPointFromECEF(s.ECEF())
+}
+
+// State returns the full kinematic state at the current sample time,
+// equivalent to Propagator.StateAtElapsed(s.Elapsed()) up to recurrence
+// rounding. The finite-difference companion point reuses the incremental
+// angles rotated by the fixed fdStepS advance, so no trig is evaluated.
+func (s *Stepper) State() State {
+	e := s.ECEF()
+	sp := subPointFromECEF(e)
+
+	hSinU, hCosU := rotate(s.sinU, s.cosU, s.hSinU, s.hCosU)
+	hSinO, hCosO := rotate(s.sinO, s.cosO, s.hSinO, s.hCosO)
+	hSinT, hCosT := rotate(s.sinT, s.cosT, s.hSinT, s.hCosT)
+	spNext := subPointFromECEF(s.ecefFrom(hSinU, hCosU, hSinO, hCosO, hSinT, hCosT))
+
+	dist := geo.GreatCircleDistance(sp, spNext)
+	p := s.p
+	return State{
+		Time:          p.epoch.Add(time.Duration(s.dt * float64(time.Second))),
+		ECEF:          e,
+		SubPoint:      sp,
+		AltitudeM:     e.Norm() - geo.EarthMeanRadius,
+		GroundSpeedMS: dist / fdStepS,
+		HeadingDeg:    geo.InitialBearing(sp, spNext),
+	}
+}

@@ -1,9 +1,10 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"eagleeye/internal/lp"
@@ -111,16 +112,19 @@ func (s ILP) estimateNodes(p *Problem) int {
 // scheduleSequential runs the single-follower ILP per follower in trail
 // order, removing captured targets between solves.
 func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
+	ar := getILPArena()
+	defer putILPArena(ar)
 	out := Schedule{Captures: make([][]Capture, len(p.Followers))}
-	taken := make(map[int]bool)
+	taken := ar.takenSet()
 	stats := Stats{Algorithm: "ilp", Optimal: true}
 	for fi, f := range p.Followers {
-		var rem []Target
+		rem := ar.rem[:0]
 		for _, t := range p.Targets {
 			if !taken[t.ID] {
 				rem = append(rem, t)
 			}
 		}
+		ar.rem = rem
 		sub := &Problem{Env: p.Env, Targets: rem, Followers: []Follower{f}}
 		subOut, err := s.scheduleJoint(sub)
 		if err != nil {
@@ -140,20 +144,19 @@ func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
 		stats.Optimal = false
 	}
 	if !s.DisablePolish {
-		polish(p, &out)
+		polish(ar, p, &out)
 	}
-	byID := targetByID(p)
-	out.Value = 0
-	for _, id := range out.CoveredIDs() {
-		out.Value += byID[id].Value
-	}
+	ar.ids = appendCapturedIDs(ar.ids[:0], &out)
+	out.Value = sumValues(ar.ids, ar.byIDMap(p))
 	out.SolveStats = stats
 	return out, nil
 }
 
 // scheduleJoint builds and solves the full time-expanded model.
 func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
-	m := s.buildModel(p)
+	ar := getILPArena()
+	defer putILPArena(ar)
+	m := s.buildModel(ar, p)
 	if len(m.nodes) == 0 {
 		return Schedule{
 			Captures:   make([][]Capture, len(p.Followers)),
@@ -170,7 +173,7 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 4000
 	}
-	sol, err := mip.SolveOpts(m.prob, opts)
+	sol, err := ar.mip.SolveOpts(m.prob, opts)
 	if err != nil {
 		return Schedule{}, fmt.Errorf("sched: ilp solve: %w", err)
 	}
@@ -184,9 +187,9 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 		out.SolveStats.Algorithm = "ilp(greedy-fallback)"
 		return out, nil
 	}
-	out := m.extract(p, sol.X)
+	out := m.extract(ar, p, sol.X)
 	if !s.DisablePolish {
-		polish(p, &out)
+		polish(ar, p, &out)
 	}
 	out.SolveStats = Stats{
 		Algorithm: "ilp",
@@ -199,9 +202,12 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 	return out, nil
 }
 
-// buildModel assembles the time-expanded flow ILP for the problem.
-func (s ILP) buildModel(p *Problem) *ilpModel {
-	m := &ilpModel{targets: s.trimTargets(p)}
+// buildModel assembles the time-expanded flow ILP for the problem inside
+// the arena. The returned model (and the problem it points to) borrow the
+// arena's storage and are valid only until the arena's next solve.
+func (s ILP) buildModel(ar *ilpArena, p *Problem) *ilpModel {
+	m := &ar.model
+	*m = ilpModel{targets: s.trimTargets(ar, p)}
 	if len(m.targets) == 0 {
 		return m
 	}
@@ -216,6 +222,7 @@ func (s ILP) buildModel(p *Problem) *ilpModel {
 			k = 2
 		}
 	}
+	nodes := ar.nodes[:0]
 	for fi, f := range p.Followers {
 		for ti, tgt := range m.targets {
 			w0, w1, ok := p.Window(f, tgt)
@@ -224,21 +231,22 @@ func (s ILP) buildModel(p *Problem) *ilpModel {
 			}
 			for q := 0; q < k; q++ {
 				t := w0 + (w1-w0)*(float64(q)+0.5)/float64(k)
-				m.nodes = append(m.nodes, slotNode{fi: fi, ti: ti, t: t})
+				nodes = append(nodes, slotNode{fi: fi, ti: ti, t: t})
 			}
 		}
 	}
+	ar.nodes, m.nodes = nodes, nodes
 	if len(m.nodes) == 0 {
 		return m
 	}
-	sort.Slice(m.nodes, func(a, b int) bool {
-		if m.nodes[a].t != m.nodes[b].t {
-			return m.nodes[a].t < m.nodes[b].t
+	slices.SortFunc(m.nodes, func(a, b slotNode) int {
+		if a.t != b.t {
+			return cmp.Compare(a.t, b.t)
 		}
-		if m.nodes[a].ti != m.nodes[b].ti {
-			return m.nodes[a].ti < m.nodes[b].ti
+		if a.ti != b.ti {
+			return cmp.Compare(a.ti, b.ti)
 		}
-		return m.nodes[a].fi < m.nodes[b].fi
+		return cmp.Compare(a.fi, b.fi)
 	})
 
 	maxSucc := s.MaxSuccessors
@@ -250,44 +258,54 @@ func (s ILP) buildModel(p *Problem) *ilpModel {
 		}
 	}
 
+	edges := ar.edges[:0]
 	for vi, v := range m.nodes {
 		f := p.Followers[v.fi]
 		if p.TransitionFeasible(f, f.Boresight, 0, m.targets[v.ti].Pos, v.t) {
-			m.edges = append(m.edges, ilpEdge{from: -1 - v.fi, to: vi})
+			edges = append(edges, ilpEdge{from: -1 - v.fi, to: vi})
 		}
 	}
+	nz := len(m.targets)
+	ar.growSeen(nz)
 	for ui, u := range m.nodes {
 		// For each successor target, keep only the earliest feasible slot:
 		// arriving sooner never forecloses later transitions (the polish
 		// pass re-times to earliest anyway), and this keeps the edge count
 		// linear in the node count. Fan-out is capped at maxSucc distinct
-		// successor targets.
-		seenTarget := make(map[int]bool)
-		for vi := ui + 1; vi < len(m.nodes) && len(seenTarget) < maxSucc; vi++ {
+		// successor targets. The stamp array replaces a per-node map.
+		gen := ar.nextGen()
+		linked := 0
+		for vi := ui + 1; vi < len(m.nodes) && linked < maxSucc; vi++ {
 			v := m.nodes[vi]
-			if v.fi != u.fi || v.ti == u.ti || v.t <= u.t || seenTarget[v.ti] {
+			if v.fi != u.fi || v.ti == u.ti || v.t <= u.t || ar.seenTgt[v.ti] == gen {
 				continue
 			}
 			f := p.Followers[u.fi]
 			if p.TransitionFeasible(f, m.targets[u.ti].Pos, u.t, m.targets[v.ti].Pos, v.t) {
-				m.edges = append(m.edges, ilpEdge{from: ui, to: vi})
-				seenTarget[v.ti] = true
+				edges = append(edges, ilpEdge{from: ui, to: vi})
+				ar.seenTgt[v.ti] = gen
+				linked++
 			}
 		}
 	}
+	ar.edges, m.edges = edges, edges
 
 	// Variables: one binary per edge, then one continuous cover variable
 	// per target (integral at any optimum with binary edges).
 	m.ne = len(m.edges)
-	nz := len(m.targets)
-	prob := &mip.Problem{}
-	prob.C = make([]float64, m.ne+nz)
-	prob.Lower = make([]float64, m.ne+nz)
-	prob.Upper = make([]float64, m.ne+nz)
-	prob.Integer = make([]bool, m.ne+nz)
+	nv := m.ne + nz
+	prob := &ar.prob
+	prob.C = growFloats(prob.C, nv)
+	prob.Lower = growFloats(prob.Lower, nv)
+	prob.Upper = growFloats(prob.Upper, nv)
+	prob.Integer = growBools(prob.Integer, nv)
+	prob.A = prob.A[:0]
+	prob.Senses = prob.Senses[:0]
+	prob.B = prob.B[:0]
 	const tie = 1e-6 // discourage valueless motion
 	for e := 0; e < m.ne; e++ {
 		prob.C[e] = -tie
+		prob.Lower[e] = 0
 		// No explicit upper bound: every edge enters some node, and that
 		// node's in(v) <= 1 row already caps the edge at 1. The
 		// bounded-variable simplex makes the explicit [0,1] bound free
@@ -299,12 +317,47 @@ func (s ILP) buildModel(p *Problem) *ilpModel {
 	}
 	for j := 0; j < nz; j++ {
 		prob.C[m.ne+j] = m.targets[j].Value
+		prob.Lower[m.ne+j] = 0
 		prob.Upper[m.ne+j] = 1
+		prob.Integer[m.ne+j] = false
 	}
 
-	inEdges := make([][]int, len(m.nodes))
-	m.outEdges = make([][]int, len(m.nodes))
-	m.srcEdges = make([][]int, len(p.Followers))
+	// Adjacency lists carved from one flat arena: count degrees, carve
+	// zero-length blocks with exact capacity, then append in edge order
+	// (identical list order to the old per-list append build).
+	nn := len(m.nodes)
+	nf := len(p.Followers)
+	deg := growInts(ar.deg, nf+2*nn)
+	clear(deg)
+	ar.deg = deg
+	for _, e := range m.edges {
+		if e.from < 0 {
+			deg[-1-e.from]++
+		} else {
+			deg[nf+nn+e.from]++
+		}
+		deg[nf+e.to]++
+	}
+	ar.adj = growInts(ar.adj, 2*len(m.edges))
+	ar.srcEdges = growIntSlices(ar.srcEdges, nf)
+	ar.inEdges = growIntSlices(ar.inEdges, nn)
+	ar.outEdges = growIntSlices(ar.outEdges, nn)
+	off := 0
+	carve := func(n int) []int {
+		blk := ar.adj[off : off : off+n]
+		off += n
+		return blk
+	}
+	for fi := 0; fi < nf; fi++ {
+		ar.srcEdges[fi] = carve(deg[fi])
+	}
+	for vi := 0; vi < nn; vi++ {
+		ar.inEdges[vi] = carve(deg[nf+vi])
+		ar.outEdges[vi] = carve(deg[nf+nn+vi])
+	}
+	inEdges := ar.inEdges
+	m.srcEdges = ar.srcEdges
+	m.outEdges = ar.outEdges
 	for ei, e := range m.edges {
 		if e.from < 0 {
 			m.srcEdges[-1-e.from] = append(m.srcEdges[-1-e.from], ei)
@@ -313,62 +366,69 @@ func (s ILP) buildModel(p *Problem) *ilpModel {
 		}
 		inEdges[e.to] = append(inEdges[e.to], ei)
 	}
-	ones := func(k int) []float64 {
-		v := make([]float64, k)
-		for i := range v {
-			v[i] = 1
-		}
-		return v
-	}
+
+	// Constraint rows are carved dense from the row arena; each carve is
+	// zeroed, filled by index, and appended to prob.A -- the same row
+	// contents AddSparseRow used to build, without the per-row make.
+	ar.resetRows(2*nn+nf+nz, nv)
 	// in(v) <= 1 and out(v) - in(v) <= 0. The conservation row is emitted
 	// even for nodes with no inbound edges: otherwise their outbound edges
 	// would be unconstrained and flow could spontaneously start mid-graph,
 	// covering targets through chains no follower actually flies.
 	for vi := range m.nodes {
 		if len(inEdges[vi]) > 0 {
-			prob.AddSparseRow(inEdges[vi], ones(len(inEdges[vi])), lp.LE, 1)
+			row := ar.carveRow()
+			for _, ei := range inEdges[vi] {
+				row[ei] = 1
+			}
+			prob.AddRow(row, lp.LE, 1)
 		}
 		if len(m.outEdges[vi]) > 0 {
-			idx := append(append([]int(nil), m.outEdges[vi]...), inEdges[vi]...)
-			val := make([]float64, len(idx))
-			for i := range val {
-				if i < len(m.outEdges[vi]) {
-					val[i] = 1
-				} else {
-					val[i] = -1
-				}
+			row := ar.carveRow()
+			for _, ei := range m.outEdges[vi] {
+				row[ei] = 1
 			}
-			prob.AddSparseRow(idx, val, lp.LE, 0)
+			for _, ei := range inEdges[vi] {
+				row[ei] = -1
+			}
+			prob.AddRow(row, lp.LE, 0)
 		}
 	}
 	// One route per follower.
 	for fi := range p.Followers {
 		if len(m.srcEdges[fi]) > 0 {
-			prob.AddSparseRow(m.srcEdges[fi], ones(len(m.srcEdges[fi])), lp.LE, 1)
+			row := ar.carveRow()
+			for _, ei := range m.srcEdges[fi] {
+				row[ei] = 1
+			}
+			prob.AddRow(row, lp.LE, 1)
 		}
 	}
 	// z_j <= total inflow into any slot of target j.
-	inflowByTarget := make([][]int, nz)
-	for vi, v := range m.nodes {
-		inflowByTarget[v.ti] = append(inflowByTarget[v.ti], inEdges[vi]...)
-	}
 	for j := 0; j < nz; j++ {
-		idx := append([]int{m.ne + j}, inflowByTarget[j]...)
-		val := make([]float64, len(idx))
-		val[0] = 1
-		for i := 1; i < len(val); i++ {
-			val[i] = -1
+		row := ar.carveRow()
+		row[m.ne+j] = 1
+		for vi, v := range m.nodes {
+			if v.ti != j {
+				continue
+			}
+			for _, ei := range inEdges[vi] {
+				row[ei] = -1
+			}
 		}
-		prob.AddSparseRow(idx, val, lp.LE, 0)
+		prob.AddRow(row, lp.LE, 0)
 	}
 	m.prob = prob
 	return m
 }
 
 // extract walks the selected edges into per-follower capture sequences.
-func (m *ilpModel) extract(p *Problem, x []float64) Schedule {
+func (m *ilpModel) extract(ar *ilpArena, p *Problem, x []float64) Schedule {
 	out := Schedule{Captures: make([][]Capture, len(p.Followers))}
 	used := func(ei int) bool { return x[ei] > 0.5 }
+	seen := growBools(ar.nodeSeen, len(m.nodes))
+	ar.nodeSeen = seen
+	clear(seen)
 	for fi := range p.Followers {
 		cur := -1
 		for _, ei := range m.srcEdges[fi] {
@@ -377,7 +437,6 @@ func (m *ilpModel) extract(p *Problem, x []float64) Schedule {
 				break
 			}
 		}
-		seen := make(map[int]bool)
 		for cur >= 0 && !seen[cur] {
 			seen[cur] = true
 			v := m.nodes[cur]
@@ -397,17 +456,16 @@ func (m *ilpModel) extract(p *Problem, x []float64) Schedule {
 			cur = next
 		}
 	}
-	byID := targetByID(p)
-	for _, id := range out.CoveredIDs() {
-		out.Value += byID[id].Value
-	}
+	ar.ids = appendCapturedIDs(ar.ids[:0], &out)
+	out.Value = sumValues(ar.ids, ar.byIDMap(p))
 	return out
 }
 
 // trimTargets drops targets with no window for any follower and, for very
-// dense frames, keeps only the MaxTargets most valuable ones.
-func (s ILP) trimTargets(p *Problem) []Target {
-	var out []Target
+// dense frames, keeps only the MaxTargets most valuable ones. The returned
+// slice borrows arena storage.
+func (s ILP) trimTargets(ar *ilpArena, p *Problem) []Target {
+	out := ar.targets[:0]
 	for _, tgt := range p.Targets {
 		if tgt.Value <= 0 {
 			continue
@@ -419,6 +477,7 @@ func (s ILP) trimTargets(p *Problem) []Target {
 			}
 		}
 	}
+	ar.targets = out
 	limit := s.MaxTargets
 	if limit <= 0 {
 		limit = 30
@@ -426,20 +485,20 @@ func (s ILP) trimTargets(p *Problem) []Target {
 	// Allow proportionally more targets when there are more followers.
 	limit *= len(p.Followers)
 	if len(out) > limit {
-		sort.Slice(out, func(a, b int) bool {
-			if out[a].Value != out[b].Value {
-				return out[a].Value > out[b].Value
+		slices.SortFunc(out, func(a, b Target) int {
+			if a.Value != b.Value {
+				return cmp.Compare(b.Value, a.Value)
 			}
-			return out[a].ID < out[b].ID
+			return cmp.Compare(a.ID, b.ID)
 		})
 		out = out[:limit]
 	}
 	// Restore a deterministic spatial order (by along-track position).
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Pos.Y != out[b].Pos.Y {
-			return out[a].Pos.Y < out[b].Pos.Y
+	slices.SortFunc(out, func(a, b Target) int {
+		if a.Pos.Y != b.Pos.Y {
+			return cmp.Compare(a.Pos.Y, b.Pos.Y)
 		}
-		return out[a].ID < out[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

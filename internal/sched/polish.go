@@ -1,6 +1,9 @@
 package sched
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // polish improves a feasible schedule without changing the scheduling
 // algorithm's structural decisions:
@@ -14,10 +17,11 @@ import "sort"
 // The result is always feasible and never worth less than the input. This
 // is how the implementation bridges the gap between the paper's
 // continuous-time ILP formulation (OR-Tools) and our discretized one; the
-// ablation bench BenchmarkAblationPolish quantifies the step.
-func polish(p *Problem, s *Schedule) {
-	byID := targetByID(p)
-	covered := make(map[int]bool)
+// ablation bench BenchmarkAblationPolish quantifies the step. All working
+// sets come from the arena so the per-frame polish pass stays off the heap.
+func polish(ar *ilpArena, p *Problem, s *Schedule) {
+	byID := ar.byIDMap(p)
+	covered := ar.coveredSet()
 	for _, seq := range s.Captures {
 		for _, c := range seq {
 			covered[c.TargetID] = true
@@ -26,25 +30,26 @@ func polish(p *Problem, s *Schedule) {
 
 	// Pass 1: earliest re-timing per follower.
 	for fi := range s.Captures {
-		retime(p, p.Followers[fi], s.Captures[fi], byID)
+		retime(ar, p, p.Followers[fi], s.Captures[fi], byID)
 	}
 
 	// Pass 2: greedy insertion of uncovered targets, most valuable first.
-	var uncovered []Target
+	uncovered := ar.uncovered[:0]
 	for _, t := range p.Targets {
 		if !covered[t.ID] && t.Value > 0 {
 			uncovered = append(uncovered, t)
 		}
 	}
-	sort.Slice(uncovered, func(a, b int) bool {
-		if uncovered[a].Value != uncovered[b].Value {
-			return uncovered[a].Value > uncovered[b].Value
+	ar.uncovered = uncovered
+	slices.SortFunc(uncovered, func(a, b Target) int {
+		if a.Value != b.Value {
+			return cmp.Compare(b.Value, a.Value)
 		}
-		return uncovered[a].ID < uncovered[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	for _, tgt := range uncovered {
 		for fi := range s.Captures {
-			if tryInsert(p, p.Followers[fi], &s.Captures[fi], fi, tgt, byID) {
+			if tryInsert(ar, p, p.Followers[fi], &s.Captures[fi], fi, tgt, byID) {
 				covered[tgt.ID] = true
 				break
 			}
@@ -52,17 +57,16 @@ func polish(p *Problem, s *Schedule) {
 	}
 
 	// Recompute value over distinct targets.
-	s.Value = 0
-	for _, id := range s.CoveredIDs() {
-		s.Value += byID[id].Value
-	}
+	ar.ids = appendCapturedIDs(ar.ids[:0], s)
+	s.Value = sumValues(ar.ids, byID)
 }
 
 // retime rewrites capture times to the earliest feasible schedule for the
 // given order. It returns false (leaving seq untouched) if the order is
 // infeasible, which polish treats as "keep the original times".
-func retime(p *Problem, f Follower, seq []Capture, byID map[int]Target) bool {
-	times := make([]float64, len(seq))
+func retime(ar *ilpArena, p *Problem, f Follower, seq []Capture, byID map[int]Target) bool {
+	times := growFloats(ar.times, len(seq))
+	ar.times = times
 	t := 0.0
 	aim := f.Boresight
 	for i, c := range seq {
@@ -92,16 +96,20 @@ func retime(p *Problem, f Follower, seq []Capture, byID map[int]Target) bool {
 
 // tryInsert attempts to insert tgt into every position of seq, keeping the
 // first position where the whole sequence remains feasible after earliest
-// re-timing. Returns true on success.
-func tryInsert(p *Problem, f Follower, seq *[]Capture, fi int, tgt Target, byID map[int]Target) bool {
+// re-timing. Trials are staged in arena scratch; only a successful insert
+// copies out to a fresh slice. Returns true on success.
+func tryInsert(ar *ilpArena, p *Problem, f Follower, seq *[]Capture, fi int, tgt Target, byID map[int]Target) bool {
 	cur := *seq
 	for pos := 0; pos <= len(cur); pos++ {
-		trial := make([]Capture, 0, len(cur)+1)
+		trial := ar.trial[:0]
 		trial = append(trial, cur[:pos]...)
 		trial = append(trial, Capture{TargetID: tgt.ID, Follower: fi, Aim: tgt.Pos})
 		trial = append(trial, cur[pos:]...)
-		if retime(p, f, trial, byID) {
-			*seq = trial
+		ar.trial = trial
+		if retime(ar, p, f, trial, byID) {
+			out := make([]Capture, len(trial))
+			copy(out, trial)
+			*seq = out
 			return true
 		}
 	}

@@ -26,33 +26,41 @@ const (
 
 // EncodeSchedule serializes one follower's capture sequence.
 func EncodeSchedule(followerIdx int, captures []Capture) ([]byte, error) {
+	return AppendSchedule(nil, followerIdx, captures)
+}
+
+// AppendSchedule is EncodeSchedule appending to a caller-owned buffer
+// (usually sliced to length zero), so per-frame encoders reuse one scratch
+// buffer instead of allocating per message. On error dst is returned
+// unchanged.
+func AppendSchedule(dst []byte, followerIdx int, captures []Capture) ([]byte, error) {
 	if followerIdx < 0 || followerIdx > math.MaxUint16 {
-		return nil, fmt.Errorf("sched: follower index %d out of range", followerIdx)
+		return dst, fmt.Errorf("sched: follower index %d out of range", followerIdx)
 	}
 	if len(captures) > math.MaxUint16 {
-		return nil, fmt.Errorf("sched: %d captures exceed format limit", len(captures))
+		return dst, fmt.Errorf("sched: %d captures exceed format limit", len(captures))
 	}
 	size := wireHeader + wireCapture*len(captures)
 	if size > MaxScheduleBytes {
-		return nil, fmt.Errorf("sched: schedule of %d captures is %d bytes, above the %d-byte crosslink bound",
+		return dst, fmt.Errorf("sched: schedule of %d captures is %d bytes, above the %d-byte crosslink bound",
 			len(captures), size, MaxScheduleBytes)
 	}
-	buf := new(bytes.Buffer)
-	buf.Grow(size)
-	writeU32 := func(v uint32) { _ = binary.Write(buf, binary.BigEndian, v) }
-	writeU32(wireMagic)
-	_ = binary.Write(buf, binary.BigEndian, uint16(followerIdx))
-	_ = binary.Write(buf, binary.BigEndian, uint16(len(captures)))
 	for _, c := range captures {
 		if c.TargetID < math.MinInt32 || c.TargetID > math.MaxInt32 {
-			return nil, fmt.Errorf("sched: target id %d out of wire range", c.TargetID)
+			return dst, fmt.Errorf("sched: target id %d out of wire range", c.TargetID)
 		}
-		_ = binary.Write(buf, binary.BigEndian, int32(c.TargetID))
-		_ = binary.Write(buf, binary.BigEndian, c.Time)
-		_ = binary.Write(buf, binary.BigEndian, c.Aim.X)
-		_ = binary.Write(buf, binary.BigEndian, c.Aim.Y)
 	}
-	return buf.Bytes(), nil
+	out := dst
+	out = binary.BigEndian.AppendUint32(out, wireMagic)
+	out = binary.BigEndian.AppendUint16(out, uint16(followerIdx))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(captures)))
+	for _, c := range captures {
+		out = binary.BigEndian.AppendUint32(out, uint32(int32(c.TargetID)))
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.Time))
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.Aim.X))
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.Aim.Y))
+	}
+	return out, nil
 }
 
 // DecodeSchedule parses a wire message back into the follower index and

@@ -17,6 +17,7 @@ func benchmarkRun(b *testing.B, workers int) {
 		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 8},
 		App:           w, DurationS: 2 * 3600, Seed: 1, Workers: workers,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(cfg); err != nil {

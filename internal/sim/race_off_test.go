@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation gates skip under -race.
+const raceEnabled = false

@@ -31,6 +31,7 @@ import (
 	"eagleeye/internal/energy"
 	"eagleeye/internal/geo"
 	"eagleeye/internal/mip"
+	"eagleeye/internal/orbit"
 	"eagleeye/internal/sched"
 )
 
@@ -303,12 +304,31 @@ type runState struct {
 	// is set).
 	capCells map[int64]bool
 	// trace buffers this job's frame records; they are emitted in group
-	// order after all jobs complete.
-	trace []TraceRecord
+	// order after all jobs complete. traceOn gates the staging entirely:
+	// most runs pass no Trace writer and should not pay for record
+	// assembly (CoveredIDs in particular allocates).
+	trace   []TraceRecord
+	traceOn bool
+
+	// Frame-loop scratch, private to the job's goroutine and dead between
+	// frames. The buffers grow to the run's high-water mark and are then
+	// reused, which is what keeps the steady-state loop allocation-free;
+	// nothing downstream retains them (detect copies positions, schedules
+	// copy aim points).
+	scCands []int32
+	scIdx   []int32
+	scPts   []geo.Point2
+	scFols  []sched.Follower
+	// rng is re-seeded per frame (frameSeed) instead of re-allocated; a
+	// Seed on the shared source yields the same stream as a fresh
+	// rand.New(rand.NewSource(seed)).
+	rngSrc rand.Source
+	rng    *rand.Rand
 }
 
 // newRunState allocates a private accumulator set for one job.
 func newRunState(cfg Config, cons *constellation.Constellation, index *dataset.TimedIndex) *runState {
+	src := rand.NewSource(0)
 	return &runState{
 		cfg:      cfg,
 		cons:     cons,
@@ -319,6 +339,9 @@ func newRunState(cfg Config, cons *constellation.Constellation, index *dataset.T
 		leaderB:  energy.NewBudget(energyParams(cfg)),
 		folB:     energy.NewBudget(energyParams(cfg)),
 		capCells: make(map[int64]bool),
+		traceOn:  cfg.Trace != nil,
+		rngSrc:   src,
+		rng:      rand.New(src),
 	}
 }
 
@@ -393,23 +416,41 @@ func frameRadius(w, h float64) float64 {
 	return math.Hypot(w, h)/2 + 5e3
 }
 
-// targetsInFrame collects (targetIndex, local position) for active targets
-// inside the frame footprint at elapsed time ts.
-func (st *runState) targetsInFrame(f geo.TangentFrame, w, h float64, ts float64) ([]int32, []geo.Point2) {
-	cands := st.index.Near(f.Origin, frameRadius(w, h), ts)
-	var idx []int32
-	var pts []geo.Point2
+// candidatesNear refills the candidate scratch with index entries near p.
+// An empty result lets the frame loop skip tangent-frame setup entirely.
+func (st *runState) candidatesNear(p geo.LatLon, radiusM, ts float64) []int32 {
+	st.scCands = st.index.NearInto(p, radiusM, ts, st.scCands[:0])
+	return st.scCands
+}
+
+// filterInFrame reduces candidate indices to (targetIndex, local position)
+// pairs for active targets inside the w x h footprint of f, refilling the
+// idx/pts scratch. Candidates farther than frameRadius from the frame
+// origin are rejected on great-circle distance before the tangent-frame
+// projection: any point inside the rectangle lies within hypot(w,h)/2 of
+// the center up to curvature error (~1e-4 relative at frame scale), far
+// inside the 5 km margin, and ToLocal costs several times a distance.
+func (st *runState) filterInFrame(cands []int32, f geo.TangentFrame, w, h float64, ts float64) ([]int32, []geo.Point2) {
+	idx := st.scIdx[:0]
+	pts := st.scPts[:0]
+	maxD := frameRadius(w, h)
+	targets := st.index.Set().Targets
 	for _, ci := range cands {
-		tgt := &st.index.Set().Targets[ci]
+		tgt := &targets[ci]
 		if !tgt.ActiveAt(ts) {
 			continue
 		}
-		lp := f.ToLocal(tgt.PosAt(ts))
+		pos := tgt.PosAt(ts)
+		if geo.GreatCircleDistance(pos, f.Origin) > maxD {
+			continue
+		}
+		lp := f.ToLocal(pos)
 		if math.Abs(lp.X) <= w/2 && math.Abs(lp.Y) <= h/2 {
 			idx = append(idx, ci)
 			pts = append(pts, lp)
 		}
 	}
+	st.scIdx, st.scPts = idx, pts
 	return idx, pts
 }
 
@@ -426,11 +467,23 @@ func (st *runState) runStripSat(sat *constellation.Satellite) {
 	}
 	stepS := 50e3 / sat.Prop.GroundSpeedMS() // 50 km along-track steps
 	stepLen := sat.Prop.GroundSpeedMS() * stepS
+	qr := frameRadius(swath, stepLen)
+	stp := sat.Prop.NewStepper(0, stepS)
 	for ts := 0.0; ts < st.cfg.DurationS; ts += stepS {
-		s := sat.Prop.StateAtElapsed(ts)
-		f := geo.TangentFrame{Origin: s.SubPoint, BearingDeg: s.HeadingDeg}
-		idx, _ := st.targetsInFrame(f, swath, stepLen, ts)
+		if ts > 0 {
+			stp.Advance()
+		}
 		st.res.Frames++
+		// Empty-frame fast path: most ocean/desert steps see no
+		// candidates, so probe the index around the cheap sub-point
+		// before computing the full state and tangent frame.
+		cands := st.candidatesNear(stp.SubPoint(), qr, ts)
+		if len(cands) == 0 {
+			continue
+		}
+		s := stp.State()
+		f := geo.TangentFrame{Origin: s.SubPoint, BearingDeg: s.HeadingDeg}
+		idx, _ := st.filterInFrame(cands, f, swath, stepLen, ts)
 		if len(idx) == 0 {
 			continue
 		}
@@ -504,12 +557,43 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		RecallOverride: cfg.RecallOverride,
 	}
 
+	w := leader.LowRes.SwathM
+	h := leader.LowRes.FootprintAlongM()
+	// Incremental propagation: one stepper tracks the leader at frame
+	// cadence; schedule-time steppers track the leader (mix) or each
+	// follower offset by the compute delay, advancing in lockstep.
+	lead := leader.Prop.NewStepper(0, cadence)
+	schedSteppers := make([]*orbit.Stepper, 0, len(followers)+1)
+	if mix {
+		schedSteppers = append(schedSteppers, leader.Prop.NewStepper(computeS, cadence))
+	} else {
+		for _, f := range followers {
+			schedSteppers = append(schedSteppers, f.Prop.NewStepper(computeS, cadence))
+		}
+	}
+	// The candidate probe runs around the raw sub-point (before the h/2
+	// frame-center offset), so its radius is inflated by that offset:
+	// every target inside the frame disk is inside the probe disk, making
+	// the empty-frame fast path a pure superset check.
+	qr := frameRadius(w, h) + h/2
+
 	frameIdx := 0
 	for ts := 0.0; ts < cfg.DurationS; ts += cadence {
+		if frameIdx > 0 {
+			lead.Advance()
+			for _, s := range schedSteppers {
+				s.Advance()
+			}
+		}
 		frameIdx++
-		ls := leader.Prop.StateAtElapsed(ts)
-		w := leader.LowRes.SwathM
-		h := leader.LowRes.FootprintAlongM()
+		st.res.Frames++
+		st.leaderB.Capture(1)
+		st.leaderB.Compute(computeS)
+		cands := st.candidatesNear(lead.SubPoint(), qr, ts)
+		if len(cands) == 0 {
+			continue
+		}
+		ls := lead.State()
 		// A frame captured at ts covers the swath ahead of the
 		// leader's nadir (Fig. 9): the leader overflies the imaged
 		// area during the ~13.7 s it spends computing, which is why
@@ -520,10 +604,7 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		// backward at targets whose windows are closing.
 		center := geo.Destination(ls.SubPoint, ls.HeadingDeg, h/2)
 		frame := geo.TangentFrame{Origin: center, BearingDeg: ls.HeadingDeg}
-		idx, pts := st.targetsInFrame(frame, w, h, ts)
-		st.res.Frames++
-		st.leaderB.Capture(1)
-		st.leaderB.Compute(computeS)
+		idx, pts := st.filterInFrame(cands, frame, w, h, ts)
 		if len(idx) == 0 {
 			continue
 		}
@@ -535,18 +616,15 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 
 		// Schedule starts when the leader finishes computing.
 		tSched := ts + computeS
-		var fols []sched.Follower
-		if mix {
-			sub := frame.ToLocal(leader.Prop.StateAtElapsed(tSched).SubPoint)
-			fols = []sched.Follower{{SubPoint: sub, Boresight: sub}}
-		} else {
-			for _, f := range followers {
-				sub := frame.ToLocal(f.Prop.StateAtElapsed(tSched).SubPoint)
-				fols = append(fols, sched.Follower{SubPoint: sub, Boresight: sub})
-			}
+		fols := st.scFols[:0]
+		for _, s := range schedSteppers {
+			sub := frame.ToLocal(s.SubPoint())
+			fols = append(fols, sched.Follower{SubPoint: sub, Boresight: sub})
 		}
+		st.scFols = fols
 
-		pipe.Rng = rand.New(rand.NewSource(frameSeed(cfg.Seed, gi, frameIdx)))
+		st.rngSrc.Seed(frameSeed(cfg.Seed, gi, frameIdx))
+		pipe.Rng = st.rng
 		if cfg.RecaptureDedup {
 			// §4.7 recapture: detections at already-captured ground
 			// cells are deprioritized to a tenth of their score.
@@ -590,6 +668,9 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		st.executeSchedule(frame, tSched, &fres, grp, leader, mix)
 		st.res.CrosslinkBytes += fres.CrosslinkBytes
 		st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
+		if !st.traceOn {
+			continue
+		}
 		st.trace = append(st.trace, TraceRecord{
 			Group:        gi,
 			Frame:        frameIdx,
@@ -642,8 +723,10 @@ func (st *runState) executeSchedule(frame geo.TangentFrame, tSched float64, fres
 			absT := tSched + c.Time
 			fp := geo.NewRectCentered(c.Aim, swath, swath)
 			// Re-query around the aim point at capture time: targets may
-			// have moved into or out of the footprint.
-			cands := st.index.Near(frame.ToGeodetic(c.Aim), frameRadius(swath, swath), absT)
+			// have moved into or out of the footprint. The candidate
+			// scratch is free here: the frame's filtered idx/pts live in
+			// their own buffers.
+			cands := st.candidatesNear(frame.ToGeodetic(c.Aim), frameRadius(swath, swath), absT)
 			for _, ci := range cands {
 				tgt := &st.index.Set().Targets[ci]
 				if !tgt.ActiveAt(absT) {
