@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke figures
+.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke metrics-smoke figures
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,29 @@ bench-sim:
 # only show up at benchmark scale, without CI timing noise mattering.
 bench-sim-smoke:
 	$(GO) run ./cmd/benchsim -iters 1
+
+# Observability smoke: run a short instrumented simulation with the live
+# endpoint up, scrape /metrics during the post-run hold, and assert the
+# key series exist. Catches wiring rot (renamed series, dead endpoint)
+# that unit tests on internal/obs alone would miss.
+metrics-smoke:
+	$(GO) build -o /tmp/eagleeye-smoke ./cmd/eagleeye
+	/tmp/eagleeye-smoke -dataset ships -sats 2 -hours 1 \
+		-metrics-addr 127.0.0.1:19090 -metrics-hold 5s & \
+	EE_PID=$$!; \
+	sleep 2; \
+	for i in 1 2 3 4 5 6 7 8 9 10; do \
+		curl -sf http://127.0.0.1:19090/metrics -o /tmp/eagleeye-metrics.txt && break; \
+		sleep 1; \
+	done; \
+	wait $$EE_PID || exit 1; \
+	for series in eagleeye_frames_total eagleeye_captures_total \
+		eagleeye_stage_nanoseconds_total eagleeye_mip_solves_total \
+		eagleeye_sim_progress eagleeye_stage_seconds_bucket; do \
+		grep -q "^$$series" /tmp/eagleeye-metrics.txt \
+			|| { echo "metrics-smoke: missing series $$series"; exit 1; }; \
+	done; \
+	echo "metrics-smoke: all key series present"
 
 figures:
 	$(GO) run ./cmd/figures

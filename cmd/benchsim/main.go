@@ -13,21 +13,30 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"eagleeye/internal/constellation"
 	"eagleeye/internal/dataset"
 	"eagleeye/internal/geo"
+	"eagleeye/internal/obs"
 	"eagleeye/internal/sim"
 )
+
+// pointSchema versions the point layout for downstream consumers of the
+// BENCH_sim.json series. Bump it whenever a field changes meaning.
+const pointSchema = 2
 
 // point is one benchmark measurement, shaped for appending to a BENCH_*.json
 // time series (one JSON object per run).
 type point struct {
+	Schema      int     `json:"schema"`
 	Name        string  `json:"name"`
 	Date        string  `json:"date"`
+	Commit      string  `json:"commit,omitempty"`
 	GoVersion   string  `json:"go"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Workers     int     `json:"workers"`
@@ -38,6 +47,22 @@ type point struct {
 	NsPerOp     int64   `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// StageSeconds breaks one instrumented run's wall time down by
+	// pipeline stage (detect, cluster, sched, execute, account,
+	// ephemeris). The measured iterations above run uninstrumented so the
+	// series stays comparable across commits; the breakdown comes from
+	// one extra run with a live metrics registry.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+}
+
+// gitCommit stamps the point with `git rev-parse HEAD`, or "" outside a
+// work tree (release tarballs, bare containers).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func benchWorld(n int, seed int64) *dataset.Set {
@@ -115,19 +140,39 @@ func main() {
 		res = testing.Benchmark(bench)
 	}
 
+	// One instrumented run collects the per-stage wall-time breakdown; it
+	// stays out of the measured loop so NsPerOp remains comparable with
+	// points recorded before the observability layer existed.
+	stageSeconds := make(map[string]float64)
+	{
+		mcfg := cfg
+		mcfg.Metrics = obs.NewRegistry()
+		if _, err := sim.Run(mcfg); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+		for _, stage := range []string{"ephemeris", "detect", "cluster", "sched", "execute", "account"} {
+			ns := mcfg.Metrics.CounterValue("eagleeye_stage_nanoseconds_total", obs.Label{Key: "stage", Value: stage})
+			stageSeconds[stage] = float64(ns) / 1e9
+		}
+	}
+
 	p := point{
-		Name:        "sim/RunWorkers",
-		Date:        time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Workers:     *workers,
-		Targets:     *targets,
-		Satellites:  *sats,
-		DurationS:   *hours * 3600,
-		Iters:       res.N,
-		NsPerOp:     res.NsPerOp(),
-		BytesPerOp:  res.AllocedBytesPerOp(),
-		AllocsPerOp: res.AllocsPerOp(),
+		Schema:       pointSchema,
+		Name:         "sim/RunWorkers",
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		Commit:       gitCommit(),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      *workers,
+		Targets:      *targets,
+		Satellites:   *sats,
+		DurationS:    *hours * 3600,
+		Iters:        res.N,
+		NsPerOp:      res.NsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		AllocsPerOp:  res.AllocsPerOp(),
+		StageSeconds: stageSeconds,
 	}
 	enc, err := json.Marshal(p)
 	if err != nil {

@@ -6,6 +6,7 @@
 //	eagleeye -dataset ships -org leader-follower -sats 8 -hours 6
 //	eagleeye -dataset lakes-166k -org high-res-only -sats 8 -hours 6
 //	eagleeye -dataset airplanes -scheduler greedy -sats 4 -followers 1
+//	eagleeye -dataset ships -hours 6 -metrics-addr 127.0.0.1:9090 -metrics-out metrics.json
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"eagleeye"
 )
@@ -32,13 +34,19 @@ func main() {
 		nocluster = flag.Bool("no-clustering", false, "disable target clustering")
 		planes    = flag.Int("planes", 1, "orbital planes (§4.7 orbit-design extension)")
 		recapture = flag.Bool("recapture-dedup", false, "deprioritize already-captured targets (§4.7)")
-		traceFile = flag.String("trace", "", "write a per-frame JSON trace to this file")
+		traceFile = flag.String("trace", "", "write a per-frame JSON trace to this file (\"-\" for stdout)")
 		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential; output is identical either way)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /summary, /debug/pprof); e.g. 127.0.0.1:9090")
+		metricsOut  = flag.String("metrics-out", "", "write an end-of-run metrics summary JSON to this file (\"-\" for stdout)")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the -metrics-addr endpoint up this long after the run finishes (for final scrapes)")
 	)
 	flag.Parse()
 
 	var trace io.Writer
-	if *traceFile != "" {
+	if *traceFile == "-" {
+		trace = os.Stdout
+	} else if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eagleeye:", err)
@@ -46,6 +54,20 @@ func main() {
 		}
 		defer f.Close()
 		trace = f
+	}
+
+	var metrics *eagleeye.MetricsRegistry
+	if *metricsAddr != "" || *metricsOut != "" {
+		metrics = eagleeye.NewMetricsRegistry()
+	}
+	if *metricsAddr != "" {
+		srv, err := eagleeye.ServeMetrics(*metricsAddr, metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagleeye:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "eagleeye: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	r, err := eagleeye.Run(eagleeye.Config{
@@ -63,11 +85,33 @@ func main() {
 		OrbitPlanes:       *planes,
 		RecaptureDedup:    *recapture,
 		Trace:             trace,
+		Metrics:           metrics,
 		Workers:           *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eagleeye:", err)
 		os.Exit(1)
+	}
+
+	if *metricsOut != "" {
+		out := os.Stdout
+		if *metricsOut != "-" {
+			f, ferr := os.Create(*metricsOut)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "eagleeye:", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if werr := metrics.WriteSummary(out); werr != nil {
+			fmt.Fprintln(os.Stderr, "eagleeye:", werr)
+			os.Exit(1)
+		}
+	}
+	if *metricsAddr != "" && *metricsHold > 0 {
+		fmt.Fprintf(os.Stderr, "eagleeye: holding metrics endpoint for %s\n", *metricsHold)
+		time.Sleep(*metricsHold)
 	}
 
 	fmt.Printf("EagleEye simulation: %s on %q (%d satellites, %.1f h)\n",

@@ -36,10 +36,34 @@ import (
 	"eagleeye/internal/energy"
 	"eagleeye/internal/geo"
 	"eagleeye/internal/mip"
+	"eagleeye/internal/obs"
 	"eagleeye/internal/orbit"
 	"eagleeye/internal/sched"
 	"eagleeye/internal/sim"
 )
+
+// MetricsRegistry is the simulator's observability registry: named atomic
+// counters, gauges and histograms with Prometheus text-format exposition
+// (WritePrometheus), a JSON snapshot (WriteSummary), and typed read
+// accessors (CounterValue, GaugeValue). Pass one via Config.Metrics to
+// collect run metrics; see the README metrics table for the exported
+// series. The alias makes the internal type usable by external callers.
+type MetricsRegistry = obs.Registry
+
+// MetricsServer is a live HTTP introspection endpoint (see ServeMetrics).
+type MetricsServer = obs.Server
+
+// NewMetricsRegistry returns an empty registry for Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics binds addr (e.g. "127.0.0.1:9090", or ":0" for an
+// ephemeral port -- the bound address is available via Addr) and serves
+// /metrics (Prometheus text format), /summary (JSON), /debug/vars
+// (expvar) and /debug/pprof until Close. Scraping reads only atomics, so
+// a live endpoint never perturbs a running simulation.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
 
 // Organization names accepted by Config.Organization.
 const (
@@ -109,6 +133,12 @@ type Config struct {
 	// Trace, when non-nil, receives one JSON line per processed leader
 	// frame: what was in view, what was detected, what the schedule did.
 	Trace io.Writer
+	// Metrics, when non-nil, receives run metrics: event counters, stage
+	// wall-time breakdowns, solver activity and progress gauges. Integer
+	// event counters are deterministic across Workers; timing series are
+	// machine-dependent. Serve it live with ServeMetrics or snapshot it
+	// with WritePrometheus / WriteSummary after Run returns.
+	Metrics *MetricsRegistry
 	// Workers runs independent constellation groups (or strip satellites)
 	// on this many goroutines: 0 means all CPUs, 1 sequential. Results
 	// and traces are deterministic for any value at a fixed seed.
@@ -301,6 +331,7 @@ func toSimConfig(cfg Config) (sim.Config, error) {
 	out.ClusterGreedy = cfg.GreedyClustering
 	out.RecaptureDedup = cfg.RecaptureDedup
 	out.Trace = cfg.Trace
+	out.Metrics = cfg.Metrics
 	out.Workers = cfg.Workers
 	out.RecallOverride = cfg.RecallOverride
 	out.SlewRateDegS = cfg.SlewRateDegS

@@ -2,7 +2,10 @@ package eagleeye
 
 import (
 	"bytes"
+	"io"
 	"math"
+	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -323,5 +326,48 @@ func TestGroundContactPerOrbit(t *testing.T) {
 	// Same order of magnitude as the paper's 360 s/orbit assumption.
 	if s < 60 || s > 1800 {
 		t.Errorf("contact = %v s/orbit", s)
+	}
+}
+
+func TestRunWithMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	r, err := Run(Config{
+		Targets:       benchWorld(400, 17),
+		Satellites:    2,
+		DurationHours: 2,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("eagleeye_frames_total"); got != int64(r.Frames) {
+		t.Errorf("eagleeye_frames_total = %d, Result says %d", got, r.Frames)
+	}
+	if got := reg.CounterValue("eagleeye_captures_total"); got != int64(r.Captures) {
+		t.Errorf("eagleeye_captures_total = %d, Result says %d", got, r.Captures)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "eagleeye_frames_total") {
+		t.Error("/metrics scrape missing eagleeye_frames_total")
+	}
+	var sb strings.Builder
+	if err := reg.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"schema"`) {
+		t.Error("summary JSON missing schema field")
 	}
 }

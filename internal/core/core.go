@@ -50,6 +50,11 @@ type Pipeline struct {
 	// RecallOverride, when in (0,1], replaces the detector's recall
 	// (the Fig. 15 sensitivity knob).
 	RecallOverride float64
+	// Timed enables per-stage wall measurement (DetectWall, ClusterWall).
+	// SchedWall is always measured -- it is part of the paper's evaluation
+	// -- but the cheaper stages only pay for clock reads when the caller
+	// wants the observability breakdown.
+	Timed bool
 	// PriorityScale, when non-nil, rescales each detection's priority by
 	// its ground position before clustering and scheduling. It is the
 	// recapture/re-identification hook of §4.7: the caller returns a
@@ -83,6 +88,10 @@ type Result struct {
 	ComputeS float64
 	// SchedWall is the measured wall-clock scheduling latency (Fig. 12a).
 	SchedWall time.Duration
+	// DetectWall and ClusterWall are the measured stage latencies, populated
+	// only when Pipeline.Timed is set.
+	DetectWall  time.Duration
+	ClusterWall time.Duration
 	// ClusterMethod records whether the ILP or the greedy cover ran.
 	ClusterMethod cluster.Method
 	// ClusterStats carries the cover ILP's solver cost (zero when greedy).
@@ -109,7 +118,14 @@ func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.E
 	if p.RecallOverride > 0 && p.RecallOverride <= 1 {
 		model.Recall = p.RecallOverride
 	}
+	var stageStart time.Time
+	if p.Timed {
+		stageStart = time.Now()
+	}
 	res.Detections = detect.Detect(p.Rng, model, f.Truth, f.Bounds, f.GSDM)
+	if p.Timed {
+		res.DetectWall = time.Since(stageStart)
+	}
 	if p.PriorityScale != nil {
 		// Detection confidences double as scheduling priorities (§3.2), so
 		// recapture deprioritization rescales them in place.
@@ -145,7 +161,13 @@ func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.E
 		if boxEdge <= 0 {
 			boxEdge = swath
 		}
+		if p.Timed {
+			stageStart = time.Now()
+		}
 		cs, method, cstats, err := cluster.CoverStats(pts, boxEdge, boxEdge, p.ClusterOpts)
+		if p.Timed {
+			res.ClusterWall = time.Since(stageStart)
+		}
 		if err != nil {
 			return Result{}, fmt.Errorf("core: clustering: %w", err)
 		}

@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"eagleeye/internal/obs"
 )
 
 // Sense is the relational operator of a constraint row.
@@ -177,6 +179,13 @@ func SolveMaxIters(p *Problem, maxIters int) (Solution, error) {
 // structurally valid problems (package-level Solve validates).
 type Workspace struct {
 	t tableau
+
+	// Obs, when non-nil, receives per-solve counter updates (solves,
+	// pivot iterations, iteration-limit hits). It is fed once per solve
+	// after the pivot loop finishes -- never inside it -- so enabling
+	// metrics does not touch the simplex hot path.
+	Obs *obs.LPMetrics
+
 	// grow-only arenas backing the tableau.
 	abuf  []float64 // m x total matrix storage
 	cols  []varCol  // per-variable column mapping
@@ -200,11 +209,21 @@ func (ws *Workspace) Solve(p *Problem) Solution {
 func (ws *Workspace) SolveMaxIters(p *Problem, maxIters int) Solution {
 	if !ws.build(p) {
 		// Bound analysis found an empty variable box: infeasible.
+		if ws.Obs != nil {
+			ws.Obs.Solves.Inc()
+		}
 		return Solution{Status: StatusInfeasible}
 	}
 	t := &ws.t
 	st := t.solve(ws, maxIters)
 	sol := Solution{Status: st, Iters: t.iters}
+	if ws.Obs != nil {
+		ws.Obs.Solves.Inc()
+		ws.Obs.Iters.Add(int64(t.iters))
+		if st == StatusIterLimit {
+			ws.Obs.IterLimited.Inc()
+		}
+	}
 	if st != StatusOptimal {
 		return sol
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"eagleeye/internal/lp"
+	"eagleeye/internal/obs"
 )
 
 // Problem is a mixed-integer program: the embedded LP plus a set of
@@ -124,6 +125,11 @@ type Options struct {
 	// MaxLPIters bounds the simplex iterations of each node relaxation;
 	// 0 means the lp package default.
 	MaxLPIters int
+	// Metrics, when non-nil, receives per-solve counter updates (solves,
+	// nodes, iterations, truncations, pivot wall time) and forwards its LP
+	// set to the underlying simplex workspace. Recording happens once per
+	// branch-and-bound search, never inside the node loop.
+	Metrics *obs.SolverMetrics
 }
 
 func (o Options) withDefaults() Options {

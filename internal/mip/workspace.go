@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eagleeye/internal/lp"
+	"eagleeye/internal/obs"
 )
 
 // Workspace owns the branch-and-bound working state -- the base bounds, the
@@ -102,6 +103,11 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 	// workspace's validation-free solve is safe. Solution.X aliases the
 	// workspace and is copied before being kept (roundIntegers copies).
 	ws := &w.lpws
+	if opts.Metrics != nil {
+		ws.Obs = opts.Metrics.LP
+	} else {
+		ws.Obs = nil
+	}
 	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses}
 	for heap.len() > 0 {
 		if nodes >= opts.MaxNodes || time.Now().After(deadline) {
@@ -136,7 +142,9 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 			switch sol.Status {
 			case lp.StatusUnbounded:
 				if nodes == 1 {
-					return Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall}, nil
+					out := Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall}
+					recordSolve(opts.Metrics, &out)
+					return out, nil
 				}
 				// An unbounded child of a bounded relaxation should not
 				// occur; treat as a numeric failure of this node.
@@ -250,5 +258,22 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 	default:
 		out.Status = StatusInfeasible
 	}
+	recordSolve(opts.Metrics, &out)
 	return out, nil
+}
+
+// recordSolve feeds one finished search's totals into m. It is a plain
+// function (not a closure over the solve locals) so instrumented solves
+// add no allocation to the per-frame path.
+func recordSolve(m *obs.SolverMetrics, s *Solution) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	m.Nodes.Add(int64(s.Nodes))
+	m.Iters.Add(int64(s.Iters))
+	m.PivotNS.Add(int64(s.PivotWall))
+	if s.Status == StatusFeasible || s.Status == StatusLimit {
+		m.Truncated.Inc()
+	}
 }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteBuckets is the reference implementation: linear scan over the
+// bounds with the same le-inclusive convention.
+func bruteBuckets(bounds []float64, vals []float64) (counts []int64, sum float64) {
+	counts = make([]int64, len(bounds)+1)
+	for _, v := range vals {
+		i := len(bounds) // +Inf unless a bound admits v
+		for bi, b := range bounds {
+			if v <= b {
+				i = bi
+				break
+			}
+		}
+		counts[i]++
+		sum += v
+	}
+	return counts, sum
+}
+
+func TestHistogramAgainstBruteForce(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+	h := newHistogram(4, bounds)
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		var v float64
+		switch i % 4 {
+		case 0:
+			v = rng.Float64() * 20 // spans all buckets incl. +Inf
+		case 1:
+			v = math.Pow(10, -4+rng.Float64()*6) // log-uniform
+		case 2:
+			v = bounds[rng.Intn(len(bounds))] // exactly on a bound: le-inclusive
+		default:
+			v = -rng.Float64() // below the first bound
+		}
+		vals = append(vals, v)
+		h.Shard(i).Observe(v) // spray across shards; merge must not care
+	}
+	wantCounts, wantSum := bruteBuckets(bounds, vals)
+	snap := h.Snapshot()
+	if snap.Count != int64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", snap.Count, len(vals))
+	}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket %d: got %d, want %d", i, snap.Counts[i], want)
+		}
+	}
+	if math.Abs(snap.Sum-wantSum) > 1e-6*math.Abs(wantSum) {
+		t.Errorf("Sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := newHistogram(1, []float64{1, 2})
+	h.Observe(1) // le="1" bucket, not le="2"
+	h.Observe(2)
+	h.Observe(2.0000001)
+	snap := h.Snapshot()
+	if snap.Counts[0] != 1 || snap.Counts[1] != 1 || snap.Counts[2] != 1 {
+		t.Fatalf("counts = %v, want [1 1 1]", snap.Counts)
+	}
+}
+
+func TestHistogramShardMerge(t *testing.T) {
+	// Observing the same value set through different shard layouts must
+	// snapshot identically (bucket counts exactly, sum exactly here since
+	// quarter multiples are binary-exact and the sums stay small).
+	a := newHistogram(8, DefTimeBuckets)
+	b := newHistogram(8, DefTimeBuckets)
+	for i := 0; i < 1000; i++ {
+		v := float64(i%13) * 0.25
+		a.Shard(0).Observe(v)
+		b.Shard(i).Observe(v)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Count != sb.Count || sa.Sum != sb.Sum {
+		t.Fatalf("count/sum differ: %d/%v vs %d/%v", sa.Count, sa.Sum, sb.Count, sb.Sum)
+	}
+	for i := range sa.Counts {
+		if sa.Counts[i] != sb.Counts[i] {
+			t.Fatalf("bucket %d differs: %d vs %d", i, sa.Counts[i], sb.Counts[i])
+		}
+	}
+}
+
+func TestDefTimeBucketsSorted(t *testing.T) {
+	for i := 1; i < len(DefTimeBuckets); i++ {
+		if DefTimeBuckets[i] <= DefTimeBuckets[i-1] {
+			t.Fatalf("DefTimeBuckets not strictly ascending at %d", i)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Live introspection endpoint for long simulations: a 24-hour,
+// million-target run is opaque between launch and Result, so the CLI can
+// bind a loopback (or LAN) listener that serves
+//
+//	/metrics      Prometheus text format (scrapeable)
+//	/summary      the end-of-run summary JSON, live
+//	/debug/vars   expvar (Go runtime memstats, cmdline)
+//	/debug/pprof  CPU/heap/goroutine profiles for in-situ profiling
+//
+// The server shares no state with the frame loop beyond the registry's
+// atomics, so scraping never perturbs determinism.
+
+// Handler returns the /metrics HTTP handler for a registry.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
+// and serves the registry until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/summary", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteSummary(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(lis) }() // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (resolves ":0" to the real port).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("eagleeye_frames_total", "Frames simulated.").Add(41)
+	r.Gauge("eagleeye_sim_progress", "Fraction complete.").Set(0.5)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "eagleeye_frames_total 41") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "eagleeye_sim_progress 0.5") {
+		t.Errorf("/metrics missing gauge:\n%s", body)
+	}
+
+	body, ctype = get("/summary")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/summary content-type = %q", ctype)
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/summary not valid JSON: %v", err)
+	}
+	if s.Schema != SummarySchema || len(s.Metrics) != 2 {
+		t.Errorf("/summary schema=%d metrics=%d", s.Schema, len(s.Metrics))
+	}
+
+	if body, _ = get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Error("/debug/vars missing memstats")
+	}
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", NewRegistry()); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

@@ -1,0 +1,317 @@
+// Package obs is the simulator's observability layer: a named registry of
+// atomic counters, gauges and fixed-bucket histograms, Prometheus
+// text-format exposition, an optional HTTP introspection endpoint
+// (/metrics plus expvar and pprof), and an end-of-run summary JSON.
+//
+// The package is dependency-free (standard library only) so every other
+// internal package -- including the LP/MIP solver stack -- can feed it
+// without import cycles. Two properties matter for the simulator:
+//
+//   - The frame loop must not pay for metrics it does not emit. Handles
+//     (*Counter etc.) are resolved from the registry once at simulation
+//     start; the hot path performs a single atomic add per event with no
+//     map lookups and no allocation. When metrics are disabled the
+//     simulator holds no handles at all and the loop is byte-identical to
+//     the uninstrumented one.
+//
+//   - Parallel workers must not serialize on shared cache lines. Counters
+//     and histograms are sharded: each worker owns a cache-line-padded
+//     slot (Counter.Shard / Histogram.Shard) and readers sum the shards.
+//     Integer adds commute, so per-metric totals are identical for any
+//     worker count -- the same determinism argument as the simulator's
+//     per-job accumulators.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a metric. Metrics with the same
+// name but different labels are distinct series of one family, exactly as
+// in the Prometheus data model.
+type Label struct {
+	Key, Value string
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// metricEntry is one registered series.
+type metricEntry struct {
+	name   string
+	help   string
+	labels []Label // sorted by key
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; registration is get-or-create, so independent components
+// may ask for the same series and share it.
+type Registry struct {
+	shards int
+
+	mu    sync.Mutex
+	byKey map[string]*metricEntry
+	order []*metricEntry
+}
+
+// NewRegistry returns an empty registry. The shard count is fixed at
+// creation: the next power of two >= GOMAXPROCS, capped at 64.
+func NewRegistry() *Registry {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < 64 {
+		s <<= 1
+	}
+	return &Registry{shards: s, byKey: make(map[string]*metricEntry)}
+}
+
+// NumShards returns the registry's fixed shard count.
+func (r *Registry) NumShards() int { return r.shards }
+
+// seriesKey builds the map key for a name + sorted label set.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\xff')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the entry for (name, labels), creating it with mk on
+// first use. It panics on invalid names or on a kind conflict -- both are
+// programmer errors, caught by the first test that touches the series.
+func (r *Registry) register(name, help string, labels []Label, kind metricKind, mk func(*metricEntry)) *metricEntry {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for _, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Key, name))
+		}
+	}
+	key := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byKey[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, e.kind))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, help: help, labels: ls, kind: kind}
+	mk(e)
+	r.byKey[key] = e
+	r.order = append(r.order, e)
+	return e
+}
+
+// Counter returns (creating on first use) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	e := r.register(name, help, labels, kindCounter, func(e *metricEntry) {
+		e.c = newCounter(r.shards)
+	})
+	return e.c
+}
+
+// Gauge returns (creating on first use) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	e := r.register(name, help, labels, kindGauge, func(e *metricEntry) {
+		e.g = &Gauge{}
+	})
+	return e.g
+}
+
+// Histogram returns (creating on first use) the histogram series
+// name{labels} with the given upper-bound buckets (ascending; an implicit
+// +Inf bucket is appended). Buckets are fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	e := r.register(name, help, labels, kindHistogram, func(e *metricEntry) {
+		e.h = newHistogram(r.shards, buckets)
+	})
+	return e.h
+}
+
+// CounterValue reads the current total of a counter series, or 0 when the
+// series does not exist. It is a convenience for tests and exporters; hot
+// paths hold the *Counter handle instead.
+func (r *Registry) CounterValue(name string, labels ...Label) int64 {
+	if e := r.lookup(name, labels); e != nil && e.kind == kindCounter {
+		return e.c.Value()
+	}
+	return 0
+}
+
+// GaugeValue reads the current value of a gauge series, or 0 when missing.
+func (r *Registry) GaugeValue(name string, labels ...Label) float64 {
+	if e := r.lookup(name, labels); e != nil && e.kind == kindGauge {
+		return e.g.Value()
+	}
+	return 0
+}
+
+func (r *Registry) lookup(name string, labels []Label) *metricEntry {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byKey[seriesKey(name, ls)]
+}
+
+// sorted returns the entries ordered by (family, label key) so exposition
+// and summaries are stable regardless of registration interleaving.
+func (r *Registry) sorted() []*metricEntry {
+	r.mu.Lock()
+	out := append([]*metricEntry(nil), r.order...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey("", out[i].labels) < seriesKey("", out[j].labels)
+	})
+	return out
+}
+
+// ---- Counter ----
+
+// counterShard is one cache-line-padded accumulation slot. The padding
+// stops two workers' shards from sharing a line (false sharing), which is
+// what keeps enabled-mode overhead flat as worker count grows.
+type counterShard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a sharded monotonic counter. Add/Inc on the bare counter use
+// shard 0 and suit unsharded callers (the solver stack, setup code);
+// per-worker hot loops resolve a Shard once and add to their own slot.
+type Counter struct {
+	shards []counterShard
+}
+
+func newCounter(shards int) *Counter {
+	return &Counter{shards: make([]counterShard, shards)}
+}
+
+// Add increments the counter by n (shard 0).
+func (c *Counter) Add(n int64) { c.shards[0].v.Add(n) }
+
+// Inc increments the counter by 1 (shard 0).
+func (c *Counter) Inc() { c.shards[0].v.Add(1) }
+
+// Value returns the sum over all shards.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Shard returns worker i's private view of the counter. Indices wrap, so
+// any job index is valid.
+func (c *Counter) Shard(i int) CounterShard {
+	return CounterShard{v: &c.shards[i&(len(c.shards)-1)].v}
+}
+
+// CounterShard is a pre-resolved, cache-line-private counter slot: the
+// frame loop's handle. The zero value is unusable; obtain one via Shard.
+type CounterShard struct {
+	v *atomic.Int64
+}
+
+// Add increments the shard by n.
+func (s CounterShard) Add(n int64) { s.v.Add(n) }
+
+// Inc increments the shard by 1.
+func (s CounterShard) Inc() { s.v.Add(1) }
+
+// ---- Gauge ----
+
+// Gauge is a float64 gauge. Unlike counters it is not sharded: gauges are
+// set from setup/teardown paths or at coarse intervals, never per event.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (monotone progress gauges).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) exposition. Output is sorted by
+// family and label set, so two scrapes of quiescent registries compare
+// byte-for-byte -- handy for tests and for diffing end-of-run states.
+
+// WritePrometheus writes every registered series in the Prometheus text
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, e := range r.sorted() {
+		if e.name != lastFamily {
+			lastFamily = e.name
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", e.name, labelString(e.labels, "", ""), e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %s\n", e.name, labelString(e.labels, "", ""), formatFloat(e.g.Value()))
+		case kindHistogram:
+			snap := e.h.Snapshot()
+			cum := int64(0)
+			for i, b := range snap.Bounds {
+				cum += snap.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", e.name, labelString(e.labels, "le", formatFloat(b)), cum)
+			}
+			cum += snap.Counts[len(snap.Bounds)]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", e.name, labelString(e.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", e.name, labelString(e.labels, "", ""), formatFloat(snap.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", e.name, labelString(e.labels, "", ""), cum)
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram le label). An empty set renders as the empty string.
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

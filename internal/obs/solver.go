@@ -1,0 +1,43 @@
+package obs
+
+// Pre-bundled handle sets for the solver stack. internal/mip and
+// internal/lp accept these via their options/workspace structs and feed
+// them with a handful of atomic adds per solve -- never per pivot, so the
+// instrumented simplex loop is byte-identical to the bare one. The solver
+// label separates the scheduler's flow ILP from the clusterer's set cover.
+
+// SolverMetrics is the counter set one MIP consumer (scheduling or
+// clustering) feeds. A nil *SolverMetrics disables recording.
+type SolverMetrics struct {
+	Solves    *Counter // branch-and-bound searches run
+	Nodes     *Counter // B&B nodes explored
+	Iters     *Counter // simplex iterations across all nodes
+	Truncated *Counter // searches stopped by a time/node/iteration limit
+	PivotNS   *Counter // nanoseconds spent inside LP solves
+	LP        *LPMetrics
+}
+
+// LPMetrics counts the underlying simplex workspace's activity.
+type LPMetrics struct {
+	Solves      *Counter // simplex solves (one per B&B node relaxation)
+	Iters       *Counter // pivots performed
+	IterLimited *Counter // solves abandoned at the iteration limit
+}
+
+// NewSolverMetrics registers the eagleeye_mip_* and eagleeye_lp_* series
+// for one solver consumer ("sched" or "cluster").
+func NewSolverMetrics(r *Registry, solver string) *SolverMetrics {
+	lbl := Label{Key: "solver", Value: solver}
+	return &SolverMetrics{
+		Solves:    r.Counter("eagleeye_mip_solves_total", "Branch-and-bound searches run.", lbl),
+		Nodes:     r.Counter("eagleeye_mip_nodes_total", "Branch-and-bound nodes explored.", lbl),
+		Iters:     r.Counter("eagleeye_mip_lp_iters_total", "Simplex iterations across all B&B nodes.", lbl),
+		Truncated: r.Counter("eagleeye_mip_truncated_total", "Searches stopped early by a time, node or iteration limit.", lbl),
+		PivotNS:   r.Counter("eagleeye_mip_pivot_nanoseconds_total", "Wall time inside LP solves, in nanoseconds.", lbl),
+		LP: &LPMetrics{
+			Solves:      r.Counter("eagleeye_lp_solves_total", "Simplex solves (node relaxations).", lbl),
+			Iters:       r.Counter("eagleeye_lp_iters_total", "Simplex pivots performed.", lbl),
+			IterLimited: r.Counter("eagleeye_lp_iter_limited_total", "Simplex solves abandoned at the iteration limit.", lbl),
+		},
+	}
+}

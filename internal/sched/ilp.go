@@ -139,6 +139,7 @@ func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
 		stats.Iters += subOut.SolveStats.Iters
 		stats.Gap += subOut.SolveStats.Gap
 		stats.PivotWall += subOut.SolveStats.PivotWall
+		stats.Fallback = stats.Fallback || subOut.SolveStats.Fallback
 		// Sequential decomposition is itself a heuristic, so the joint
 		// optimum is not certified even if each sub-solve is.
 		stats.Optimal = false
@@ -185,6 +186,7 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 			return Schedule{}, ferr
 		}
 		out.SolveStats.Algorithm = "ilp(greedy-fallback)"
+		out.SolveStats.Fallback = true
 		return out, nil
 	}
 	out := m.extract(ar, p, sol.X)

@@ -174,6 +174,10 @@ type Stats struct {
 	Iters     int           // simplex iterations across all B&B nodes
 	Gap       float64       // bound - incumbent when the solve stopped early
 	PivotWall time.Duration // wall time spent inside LP solves
+	// Fallback marks a schedule (or, for the sequential decomposition, at
+	// least one sub-schedule) produced by the greedy fallback after the ILP
+	// stopped without an incumbent.
+	Fallback bool
 }
 
 // CoveredIDs returns the distinct captured target IDs in ascending order.

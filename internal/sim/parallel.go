@@ -21,7 +21,7 @@ import (
 // GOMAXPROCS) and returns the private states in job order. The
 // first-failing job's error (in job order, not completion order) is
 // returned so parallel runs report the same error as sequential ones.
-func runJobs(cfg Config, cons *constellation.Constellation, index *dataset.TimedIndex, jobs []func(*runState) error) ([]*runState, error) {
+func runJobs(cfg Config, cons *constellation.Constellation, index *dataset.TimedIndex, sm *simMetrics, jobs []func(*runState) error) ([]*runState, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -33,6 +33,11 @@ func runJobs(cfg Config, cons *constellation.Constellation, index *dataset.Timed
 	errs := make([]error, len(jobs))
 	runOne := func(i int) {
 		st := newRunState(cfg, cons, index)
+		if sm != nil {
+			// The shard view is keyed by job index, not worker: totals
+			// then sum identically however jobs land on workers.
+			st.met = sm.job(i)
+		}
 		states[i] = st
 		errs[i] = jobs[i](st)
 	}

@@ -31,6 +31,7 @@ import (
 	"eagleeye/internal/energy"
 	"eagleeye/internal/geo"
 	"eagleeye/internal/mip"
+	"eagleeye/internal/obs"
 	"eagleeye/internal/orbit"
 	"eagleeye/internal/sched"
 )
@@ -79,6 +80,16 @@ type Config struct {
 	// frame (see TraceRecord). Records are emitted in group order, frames
 	// in time order within each group, regardless of Workers.
 	Trace io.Writer
+	// Metrics, when non-nil, receives run metrics: event counters,
+	// per-stage wall-time breakdowns, solver activity, and progress
+	// gauges (see internal/obs and the README metrics table). Handles
+	// are resolved once before the first frame; a nil registry leaves
+	// the frame loop byte-identical to the uninstrumented simulator.
+	// Integer event counters are deterministic across Workers; timing
+	// and solver-limit series are machine-dependent. The registry feeds
+	// the default ILP scheduler's solver counters; a custom Scheduler
+	// must accept its own mip.Options.Metrics to be counted.
+	Metrics *obs.Registry
 	// Workers bounds the concurrent goroutines executing per-group
 	// (leader-follower, mix-camera) or per-satellite (strip-coverage)
 	// jobs. 0 means runtime.GOMAXPROCS(0); 1 runs sequentially. Every
@@ -171,10 +182,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.DurationS == 0 {
 		cfg.DurationS = 86400
 	}
+	var sm *simMetrics
+	if cfg.Metrics != nil {
+		sm = newSimMetrics(cfg.Metrics)
+	}
 	if cfg.Scheduler == nil {
 		// Frame-rate solves: bound the MIP search tightly; the polish pass
 		// and the greedy fallback keep truncated solves near-optimal.
-		cfg.Scheduler = sched.ILP{MIP: mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}}
+		opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
+		if sm != nil {
+			opts.Metrics = sm.solverSched
+		}
+		cfg.Scheduler = sched.ILP{MIP: opts}
 	}
 	if cfg.Detector.PerTileS == 0 {
 		cfg.Detector = detect.YoloN()
@@ -219,7 +238,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: unsupported kind %v", cons.Config.Kind)
 	}
 
-	states, err := runJobs(cfg, cons, index, jobs)
+	if sm != nil {
+		sm.targetsTotal.Set(float64(res.TotalTargets))
+	}
+	states, err := runJobs(cfg, cons, index, sm, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -244,6 +266,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	agg.finalizeEnergy()
 	agg.finalizeComms()
+	if sm != nil {
+		sm.progress.Set(1)
+		sm.targetsSeen.Set(float64(res.LowResSeen))
+		sm.targetsCaptured.Set(float64(res.HighResCaptured))
+	}
 
 	tw := newTraceWriter(cfg.Trace)
 	for _, s := range states {
@@ -309,6 +336,9 @@ type runState struct {
 	// assembly (CoveredIDs in particular allocates).
 	trace   []TraceRecord
 	traceOn bool
+	// met is this job's pre-resolved metric shard view; nil (the common
+	// case) disables instrumentation at the cost of one branch per site.
+	met *jobMetrics
 
 	// Frame-loop scratch, private to the job's goroutine and dead between
 	// frames. The buffers grow to the run's high-water mark and are then
@@ -468,12 +498,16 @@ func (st *runState) runStripSat(sat *constellation.Satellite) {
 	stepS := 50e3 / sat.Prop.GroundSpeedMS() // 50 km along-track steps
 	stepLen := sat.Prop.GroundSpeedMS() * stepS
 	qr := frameRadius(swath, stepLen)
+	jm := st.met
 	stp := sat.Prop.NewStepper(0, stepS)
 	for ts := 0.0; ts < st.cfg.DurationS; ts += stepS {
 		if ts > 0 {
 			stp.Advance()
 		}
 		st.res.Frames++
+		if jm != nil {
+			jm.frames.Inc()
+		}
 		// Empty-frame fast path: most ocean/desert steps see no
 		// candidates, so probe the index around the cheap sub-point
 		// before computing the full state and tangent frame.
@@ -488,6 +522,9 @@ func (st *runState) runStripSat(sat *constellation.Satellite) {
 			continue
 		}
 		st.res.FramesWithTargets++
+		if jm != nil {
+			jm.framesWithTargets.Inc()
+		}
 		for _, ci := range idx {
 			st.seen[ci] = true
 			if highRes {
@@ -556,6 +593,11 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		HighResSwathM:  highResSwath(grp, leader),
 		RecallOverride: cfg.RecallOverride,
 	}
+	jm := st.met
+	if jm != nil {
+		pipe.Timed = true
+		pipe.ClusterOpts.MIP.Metrics = jm.m.solverCluster
+	}
 
 	w := leader.LowRes.SwathM
 	h := leader.LowRes.FootprintAlongM()
@@ -580,13 +622,33 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 	frameIdx := 0
 	for ts := 0.0; ts < cfg.DurationS; ts += cadence {
 		if frameIdx > 0 {
-			lead.Advance()
-			for _, s := range schedSteppers {
-				s.Advance()
+			if jm != nil && frameIdx&ephSampleMask == 0 {
+				// Sampled ephemeris span: the advance costs about as much
+				// as the clock read, so 1-in-64 frames are timed and the
+				// ns total is scaled back up (histogram gets raw samples).
+				t0 := time.Now()
+				lead.Advance()
+				for _, s := range schedSteppers {
+					s.Advance()
+				}
+				d := int64(time.Since(t0))
+				jm.stageNS[stageEphemeris].Add(d << ephSampleShift)
+				jm.stageHist[stageEphemeris].Observe(float64(d) / 1e9)
+			} else {
+				lead.Advance()
+				for _, s := range schedSteppers {
+					s.Advance()
+				}
 			}
 		}
 		frameIdx++
 		st.res.Frames++
+		if jm != nil {
+			jm.frames.Inc()
+			if frameIdx&255 == 0 {
+				jm.m.progress.SetMax(ts / cfg.DurationS)
+			}
+		}
 		st.leaderB.Capture(1)
 		st.leaderB.Compute(computeS)
 		cands := st.candidatesNear(lead.SubPoint(), qr, ts)
@@ -609,6 +671,9 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 			continue
 		}
 		st.res.FramesWithTargets++
+		if jm != nil {
+			jm.framesWithTargets.Inc()
+		}
 		st.res.TargetsPerImage = append(st.res.TargetsPerImage, len(idx))
 		for _, ci := range idx {
 			st.seen[ci] = true
@@ -636,6 +701,7 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 				return 1
 			}
 		}
+		recapBefore := st.res.RecaptureSuppressed
 		fres, err := pipe.ProcessFrame(core.Frame{
 			Truth:  pts,
 			Bounds: geo.NewRectCentered(geo.Point2{}, w, h),
@@ -643,6 +709,20 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		}, fols, env)
 		if err != nil {
 			return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
+		}
+		if jm != nil {
+			jm.detections.Add(int64(len(fres.Detections)))
+			jm.clusters.Add(int64(len(fres.Clusters)))
+			jm.schedSolves.Inc()
+			jm.span(stageDetect, int64(fres.DetectWall))
+			jm.span(stageCluster, int64(fres.ClusterWall))
+			jm.span(stageSched, int64(fres.SchedWall))
+			if fres.Schedule.SolveStats.Fallback {
+				jm.schedFallbacks.Inc()
+			}
+			if d := st.res.RecaptureSuppressed - recapBefore; d > 0 {
+				jm.recaptureSuppressed.Add(int64(d))
+			}
 		}
 		st.res.Detections += len(fres.Detections)
 		st.res.Clusters += len(fres.Clusters)
@@ -659,16 +739,37 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 		st.res.ClusterPivotWall += fres.ClusterStats.PivotWall
 		if computeS+fres.SchedWall.Seconds() > cadence {
 			st.res.MissedDeadline++
+			if jm != nil {
+				jm.missedDeadlines.Inc()
+			}
 		}
 		if cfg.ValidateSchedules {
 			if err := validateAgainstPipeline(&fres, fols, env); err != nil {
 				return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
 			}
 		}
+		var spanStart time.Time
+		capsBefore := st.res.Captures
+		if jm != nil {
+			spanStart = time.Now()
+		}
 		st.executeSchedule(frame, tSched, &fres, grp, leader, mix)
+		if jm != nil {
+			jm.span(stageExecute, int64(time.Since(spanStart)))
+			jm.captures.Add(int64(st.res.Captures - capsBefore))
+			spanStart = time.Now()
+		}
 		st.res.CrosslinkBytes += fres.CrosslinkBytes
 		st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
+		if jm != nil {
+			// Wire bytes are integral by construction; the int64 counter
+			// keeps the total deterministic across worker counts.
+			jm.crosslinkBytes.Add(int64(fres.CrosslinkBytes))
+		}
 		if !st.traceOn {
+			if jm != nil {
+				jm.span(stageAccount, int64(time.Since(spanStart)))
+			}
 			continue
 		}
 		st.trace = append(st.trace, TraceRecord{
@@ -690,6 +791,9 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 			ClusterNodes: fres.ClusterStats.Nodes,
 			ClusterIters: fres.ClusterStats.Iters,
 		})
+		if jm != nil {
+			jm.span(stageAccount, int64(time.Since(spanStart)))
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 )
@@ -36,8 +37,12 @@ type TraceRecord struct {
 	ClusterIters int     `json:"cluster_iters,omitempty"`
 }
 
-// traceWriter serializes records to the configured writer.
+// traceWriter serializes records to the configured writer through a
+// buffer, so a long run emitting hundreds of thousands of lines issues
+// large writes instead of one syscall per frame. The buffer is flushed
+// once, in Err, after all records are emitted.
 type traceWriter struct {
+	buf *bufio.Writer
 	enc *json.Encoder
 	err error
 }
@@ -46,7 +51,8 @@ func newTraceWriter(w io.Writer) *traceWriter {
 	if w == nil {
 		return nil
 	}
-	return &traceWriter{enc: json.NewEncoder(w)}
+	buf := bufio.NewWriterSize(w, 1<<16)
+	return &traceWriter{buf: buf, enc: json.NewEncoder(buf)}
 }
 
 // emit writes one record, remembering the first error (the simulation is
@@ -58,10 +64,14 @@ func (tw *traceWriter) emit(rec TraceRecord) {
 	tw.err = tw.enc.Encode(rec)
 }
 
-// Err returns the first trace write error, if any.
+// Err flushes the buffer and returns the first trace write error, if
+// any. It must be called after the last emit.
 func (tw *traceWriter) Err() error {
 	if tw == nil {
 		return nil
+	}
+	if ferr := tw.buf.Flush(); tw.err == nil {
+		tw.err = ferr
 	}
 	return tw.err
 }
