@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke metrics-smoke figures
+.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke bench-warm metrics-smoke figures
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,22 @@ bench-sim:
 bench-sim-smoke:
 	$(GO) run ./cmd/benchsim -iters 1
 
+# Cold-vs-warm A/B on the benchmark workload: prints the solver-load
+# counters (B&B nodes, simplex iterations, warm-start pipeline hits) side
+# by side so the temporal-coherence savings are visible at a glance.
+# Counts are deterministic for the fixed seed, so the two lines are
+# comparable run to run.
+bench-warm:
+	@$(GO) build -o /tmp/eagleeye-benchsim ./cmd/benchsim
+	@echo "cold (-warm=false):"; \
+	/tmp/eagleeye-benchsim -iters 1 -warm=false \
+		| grep -o '"\(sched\|cluster\)_\(nodes\|iters\)":[0-9]*\|"warm_[a-z_]*":[0-9.]*\|"basis_reuses":[0-9]*' \
+		| tr '\n' ' '; echo
+	@echo "warm (default):"; \
+	/tmp/eagleeye-benchsim -iters 1 \
+		| grep -o '"\(sched\|cluster\)_\(nodes\|iters\)":[0-9]*\|"warm_[a-z_]*":[0-9.]*\|"basis_reuses":[0-9]*' \
+		| tr '\n' ' '; echo
+
 # Observability smoke: run a short instrumented simulation with the live
 # endpoint up, scrape /metrics during the post-run hold, and assert the
 # key series exist. Catches wiring rot (renamed series, dead endpoint)
@@ -57,7 +73,9 @@ metrics-smoke:
 	wait $$EE_PID || exit 1; \
 	for series in eagleeye_frames_total eagleeye_captures_total \
 		eagleeye_stage_nanoseconds_total eagleeye_mip_solves_total \
-		eagleeye_sim_progress eagleeye_stage_seconds_bucket; do \
+		eagleeye_sim_progress eagleeye_stage_seconds_bucket \
+		eagleeye_warmstart_attempts_total eagleeye_warmstart_accepted_total \
+		eagleeye_warmstart_projections_total eagleeye_warmstart_basis_reuses_total; do \
 		grep -q "^$$series" /tmp/eagleeye-metrics.txt \
 			|| { echo "metrics-smoke: missing series $$series"; exit 1; }; \
 	done; \

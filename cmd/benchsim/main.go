@@ -28,7 +28,9 @@ import (
 
 // pointSchema versions the point layout for downstream consumers of the
 // BENCH_sim.json series. Bump it whenever a field changes meaning.
-const pointSchema = 2
+// Schema 3 added the warm-start fields (warm flag, solver-load counters,
+// warm-start hit rate and savings).
+const pointSchema = 3
 
 // point is one benchmark measurement, shaped for appending to a BENCH_*.json
 // time series (one JSON object per run).
@@ -53,6 +55,27 @@ type point struct {
 	// series stays comparable across commits; the breakdown comes from
 	// one extra run with a live metrics registry.
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+
+	// Warm-start fields (schema 3), from the same instrumented run.
+	// Warm reports whether the cross-frame warm-start pipeline was on.
+	Warm bool `json:"warm"`
+	// Solver load: B&B nodes and simplex iterations summed over all
+	// scheduling / clustering solves -- the quantities the warm-start
+	// pipeline reduces.
+	SchedNodes   int `json:"sched_nodes"`
+	SchedIters   int `json:"sched_iters"`
+	ClusterNodes int `json:"cluster_nodes"`
+	ClusterIters int `json:"cluster_iters"`
+	// Warm-start accounting across both solvers: candidates offered and
+	// verified, hit rate, nodes cut by the warm floor, solves ended early
+	// by a bound matching the warm candidate, and LP solves that skipped
+	// phase 1 by reusing the previous basis.
+	WarmAttempts    int64   `json:"warm_attempts,omitempty"`
+	WarmAccepted    int64   `json:"warm_accepted,omitempty"`
+	WarmHitRate     float64 `json:"warm_hit_rate,omitempty"`
+	WarmPrunedNodes int64   `json:"warm_pruned_nodes,omitempty"`
+	WarmEarlyExits  int64   `json:"warm_early_exits,omitempty"`
+	BasisReuses     int64   `json:"warm_basis_reuses,omitempty"`
 }
 
 // gitCommit stamps the point with `git rev-parse HEAD`, or "" outside a
@@ -91,15 +114,17 @@ func main() {
 		targets = flag.Int("targets", 2000, "workload size")
 		sats    = flag.Int("sats", 8, "constellation size")
 		hours   = flag.Float64("hours", 2, "simulated pass duration")
+		warm    = flag.Bool("warm", true, "cross-frame warm-started solving; false records the cold A/B baseline")
 	)
 	flag.Parse()
 
 	cfg := sim.Config{
-		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: *sats},
-		App:           benchWorld(*targets, 60),
-		DurationS:     *hours * 3600,
-		Seed:          1,
-		Workers:       *workers,
+		Constellation:    constellation.Config{Kind: constellation.LeaderFollower, Satellites: *sats},
+		App:              benchWorld(*targets, 60),
+		DurationS:        *hours * 3600,
+		Seed:             1,
+		Workers:          *workers,
+		DisableWarmStart: !*warm,
 	}
 	// Warm the grow-only arenas and pools so the point reflects steady state.
 	if _, err := sim.Run(cfg); err != nil {
@@ -144,17 +169,24 @@ func main() {
 	// stays out of the measured loop so NsPerOp remains comparable with
 	// points recorded before the observability layer existed.
 	stageSeconds := make(map[string]float64)
-	{
-		mcfg := cfg
-		mcfg.Metrics = obs.NewRegistry()
-		if _, err := sim.Run(mcfg); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsim:", err)
-			os.Exit(1)
+	reg := obs.NewRegistry()
+	warmCount := func(series string) int64 {
+		n := int64(0)
+		for _, solver := range []string{"sched", "cluster"} {
+			n += reg.CounterValue("eagleeye_warmstart_"+series+"_total", obs.Label{Key: "solver", Value: solver})
 		}
-		for _, stage := range []string{"ephemeris", "detect", "cluster", "sched", "execute", "account"} {
-			ns := mcfg.Metrics.CounterValue("eagleeye_stage_nanoseconds_total", obs.Label{Key: "stage", Value: stage})
-			stageSeconds[stage] = float64(ns) / 1e9
-		}
+		return n
+	}
+	mcfg := cfg
+	mcfg.Metrics = reg
+	ires, err := sim.Run(mcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+	for _, stage := range []string{"ephemeris", "detect", "cluster", "sched", "execute", "account"} {
+		ns := reg.CounterValue("eagleeye_stage_nanoseconds_total", obs.Label{Key: "stage", Value: stage})
+		stageSeconds[stage] = float64(ns) / 1e9
 	}
 
 	p := point{
@@ -173,6 +205,20 @@ func main() {
 		BytesPerOp:   res.AllocedBytesPerOp(),
 		AllocsPerOp:  res.AllocsPerOp(),
 		StageSeconds: stageSeconds,
+
+		Warm:            *warm,
+		SchedNodes:      ires.SchedNodes,
+		SchedIters:      ires.SchedIters,
+		ClusterNodes:    ires.ClusterNodes,
+		ClusterIters:    ires.ClusterIters,
+		WarmAttempts:    warmCount("attempts"),
+		WarmAccepted:    warmCount("accepted"),
+		WarmPrunedNodes: warmCount("pruned_nodes"),
+		WarmEarlyExits:  warmCount("early_exits"),
+		BasisReuses:     warmCount("basis_reuses"),
+	}
+	if p.WarmAttempts > 0 {
+		p.WarmHitRate = float64(p.WarmAccepted) / float64(p.WarmAttempts)
 	}
 	enc, err := json.Marshal(p)
 	if err != nil {

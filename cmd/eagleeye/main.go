@@ -32,6 +32,7 @@ func main() {
 		recall    = flag.Float64("recall", 0, "override detector recall in (0,1]; 0 keeps the model's")
 		seed      = flag.Int64("seed", 1, "random seed")
 		nocluster = flag.Bool("no-clustering", false, "disable target clustering")
+		warm      = flag.Bool("warm", true, "cross-frame warm-started solving (per-leader state, LP basis reuse); false for the cold A/B baseline")
 		planes    = flag.Int("planes", 1, "orbital planes (§4.7 orbit-design extension)")
 		recapture = flag.Bool("recapture-dedup", false, "deprioritize already-captured targets (§4.7)")
 		traceFile = flag.String("trace", "", "write a per-frame JSON trace to this file (\"-\" for stdout)")
@@ -82,6 +83,7 @@ func main() {
 		RecallOverride:    *recall,
 		Seed:              *seed,
 		NoClustering:      *nocluster,
+		DisableWarmStart:  !*warm,
 		OrbitPlanes:       *planes,
 		RecaptureDedup:    *recapture,
 		Trace:             trace,

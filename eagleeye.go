@@ -120,6 +120,12 @@ type Config struct {
 	NoClustering bool
 	// GreedyClustering forces the greedy rectangle cover.
 	GreedyClustering bool
+	// DisableWarmStart turns off the cross-frame warm-start pipeline of
+	// the default ILP scheduler and clusterer (per-leader solver state,
+	// previous-schedule projection, LP basis reuse, incremental model
+	// construction). For A/B measurement; the default (warm) is faster
+	// and produces the same results.
+	DisableWarmStart bool
 	// RecallOverride in (0,1] overrides detector recall.
 	RecallOverride float64
 	// MixComputeDelayS sets the mix-camera compute latency (Fig. 13).
@@ -329,6 +335,7 @@ func toSimConfig(cfg Config) (sim.Config, error) {
 
 	out.NoClustering = cfg.NoClustering
 	out.ClusterGreedy = cfg.GreedyClustering
+	out.DisableWarmStart = cfg.DisableWarmStart
 	out.RecaptureDedup = cfg.RecaptureDedup
 	out.Trace = cfg.Trace
 	out.Metrics = cfg.Metrics

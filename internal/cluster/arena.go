@@ -36,6 +36,7 @@ type coverArena struct {
 
 	covered []uint64
 	gBoxes  []geo.Rect
+	gIdx    []int // candidate index per greedy box; -1 for safety-net boxes
 	iBoxes  []geo.Rect
 
 	// rows backs the dense set-cover constraint rows; same carve-and-zero

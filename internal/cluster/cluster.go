@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 	"time"
 
 	"eagleeye/internal/geo"
@@ -63,6 +64,74 @@ type Options struct {
 	ForceGreedy bool
 	// MIP forwards search limits to the solver.
 	MIP mip.Options
+	// State, when non-nil, carries solver state across the frames of one
+	// leader: a pinned arena whose LP workspace (and saved simplex basis)
+	// survives between covers, plus the greedy cover re-offered to the
+	// ILP as a warm-start candidate. Single-owner; call CoverStats from
+	// one goroutine in frame order.
+	State *SolverState
+	// AggressiveWarm selects mip.Options.WarmAggressive for warm solves.
+	AggressiveWarm bool
+}
+
+// SolverState is per-leader persistent clustering state (see Options.State).
+// Construct with NewSolverState.
+type SolverState struct {
+	ar    *coverArena
+	warmX []float64
+
+	// GreedySeeds counts covers where the greedy solution was offered to
+	// the ILP as a warm candidate.
+	GreedySeeds int
+}
+
+// NewSolverState returns a fresh per-leader cover solver state with its
+// own pinned arena.
+func NewSolverState() *SolverState {
+	return &SolverState{ar: new(coverArena)}
+}
+
+var statePool = sync.Pool{New: func() any { return NewSolverState() }}
+
+// GetSolverState returns a logically fresh cover solver state from a pool,
+// keeping the grown arena capacity of earlier uses (see Reset).
+func GetSolverState() *SolverState {
+	st := statePool.Get().(*SolverState)
+	st.Reset()
+	return st
+}
+
+// PutSolverState returns a state to the pool. The state must not be used
+// after the call.
+func PutSolverState(st *SolverState) { statePool.Put(st) }
+
+// Reset clears all decision-relevant state (the saved LP basis and the
+// counters) so a recycled state drives exactly the same covers as a fresh
+// one; only scratch capacity survives pooling.
+func (st *SolverState) Reset() {
+	st.ar.ws.InvalidateBasis()
+	st.GreedySeeds = 0
+}
+
+// warmFromGreedy turns the greedy cover just computed in the arena into a
+// candidate-selection vector for the set-cover ILP. The greedy cover is
+// feasible by construction, so verification in the MIP layer only fails if
+// the safety-net path emitted a non-candidate box (index -1).
+func (st *SolverState) warmFromGreedy(ar *coverArena, nc int) ([]float64, bool) {
+	if len(ar.gIdx) == 0 {
+		return nil, false
+	}
+	st.warmX = growFloats(st.warmX, nc)
+	x := st.warmX[:nc]
+	clear(x)
+	for _, ci := range ar.gIdx {
+		if ci < 0 || ci >= nc {
+			return nil, false
+		}
+		x[ci] = 1
+	}
+	st.GreedySeeds++
+	return x, true
 }
 
 func (o Options) withDefaults() Options {
@@ -111,8 +180,15 @@ func CoverStats(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method,
 	}
 	opt = opt.withDefaults()
 
-	ar := getCoverArena()
-	defer putCoverArena(ar)
+	var ar *coverArena
+	if opt.State != nil {
+		// Pinned arena: the MIP/LP workspaces persist across frames so the
+		// saved simplex basis can warm the next cover's relaxations.
+		ar = opt.State.ar
+	} else {
+		ar = getCoverArena()
+		defer putCoverArena(ar)
+	}
 
 	cands := candidates(ar, pts, w, h)
 	greedyBoxes := greedyCover(ar, pts, cands)
@@ -120,7 +196,15 @@ func CoverStats(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method,
 	boxes := greedyBoxes
 	var stats SolveStats
 	if !opt.ForceGreedy && len(cands) <= opt.MaxILPCandidates {
-		ilpBoxes, st, ok := ilpCover(ar, pts, cands, opt.MIP)
+		mo := opt.MIP
+		if st := opt.State; st != nil {
+			mo.ReuseBasis = true
+			if wx, ok := st.warmFromGreedy(ar, len(cands)); ok {
+				mo.WarmStart = wx
+				mo.WarmAggressive = opt.AggressiveWarm
+			}
+		}
+		ilpBoxes, st, ok := ilpCover(ar, pts, cands, mo)
 		stats = st
 		if ok && len(ilpBoxes) <= len(greedyBoxes) {
 			boxes = ilpBoxes
@@ -243,7 +327,9 @@ func candidates(ar *coverArena, pts []geo.Point2, w, h float64) []candidate {
 
 // greedyCover picks the candidate covering the most uncovered points until
 // all are covered. Candidates always include a singleton for every point,
-// so the loop terminates. The returned boxes live in arena scratch.
+// so the loop terminates. The returned boxes live in arena scratch; the
+// chosen candidate indices are recorded in ar.gIdx (-1 for safety-net
+// boxes) so the greedy cover can seed the ILP's warm start.
 func greedyCover(ar *coverArena, pts []geo.Point2, cands []candidate) []geo.Rect {
 	n := len(pts)
 	covered := growUints(ar.covered, maskWords(n))
@@ -251,7 +337,8 @@ func greedyCover(ar *coverArena, pts []geo.Point2, cands []candidate) []geo.Rect
 	clear(covered)
 	remaining := n
 	boxes := ar.gBoxes[:0]
-	defer func() { ar.gBoxes = boxes }()
+	idx := ar.gIdx[:0]
+	defer func() { ar.gBoxes, ar.gIdx = boxes, idx }()
 	for remaining > 0 {
 		best, bestGain := -1, 0
 		for ci, c := range cands {
@@ -270,6 +357,7 @@ func greedyCover(ar *coverArena, pts []geo.Point2, cands []candidate) []geo.Rect
 			for i := 0; i < n; i++ {
 				if !hasBit(covered, i) {
 					boxes = append(boxes, geo.NewRectCentered(pts[i], 1, 1))
+					idx = append(idx, -1)
 					setBit(covered, i)
 					remaining--
 				}
@@ -277,6 +365,7 @@ func greedyCover(ar *coverArena, pts []geo.Point2, cands []candidate) []geo.Rect
 			break
 		}
 		boxes = append(boxes, cands[best].box)
+		idx = append(idx, best)
 		for k := range covered {
 			newBits := cands[best].mask[k] &^ covered[k]
 			covered[k] |= newBits

@@ -186,6 +186,17 @@ type Workspace struct {
 	// metrics does not touch the simplex hot path.
 	Obs *obs.LPMetrics
 
+	// ReuseBasis enables starting-basis reuse across same-shaped solves
+	// (warm.go): after an optimal solve the basis is saved, and the next
+	// solve of a same-shaped problem re-installs it instead of running
+	// phase 1, falling back to the cold two-phase path when the basis is
+	// stale. Off by default. Reuse makes a solve's pivot sequence depend
+	// on the previous solve, so it must stay off on workspaces whose
+	// solve order is nondeterministic (e.g. sync.Pool-shared arenas).
+	ReuseBasis bool
+	// BasisReuses counts solves that started from an installed basis.
+	BasisReuses int
+
 	// grow-only arenas backing the tableau.
 	abuf  []float64 // m x total matrix storage
 	cols  []varCol  // per-variable column mapping
@@ -196,6 +207,16 @@ type Workspace struct {
 	red   []float64 // reduced costs
 	vals  []float64 // structural column values during extraction
 	xbuf  []float64 // extracted solution
+
+	// saved basis snapshot for ReuseBasis (warm.go).
+	savedBasis                     []int
+	savedAtUpper                   []bool
+	savedM, savedTotal, savedNcols int
+	savedOK                        bool
+
+	// seed is a one-shot crash-basis candidate for the next solve
+	// (warm.go, SeedPoint).
+	seed []float64
 }
 
 // Solve optimizes with the default iteration limit, reusing the arena.
@@ -207,7 +228,13 @@ func (ws *Workspace) Solve(p *Problem) Solution {
 // reusing the arena. See the Workspace doc for aliasing and validation
 // caveats.
 func (ws *Workspace) SolveMaxIters(p *Problem, maxIters int) Solution {
-	if !ws.build(p) {
+	// With a saved basis on hand, build shape-stably (negative LE
+	// right-hand sides stay unflipped) so branch-tightened bounds cannot
+	// change the tableau shape out from under the install.
+	warmTry := ws.ReuseBasis && ws.savedOK
+	seed := ws.seed
+	ws.seed = nil
+	if !ws.build(p, warmTry) {
 		// Bound analysis found an empty variable box: infeasible.
 		if ws.Obs != nil {
 			ws.Obs.Solves.Inc()
@@ -215,7 +242,46 @@ func (ws *Workspace) SolveMaxIters(p *Problem, maxIters int) Solution {
 		return Solution{Status: StatusInfeasible}
 	}
 	t := &ws.t
-	st := t.solve(ws, maxIters)
+	reused := false
+	if warmTry {
+		if ws.basisShapeMatches() && ws.installBasis() && (t.primalFeasible() || ws.dualRepair(2*t.m+16)) {
+			reused = true
+		} else {
+			// A failed reuse (shape drift, singular basis, or infeasibility
+			// the dual repair could not fix) leaves the tableau unusable for
+			// the cold path -- partially eliminated, possibly with negative
+			// right-hand sides -- so rebuild normalized, keeping any repair
+			// pivots in the iteration count. Stale bases rarely recover, so
+			// drop the snapshot rather than retry it every solve.
+			spent := t.iters
+			ws.savedOK = false
+			ws.build(p, false)
+			t.iters = spent
+		}
+	}
+	if !reused && seed != nil && t.nartif == 0 {
+		// No previous basis applies, but the caller supplied a feasible
+		// point: crash a basis at its vertex and go straight to phase 2.
+		if ws.crashBasis(p, seed) && (t.primalFeasible() || ws.dualRepair(2*t.m+16)) {
+			reused = true
+		} else {
+			spent := t.iters
+			ws.build(p, false)
+			t.iters = spent
+		}
+	}
+	var st Status
+	if reused {
+		// Warm start: the previous optimal basis is still primal-feasible,
+		// so phase 2 runs directly from it and phase 1 is skipped.
+		ws.BasisReuses++
+		st, _ = t.optimize(ws, t.obj, maxIters, false)
+	} else {
+		st = t.solve(ws, maxIters)
+	}
+	if ws.ReuseBasis && st == StatusOptimal {
+		ws.saveBasis()
+	}
 	sol := Solution{Status: st, Iters: t.iters}
 	if ws.Obs != nil {
 		ws.Obs.Solves.Inc()
@@ -291,7 +357,18 @@ func growInts(s []int, n int) []int {
 // build assembles the tableau for p inside the workspace arena. It
 // returns false when some variable box is empty (lower > upper), which
 // the caller reports as infeasible.
-func (ws *Workspace) build(p *Problem) bool {
+//
+// allowNegRHS keeps LE rows whose (shift-adjusted) right-hand side is
+// negative unflipped: the slack stays basic at a negative value instead of
+// the row gaining an artificial. That start is primal infeasible, so it is
+// only valid on the basis-reuse path, where installBasis overwrites the
+// basis anyway and dualRepair settles feasibility -- but it makes the
+// tableau SHAPE depend only on senses and variable freeness, not on bound
+// values, which is what lets a branch-and-bound child (whose tightened
+// bound drives an RHS negative) reuse its parent's basis. The cold path
+// always builds with allowNegRHS=false, preserving the b >= 0 invariant
+// the two-phase simplex relies on.
+func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
 	n := len(p.C)
 	if cap(ws.cols) < n {
 		ws.cols = make([]varCol, n)
@@ -339,7 +416,9 @@ func (ws *Workspace) build(p *Problem) bool {
 			}
 		}
 		s := p.Senses[i]
-		fl := b < 0 // normalize negative RHS by negating the row
+		// Normalize negative RHS by negating the row (except LE rows on the
+		// reuse path; see the allowNegRHS doc).
+		fl := b < 0 && !(allowNegRHS && s == LE)
 		if fl {
 			b = -b
 			switch s {

@@ -1,0 +1,229 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// prodProblem is a small production-planning LP with a unique optimum.
+func prodProblem() *Problem {
+	return &Problem{
+		C: []float64{3, 2, 4},
+		A: [][]float64{
+			{2, 1, 3},
+			{1, 2, 1},
+			{1, 0, 2},
+		},
+		B:      []float64{30, 20, 16},
+		Senses: []Sense{LE, LE, LE},
+	}
+}
+
+func solutionsEqual(a, b Solution, tol float64) bool {
+	if a.Status != b.Status {
+		return false
+	}
+	if a.Status != StatusOptimal {
+		return true
+	}
+	if math.Abs(a.Objective-b.Objective) > tol {
+		return false
+	}
+	for j := range a.X {
+		if math.Abs(a.X[j]-b.X[j]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBasisReuseSameShapedResolve solves the same problem twice on one
+// reusing workspace: the second solve must install the saved basis, skip
+// phase 1, and return the identical solution.
+func TestBasisReuseSameShapedResolve(t *testing.T) {
+	p := prodProblem()
+	var ws Workspace
+	ws.ReuseBasis = true
+	first := ws.Solve(p)
+	if first.Status != StatusOptimal {
+		t.Fatalf("first solve: %v", first.Status)
+	}
+	obj1, x1 := first.Objective, append([]float64(nil), first.X...)
+	second := ws.Solve(p)
+	if second.Status != StatusOptimal {
+		t.Fatalf("second solve: %v", second.Status)
+	}
+	if ws.BasisReuses != 1 {
+		t.Fatalf("BasisReuses = %d, want 1", ws.BasisReuses)
+	}
+	if math.Abs(second.Objective-obj1) > 1e-9 {
+		t.Fatalf("objective drifted: %v vs %v", second.Objective, obj1)
+	}
+	for j := range x1 {
+		if math.Abs(second.X[j]-x1[j]) > 1e-9 {
+			t.Fatalf("solution drifted at %d: %v vs %v", j, second.X[j], x1[j])
+		}
+	}
+	if second.Iters >= first.Iters {
+		t.Errorf("reused solve took %d iters, cold %d; expected fewer", second.Iters, first.Iters)
+	}
+}
+
+// TestBasisReuseDualRepair tightens a bound so the saved basis becomes
+// primal infeasible: the dual repair must restore feasibility (or the
+// fallback must engage) and the result must match a cold workspace.
+func TestBasisReuseDualRepair(t *testing.T) {
+	p := prodProblem()
+	var ws Workspace
+	ws.ReuseBasis = true
+	if st := ws.Solve(p).Status; st != StatusOptimal {
+		t.Fatalf("first solve: %v", st)
+	}
+	// Cap the most-used variable below its optimal value.
+	p.Upper = []float64{math.Inf(1), math.Inf(1), 2}
+	warm := ws.Solve(p)
+	var cold Workspace
+	want := cold.Solve(p)
+	if !solutionsEqual(warm, want, 1e-8) {
+		t.Fatalf("after bound change: warm %+v cold %+v", warm, want)
+	}
+}
+
+// TestBasisReuseShapeMismatchFallsBack re-solves with a different row
+// count: reuse must cleanly fall back to the cold path and still be right.
+func TestBasisReuseShapeMismatchFallsBack(t *testing.T) {
+	var ws Workspace
+	ws.ReuseBasis = true
+	if st := ws.Solve(prodProblem()).Status; st != StatusOptimal {
+		t.Fatalf("first solve: %v", st)
+	}
+	p2 := &Problem{
+		C:      []float64{1, 1},
+		A:      [][]float64{{1, 2}, {3, 1}, {1, 0}},
+		B:      []float64{4, 6, 1.5},
+		Senses: []Sense{LE, LE, LE},
+	}
+	warm := ws.Solve(p2)
+	var cold Workspace
+	want := cold.Solve(p2)
+	if !solutionsEqual(warm, want, 1e-8) {
+		t.Fatalf("shape change: warm %+v cold %+v", warm, want)
+	}
+	if ws.BasisReuses != 0 {
+		t.Fatalf("shape-mismatched basis claimed as reused")
+	}
+}
+
+// TestSeedPointCrashBasis verifies the one-shot crash basis: seeding the
+// optimum must produce the same solution in fewer iterations; seeding an
+// infeasible or ill-shaped point must fall back to the cold path without
+// changing the answer.
+func TestSeedPointCrashBasis(t *testing.T) {
+	p := prodProblem()
+	var cold Workspace
+	want := cold.Solve(p)
+	if want.Status != StatusOptimal {
+		t.Fatalf("cold: %v", want.Status)
+	}
+	opt := append([]float64(nil), want.X...)
+
+	var ws Workspace
+	ws.ReuseBasis = true
+	ws.SeedPoint(opt)
+	seeded := ws.Solve(p)
+	if !solutionsEqual(seeded, want, 1e-8) {
+		t.Fatalf("seeded: %+v want %+v", seeded, want)
+	}
+	if ws.BasisReuses != 1 {
+		t.Fatalf("seed install not counted: BasisReuses = %d", ws.BasisReuses)
+	}
+	if seeded.Iters >= want.Iters {
+		t.Errorf("seeded solve took %d iters, cold %d; expected fewer", seeded.Iters, want.Iters)
+	}
+
+	for _, bad := range [][]float64{
+		{100, 100, 100}, // infeasible
+		{1, 1},          // wrong length
+		nil,             // no-op
+	} {
+		var w2 Workspace
+		w2.ReuseBasis = true
+		w2.SeedPoint(bad)
+		got := w2.Solve(p)
+		if !solutionsEqual(got, want, 1e-8) {
+			t.Fatalf("bad seed %v changed the answer: %+v want %+v", bad, got, want)
+		}
+	}
+}
+
+// TestSeedPointIsOneShot ensures the seed applies to exactly one solve.
+func TestSeedPointIsOneShot(t *testing.T) {
+	p := prodProblem()
+	var ws Workspace // ReuseBasis off: no saved basis either
+	var cold Workspace
+	want := cold.Solve(p)
+	ws.SeedPoint(append([]float64(nil), want.X...))
+	ws.ReuseBasis = true
+	first := ws.Solve(p)
+	if !solutionsEqual(first, want, 1e-8) {
+		t.Fatalf("first: %+v want %+v", first, want)
+	}
+	// The second solve reuses the saved basis (not the consumed seed);
+	// InvalidateBasis must clear both.
+	ws.SeedPoint(want.X)
+	ws.InvalidateBasis()
+	got := ws.Solve(p)
+	if !solutionsEqual(got, want, 1e-8) {
+		t.Fatalf("after invalidate: %+v want %+v", got, want)
+	}
+	if got.Iters != want.Iters {
+		t.Errorf("invalidated workspace did not run cold: %d iters vs %d", got.Iters, want.Iters)
+	}
+}
+
+// TestBasisReuseRandomizedStream cross-checks a reusing workspace against
+// cold solves over streams of perturbed problems: same shape, randomly
+// drifting b, c, and bounds -- the frame-to-frame pattern the scheduler
+// produces.
+func TestBasisReuseRandomizedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		base := &Problem{
+			C:      make([]float64, n),
+			A:      make([][]float64, m),
+			B:      make([]float64, m),
+			Senses: make([]Sense, m),
+			Upper:  make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			base.C[j] = rng.Float64()*4 - 1
+			base.Upper[j] = 1 + rng.Float64()*3
+		}
+		for i := 0; i < m; i++ {
+			base.A[i] = make([]float64, n)
+			for j := range base.A[i] {
+				base.A[i][j] = rng.Float64()*4 - 1
+			}
+			base.B[i] = rng.Float64() * 6
+			base.Senses[i] = []Sense{LE, GE}[rng.Intn(2)]
+		}
+		var warm Workspace
+		warm.ReuseBasis = true
+		for step := 0; step < 5; step++ {
+			p := *base
+			p.B = append([]float64(nil), base.B...)
+			for i := range p.B {
+				p.B[i] += rng.Float64()*0.4 - 0.2
+			}
+			got := warm.SolveMaxIters(&p, 10000)
+			var cold Workspace
+			want := cold.SolveMaxIters(&p, 10000)
+			if !solutionsEqual(got, want, 1e-7) {
+				t.Fatalf("trial %d step %d: warm %+v cold %+v", trial, step, got, want)
+			}
+		}
+	}
+}

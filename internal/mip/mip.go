@@ -108,6 +108,13 @@ type Solution struct {
 	Gap       float64       // best bound minus incumbent on early stop
 	Iters     int           // total simplex iterations across all nodes
 	PivotWall time.Duration // wall time spent inside LP solves
+
+	// Warm-start accounting (see Options.WarmStart).
+	WarmAttempted bool // a candidate was offered
+	WarmAccepted  bool // the candidate verified feasible
+	WarmPruned    int  // nodes cut by the warm floor, not by an incumbent
+	WarmEarlyExit bool // a node LP bound proved the warm candidate optimal
+	BasisReuses   int  // LP solves that skipped phase 1 via basis reuse
 }
 
 // feasTol is the absolute-plus-relative feasibility tolerance used when
@@ -130,6 +137,30 @@ type Options struct {
 	// set to the underlying simplex workspace. Recording happens once per
 	// branch-and-bound search, never inside the node loop.
 	Metrics *obs.SolverMetrics
+
+	// WarmStart, when non-nil, offers a candidate solution from a previous
+	// closely related solve (the previous frame's schedule, or a greedy
+	// seed). The candidate is verified against bounds, integrality and
+	// every constraint row before use; a failed verification is counted
+	// and the solve proceeds cold. A verified candidate's value becomes a
+	// pruning floor: open nodes whose LP bound cannot beat it are cut
+	// before their relaxation is solved. In this default mode the
+	// candidate is never returned and never installed as the incumbent,
+	// so the search result is identical to a cold solve (absent node/time
+	// truncation) -- warm starting only removes work.
+	WarmStart []float64
+	// WarmAggressive additionally installs the verified candidate as the
+	// root incumbent (so truncated searches can return it), exits as soon
+	// as a node's LP bound proves the candidate optimal within tolerance,
+	// and dives toward the incumbent's values when branching. This saves
+	// the most work but may return a different optimum among ties than a
+	// cold solve would find.
+	WarmAggressive bool
+	// ReuseBasis forwards to lp.Workspace.ReuseBasis: LP relaxations
+	// re-install the previous optimal basis when still primal-feasible,
+	// skipping simplex phase 1. Leave off for workspaces whose solve
+	// sequence is nondeterministic.
+	ReuseBasis bool
 }
 
 func (o Options) withDefaults() Options {
@@ -203,6 +234,34 @@ func integralIncumbent(p *Problem, x []float64) ([]float64, float64) {
 		val += c * cand[j]
 	}
 	return cand, val
+}
+
+// verifyWarm checks a warm-start candidate against the problem: length,
+// variable bounds, integrality of the integer-marked components, and every
+// constraint row. It returns the candidate's objective value and whether
+// it is usable. Verification is one pass over the rows -- about the cost
+// of a single simplex pricing sweep -- so offering a stale candidate is
+// cheap even when it gets rejected.
+func verifyWarm(p *Problem, x []float64, intTol float64) (float64, bool) {
+	if len(x) != len(p.C) {
+		return 0, false
+	}
+	for j, v := range x {
+		if v < lower(&p.Problem, j)-feasTol || v > upper(&p.Problem, j)+feasTol {
+			return 0, false
+		}
+		if p.Integer != nil && p.Integer[j] && math.Abs(v-math.Round(v)) > intTol {
+			return 0, false
+		}
+	}
+	if !feasiblePoint(&p.Problem, x) {
+		return 0, false
+	}
+	val := 0.0
+	for j, c := range p.C {
+		val += c * x[j]
+	}
+	return val, true
 }
 
 // feasiblePoint reports whether x satisfies every constraint row of p

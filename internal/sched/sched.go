@@ -178,6 +178,11 @@ type Stats struct {
 	// least one sub-schedule) produced by the greedy fallback after the ILP
 	// stopped without an incumbent.
 	Fallback bool
+	// Warm-start accounting (ILP scheduler with cross-frame State only).
+	Warm          bool // a warm candidate verified and was used
+	WarmPruned    int  // B&B nodes cut by the warm floor
+	WarmEarlyExit bool // a bound proved the warm candidate optimal
+	BasisReuses   int  // LP solves that skipped phase 1 via basis reuse
 }
 
 // CoveredIDs returns the distinct captured target IDs in ascending order.

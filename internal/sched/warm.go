@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"sync"
+
+	"eagleeye/internal/geo"
+)
+
+// Temporal coherence: consecutive frames of one leader see nearly the same
+// ground scene, so the previous frame's schedule is an excellent starting
+// point for the current solve. A SolverState carries that coherence across
+// Schedule calls: a pinned arena (so the MIP/LP workspaces -- including the
+// simplex's saved basis -- survive between frames), a topology snapshot
+// that lets buildModel skip constraint-row assembly when the time-expanded
+// graph is unchanged, and the previous schedule's capture sequence, which
+// is projected onto the current frame as the warm-start candidate. When
+// projection fails (the scene changed too much, or there was no previous
+// schedule), a greedy walk over the freshly built model graph produces the
+// seed instead, so every nonempty frame still gets a warm candidate.
+//
+// A SolverState is single-owner state: it must only ever be used by one
+// goroutine's Schedule calls, in frame order. The simulator keeps one per
+// constellation group, which both matches the physical leader (one solver
+// per leader, per the paper's §3.2 onboard design) and preserves the
+// Workers 4≡1 determinism contract: group-private state means the solve
+// sequence each state sees is independent of worker scheduling.
+
+// SolverState is the per-leader persistent solver state. The zero value is
+// not usable; construct with NewSolverState.
+type SolverState struct {
+	ar *ilpArena // pinned arena: model, rows, MIP + LP workspaces
+
+	// Topology snapshot for frame-delta model construction. Constraint
+	// rows depend only on the node list (follower, target-index pairs)
+	// and the edge list, not on slot times or target values, so when
+	// those match the previous build the rows (and adjacency lists) in
+	// the arena are still exact and only the objective's cover values
+	// need refreshing.
+	snapNodes []slotNode
+	snapEdges []ilpEdge
+	snapNF    int
+	snapNZ    int
+	snapValid bool
+
+	// Previous returned schedule (per-follower aim points, in order),
+	// the projection source for the next frame's warm candidate.
+	prevCaps [][]geo.Point2
+	prevN    int
+
+	// scratch for warm-candidate construction.
+	warmX []float64
+	taken []bool
+
+	// Cumulative accounting, read by benches and tests.
+	Projections    int // frames where projection of the previous schedule was attempted
+	ProjectionHits int // projections that produced the warm candidate
+	GreedySeeds    int // warm candidates built by the model-greedy walk
+	RowReuses      int // builds that reused the previous frame's constraint rows
+}
+
+// NewSolverState returns a fresh per-leader solver state with its own
+// pinned arena.
+func NewSolverState() *SolverState {
+	return &SolverState{ar: new(ilpArena)}
+}
+
+var statePool = sync.Pool{New: func() any { return NewSolverState() }}
+
+// GetSolverState returns a logically fresh solver state from a pool,
+// keeping the grown arena capacity of earlier uses. Callers that run many
+// simulations (or one per group, per run) use the pool so per-run state
+// construction stays out of the steady-state allocation budget.
+func GetSolverState() *SolverState {
+	st := statePool.Get().(*SolverState)
+	st.Reset()
+	return st
+}
+
+// PutSolverState returns a state to the pool. The state must not be used
+// after the call.
+func PutSolverState(st *SolverState) { statePool.Put(st) }
+
+// Reset clears all decision-relevant state -- topology snapshot, previous
+// schedule, saved LP basis, counters -- so a reused state behaves exactly
+// like NewSolverState's (only the scratch capacity survives). This is what
+// keeps pooled reuse deterministic: any state, fresh or recycled, drives
+// identical solves.
+func (st *SolverState) Reset() {
+	st.snapValid = false
+	st.prevN = 0
+	st.prevCaps = st.prevCaps[:0]
+	st.ar.mip.InvalidateBasis()
+	st.Projections, st.ProjectionHits, st.GreedySeeds, st.RowReuses = 0, 0, 0, 0
+}
+
+// projRadiusM is how far (frame-local meters) a previous capture's aim
+// point may sit from a current target and still be considered "the same"
+// task during projection. Targets drift by the inter-frame ground-track
+// advance; anything beyond footprint scale is a different scene.
+const projRadiusM = 2500.0
+
+// warmCandidate assembles the warm-start vector for the freshly built
+// model: first by projecting the previous frame's schedule onto the
+// current targets, then -- when projection misses -- by a greedy walk over
+// the model graph. It returns nil/false when no capture could be seeded
+// (the all-zero candidate prunes nothing and is not worth offering).
+func (st *SolverState) warmCandidate(s *ILP, m *ilpModel, p *Problem) ([]float64, bool) {
+	nz := len(m.targets)
+	nv := m.ne + nz
+	st.warmX = growFloats(st.warmX, nv)
+	x := st.warmX[:nv]
+	clear(x)
+	st.taken = growBools(st.taken, nz)
+	taken := st.taken
+	clear(taken)
+
+	met := s.MIP.Metrics
+	projected := false
+	if st.prevN > 0 {
+		st.Projections++
+		if met != nil {
+			met.Projections.Inc()
+		}
+		if st.project(m, p, x, taken) {
+			st.ProjectionHits++
+			if met != nil {
+				met.ProjectionHits.Inc()
+			}
+			projected = true
+		} else {
+			// A failed projection may have committed a partial route.
+			clear(x)
+			clear(taken)
+		}
+	}
+	if !projected {
+		st.GreedySeeds++
+		st.greedySeed(m, p, x, taken)
+	}
+	for ti := 0; ti < nz; ti++ {
+		if taken[ti] {
+			return x, true
+		}
+	}
+	return nil, false
+}
+
+// findEdgeTo returns the first edge in list whose destination node images
+// target ti, or -1. Edge lists are in construction order, which is slot
+// time order, so the first match is the earliest slot.
+func findEdgeTo(m *ilpModel, list []int, ti int) int {
+	for _, ei := range list {
+		if m.nodes[m.edges[ei].to].ti == ti {
+			return ei
+		}
+	}
+	return -1
+}
+
+// project replays the previous schedule on the current model: each
+// previous capture is matched to the nearest unused current target within
+// projRadiusM, and the matched sequence is threaded through the model's
+// edges. It is strict -- any unmatched capture or missing edge fails the
+// whole projection -- because a half-projected route is usually worse than
+// the greedy seed.
+func (st *SolverState) project(m *ilpModel, p *Problem, x []float64, taken []bool) bool {
+	for fi := 0; fi < len(p.Followers) && fi < len(st.prevCaps); fi++ {
+		cur := -1
+		for _, aim := range st.prevCaps[fi] {
+			ti, best := -1, projRadiusM
+			for j, tgt := range m.targets {
+				if taken[j] {
+					continue
+				}
+				if d := tgt.Pos.Dist(aim); d < best {
+					ti, best = j, d
+				}
+			}
+			if ti < 0 {
+				return false
+			}
+			list := m.srcEdges[fi]
+			if cur >= 0 {
+				list = m.outEdges[cur]
+			}
+			ei := findEdgeTo(m, list, ti)
+			if ei < 0 {
+				return false
+			}
+			x[ei] = 1
+			x[m.ne+ti] = 1
+			taken[ti] = true
+			cur = m.edges[ei].to
+		}
+	}
+	return true
+}
+
+// greedySeed walks the model graph: each follower repeatedly takes the
+// edge to the most valuable uncaptured target reachable from its current
+// node (ties to the earliest slot, i.e. first in edge order). Unlike the
+// standalone Greedy scheduler this stays inside the already-built model,
+// so the seed is feasible by construction and allocation-free.
+func (st *SolverState) greedySeed(m *ilpModel, p *Problem, x []float64, taken []bool) {
+	for fi := range p.Followers {
+		cur := -1
+		for {
+			list := m.srcEdges[fi]
+			if cur >= 0 {
+				list = m.outEdges[cur]
+			}
+			bestEdge, bestVal := -1, 0.0
+			for _, ei := range list {
+				ti := m.nodes[m.edges[ei].to].ti
+				if taken[ti] {
+					continue
+				}
+				if v := m.targets[ti].Value; v > bestVal {
+					bestEdge, bestVal = ei, v
+				}
+			}
+			if bestEdge < 0 {
+				break
+			}
+			to := m.edges[bestEdge].to
+			ti := m.nodes[to].ti
+			x[bestEdge] = 1
+			x[m.ne+ti] = 1
+			taken[ti] = true
+			cur = to
+		}
+	}
+}
+
+// remember snapshots the schedule just returned so the next frame can
+// project it. Called with the post-polish schedule, so the remembered aim
+// sequence is exactly what the followers will fly.
+func (st *SolverState) remember(p *Problem, sc *Schedule) {
+	nf := len(p.Followers)
+	if cap(st.prevCaps) < nf {
+		st.prevCaps = make([][]geo.Point2, nf)
+	}
+	st.prevCaps = st.prevCaps[:nf]
+	st.prevN = 0
+	for fi := 0; fi < nf; fi++ {
+		buf := st.prevCaps[fi][:0]
+		if fi < len(sc.Captures) {
+			for _, c := range sc.Captures[fi] {
+				buf = append(buf, c.Aim)
+			}
+		}
+		st.prevCaps[fi] = buf
+		st.prevN += len(buf)
+	}
+}
+
+// topologyMatches reports whether the freshly computed node and edge lists
+// are structurally identical to the snapshot, meaning the constraint rows
+// in the arena are still exact.
+func (st *SolverState) topologyMatches(m *ilpModel, nf int) bool {
+	if !st.snapValid || st.snapNF != nf || st.snapNZ != len(m.targets) ||
+		len(st.snapNodes) != len(m.nodes) || len(st.snapEdges) != len(m.edges) {
+		return false
+	}
+	for i, n := range m.nodes {
+		if sn := st.snapNodes[i]; sn.fi != n.fi || sn.ti != n.ti {
+			return false
+		}
+	}
+	for i, e := range m.edges {
+		if st.snapEdges[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotTopology records the node and edge lists of a full build.
+func (st *SolverState) snapshotTopology(m *ilpModel, nf int) {
+	st.snapNodes = append(st.snapNodes[:0], m.nodes...)
+	st.snapEdges = append(st.snapEdges[:0], m.edges...)
+	st.snapNF, st.snapNZ = nf, len(m.targets)
+	st.snapValid = true
+}

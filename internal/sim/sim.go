@@ -40,14 +40,34 @@ import (
 // reproducible.
 var DefaultEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 
+// warmAggressive selects the aggressive warm-start mode (install the warm
+// candidate as the root incumbent and stop as soon as a bound proves it
+// optimal) for the default schedulers. It is off: the early exit accepts
+// the candidate within the solver's feasibility tolerance, which is wider
+// than the scheduler objective's slot-time tie-break (see sched.edgeCost),
+// so an aggressive run can return a candidate that an exhaustive search
+// would re-time -- breaking the warm == cold result identity that
+// TestWarmStartResultIdentity pins. The conservative mode (pruning floor,
+// crash-basis seeding, cross-frame basis reuse) gets the measured solver
+// savings without that risk, because every mechanism it uses still runs
+// phase-2 simplex to the unique optimum.
+const warmAggressive = false
+
 // Config describes one simulation run.
 type Config struct {
 	// Constellation is the organization under test.
 	Constellation constellation.Config
 	// App is the target workload.
 	App *dataset.Set
-	// Scheduler schedules followers; nil means the ILP scheduler.
+	// Scheduler schedules followers; nil means the ILP scheduler with
+	// per-group temporal-coherence state (see DisableWarmStart).
 	Scheduler sched.Scheduler
+	// DisableWarmStart turns off the cross-frame warm-start pipeline of
+	// the default schedulers: per-leader solver state, previous-schedule
+	// projection, LP basis reuse, and incremental model construction. The
+	// escape hatch exists for A/B measurement and as a safety valve; it
+	// only applies when Scheduler is nil.
+	DisableWarmStart bool
 	// Detector is the leader's ML model; zero means YoloN.
 	Detector detect.Model
 	// Tiling is the frame decomposition; zero means PaperTiling.
@@ -186,15 +206,8 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Metrics != nil {
 		sm = newSimMetrics(cfg.Metrics)
 	}
-	if cfg.Scheduler == nil {
-		// Frame-rate solves: bound the MIP search tightly; the polish pass
-		// and the greedy fallback keep truncated solves near-optimal.
-		opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
-		if sm != nil {
-			opts.Metrics = sm.solverSched
-		}
-		cfg.Scheduler = sched.ILP{MIP: opts}
-	}
+	// A nil Scheduler is materialized per group inside runGroup, so each
+	// leader gets its own cross-frame warm-start state.
 	if cfg.Detector.PerTileS == 0 {
 		cfg.Detector = detect.YoloN()
 	}
@@ -597,6 +610,38 @@ func (st *runState) runGroup(gi int, grp constellation.Group) error {
 	if jm != nil {
 		pipe.Timed = true
 		pipe.ClusterOpts.MIP.Metrics = jm.m.solverCluster
+	}
+	if pipe.Scheduler == nil {
+		// Frame-rate solves: bound the MIP search tightly; the polish pass
+		// and the greedy fallback keep truncated solves near-optimal. The
+		// default scheduler is built here, per group, so each leader owns a
+		// private temporal-coherence state (warm candidates, basis reuse,
+		// incremental model construction -- see sched.SolverState). Group-
+		// private state keeps the Result identical for any Workers value.
+		opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
+		if jm != nil {
+			opts.Metrics = jm.m.solverSched
+		}
+		ilp := sched.ILP{MIP: opts}
+		if !cfg.DisableWarmStart {
+			// Pooled so per-run state construction stays out of the
+			// steady-state allocation budget; Reset makes a recycled state
+			// behave exactly like a fresh one.
+			ss := sched.GetSolverState()
+			defer sched.PutSolverState(ss)
+			ilp.State = ss
+			ilp.AggressiveWarm = warmAggressive
+		}
+		pipe.Scheduler = ilp
+	}
+	if !cfg.DisableWarmStart {
+		// Same temporal coherence for the per-frame set cover: the pinned
+		// per-group arena carries the LP basis and the previous greedy
+		// cover seeds the ILP.
+		cs := cluster.GetSolverState()
+		defer cluster.PutSolverState(cs)
+		pipe.ClusterOpts.State = cs
+		pipe.ClusterOpts.AggressiveWarm = warmAggressive
 	}
 
 	w := leader.LowRes.SwathM
