@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke bench-warm metrics-smoke figures
+.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke bench-warm metrics-smoke serve-smoke figures
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,48 @@ metrics-smoke:
 			|| { echo "metrics-smoke: missing series $$series"; exit 1; }; \
 	done; \
 	echo "metrics-smoke: all key series present"
+
+# Scheduling-service smoke, mirroring the PR 6 acceptance criteria at CI
+# scale. Phase 1: boot eagleeyed, drive 100 concurrent sessions with
+# loadgen -verify (zero drops, every result identical to a direct library
+# run), and assert the eagleeyed_* series are live on /metrics before a
+# clean SIGTERM drain. Phase 2: saturate a 1-worker/1-slot daemon and
+# require 429 backpressure to have fired (clients retried and still
+# completed every session).
+serve-smoke:
+	$(GO) build -o /tmp/eagleeyed ./cmd/eagleeyed
+	$(GO) build -o /tmp/eagleeye-loadgen ./cmd/loadgen
+	/tmp/eagleeyed -addr 127.0.0.1:19091 -workers 4 & \
+	EED_PID=$$!; \
+	sleep 1; \
+	/tmp/eagleeye-loadgen -addr 127.0.0.1:19091 \
+		-sessions 100 -concurrency 100 -hours 0.25 -verify || exit 1; \
+	curl -sf http://127.0.0.1:19091/metrics -o /tmp/eagleeyed-metrics.txt || exit 1; \
+	kill -TERM $$EED_PID; \
+	wait $$EED_PID || exit 1; \
+	for series in eagleeyed_sessions_created_total eagleeyed_sessions_active \
+		eagleeyed_runs_total eagleeyed_run_seconds_bucket \
+		eagleeyed_queue_depth eagleeyed_admission_rejects_total \
+		eagleeyed_requests_total eagleeye_frames_total; do \
+		grep -q "^$$series" /tmp/eagleeyed-metrics.txt \
+			|| { echo "serve-smoke: missing series $$series"; exit 1; }; \
+	done; \
+	echo "serve-smoke: 100 verified concurrent sessions, server series live"
+	/tmp/eagleeyed -addr 127.0.0.1:19092 -workers 1 -queue 1 & \
+	EED_PID=$$!; \
+	sleep 1; \
+	/tmp/eagleeye-loadgen -addr 127.0.0.1:19092 \
+		-sessions 6 -concurrency 6 -hours 24 > /tmp/eagleeyed-saturation.txt || \
+		{ cat /tmp/eagleeyed-saturation.txt; exit 1; }; \
+	cat /tmp/eagleeyed-saturation.txt; \
+	curl -sf http://127.0.0.1:19092/metrics -o /tmp/eagleeyed-metrics2.txt || exit 1; \
+	kill -TERM $$EED_PID; \
+	wait $$EED_PID || exit 1; \
+	grep -q '429-retries=[1-9]' /tmp/eagleeyed-saturation.txt \
+		|| { echo "serve-smoke: saturation produced no 429 backpressure"; exit 1; }; \
+	grep -Eq 'eagleeyed_admission_rejects_total\{reason="queue"\} [1-9]' /tmp/eagleeyed-metrics2.txt \
+		|| { echo "serve-smoke: rejects{queue} did not move"; exit 1; }; \
+	echo "serve-smoke: saturation produced 429 backpressure with zero drops"
 
 figures:
 	$(GO) run ./cmd/figures

@@ -1,0 +1,91 @@
+// Command eagleeyed is the EagleEye scheduling daemon: a long-running
+// multi-tenant HTTP/JSON server hosting concurrent scenario sessions on
+// top of the eagleeye facade, with admission control (bounded session
+// table, bounded work queue answering 429 + Retry-After), per-request
+// deadlines, streamed NDJSON frame traces, the PR 4 observability
+// endpoints on the same port, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	eagleeyed -addr 127.0.0.1:8080
+//	eagleeyed -addr :8080 -max-sessions 512 -queue 128 -workers 8
+//
+// API sketch (see DESIGN.md "Scheduling as a service"):
+//
+//	POST   /v1/sessions            create a session from a scenario JSON
+//	GET    /v1/sessions            list sessions
+//	GET    /v1/sessions/{id}       query state, aggregate and last result
+//	POST   /v1/sessions/{id}/run   run the full configured duration
+//	                               (?trace=ndjson streams the frame trace)
+//	POST   /v1/sessions/{id}/step  advance one window ({"hours": h})
+//	DELETE /v1/sessions/{id}       delete
+//	GET    /metrics /summary /debug/pprof/...   observability
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eagleeye"
+	"eagleeye/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (\":0\" for an ephemeral port)")
+		maxSessions = flag.Int("max-sessions", 256, "session table bound; creates beyond it are rejected 429")
+		queueDepth  = flag.Int("queue", 64, "pending-run queue bound; runs beyond it are rejected 429 + Retry-After")
+		workers     = flag.Int("workers", 2, "concurrent scenario runs")
+		simWorkers  = flag.Int("sim-workers", 1, "simulator parallelism per run (sessions are the concurrency unit)")
+		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for run/step handlers")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs")
+	)
+	flag.Parse()
+
+	reg := eagleeye.NewMetricsRegistry()
+	srv := server.New(server.Config{
+		MaxSessions:    *maxSessions,
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		SimWorkers:     *simWorkers,
+		RequestTimeout: *reqTimeout,
+		Metrics:        reg,
+	})
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eagleeyed:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "eagleeyed: serving on http://%s (sessions<=%d queue<=%d workers=%d)\n",
+		lis.Addr(), *maxSessions, *queueDepth, *workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(lis) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "eagleeyed: %v -- draining (up to %s)\n", sig, *drain)
+		// Stop admitting new work and wait for in-flight runs, then stop
+		// accepting connections. Queries keep answering during the drain.
+		if derr := srv.Shutdown(*drain); derr != nil {
+			fmt.Fprintln(os.Stderr, "eagleeyed:", derr)
+		}
+		_ = httpSrv.Close()
+		fmt.Fprintln(os.Stderr, "eagleeyed: drained, bye")
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "eagleeyed:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Command loadgen drives an eagleeyed daemon with many concurrent
+// scenario sessions and reports throughput, latency percentiles and
+// admission behavior -- the load harness for the scheduling service.
+//
+// Each session's life cycle is create -> run (xN) -> query -> delete.
+// 429 responses are retried with the server's Retry-After backoff and
+// counted, so saturation shows up as backpressure, not as dropped
+// sessions; any session that cannot complete after retries counts as
+// dropped and fails the harness.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 -sessions 200 -concurrency 50 -hours 0.5
+//	loadgen -addr 127.0.0.1:8080 -sessions 100 -verify   # results == library
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"eagleeye"
+	"eagleeye/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "eagleeyed address")
+		sessions    = flag.Int("sessions", 100, "total sessions to drive")
+		concurrency = flag.Int("concurrency", 25, "concurrent session drivers")
+		runs        = flag.Int("runs", 1, "runs per session")
+		dataset     = flag.String("dataset", "ships", "scenario dataset")
+		sats        = flag.Int("sats", 2, "satellites per scenario")
+		followers   = flag.Int("followers", 1, "followers per group")
+		hours       = flag.Float64("hours", 0.5, "scenario duration in hours")
+		seed        = flag.Int64("seed", 1, "scenario seed (same for every session: tenants share a scenario)")
+		retries     = flag.Int("retries", 50, "max 429 retries per request before the session counts as dropped")
+		verify      = flag.Bool("verify", false, "run the scenario once through the library and require byte-identical deterministic fields from every session")
+	)
+	flag.Parse()
+
+	scenario := server.ScenarioConfig{
+		Dataset:           *dataset,
+		Satellites:        *sats,
+		FollowersPerGroup: *followers,
+		DurationHours:     *hours,
+		Seed:              *seed,
+	}
+
+	var want *eagleeye.Result
+	if *verify {
+		r, err := eagleeye.Run(eagleeye.Config{
+			Dataset:           *dataset,
+			Satellites:        *sats,
+			FollowersPerGroup: *followers,
+			DurationHours:     *hours,
+			Seed:              *seed,
+			Workers:           1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: verify baseline:", err)
+			os.Exit(1)
+		}
+		want = r
+	}
+
+	st := &stats{statuses: make(map[int]int)}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	base := "http://" + *addr
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := driver{client: client, base: base, st: st, retries: *retries}
+			for range next {
+				d.driveSession(scenario, *runs, want)
+			}
+		}()
+	}
+	for i := 0; i < *sessions; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fmt.Printf("loadgen: %d sessions x %d runs against %s in %.2fs\n", *sessions, *runs, *addr, wall.Seconds())
+	fmt.Printf("  completed: %d   dropped: %d   verify mismatches: %d\n", st.completed, st.dropped, st.mismatches)
+	fmt.Printf("  throughput: %.1f runs/s\n", float64(st.runsDone)/wall.Seconds())
+	if len(st.runLatency) > 0 {
+		sort.Slice(st.runLatency, func(i, j int) bool { return st.runLatency[i] < st.runLatency[j] })
+		fmt.Printf("  run latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(st.runLatency, 50), pct(st.runLatency, 90), pct(st.runLatency, 99),
+			st.runLatency[len(st.runLatency)-1].Round(time.Millisecond))
+	}
+	codes := make([]int, 0, len(st.statuses))
+	for c := range st.statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	fmt.Printf("  http:")
+	for _, c := range codes {
+		fmt.Printf(" %d=%d", c, st.statuses[c])
+	}
+	fmt.Printf("   429-retries=%d\n", st.retried429)
+	if st.dropped > 0 || st.mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+type stats struct {
+	mu         sync.Mutex
+	completed  int
+	dropped    int
+	mismatches int
+	runsDone   int
+	retried429 int
+	statuses   map[int]int
+	runLatency []time.Duration
+}
+
+type driver struct {
+	client  *http.Client
+	base    string
+	st      *stats
+	retries int
+}
+
+// driveSession runs one session end to end; any unrecoverable step marks
+// the session dropped.
+func (d *driver) driveSession(sc server.ScenarioConfig, runs int, want *eagleeye.Result) {
+	var info server.SessionInfo
+	if !d.call("POST", "/v1/sessions", sc, &info, http.StatusCreated) {
+		d.drop("create failed")
+		return
+	}
+	id := info.ID
+	ok := true
+	for r := 0; r < runs && ok; r++ {
+		var rr server.RunResponse
+		t0 := time.Now()
+		if !d.call("POST", "/v1/sessions/"+id+"/run", nil, &rr, http.StatusOK) || rr.Error != "" {
+			d.drop("run failed: " + rr.Error)
+			ok = false
+			break
+		}
+		lat := time.Since(t0)
+		d.st.mu.Lock()
+		d.st.runsDone++
+		d.st.runLatency = append(d.st.runLatency, lat)
+		d.st.mu.Unlock()
+		if want != nil && !sameDeterministicResult(want, rr.Result) {
+			d.st.mu.Lock()
+			d.st.mismatches++
+			d.st.mu.Unlock()
+			fmt.Fprintf(os.Stderr, "loadgen: session %s run %d diverged from library result:\n  want %+v\n  got  %+v\n",
+				id, r, want, rr.Result)
+		}
+	}
+	var final server.SessionInfo
+	if ok && !d.call("GET", "/v1/sessions/"+id, nil, &final, http.StatusOK) {
+		d.drop("query failed")
+		ok = false
+	}
+	if !d.call("DELETE", "/v1/sessions/"+id, nil, nil, http.StatusNoContent) {
+		d.drop("delete failed")
+		return
+	}
+	if ok {
+		d.st.mu.Lock()
+		d.st.completed++
+		d.st.mu.Unlock()
+	}
+}
+
+func (d *driver) drop(why string) {
+	d.st.mu.Lock()
+	d.st.dropped++
+	d.st.mu.Unlock()
+	fmt.Fprintln(os.Stderr, "loadgen: dropped session:", why)
+}
+
+// call performs one request, retrying 429s per Retry-After. It reports
+// whether the wanted status was reached and decodes the body into out.
+func (d *driver) call(method, path string, body, out any, wantStatus int) bool {
+	var payload []byte
+	if body != nil {
+		payload, _ = json.Marshal(body)
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, d.base+path, bytes.NewReader(payload))
+		if err != nil {
+			return false
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := d.client.Do(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return false
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		d.st.mu.Lock()
+		d.st.statuses[resp.StatusCode]++
+		d.st.mu.Unlock()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < d.retries {
+			d.st.mu.Lock()
+			d.st.retried429++
+			d.st.mu.Unlock()
+			time.Sleep(retryAfter(resp))
+			continue
+		}
+		if resp.StatusCode != wantStatus {
+			fmt.Fprintf(os.Stderr, "loadgen: %s %s = %d (want %d): %s\n",
+				method, path, resp.StatusCode, wantStatus, bytes.TrimSpace(data))
+			return false
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: bad response body:", err)
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return time.Second
+}
+
+// sameDeterministicResult compares the fields that are identical across
+// processes at a fixed seed, skipping the timing-derived ones (scheduler
+// wall clock, deadline misses, pivot milliseconds, solver node/iteration
+// counts -- those can vary when a solve truncates on wall time).
+func sameDeterministicResult(a, b *eagleeye.Result) bool {
+	if b == nil {
+		return false
+	}
+	feq := func(x, y float64) bool { return math.Abs(x-y) == 0 }
+	return a.TotalTargets == b.TotalTargets &&
+		a.Frames == b.Frames &&
+		a.Detections == b.Detections &&
+		a.Captures == b.Captures &&
+		a.HighResCaptured == b.HighResCaptured &&
+		feq(a.CoveragePct, b.CoveragePct) &&
+		feq(a.LowResSeenPct, b.LowResSeenPct) &&
+		feq(a.CrosslinkKB, b.CrosslinkKB) &&
+		feq(a.DownlinkableFraction, b.DownlinkableFraction) &&
+		feq(a.LeaderEnergyUtilization, b.LeaderEnergyUtilization) &&
+		feq(a.FollowerEnergyUtilization, b.FollowerEnergyUtilization)
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx].Round(time.Millisecond)
+}

@@ -17,14 +17,21 @@ type Link struct {
 	Name string
 	// RateBps is the link throughput in bytes per second.
 	RateBps float64
-	// ContactSPerOrbit is the usable contact time per orbit; 0 means
-	// always available (co-orbital crosslinks).
+	// AlwaysAvailable marks a link with no contact windows -- co-orbital
+	// crosslinks that never lose sight of their peer. Such links have
+	// unbounded per-orbit capacity and must leave ContactSPerOrbit zero.
+	AlwaysAvailable bool
+	// ContactSPerOrbit is the usable contact time per orbit. Zero on a
+	// link that is not AlwaysAvailable means genuinely no contact (a
+	// failed or unreachable ground station): zero per-orbit capacity.
 	ContactSPerOrbit float64
 }
 
 // PaperCrosslink returns the S-band inter-satellite link of §5.3:
 // 0.4 MB/s, always available within a group.
-func PaperCrosslink() Link { return Link{Name: "sband-crosslink", RateBps: 0.4e6} }
+func PaperCrosslink() Link {
+	return Link{Name: "sband-crosslink", RateBps: 0.4e6, AlwaysAvailable: true}
+}
 
 // PaperDownlink returns the ground downlink: satellites see a ground
 // station for six minutes per period (§5.3). The rate models a commodity
@@ -41,6 +48,10 @@ func (l Link) Validate() error {
 	if l.ContactSPerOrbit < 0 {
 		return fmt.Errorf("comms %q: contact time %v must be non-negative", l.Name, l.ContactSPerOrbit)
 	}
+	if l.AlwaysAvailable && l.ContactSPerOrbit != 0 {
+		return fmt.Errorf("comms %q: always-available link must not set contact time (got %v)",
+			l.Name, l.ContactSPerOrbit)
+	}
 	return nil
 }
 
@@ -53,27 +64,41 @@ func (l Link) TxTimeS(bytes float64) float64 {
 }
 
 // CapacityPerOrbitBytes returns how many bytes fit in one orbit's contact
-// time (infinite for always-available links).
+// time: infinite for always-available links, zero for a link with no
+// contact windows at all.
 func (l Link) CapacityPerOrbitBytes() float64 {
-	if l.ContactSPerOrbit == 0 {
+	if l.AlwaysAvailable {
 		return math.Inf(1)
 	}
 	return l.RateBps * l.ContactSPerOrbit
 }
 
-// ScheduleMessageBytes returns the crosslink message size for a schedule
-// of n captures: per §5.3 each schedule result is under 2 KB; we model a
-// small header plus time+pointing tuples.
+// Schedule message sizing (§5.3): each message carries a 64-byte header
+// plus one 24-byte time+pointing tuple per capture, and no message may
+// exceed the paper's 2 KB bound.
+const (
+	// ScheduleHeaderBytes is the fixed per-message framing overhead.
+	ScheduleHeaderBytes = 64
+	// ScheduleCaptureBytes is one 8-byte time + 2 x 8-byte pointing tuple.
+	ScheduleCaptureBytes = 24
+	// MaxScheduleMessageBytes is the §5.3 per-message crosslink bound.
+	MaxScheduleMessageBytes = 2048
+	// MaxCapturesPerScheduleMessage is how many tuples fit under the bound
+	// alongside the header (82 at the paper's parameters).
+	MaxCapturesPerScheduleMessage = (MaxScheduleMessageBytes - ScheduleHeaderBytes) / ScheduleCaptureBytes
+)
+
+// ScheduleMessageBytes returns the total crosslink traffic for a schedule
+// of n captures. Schedules larger than one 2 KB message are split into
+// ceil(n/82) messages, each paying the 64-byte header again -- the bound
+// caps a message, not the schedule, so a 200-capture schedule costs three
+// headers plus 200 tuples rather than silently clamping to 2 KB.
 func ScheduleMessageBytes(nCaptures int) float64 {
-	const (
-		header     = 64
-		perCapture = 24 // 8-byte time + 2 x 8-byte pointing direction
-	)
-	b := float64(header + perCapture*nCaptures)
-	if b > 2048 {
-		b = 2048 // the paper's upper bound; larger schedules are split
+	if nCaptures <= 0 {
+		return ScheduleHeaderBytes // an empty schedule still announces itself
 	}
-	return b
+	messages := (nCaptures + MaxCapturesPerScheduleMessage - 1) / MaxCapturesPerScheduleMessage
+	return float64(messages*ScheduleHeaderBytes + nCaptures*ScheduleCaptureBytes)
 }
 
 // ImageBytes returns the size of one captured image in bytes given its
@@ -90,15 +115,23 @@ type Accounting struct {
 	CrosslinkBytes float64
 	DownlinkBytes  float64
 	Schedules      int
-	Images         int
+	// Messages counts wire messages: a schedule above the 2 KB bound is
+	// split and contributes several.
+	Messages int
+	Images   int
 }
 
-// SendSchedule records one schedule crosslink transmission and returns its
-// airtime in seconds.
+// SendSchedule records one schedule crosslink transmission (split into
+// bound-sized messages as needed) and returns its airtime in seconds.
 func (a *Accounting) SendSchedule(l Link, nCaptures int) float64 {
 	b := ScheduleMessageBytes(nCaptures)
 	a.CrosslinkBytes += b
 	a.Schedules++
+	if nCaptures <= 0 {
+		a.Messages++
+	} else {
+		a.Messages += (nCaptures + MaxCapturesPerScheduleMessage - 1) / MaxCapturesPerScheduleMessage
+	}
 	return l.TxTimeS(b)
 }
 

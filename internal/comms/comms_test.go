@@ -18,6 +18,25 @@ func TestLinkValidate(t *testing.T) {
 	if err := (Link{RateBps: 1, ContactSPerOrbit: -1}).Validate(); err == nil {
 		t.Error("negative contact accepted")
 	}
+	if err := (Link{RateBps: 1, AlwaysAvailable: true, ContactSPerOrbit: 60}).Validate(); err == nil {
+		t.Error("always-available link with a contact window accepted")
+	}
+}
+
+func TestContactlessLinkHasZeroCapacity(t *testing.T) {
+	// A failed ground station is expressible: not always available, no
+	// contact seconds. Its capacity must be zero, not +Inf.
+	dead := Link{Name: "failed-gs", RateBps: 1.5e6}
+	if err := dead.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := dead.CapacityPerOrbitBytes(); c != 0 {
+		t.Errorf("contact-less link capacity = %v, want 0", c)
+	}
+	var acc Accounting
+	if _, err := acc.DownlinkImage(dead, 1); err == nil {
+		t.Error("downlink over a contact-less link accepted")
+	}
 }
 
 func TestTxTime(t *testing.T) {
@@ -31,14 +50,55 @@ func TestTxTime(t *testing.T) {
 }
 
 func TestScheduleMessageUnder2KB(t *testing.T) {
-	// §5.3: each schedule result is under 2 KB.
-	for _, n := range []int{0, 1, 10, 50, 80, 1000} {
-		if b := ScheduleMessageBytes(n); b > 2048 {
-			t.Errorf("schedule of %d captures = %v bytes", n, b)
+	// §5.3: each *message* is under 2 KB. A schedule that fits a single
+	// message costs header + tuples; the single-message sizes must respect
+	// the bound.
+	for _, n := range []int{0, 1, 10, 50, 80, MaxCapturesPerScheduleMessage} {
+		if b := ScheduleMessageBytes(n); b > MaxScheduleMessageBytes {
+			t.Errorf("schedule of %d captures = %v bytes, above the per-message bound", n, b)
 		}
 	}
 	if ScheduleMessageBytes(10) <= ScheduleMessageBytes(1) {
 		t.Error("message size should grow with captures")
+	}
+}
+
+func TestScheduleMessageSplitBoundary(t *testing.T) {
+	// 82 captures fit one message; the 83rd forces a second message that
+	// pays the 64-byte header again.
+	if MaxCapturesPerScheduleMessage != 82 {
+		t.Fatalf("captures per message = %d, want 82 at the paper's parameters",
+			MaxCapturesPerScheduleMessage)
+	}
+	one := ScheduleMessageBytes(82)
+	if want := float64(ScheduleHeaderBytes + 82*ScheduleCaptureBytes); one != want {
+		t.Errorf("82 captures = %v bytes, want %v", one, want)
+	}
+	two := ScheduleMessageBytes(83)
+	if want := float64(2*ScheduleHeaderBytes + 83*ScheduleCaptureBytes); two != want {
+		t.Errorf("83 captures = %v bytes, want %v", two, want)
+	}
+	if two-one != ScheduleHeaderBytes+ScheduleCaptureBytes {
+		t.Errorf("crossing the boundary cost %v bytes, want tuple+header %d",
+			two-one, ScheduleHeaderBytes+ScheduleCaptureBytes)
+	}
+}
+
+func TestScheduleMessageLargeScheduleNotClamped(t *testing.T) {
+	// A 200-capture schedule is three messages: 3 headers + 200 tuples --
+	// far above the old silent 2048-byte clamp.
+	got := ScheduleMessageBytes(200)
+	if want := float64(3*ScheduleHeaderBytes + 200*ScheduleCaptureBytes); got != want {
+		t.Errorf("200 captures = %v bytes, want %v", got, want)
+	}
+	if got <= MaxScheduleMessageBytes {
+		t.Errorf("200 captures = %v bytes, must exceed one message bound", got)
+	}
+	// Accounting counts the split messages.
+	var acc Accounting
+	acc.SendSchedule(PaperCrosslink(), 200)
+	if acc.Schedules != 1 || acc.Messages != 3 {
+		t.Errorf("accounting = %d schedules / %d messages, want 1 / 3", acc.Schedules, acc.Messages)
 	}
 }
 

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"eagleeye/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; custom-target worlds are the only
+// large payload and 16 MB holds ~10^5 targets.
+const maxBodyBytes = 16 << 20
+
+// Handler returns the daemon's HTTP surface: the /v1 session API plus,
+// when metrics are configured, the observability endpoints the CLI
+// already serves (/metrics, /summary, /debug/vars, /debug/pprof) on the
+// same port -- one scrape target per daemon.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.instrument("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("get", s.handleGet))
+	mux.HandleFunc("POST /v1/sessions/{id}/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("POST /v1/sessions/{id}/step", s.instrument("step", s.handleStep))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if s.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", obs.Handler(s.cfg.Metrics))
+		mux.HandleFunc("GET /summary", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = s.cfg.Metrics.WriteSummary(w)
+		})
+		mux.Handle("GET /debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var sc ScenarioConfig
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad scenario body: " + err.Error()})
+		return
+	}
+	e, aerr := s.createSession(sc)
+	if aerr != nil {
+		s.rejectResponse(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e.info(false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return sessionNum(entries[i].id) < sessionNum(entries[j].id) })
+	resp := ListResponse{Sessions: make([]SessionInfo, 0, len(entries)), Draining: draining}
+	for _, e := range entries {
+		resp.Sessions = append(resp.Sessions, e.info(false))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such session"})
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info(true))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.deleteSession(r.PathValue("id")) {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such session"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such session"})
+		return
+	}
+	if r.URL.Query().Get("trace") == "ndjson" {
+		s.runStreaming(w, e)
+		return
+	}
+	s.runBlocking(w, r, e, 0)
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such session"})
+		return
+	}
+	var req StepRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad step body: " + err.Error()})
+		return
+	}
+	if req.Hours < 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "hours must be non-negative"})
+		return
+	}
+	s.runBlocking(w, r, e, req.Hours)
+}
+
+// runBlocking admits one run/step and waits for it under the request
+// deadline. A deadline miss answers 504 but does not cancel the run: it
+// completes on the worker and lands on the session for later query.
+func (s *Server) runBlocking(w http.ResponseWriter, r *http.Request, e *entry, hours float64) {
+	j, aerr := s.enqueue(e, hours, nil, nil)
+	if aerr != nil {
+		s.rejectResponse(w, aerr)
+		return
+	}
+	deadline := time.NewTimer(s.cfg.RequestTimeout)
+	defer deadline.Stop()
+	select {
+	case rr := <-j.done:
+		if rr.err != nil {
+			writeJSON(w, http.StatusInternalServerError, RunResponse{ID: e.id, Error: rr.err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, RunResponse{ID: e.id, Result: rr.res})
+	case <-deadline.C:
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: fmt.Sprintf("deadline (%s) exceeded; the run continues -- query the session for its result", s.cfg.RequestTimeout)})
+	case <-r.Context().Done():
+		// Client gone; the worker finishes into the session regardless.
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "client cancelled"})
+	}
+}
+
+// runStreaming admits a full run and streams its frame trace as NDJSON,
+// terminated by one RunResponse line. Streaming runs are exempt from the
+// request deadline -- they demonstrate liveness by emitting.
+func (s *Server) runStreaming(w http.ResponseWriter, e *entry) {
+	pr, pw := io.Pipe()
+	j, aerr := s.enqueue(e, 0, pw, func() { _ = pw.Close() })
+	if aerr != nil {
+		_ = pr.Close()
+		s.rejectResponse(w, aerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// Drain the pipe to EOF even if the client went away: the simulator's
+	// trace writes must never block on a dead connection.
+	buf := make([]byte, 32<<10)
+	var werr error
+	for {
+		n, rerr := pr.Read(buf)
+		if n > 0 && werr == nil {
+			if _, werr = w.Write(buf[:n]); werr == nil && flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	rr := <-j.done
+	final := RunResponse{ID: e.id, Result: rr.res}
+	if rr.err != nil {
+		final = RunResponse{ID: e.id, Error: rr.err.Error()}
+	}
+	if werr == nil {
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(final)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// rejectResponse answers an admission error, with Retry-After on 429 so
+// well-behaved clients back off instead of hammering.
+func (s *Server) rejectResponse(w http.ResponseWriter, aerr *admitError) {
+	if s.met != nil && (aerr.status == http.StatusTooManyRequests || aerr.reason == "draining" || aerr.reason == "busy") {
+		s.met.reject(aerr.reason)
+	}
+	if aerr.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, aerr.status, ErrorResponse{Error: aerr.msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func sessionNum(id string) int {
+	n, _ := strconv.Atoi(id[1:])
+	return n
+}
+
+// ---- request instrumentation ----
+
+// requestMetrics resolves per-route/per-code series lazily through the
+// registry; request handling is not the frame loop, so the registry's
+// get-or-create lock is fine here.
+type requestMetrics struct {
+	reg *obs.Registry
+}
+
+func newRequestMetrics(r *obs.Registry) *requestMetrics { return &requestMetrics{reg: r} }
+
+func (rm *requestMetrics) observe(route string, code int, d time.Duration) {
+	rm.reg.Counter("eagleeyed_requests_total", "API requests by route and status code.",
+		obs.Label{Key: "route", Value: route},
+		obs.Label{Key: "code", Value: strconv.Itoa(code)}).Inc()
+	rm.reg.Histogram("eagleeyed_request_seconds",
+		"Distribution of request handling time, in seconds.", obs.DefTimeBuckets,
+		obs.Label{Key: "route", Value: route}).Observe(d.Seconds())
+}
+
+// statusRecorder captures the response code for instrumentation while
+// passing Flush through for streamed responses.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.met == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(sr, r)
+		s.met.requests.observe(route, sr.code, time.Since(start))
+	}
+}

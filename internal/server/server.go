@@ -1,0 +1,400 @@
+// Package server turns the eagleeye library into a long-running
+// multi-tenant scheduling service: an HTTP/JSON daemon (cmd/eagleeyed)
+// hosting many concurrent scenario *sessions*, each a validated
+// eagleeye.Session advanced by run/step requests on a bounded worker
+// pool.
+//
+// The serving stack is deliberately small and explicit:
+//
+//   - a bounded session table (create/query/delete) -- the tenant state;
+//   - a bounded work queue feeding a fixed worker pool -- requests past
+//     the queue bound are rejected with 429 + Retry-After instead of
+//     piling up latency (admission control, not load shedding after the
+//     fact);
+//   - per-request deadlines -- a handler gives up with 504 while the run
+//     itself completes in the background and lands on the session;
+//   - graceful drain -- Shutdown stops admitting work, waits for
+//     in-flight runs, then stops the workers, so SIGTERM never truncates
+//     a paying tenant's run.
+//
+// Solver-state reuse across requests comes from the layers below: every
+// run draws its sched/cluster SolverState and mip workspaces from the
+// pools PR 3/5 introduced, so a busy server converges to a steady state
+// with no per-request solver allocation -- the same warm arenas cycle
+// from request to request.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"eagleeye"
+	"eagleeye/internal/obs"
+)
+
+// Config tunes one Server. The zero value serves with the defaults noted
+// on each field.
+type Config struct {
+	// MaxSessions bounds the session table; creates beyond it are
+	// rejected 429. Default 256.
+	MaxSessions int
+	// QueueDepth bounds the pending-run queue; run/step requests beyond
+	// it are rejected 429 with Retry-After. Default 64.
+	QueueDepth int
+	// Workers is the number of goroutines executing runs. Default 2.
+	Workers int
+	// SimWorkers is passed to each run as eagleeye.Config.Workers when
+	// the scenario does not set its own; the default 1 keeps one run on
+	// one core so concurrent sessions scale by session count.
+	SimWorkers int
+	// RequestTimeout caps how long a run/step handler waits before
+	// answering 504 (the run continues and lands on the session).
+	// Streamed-trace runs are exempt: they report progress as they go.
+	// Default 60s.
+	RequestTimeout time.Duration
+	// Metrics, when non-nil, receives the server series (sessions,
+	// queue depth, admission rejects, request latency) alongside any
+	// simulator series the runs emit.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = 1
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the multi-tenant scheduling service. Create with New, mount
+// Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg Config
+	met *metrics
+
+	mu       sync.Mutex
+	sessions map[string]*entry
+	nextID   int
+	draining bool
+	closed   bool
+
+	queue chan *job
+	// workers tracks the pool goroutines; inflight tracks queued and
+	// running jobs so Shutdown can wait for work, not just workers.
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+}
+
+// entry is one tenant session in the table.
+type entry struct {
+	id      string
+	created time.Time
+	sess    *eagleeye.Session
+
+	mu         sync.Mutex
+	busy       bool // a run/step is queued or executing
+	deleted    bool
+	runs       int
+	failures   int
+	lastErr    string
+	lastResult *eagleeye.Result
+}
+
+// job is one queued run/step.
+type job struct {
+	e     *entry
+	hours float64
+	trace io.Writer
+	// closeTrace, when non-nil, is called after the run so a streaming
+	// pipe sees EOF exactly when the trace is complete.
+	closeTrace func()
+	// done is buffered: the worker never blocks on an abandoned handler
+	// (deadline exceeded, client gone).
+	done chan jobResult
+}
+
+type jobResult struct {
+	res *eagleeye.Result
+	err error
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*entry),
+		queue:    make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.Metrics != nil {
+		s.met = newMetrics(cfg.Metrics)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		if s.met != nil {
+			s.met.queueDepth.Add(-1)
+		}
+		s.runJob(j)
+		s.inflight.Done()
+	}
+}
+
+// runJob advances the job's session and records the outcome on the
+// entry. The session itself is single-goroutine; the busy flag set at
+// admission time guarantees this worker is its only driver.
+func (s *Server) runJob(j *job) {
+	start := time.Now()
+	res, err := j.e.sess.Step(eagleeye.StepOptions{
+		Hours: j.hours,
+		Trace: j.trace,
+		// The shared registry: simulator series land next to the server's
+		// own on the same /metrics scrape.
+		Metrics: s.cfg.Metrics,
+	})
+	if j.closeTrace != nil {
+		j.closeTrace()
+	}
+	j.e.mu.Lock()
+	j.e.busy = false
+	j.e.runs++
+	if err != nil {
+		j.e.failures++
+		j.e.lastErr = err.Error()
+	} else {
+		j.e.lastErr = ""
+		j.e.lastResult = res
+	}
+	j.e.mu.Unlock()
+	if s.met != nil {
+		s.met.runs.Inc()
+		if err != nil {
+			s.met.runErrors.Inc()
+		}
+		s.met.runSeconds.Observe(time.Since(start).Seconds())
+	}
+	j.done <- jobResult{res: res, err: err}
+}
+
+// admitError classifies an admission rejection.
+type admitError struct {
+	status int    // HTTP status to answer
+	reason string // metrics label: sessions | queue | draining | busy
+	msg    string
+}
+
+func (e *admitError) Error() string { return e.msg }
+
+// createSession validates the scenario and claims a table slot.
+func (s *Server) createSession(sc ScenarioConfig) (*entry, *admitError) {
+	cfg := sc.toConfig()
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.SimWorkers
+	}
+	sess, err := eagleeye.NewSession(cfg)
+	if err != nil {
+		return nil, &admitError{status: 400, reason: "invalid", msg: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, &admitError{status: 503, reason: "draining", msg: "server is draining"}
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, &admitError{status: 429, reason: "sessions",
+			msg: fmt.Sprintf("session table full (%d)", s.cfg.MaxSessions)}
+	}
+	s.nextID++
+	e := &entry{
+		id:      fmt.Sprintf("s%d", s.nextID),
+		created: time.Now(),
+		sess:    sess,
+	}
+	s.sessions[e.id] = e
+	if s.met != nil {
+		s.met.sessionsCreated.Inc()
+		s.met.sessionsActive.Set(float64(len(s.sessions)))
+	}
+	return e, nil
+}
+
+// lookup returns the live session with the given id.
+func (s *Server) lookup(id string) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// deleteSession removes id from the table. A running job keeps its
+// private reference and finishes into the orphaned entry.
+func (s *Server) deleteSession(id string) bool {
+	s.mu.Lock()
+	e, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	n := len(s.sessions)
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.mu.Lock()
+	e.deleted = true
+	e.mu.Unlock()
+	if s.met != nil {
+		s.met.sessionsDeleted.Inc()
+		s.met.sessionsActive.Set(float64(n))
+	}
+	return true
+}
+
+// enqueue admits one run/step for e. It claims the session's busy flag
+// and a queue slot, or reports why not.
+func (s *Server) enqueue(e *entry, hours float64, trace io.Writer, closeTrace func()) (*job, *admitError) {
+	e.mu.Lock()
+	if e.deleted {
+		e.mu.Unlock()
+		return nil, &admitError{status: 404, reason: "deleted", msg: "session deleted"}
+	}
+	if e.busy {
+		e.mu.Unlock()
+		return nil, &admitError{status: 409, reason: "busy", msg: "session already has a run in flight"}
+	}
+	e.busy = true
+	e.mu.Unlock()
+
+	release := func() {
+		e.mu.Lock()
+		e.busy = false
+		e.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		release()
+		return nil, &admitError{status: 503, reason: "draining", msg: "server is draining"}
+	}
+	j := &job{e: e, hours: hours, trace: trace, closeTrace: closeTrace, done: make(chan jobResult, 1)}
+	select {
+	case s.queue <- j:
+		s.inflight.Add(1)
+		if s.met != nil {
+			s.met.queueDepth.Add(1)
+		}
+		s.mu.Unlock()
+		return j, nil
+	default:
+		s.mu.Unlock()
+		release()
+		return nil, &admitError{status: 429, reason: "queue",
+			msg: fmt.Sprintf("work queue full (%d)", s.cfg.QueueDepth)}
+	}
+}
+
+// Shutdown drains the server: stop admitting sessions and runs, wait for
+// queued and executing jobs (until the deadline), then stop the worker
+// pool. It is safe to call once; the handler keeps answering queries and
+// deletes during the drain so orchestrators can observe it.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		err = fmt.Errorf("server: drain deadline (%s) passed with work in flight", timeout)
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.workers.Wait()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ---- metrics ----
+
+// metrics is the server's pre-resolved series set on the shared registry.
+type metrics struct {
+	sessionsActive  *obs.Gauge
+	sessionsCreated *obs.Counter
+	sessionsDeleted *obs.Counter
+	queueDepth      *obs.Gauge
+	runs            *obs.Counter
+	runErrors       *obs.Counter
+	runSeconds      *obs.Histogram
+	rejects         map[string]*obs.Counter
+	requests        *requestMetrics
+}
+
+// rejectReasons enumerates the admission-reject label values so the
+// series exist (at zero) from the first scrape.
+var rejectReasons = []string{"sessions", "queue", "draining", "busy"}
+
+func newMetrics(r *obs.Registry) *metrics {
+	m := &metrics{
+		sessionsActive:  r.Gauge("eagleeyed_sessions_active", "Live sessions in the table."),
+		sessionsCreated: r.Counter("eagleeyed_sessions_created_total", "Sessions ever created."),
+		sessionsDeleted: r.Counter("eagleeyed_sessions_deleted_total", "Sessions deleted by tenants."),
+		queueDepth:      r.Gauge("eagleeyed_queue_depth", "Run/step jobs waiting in the admission queue."),
+		runs:            r.Counter("eagleeyed_runs_total", "Scenario runs/steps executed (including failures)."),
+		runErrors:       r.Counter("eagleeyed_run_errors_total", "Scenario runs/steps that returned an error."),
+		runSeconds: r.Histogram("eagleeyed_run_seconds",
+			"Distribution of scenario run/step execution time, in seconds.", obs.DefTimeBuckets),
+		rejects:  make(map[string]*obs.Counter, len(rejectReasons)),
+		requests: newRequestMetrics(r),
+	}
+	for _, reason := range rejectReasons {
+		m.rejects[reason] = r.Counter("eagleeyed_admission_rejects_total",
+			"Requests rejected by admission control, by reason.",
+			obs.Label{Key: "reason", Value: reason})
+	}
+	return m
+}
+
+func (m *metrics) reject(reason string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.rejects[reason]; ok {
+		c.Inc()
+	}
+}

@@ -21,6 +21,9 @@ import (
 // GOMAXPROCS) and returns the private states in job order. The
 // first-failing job's error (in job order, not completion order) is
 // returned so parallel runs report the same error as sequential ones.
+// States are returned even on error: the caller salvages the staged
+// trace records of completed (and partially completed) jobs so an
+// aborted run still leaves a usable trace prefix.
 func runJobs(cfg Config, cons *constellation.Constellation, index *dataset.TimedIndex, sm *simMetrics, jobs []func(*runState) error) ([]*runState, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -65,7 +68,7 @@ func runJobs(cfg Config, cons *constellation.Constellation, index *dataset.Timed
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return states, err
 		}
 	}
 	return states, nil

@@ -256,6 +256,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	states, err := runJobs(cfg, cons, index, sm, jobs)
 	if err != nil {
+		// Trace durability on the error path: jobs that completed (and the
+		// failing job's prefix) already staged their records; write them
+		// out before surfacing the error so an aborted long run keeps its
+		// trace instead of losing everything after the last full run.
+		emitTraces(cfg.Trace, states)
 		return nil, err
 	}
 
@@ -285,16 +290,27 @@ func Run(cfg Config) (*Result, error) {
 		sm.targetsCaptured.Set(float64(res.HighResCaptured))
 	}
 
-	tw := newTraceWriter(cfg.Trace)
-	for _, s := range states {
-		for _, rec := range s.trace {
-			tw.emit(rec)
-		}
-	}
-	if err := tw.Err(); err != nil {
+	if err := emitTraces(cfg.Trace, states); err != nil {
 		return nil, fmt.Errorf("sim: trace: %w", err)
 	}
 	return res, nil
+}
+
+// emitTraces writes the jobs' staged trace records in job order, flushing
+// at every frame-group boundary so a consumer (or a crash) mid-emission
+// observes whole groups rather than a truncated 64 KiB tail.
+func emitTraces(w io.Writer, states []*runState) error {
+	tw := newTraceWriter(w)
+	for _, s := range states {
+		if s == nil {
+			continue
+		}
+		for _, rec := range s.trace {
+			tw.emit(rec)
+		}
+		tw.flush()
+	}
+	return tw.Err()
 }
 
 // finalizeComms computes how much of the captured imagery the downlink can

@@ -40,12 +40,21 @@ type TraceRecord struct {
 // traceWriter serializes records to the configured writer through a
 // buffer, so a long run emitting hundreds of thousands of lines issues
 // large writes instead of one syscall per frame. The buffer is flushed
-// once, in Err, after all records are emitted.
+// every traceFlushEvery records and once more in Err, so an abandoned or
+// killed run loses at most the last flush interval of its trace instead
+// of the entire 64 KiB tail, while steady-state emission still batches
+// dozens of records per syscall.
 type traceWriter struct {
-	buf *bufio.Writer
-	enc *json.Encoder
-	err error
+	buf     *bufio.Writer
+	enc     *json.Encoder
+	pending int // records since the last explicit flush
+	err     error
 }
+
+// traceFlushEvery bounds how many records an abnormal exit can lose.
+// At ~150 bytes per record a flush interval is still a few large writes
+// per 64 KiB buffer, not one syscall per frame.
+const traceFlushEvery = 128
 
 func newTraceWriter(w io.Writer) *traceWriter {
 	if w == nil {
@@ -62,6 +71,21 @@ func (tw *traceWriter) emit(rec TraceRecord) {
 		return
 	}
 	tw.err = tw.enc.Encode(rec)
+	tw.pending++
+	if tw.pending >= traceFlushEvery && tw.err == nil {
+		tw.err = tw.buf.Flush()
+		tw.pending = 0
+	}
+}
+
+// flush drains the buffer immediately (frame-group boundaries, error
+// paths) without waiting for the periodic interval.
+func (tw *traceWriter) flush() {
+	if tw == nil || tw.err != nil {
+		return
+	}
+	tw.err = tw.buf.Flush()
+	tw.pending = 0
 }
 
 // Err flushes the buffer and returns the first trace write error, if

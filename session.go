@@ -1,0 +1,126 @@
+package eagleeye
+
+import "io"
+
+// Session is a long-lived scenario handle: validate a Config once, then
+// advance the scenario in steps (or full runs) many times. It is the
+// facade the multi-tenant server (cmd/eagleeyed) builds on, and is equally
+// usable directly for windowed evaluations.
+//
+// Each step simulates one window of the scenario as an independent
+// deterministic run: step 0 uses the configured seed exactly (so a
+// session's first full-duration step is byte-identical to Run on the same
+// Config), and later steps derive their seed from the step index, giving
+// a reproducible sequence of scenario windows. Steps do not carry orbital
+// or solver state across the window boundary; cross-request solver-state
+// reuse happens below this API, in the pooled warm-start arenas.
+//
+// A Session is not safe for concurrent use; callers that share one across
+// goroutines (the server's session table) must serialize Step calls.
+type Session struct {
+	cfg   Config
+	steps int
+	agg   SessionAggregate
+}
+
+// SessionAggregate accumulates deterministic counters across a session's
+// steps. Timing-derived quantities (scheduler wall clock, deadline
+// misses) are deliberately absent: they vary run to run and belong in the
+// per-step Result or the metrics registry.
+type SessionAggregate struct {
+	Steps           int
+	SimulatedHours  float64
+	Frames          int
+	Detections      int
+	Captures        int
+	HighResCaptured int
+	CrosslinkKB     float64
+}
+
+// NewSession validates cfg eagerly -- a server rejects a bad scenario at
+// creation time, not on its first run -- and returns a handle with the
+// paper defaults filled in.
+func NewSession(cfg Config) (*Session, error) {
+	if _, err := toSimConfig(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.DurationHours == 0 {
+		cfg.DurationHours = 24
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Session{cfg: cfg}, nil
+}
+
+// Config returns the session's validated configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Steps returns how many steps have completed.
+func (s *Session) Steps() int { return s.steps }
+
+// Aggregate returns the counters accumulated over all completed steps.
+func (s *Session) Aggregate() SessionAggregate { return s.agg }
+
+// StepOptions tunes one Session.Step call.
+type StepOptions struct {
+	// Hours is the simulated span of this step; 0 means the session's full
+	// configured duration.
+	Hours float64
+	// Trace, when non-nil, receives this step's frame trace (overriding
+	// any writer in the session Config).
+	Trace io.Writer
+	// Metrics, when non-nil, receives this step's run metrics (overriding
+	// any registry in the session Config).
+	Metrics *MetricsRegistry
+}
+
+// Step simulates the session's next scenario window and folds its
+// deterministic counters into the aggregate. A failed step consumes no
+// step index, so a retry reproduces the same window.
+func (s *Session) Step(opt StepOptions) (*Result, error) {
+	cfg := s.cfg
+	if opt.Hours > 0 {
+		cfg.DurationHours = opt.Hours
+	}
+	if opt.Trace != nil {
+		cfg.Trace = opt.Trace
+	}
+	if opt.Metrics != nil {
+		cfg.Metrics = opt.Metrics
+	}
+	cfg.Seed = stepSeed(s.cfg.Seed, s.steps)
+	r, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.steps++
+	s.agg.Steps++
+	s.agg.SimulatedHours += cfg.DurationHours
+	s.agg.Frames += r.Frames
+	s.agg.Detections += r.Detections
+	s.agg.Captures += r.Captures
+	s.agg.HighResCaptured += r.HighResCaptured
+	s.agg.CrosslinkKB += r.CrosslinkKB
+	return r, nil
+}
+
+// Run advances the session by one full-duration step. On a fresh session
+// the result is byte-identical to Run(cfg) on the same Config.
+func (s *Session) Run() (*Result, error) { return s.Step(StepOptions{}) }
+
+// stepSeed derives a deterministic per-step seed. Step 0 is the base seed
+// itself, preserving result identity between a session's first step and a
+// direct Run; later windows decorrelate via the same splitmix-style hash
+// the simulator uses per frame.
+func stepSeed(base int64, step int) int64 {
+	if step == 0 {
+		return base
+	}
+	h := uint64(base)*0x9E3779B97F4A7C15 + uint64(step)*0x94D049BB133111EB
+	h ^= h >> 31
+	if h&0x7FFFFFFFFFFFFFFF == 0 {
+		h = 1 // Config treats seed 0 as "default"; never collide with it
+	}
+	return int64(h & 0x7FFFFFFFFFFFFFFF)
+}

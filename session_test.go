@@ -1,0 +1,126 @@
+package eagleeye
+
+import "testing"
+
+func TestSessionRejectsBadConfig(t *testing.T) {
+	if _, err := NewSession(Config{}); err == nil {
+		t.Error("missing workload accepted at session creation")
+	}
+	if _, err := NewSession(Config{Dataset: "nope"}); err == nil {
+		t.Error("unknown dataset accepted at session creation")
+	}
+}
+
+func TestSessionFirstRunMatchesDirectRun(t *testing.T) {
+	cfg := Config{
+		Satellites:    4,
+		Targets:       benchWorld(400, 17),
+		DurationHours: 1,
+		Seed:          5,
+		Workers:       1,
+	}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HighResCaptured != want.HighResCaptured || got.Detections != want.Detections ||
+		got.Captures != want.Captures || got.Frames != want.Frames ||
+		got.CoveragePct != want.CoveragePct || got.CrosslinkKB != want.CrosslinkKB ||
+		got.LeaderEnergyUtilization != want.LeaderEnergyUtilization ||
+		got.FollowerEnergyUtilization != want.FollowerEnergyUtilization {
+		t.Errorf("session first run diverges from direct run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+func TestSessionStepsAggregate(t *testing.T) {
+	cfg := Config{
+		Satellites:    2,
+		Targets:       benchWorld(200, 9),
+		DurationHours: 6,
+		Seed:          3,
+		Workers:       1,
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames, detections int
+	for i := 0; i < 3; i++ {
+		r, err := s.Step(StepOptions{Hours: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames += r.Frames
+		detections += r.Detections
+	}
+	agg := s.Aggregate()
+	if agg.Steps != 3 || agg.SimulatedHours != 1.5 {
+		t.Errorf("aggregate = %+v, want 3 steps / 1.5 h", agg)
+	}
+	if agg.Frames != frames || agg.Detections != detections {
+		t.Errorf("aggregate counters diverge from per-step sums: %+v vs frames=%d detections=%d",
+			agg, frames, detections)
+	}
+	if s.Steps() != 3 {
+		t.Errorf("steps = %d", s.Steps())
+	}
+}
+
+// TestSessionStepSequenceDeterministic: two sessions over the same config
+// produce identical step sequences, and later windows are decorrelated
+// from the first (distinct derived seeds).
+func TestSessionStepSequenceDeterministic(t *testing.T) {
+	cfg := Config{
+		Satellites:    2,
+		Targets:       benchWorld(200, 9),
+		DurationHours: 1,
+		Seed:          3,
+		Workers:       1,
+	}
+	runSeq := func() []int {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []int
+		for i := 0; i < 3; i++ {
+			r, err := s.Step(StepOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq = append(seq, r.Detections, r.Captures, r.HighResCaptured)
+		}
+		return seq
+	}
+	a, b := runSeq(), runSeq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step sequences diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestStepSeedDerivation(t *testing.T) {
+	if got := stepSeed(42, 0); got != 42 {
+		t.Errorf("step 0 seed = %d, want the base seed", got)
+	}
+	seen := map[int64]bool{}
+	for step := 0; step < 100; step++ {
+		s := stepSeed(42, step)
+		if s <= 0 {
+			t.Fatalf("step %d seed = %d; must stay positive (0 means default)", step, s)
+		}
+		if seen[s] {
+			t.Fatalf("step %d repeats seed %d", step, s)
+		}
+		seen[s] = true
+	}
+}
