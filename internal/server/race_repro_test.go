@@ -1,0 +1,33 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestRaceGetDuringRun polls session info while a run executes, to see
+// whether Session.Aggregate races with the worker's Session.Step.
+func TestRaceGetDuringRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createSession(t, ts.URL, gridScenario(0.3))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/run", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("run = %d: %s", resp.StatusCode, body)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		resp, _ := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get = %d", resp.StatusCode)
+		}
+	}
+}

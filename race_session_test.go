@@ -1,0 +1,34 @@
+package eagleeye
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSessionAggregateRace(t *testing.T) {
+	sess, err := NewSession(Config{Satellites: 2, Targets: []Target{{Lat: 0, Lon: 0}}, DurationHours: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stop := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = sess.Aggregate()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Step(StepOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
