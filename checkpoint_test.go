@@ -1,0 +1,277 @@
+package eagleeye
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func contCfg(seed int64) Config {
+	return Config{
+		Satellites:        4,
+		FollowersPerGroup: 3,
+		Targets:           benchWorld(400, 21),
+		DurationHours:     2,
+		Seed:              seed,
+		Workers:           2,
+		Continuous:        true,
+	}
+}
+
+// deterministic projects the fields of a Result that are exact for a
+// fixed seed (dropping wall-clock-derived scheduler/solver timings).
+func deterministic(r *Result) Result {
+	c := *r
+	c.SchedulerMeanMS = 0
+	c.SchedulerMaxMS = 0
+	c.MissedDeadlines = 0
+	c.SolverNodes = 0
+	c.SolverIters = 0
+	c.SolverPivotMS = 0
+	return c
+}
+
+func TestStepRejectsInvalidHours(t *testing.T) {
+	for _, continuous := range []bool{false, true} {
+		cfg := contCfg(1)
+		cfg.Continuous = continuous
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []float64{-1, -0.001, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if _, err := s.Step(StepOptions{Hours: h}); err == nil {
+				t.Errorf("continuous=%v: Hours=%v accepted (silently ran the full duration)", continuous, h)
+			}
+		}
+		if s.Steps() != 0 {
+			t.Errorf("continuous=%v: rejected steps consumed %d step indices", continuous, s.Steps())
+		}
+	}
+}
+
+// TestContinuousSessionMatchesRun: stepping a continuous session through
+// its duration in uneven windows must land on the same cumulative result
+// as the one-shot Run -- one timeline, not a sequence of reseeded windows.
+func TestContinuousSessionMatchesRun(t *testing.T) {
+	cfg := contCfg(11)
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var last *Result
+	for _, h := range []float64{0.25, 0.6, 0} { // 0 = run out the remainder
+		if last, err = s.Step(StepOptions{Hours: h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Done() {
+		t.Fatal("session not done after stepping past its duration")
+	}
+	if got, want := deterministic(last), deterministic(want); got != want {
+		t.Errorf("continuous session diverges from Run:\n%+v\nvs\n%+v", got, want)
+	}
+	agg := s.Aggregate()
+	if agg.Steps != 3 || agg.SimulatedHours != cfg.DurationHours || agg.Frames != want.Frames {
+		t.Errorf("aggregate %+v, want 3 steps / %v h / %d frames", agg, cfg.DurationHours, want.Frames)
+	}
+	if _, err := s.Step(StepOptions{}); err == nil {
+		t.Error("stepping a completed continuous session succeeded")
+	}
+}
+
+// TestContinuousCheckpointRestore is the facade acceptance differential:
+// checkpoint mid-timeline, restore in a "new process", finish stepping --
+// identical to never having stopped, including the aggregate cursor.
+func TestContinuousCheckpointRestore(t *testing.T) {
+	cfg := contCfg(12)
+	ref, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.Step(StepOptions{Hours: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	refFinal, err := ref.Step(StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(StepOptions{Hours: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	var ck bytes.Buffer
+	if err := s.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // the first "process" exits
+
+	r, err := RestoreSession(bytes.NewReader(ck.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Steps() != 1 {
+		t.Fatalf("restored step count %d, want 1", r.Steps())
+	}
+	final, err := r.Step(StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := deterministic(final), deterministic(refFinal); got != want {
+		t.Errorf("restored session diverges from uninterrupted:\n%+v\nvs\n%+v", got, want)
+	}
+	if ra, wa := r.Aggregate(), ref.Aggregate(); ra != wa {
+		t.Errorf("restored aggregate diverges: %+v vs %+v", ra, wa)
+	}
+}
+
+// TestWindowedCheckpointRestore: a windowed session's state is its
+// cursor; restoring must continue the derived-seed sequence exactly.
+func TestWindowedCheckpointRestore(t *testing.T) {
+	cfg := Config{
+		Satellites:    2,
+		Targets:       benchWorld(200, 9),
+		DurationHours: 1,
+		Seed:          3,
+		Workers:       1,
+	}
+	ref, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Step(StepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Step(StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(StepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var ck bytes.Buffer
+	if err := s.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSession(bytes.NewReader(ck.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Step(StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg, dw := deterministic(got), deterministic(want); dg != dw {
+		t.Errorf("restored windowed session diverges on step 1:\n%+v\nvs\n%+v", dg, dw)
+	}
+	if r.Aggregate() != ref.Aggregate() {
+		t.Errorf("aggregates diverge: %+v vs %+v", r.Aggregate(), ref.Aggregate())
+	}
+}
+
+func TestRestoreRejectsJunk(t *testing.T) {
+	if _, err := RestoreSession(strings.NewReader("definitely not a checkpoint")); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := RestoreSession(strings.NewReader("EESESSV1")); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}
+
+// TestFacadeFaultEvents: the public Events surface maps onto the
+// simulator's fault schedule and reports its accounting.
+func TestFacadeFaultEvents(t *testing.T) {
+	cfg := contCfg(13)
+	cfg.Continuous = false
+	cfg.Events = []FaultEvent{
+		{AtHours: 0.5, Kind: FaultFollowerFail, Group: 0, Follower: 1},
+		{AtHours: 1.2, Kind: FaultLeaderFail, Group: 0},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EventsApplied != 2 || r.SatsFailed != 2 || r.LeaderReelections != 1 {
+		t.Errorf("fault accounting: applied %d failed %d reelected %d, want 2/2/1",
+			r.EventsApplied, r.SatsFailed, r.LeaderReelections)
+	}
+
+	cfg.Events = []FaultEvent{{AtHours: 1, Kind: "meteor-strike"}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+	cfg.Events = []FaultEvent{{AtHours: -1, Kind: FaultLeaderFail}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative fault time accepted")
+	}
+}
+
+// TestContinuousTraceStitching: trace bytes written before a checkpoint
+// plus those written after restore equal an uninterrupted session's
+// stream (modulo wall-clock fields, which decodeTrace-style consumers
+// ignore; here the deterministic prefix of each line is compared).
+func TestContinuousTraceStitching(t *testing.T) {
+	cfg := contCfg(14)
+	var whole bytes.Buffer
+	ref, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.Step(StepOptions{Trace: &whole}); err != nil {
+		t.Fatal(err)
+	}
+
+	var pre, post bytes.Buffer
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(StepOptions{Hours: 0.8, Trace: &pre}); err != nil {
+		t.Fatal(err)
+	}
+	var ck bytes.Buffer
+	if err := s.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r, err := RestoreSession(bytes.NewReader(ck.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Step(StepOptions{Trace: &post}); err != nil {
+		t.Fatal(err)
+	}
+
+	a := strings.Split(strings.TrimRight(whole.String(), "\n"), "\n")
+	b := strings.Split(strings.TrimRight(pre.String()+post.String(), "\n"), "\n")
+	if len(a) != len(b) {
+		t.Fatalf("stitched trace has %d records, uninterrupted %d", len(b), len(a))
+	}
+	for i := range a {
+		// Every line starts with the deterministic identity fields
+		// (group, frame, time, position, counts) before any timing.
+		ga, gb := a[i][:strings.Index(a[i], `"sched_ms"`)], b[i][:strings.Index(b[i], `"sched_ms"`)]
+		if ga != gb {
+			t.Fatalf("trace line %d diverges:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+}

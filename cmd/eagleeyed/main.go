@@ -18,8 +18,14 @@
 //	POST   /v1/sessions/{id}/run   run the full configured duration
 //	                               (?trace=ndjson streams the frame trace)
 //	POST   /v1/sessions/{id}/step  advance one window ({"hours": h})
+//	POST   /v1/sessions/{id}/checkpoint   download a binary checkpoint
+//	POST   /v1/sessions/restore    create a session from a checkpoint body
 //	DELETE /v1/sessions/{id}       delete
 //	GET    /metrics /summary /debug/pprof/...   observability
+//
+// With -checkpoint-dir set, SIGTERM additionally spools every idle
+// session to <dir>/<id>.ckpt after the drain, and the next eagleeyed
+// started with the same directory resumes them under their original IDs.
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 		simWorkers  = flag.Int("sim-workers", 1, "simulator parallelism per run (sessions are the concurrency unit)")
 		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for run/step handlers")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs")
+		ckptDir     = flag.String("checkpoint-dir", "", "spool dir for session durability: SIGTERM checkpoints idle sessions here, startup resumes them")
 	)
 	flag.Parse()
 
@@ -56,7 +63,17 @@ func main() {
 		SimWorkers:     *simWorkers,
 		RequestTimeout: *reqTimeout,
 		Metrics:        reg,
+		CheckpointDir:  *ckptDir,
 	})
+	if *ckptDir != "" {
+		n, err := srv.LoadSpool()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eagleeyed: spool:", err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "eagleeyed: resumed %d session(s) from %s\n", n, *ckptDir)
+		}
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -81,6 +98,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "eagleeyed:", derr)
 		}
 		_ = httpSrv.Close()
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "eagleeyed: sessions spooled to %s\n", *ckptDir)
+		}
 		fmt.Fprintln(os.Stderr, "eagleeyed: drained, bye")
 	case err := <-errc:
 		if err != nil && err != http.ErrServerClosed {

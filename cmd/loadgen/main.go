@@ -273,13 +273,22 @@ func sameDeterministicResult(a, b *eagleeye.Result) bool {
 		feq(a.FollowerEnergyUtilization, b.FollowerEnergyUtilization)
 }
 
+// pct reports the nearest-rank percentile of an ascending-sorted sample:
+// the smallest element with at least p% of the sample at or below it,
+// i.e. rank ceil(n*p/100) clamped to [1, n] (so p<=0 is the minimum and
+// p>=100 the maximum, at any sample count). Exact order statistics, no
+// interpolation: small samples report latencies that actually occurred.
 func pct(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := (len(sorted)*p + 99) / 100
-	if idx > 0 {
-		idx--
+	rank := (n*p + 99) / 100 // ceil(n*p/100) for non-negative n*p
+	if rank < 1 {
+		rank = 1
 	}
-	return sorted[idx].Round(time.Millisecond)
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1].Round(time.Millisecond)
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPctNearestRank checks pct against an independently computed
+// nearest-rank definition over every small sample size the loadgen
+// realistically prints for (n=1..5) and the percentiles it reports,
+// plus the out-of-range clamps.
+func TestPctNearestRank(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		// Whole-millisecond ascending sample: 10ms, 20ms, ... so Round
+		// inside pct is the identity and the comparison is exact.
+		sorted := make([]time.Duration, n)
+		for i := range sorted {
+			sorted[i] = time.Duration(i+1) * 10 * time.Millisecond
+		}
+		for _, p := range []int{0, 1, 25, 50, 90, 99, 100} {
+			rank := int(math.Ceil(float64(n*p) / 100))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			if got, want := pct(sorted, p), sorted[rank-1]; got != want {
+				t.Errorf("n=%d p=%d: pct = %s, want order statistic #%d = %s", n, p, got, rank, want)
+			}
+		}
+		// The clamps: percentiles outside [0, 100] pin to min/max rather
+		// than indexing out of range.
+		if got := pct(sorted, -5); got != sorted[0] {
+			t.Errorf("n=%d p=-5: pct = %s, want minimum %s", n, got, sorted[0])
+		}
+		if got := pct(sorted, 150); got != sorted[n-1] {
+			t.Errorf("n=%d p=150: pct = %s, want maximum %s", n, got, sorted[n-1])
+		}
+	}
+	if got := pct(nil, 50); got != 0 {
+		t.Errorf("empty sample: pct = %s, want 0", got)
+	}
+}
+
+// TestPctSingleSample pins the n=1 behavior the old rounding got wrong
+// at the edges: every percentile of one observation is that observation.
+func TestPctSingleSample(t *testing.T) {
+	one := []time.Duration{42 * time.Millisecond}
+	for p := 0; p <= 100; p++ {
+		if got := pct(one, p); got != one[0] {
+			t.Fatalf("p=%d of a single sample = %s, want %s", p, got, one[0])
+		}
+	}
+}

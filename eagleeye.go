@@ -136,15 +136,28 @@ type Config struct {
 	// RecaptureDedup deprioritizes detections at already-captured
 	// positions (the §4.7 recapture extension).
 	RecaptureDedup bool
+	// Events schedules mid-run fault injections (satellite failures,
+	// leader re-elections) at simulated-time boundaries. Events are part
+	// of the scenario: they are deterministic for any Workers value and
+	// survive checkpoint/restore exactly.
+	Events []FaultEvent
+	// Continuous makes Session.Step advance one uninterrupted simulation
+	// timeline (steppers, solver warm state and statistics carry across
+	// steps) instead of running independent windows. Continuous sessions
+	// support Checkpoint / RestoreSession mid-run. Ignored by Run, which
+	// is always one continuous timeline.
+	Continuous bool
 	// Trace, when non-nil, receives one JSON line per processed leader
 	// frame: what was in view, what was detected, what the schedule did.
-	Trace io.Writer
+	// Not serialized by Session.Checkpoint.
+	Trace io.Writer `json:"-"`
 	// Metrics, when non-nil, receives run metrics: event counters, stage
 	// wall-time breakdowns, solver activity and progress gauges. Integer
 	// event counters are deterministic across Workers; timing series are
 	// machine-dependent. Serve it live with ServeMetrics or snapshot it
-	// with WritePrometheus / WriteSummary after Run returns.
-	Metrics *MetricsRegistry
+	// with WritePrometheus / WriteSummary after Run returns. Not
+	// serialized by Session.Checkpoint.
+	Metrics *MetricsRegistry `json:"-"`
 	// Workers runs independent constellation groups (or strip satellites)
 	// on this many goroutines: 0 means all CPUs, 1 sequential. Results
 	// and traces are deterministic for any value at a fixed seed.
@@ -157,6 +170,33 @@ type Target struct {
 	SpeedMS    float64 // 0 for static targets
 	HeadingDeg float64
 	Value      float64 // priority in (0,1]; 0 means 1.0
+}
+
+// Fault-event kinds accepted by FaultEvent.Kind.
+const (
+	// FaultFollowerFail removes one follower from its group (or retires
+	// the addressed satellite in the strip baselines). A group whose
+	// followers have all failed degrades to seen-only accounting.
+	FaultFollowerFail = "follower-fail"
+	// FaultLeaderFail fails a group's current leader; the first surviving
+	// follower is re-elected in its place. With no survivor (or on a
+	// mix-camera satellite) the group goes dark.
+	FaultLeaderFail = "leader-fail"
+)
+
+// FaultEvent schedules one mid-run fault (Config.Events). The fault takes
+// effect at the first frame boundary at or after AtHours.
+type FaultEvent struct {
+	// AtHours is the simulated time of the fault, in hours from run start.
+	AtHours float64
+	// Kind is FaultFollowerFail or FaultLeaderFail.
+	Kind string
+	// Group addresses the leader group (leader-follower, mix-camera) or
+	// the satellite index (strip baselines).
+	Group int
+	// Follower addresses the failing follower within the group
+	// (FaultFollowerFail on leader-follower organizations only).
+	Follower int
 }
 
 // Result summarizes a simulation.
@@ -194,6 +234,12 @@ type Result struct {
 	// recapture extension.
 	RecaptureSuppressed int
 
+	// Fault-event accounting (Config.Events): events applied so far,
+	// satellites lost to them, and leader re-elections performed.
+	EventsApplied     int
+	SatsFailed        int
+	LeaderReelections int
+
 	// CrosslinkKB is the total leader-to-follower schedule traffic in
 	// kilobytes (wire encoding).
 	CrosslinkKB float64
@@ -216,10 +262,15 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return resultFromSim(r, simCfg.Constellation.Satellites), nil
+}
+
+// resultFromSim converts the simulator's result to the facade shape.
+func resultFromSim(r *sim.Result, satellites int) *Result {
 	out := &Result{
 		Organization:         r.Kind,
 		Dataset:              r.App,
-		Satellites:           simCfg.Constellation.Satellites,
+		Satellites:           satellites,
 		CoveragePct:          r.CoveragePct(),
 		LowResSeenPct:        r.LowResSeenPct(),
 		TotalTargets:         r.TotalTargets,
@@ -229,6 +280,9 @@ func Run(cfg Config) (*Result, error) {
 		Captures:             r.Captures,
 		MissedDeadlines:      r.MissedDeadline,
 		RecaptureSuppressed:  r.RecaptureSuppressed,
+		EventsApplied:        r.EventsApplied,
+		SatsFailed:           r.SatsFailed,
+		LeaderReelections:    r.LeaderReelections,
 		CrosslinkKB:          r.CrosslinkBytes / 1024,
 		DownlinkableFraction: r.DownlinkableFraction,
 	}
@@ -245,7 +299,7 @@ func Run(cfg Config) (*Result, error) {
 	if r.FollowerBudget != nil {
 		out.FollowerEnergyUtilization = r.FollowerBudget.Utilization()
 	}
-	return out, nil
+	return out
 }
 
 func toSimConfig(cfg Config) (sim.Config, error) {
@@ -331,6 +385,24 @@ func toSimConfig(cfg Config) (sim.Config, error) {
 		if !found {
 			return out, fmt.Errorf("eagleeye: unknown detector %q", cfg.Detector)
 		}
+	}
+
+	for i, ev := range cfg.Events {
+		var kind sim.EventKind
+		switch strings.ToLower(ev.Kind) {
+		case FaultFollowerFail:
+			kind = sim.EventFollowerFail
+		case FaultLeaderFail:
+			kind = sim.EventLeaderFail
+		default:
+			return out, fmt.Errorf("eagleeye: event %d: unknown kind %q", i, ev.Kind)
+		}
+		out.Events = append(out.Events, sim.Event{
+			AtS:      ev.AtHours * 3600,
+			Kind:     kind,
+			Group:    ev.Group,
+			Follower: ev.Follower,
+		})
 	}
 
 	out.NoClustering = cfg.NoClustering

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 
 	"eagleeye/internal/constellation"
 	"eagleeye/internal/detect"
@@ -210,26 +209,19 @@ func Fig12b(sc Scale) Table {
 	}
 	for _, name := range appNames(sc) {
 		r := runSim(coverageCfg(sc, name, constellation.LeaderFollower, 2))
-		counts := append([]int(nil), r.TargetsPerImage...)
-		if len(counts) == 0 {
+		hist := &r.TargetsPerImage
+		n := hist.Count()
+		if n == 0 {
 			t.AddRow(name, "-", "-", "-", "-", "-")
 			continue
 		}
-		sort.Ints(counts)
-		pct := func(p float64) int { return counts[int(p*float64(len(counts)-1))] }
-		over19 := 0
-		for _, c := range counts {
-			if c > 19 {
-				over19++
-			}
-		}
-		t.AddRow(name, fi(pct(0.5)), fi(pct(0.9)), fi(pct(0.99)),
-			fi(counts[len(counts)-1]),
-			f1(100*float64(over19)/float64(len(counts))))
+		t.AddRow(name, fi(hist.Percentile(50)), fi(hist.Percentile(90)), fi(hist.Percentile(99)),
+			fi(hist.Max),
+			f1(100*float64(hist.CountOver(19))/float64(n)))
 		t.Series = append(t.Series, Series{
 			Label: name,
 			X:     []float64{0.5, 0.9, 0.99},
-			Y:     []float64{float64(pct(0.5)), float64(pct(0.9)), float64(pct(0.99))},
+			Y:     []float64{float64(hist.Percentile(50)), float64(hist.Percentile(90)), float64(hist.Percentile(99))},
 		})
 	}
 	t.Note = "AB&B misses the frame deadline beyond 19 targets (§6.1)"

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eagleeye"
+	"eagleeye/internal/obs"
+)
+
+func contScenario(hours float64) ScenarioConfig {
+	sc := testScenario(hours)
+	sc.Continuous = true
+	return sc
+}
+
+// doRaw issues a request with a verbatim (possibly binary) body.
+func doRaw(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func stepSession(t *testing.T, base, id string, hours float64) *eagleeye.Result {
+	t.Helper()
+	resp, body := doJSON(t, "POST", base+"/v1/sessions/"+id+"/step", StepRequest{Hours: hours})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step %s = %d: %s", id, resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil || rr.Result == nil {
+		t.Fatalf("step response %q: %v", body, err)
+	}
+	return rr.Result
+}
+
+// sameScenarioOutcome compares the deterministic projection of two
+// results (wall-clock-derived solver/scheduler timings excluded).
+func sameScenarioOutcome(a, b *eagleeye.Result) bool {
+	return a.Frames == b.Frames && a.Detections == b.Detections &&
+		a.Captures == b.Captures && a.HighResCaptured == b.HighResCaptured &&
+		a.CrosslinkKB == b.CrosslinkKB && a.CoveragePct == b.CoveragePct &&
+		a.EventsApplied == b.EventsApplied && a.SatsFailed == b.SatsFailed
+}
+
+// TestCheckpointRestoreEndpoints drives the API round trip: step a
+// continuous session partway, download its checkpoint, create a second
+// session from it, and finish both -- the restored tenant must land on
+// the uninterrupted tenant's exact result.
+func TestCheckpointRestoreEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := ts.URL
+
+	ref := createSession(t, base, contScenario(0.5))
+	stepSession(t, base, ref, 0.2)
+	want := stepSession(t, base, ref, 0)
+
+	id := createSession(t, base, contScenario(0.5))
+	stepSession(t, base, id, 0.2)
+	resp, ckpt := doRaw(t, "POST", base+"/v1/sessions/"+id+"/checkpoint", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint = %d: %s", resp.StatusCode, ckpt)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("checkpoint content type = %q", ct)
+	}
+
+	resp, body := doRaw(t, "POST", base+"/v1/sessions/restore", ckpt)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("restore = %d: %s", resp.StatusCode, body)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == id {
+		t.Fatalf("restored session reused live id %s", id)
+	}
+	if info.Aggregate.Steps != 1 {
+		t.Errorf("restored aggregate %+v, want the checkpoint's 1-step cursor", info.Aggregate)
+	}
+	got := stepSession(t, base, info.ID, 0)
+	if !sameScenarioOutcome(got, want) {
+		t.Errorf("restored session diverges:\n%+v\nvs\n%+v", got, want)
+	}
+
+	// The timeline is complete on both: further runs are refused.
+	if resp, _ := doJSON(t, "POST", base+"/v1/sessions/"+info.ID+"/run", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("run on a completed continuous session = %d, want 409", resp.StatusCode)
+	}
+
+	if resp, _ := doRaw(t, "POST", base+"/v1/sessions/restore", []byte("not a checkpoint")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("restore of junk = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCheckpointWhileRunningConflicts: a checkpoint needs the same
+// exclusivity as a run, so a busy session answers 409.
+func TestCheckpointWhileRunningConflicts(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	holder := createSession(t, ts.URL, gridScenario(1))
+	release, holdDone := holdRun(t, s, holder)
+	t.Cleanup(release)
+	pollUntil(t, "holder session running", 10*time.Second, func() bool {
+		return sessionState(t, ts.URL, holder).State == "running"
+	})
+	if resp, _ := doRaw(t, "POST", ts.URL+"/v1/sessions/"+holder+"/checkpoint", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("checkpoint of a running session = %d, want 409", resp.StatusCode)
+	}
+	release()
+	if rr := <-holdDone; rr.err != nil {
+		t.Fatalf("held run: %v", rr.err)
+	}
+}
+
+// TestServerFaultEvents: the events wire surface reaches the simulator
+// and its accounting comes back through the run response.
+func TestServerFaultEvents(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sc := testScenario(0.5)
+	sc.Events = []EventSpec{{AtHours: 0.1, Kind: "follower-fail", Group: 0, Follower: 0}}
+	id := createSession(t, ts.URL, sc)
+	res := stepSession(t, ts.URL, id, 0)
+	if res.EventsApplied != 1 || res.SatsFailed != 1 {
+		t.Errorf("fault accounting: applied %d failed %d, want 1/1", res.EventsApplied, res.SatsFailed)
+	}
+
+	sc.Events = []EventSpec{{AtHours: 0.1, Kind: "meteor-strike"}}
+	if resp, _ := doJSON(t, "POST", ts.URL+"/v1/sessions", sc); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown event kind = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestShutdownSpoolsAndResumes is the daemon-restart acceptance path:
+// shut a server down with CheckpointDir set, start a fresh one on the
+// same directory, and the tenants are back under their original IDs with
+// their timelines intact.
+func TestShutdownSpoolsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+
+	// Uninterrupted reference for the continuous tenant.
+	refCfg := contScenario(0.5).toConfig()
+	refCfg.Workers = 1
+	refSess, err := eagleeye.NewSession(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSess.Close()
+	if _, err := refSess.Step(eagleeye.StepOptions{Hours: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := refSess.Step(eagleeye.StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg1 := obs.NewRegistry()
+	s1, ts1 := newTestServer(t, Config{CheckpointDir: dir, Metrics: reg1})
+	cont := createSession(t, ts1.URL, contScenario(0.5))
+	stepSession(t, ts1.URL, cont, 0.2)
+	win := createSession(t, ts1.URL, testScenario(0.5))
+	stepSession(t, ts1.URL, win, 0.25)
+
+	ts1.Close()
+	if err := s1.Shutdown(30 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, id := range []string{cont, win} {
+		if _, err := os.Stat(filepath.Join(dir, id+".ckpt")); err != nil {
+			t.Fatalf("spool file for %s: %v", id, err)
+		}
+	}
+	if got := reg1.CounterValue("eagleeyed_checkpoints_spooled_total"); got != 2 {
+		t.Errorf("checkpoints_spooled = %d, want 2", got)
+	}
+
+	reg2 := obs.NewRegistry()
+	s2, ts2 := newTestServer(t, Config{CheckpointDir: dir, Metrics: reg2})
+	n, err := s2.LoadSpool()
+	if err != nil {
+		t.Fatalf("load spool: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("resumed %d sessions, want 2", n)
+	}
+	if got := reg2.CounterValue("eagleeyed_checkpoints_resumed_total"); got != 2 {
+		t.Errorf("checkpoints_resumed = %d, want 2", got)
+	}
+	if des, _ := os.ReadDir(dir); len(des) != 0 {
+		t.Errorf("spool dir not emptied: %d entries left", len(des))
+	}
+
+	// The continuous tenant resumes its exact timeline under its old ID.
+	info := sessionState(t, ts2.URL, cont)
+	if info.Aggregate.Steps != 1 || info.Done {
+		t.Fatalf("resumed session state %+v, want 1 step, not done", info)
+	}
+	got := stepSession(t, ts2.URL, cont, 0)
+	if !sameScenarioOutcome(got, want) {
+		t.Errorf("resumed session diverges:\n%+v\nvs\n%+v", got, want)
+	}
+	// The windowed tenant continues its derived-seed sequence.
+	stepSession(t, ts2.URL, win, 0.25)
+	if agg := sessionState(t, ts2.URL, win).Aggregate; agg.Steps != 2 {
+		t.Errorf("windowed aggregate after resume %+v, want 2 steps", agg)
+	}
+	// New sessions never collide with resumed IDs.
+	fresh := createSession(t, ts2.URL, testScenario(0.2))
+	if fresh == cont || fresh == win {
+		t.Errorf("fresh session reused a resumed id: %s", fresh)
+	}
+}
+
+// TestRetryAfterDerived pins the 429 back-off hint: 1 with no latency
+// history, scaled by the median run time once there is one, and clamped
+// at 60.
+func TestRetryAfterDerived(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(time.Second)
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("no metrics: retry-after = %d, want 1", got)
+	}
+
+	s2 := New(Config{Metrics: obs.NewRegistry()})
+	defer s2.Shutdown(time.Second)
+	if got := s2.retryAfterSeconds(); got != 1 {
+		t.Errorf("no history: retry-after = %d, want 1", got)
+	}
+	for i := 0; i < 5; i++ {
+		s2.met.runSeconds.Observe(4.5)
+	}
+	if got := s2.retryAfterSeconds(); got < 5 || got > 60 {
+		t.Errorf("median 4.5s: retry-after = %d, want within [5, 60]", got)
+	}
+	for i := 0; i < 50; i++ {
+		s2.met.runSeconds.Observe(300)
+	}
+	if got := s2.retryAfterSeconds(); got != 60 {
+		t.Errorf("median 300s: retry-after = %d, want the 60s clamp", got)
+	}
+}
+
+func TestHistP50(t *testing.T) {
+	snap := obs.HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{1, 3, 1, 0},
+		Sum:    9,
+		Count:  5,
+	}
+	if got := histP50(snap); got != 2 {
+		t.Errorf("histP50 = %v, want bucket bound 2", got)
+	}
+	// All mass in the +Inf bucket: the mean stands in.
+	inf := obs.HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{0, 4}, Sum: 40, Count: 4}
+	if got := histP50(inf); got != 10 {
+		t.Errorf("histP50 overflow = %v, want mean 10", got)
+	}
+}

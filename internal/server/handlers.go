@@ -1,16 +1,19 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strconv"
 	"time"
 
+	"eagleeye"
 	"eagleeye/internal/obs"
 )
 
@@ -29,6 +32,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("get", s.handleGet))
 	mux.HandleFunc("POST /v1/sessions/{id}/run", s.instrument("run", s.handleRun))
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.instrument("step", s.handleStep))
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("POST /v1/sessions/restore", s.instrument("restore", s.handleRestore))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {
@@ -135,6 +140,47 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	s.runBlocking(w, r, e, req.Hours)
 }
 
+// maxCheckpointBody bounds restore uploads; a checkpoint embeds the
+// scenario (possibly a large custom world) plus the simulator snapshot.
+const maxCheckpointBody = 256 << 20
+
+// handleCheckpoint serializes the session as one binary download. The
+// checkpoint is staged in memory first so a serialization failure turns
+// into a clean error response instead of a truncated 200.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such session"})
+		return
+	}
+	var buf bytes.Buffer
+	if aerr := s.checkpointSession(e, &buf); aerr != nil {
+		s.rejectResponse(w, aerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleRestore creates a session from an uploaded checkpoint, giving it
+// a fresh ID (spool resume at startup is what preserves IDs; an uploaded
+// duplicate must not collide with a live session).
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	sess, err := eagleeye.RestoreSession(io.LimitReader(r.Body, maxCheckpointBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad checkpoint: " + err.Error()})
+		return
+	}
+	e, aerr := s.insertSession(sess, "")
+	if aerr != nil {
+		s.rejectResponse(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e.info(false))
+}
+
 // runBlocking admits one run/step and waits for it under the request
 // deadline. A deadline miss answers 504 but does not cancel the run: it
 // completes on the worker and lands on the session for later query.
@@ -212,9 +258,54 @@ func (s *Server) rejectResponse(w http.ResponseWriter, aerr *admitError) {
 		s.met.reject(aerr.reason)
 	}
 	if aerr.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, aerr.status, ErrorResponse{Error: aerr.msg})
+}
+
+// retryAfterSeconds derives the 429 back-off hint from live load instead
+// of the old hardcoded 1s (which made every rejected client retry into
+// the same full queue one second later): the median run time observed so
+// far, scaled by how many runs stand between a retry and a free worker
+// (the queue plus the run in flight), clamped to [1, 60]. With no
+// metrics registry or no completed runs yet there is nothing to derive
+// from and the floor of 1 stands.
+func (s *Server) retryAfterSeconds() int {
+	if s.met == nil {
+		return 1
+	}
+	snap := s.met.runSeconds.Snapshot()
+	if snap.Count == 0 {
+		return 1
+	}
+	ahead := float64(len(s.queue))/float64(s.cfg.Workers) + 1
+	sec := int(math.Ceil(histP50(snap) * ahead))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// histP50 reads the median out of a histogram snapshot by nearest rank,
+// reporting the matching bucket's upper bound (a conservative estimate:
+// real latency is at most that). Observations in the +Inf bucket have no
+// bound, so the mean stands in.
+func histP50(snap obs.HistogramSnapshot) float64 {
+	rank := (snap.Count + 1) / 2
+	var cum int64
+	for i, c := range snap.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(snap.Bounds) {
+				return snap.Bounds[i]
+			}
+			break
+		}
+	}
+	return snap.Sum / float64(snap.Count)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

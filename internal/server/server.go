@@ -25,8 +25,12 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,6 +62,11 @@ type Config struct {
 	// queue depth, admission rejects, request latency) alongside any
 	// simulator series the runs emit.
 	Metrics *obs.Registry
+	// CheckpointDir, when set, makes sessions durable across daemon
+	// restarts: Shutdown spools every idle session to <dir>/<id>.ckpt
+	// after the drain, and LoadSpool (called by the daemon before it
+	// serves) resumes them under their original IDs.
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -186,6 +195,11 @@ func (s *Server) runJob(j *job) {
 		j.e.lastErr = ""
 		j.e.lastResult = res
 	}
+	if j.e.deleted {
+		// The tenant deleted the session while this run was in flight;
+		// release its pooled solver state now that the run is done.
+		j.e.sess.Close()
+	}
 	j.e.mu.Unlock()
 	if s.met != nil {
 		s.met.runs.Inc()
@@ -216,6 +230,13 @@ func (s *Server) createSession(sc ScenarioConfig) (*entry, *admitError) {
 	if err != nil {
 		return nil, &admitError{status: 400, reason: "invalid", msg: err.Error()}
 	}
+	return s.insertSession(sess, "")
+}
+
+// insertSession claims a table slot for a validated session. An empty id
+// assigns the next "s<N>"; a caller-provided id (spool resume) is kept
+// and the counter advanced past it so later creates never collide.
+func (s *Server) insertSession(sess *eagleeye.Session, id string) (*entry, *admitError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -225,9 +246,20 @@ func (s *Server) createSession(sc ScenarioConfig) (*entry, *admitError) {
 		return nil, &admitError{status: 429, reason: "sessions",
 			msg: fmt.Sprintf("session table full (%d)", s.cfg.MaxSessions)}
 	}
-	s.nextID++
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("s%d", s.nextID)
+	} else {
+		if _, dup := s.sessions[id]; dup {
+			return nil, &admitError{status: 409, reason: "busy",
+				msg: fmt.Sprintf("session %s already exists", id)}
+		}
+		if n := sessionNum(id); n > s.nextID {
+			s.nextID = n
+		}
+	}
 	e := &entry{
-		id:      fmt.Sprintf("s%d", s.nextID),
+		id:      id,
 		created: time.Now(),
 		sess:    sess,
 	}
@@ -261,6 +293,12 @@ func (s *Server) deleteSession(id string) bool {
 	}
 	e.mu.Lock()
 	e.deleted = true
+	if !e.busy {
+		// No run in flight that could still need it: release the session's
+		// pooled solver state now. (A busy session is closed by its worker
+		// when the run lands; see runJob.)
+		e.sess.Close()
+	}
 	e.mu.Unlock()
 	if s.met != nil {
 		s.met.sessionsDeleted.Inc()
@@ -280,6 +318,13 @@ func (s *Server) enqueue(e *entry, hours float64, trace io.Writer, closeTrace fu
 	if e.busy {
 		e.mu.Unlock()
 		return nil, &admitError{status: 409, reason: "busy", msg: "session already has a run in flight"}
+	}
+	// Safe to read here: busy is false and we hold e.mu, so no worker is
+	// stepping this session.
+	if e.sess.Done() {
+		e.mu.Unlock()
+		return nil, &admitError{status: 409, reason: "busy",
+			msg: "session already simulated its full duration (continuous sessions do not restart)"}
 	}
 	e.busy = true
 	e.mu.Unlock()
@@ -313,10 +358,163 @@ func (s *Server) enqueue(e *entry, hours float64, trace io.Writer, closeTrace fu
 	}
 }
 
+// checkpointSession serializes e's session to w with the same
+// exclusivity a run gets: the busy flag is claimed for the duration, so
+// a checkpoint never observes a session mid-step.
+func (s *Server) checkpointSession(e *entry, w io.Writer) *admitError {
+	e.mu.Lock()
+	if e.deleted {
+		e.mu.Unlock()
+		return &admitError{status: 404, reason: "deleted", msg: "session deleted"}
+	}
+	if e.busy {
+		e.mu.Unlock()
+		return &admitError{status: 409, reason: "busy", msg: "session already has a run in flight"}
+	}
+	e.busy = true
+	e.mu.Unlock()
+
+	err := e.sess.Checkpoint(w)
+
+	e.mu.Lock()
+	e.busy = false
+	if e.deleted {
+		e.sess.Close()
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return &admitError{status: 500, reason: "", msg: err.Error()}
+	}
+	if s.met != nil {
+		s.met.checkpointsTaken.Inc()
+	}
+	return nil
+}
+
+// spoolSessions writes every idle session to CheckpointDir as
+// <id>.ckpt (temp-file + rename, so a crash mid-write never leaves a
+// truncated spool entry). Sessions still busy -- only possible when the
+// drain deadline passed with work in flight -- are skipped. Called from
+// Shutdown after the worker pool has stopped.
+func (s *Server) spoolSessions() (int, error) {
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		return 0, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	spooled := 0
+	var firstErr error
+	for _, e := range entries {
+		e.mu.Lock()
+		busy := e.busy
+		e.mu.Unlock()
+		if busy {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: session %s still running at spool time; not spooled", e.id)
+			}
+			continue
+		}
+		if err := writeCheckpointFile(filepath.Join(s.cfg.CheckpointDir, e.id+".ckpt"), e.sess); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		spooled++
+		if s.met != nil {
+			s.met.checkpointsSpooled.Inc()
+		}
+	}
+	return spooled, firstErr
+}
+
+func writeCheckpointFile(path string, sess *eagleeye.Session) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := sess.Checkpoint(bw); err == nil {
+		err = bw.Flush()
+	} else {
+		_ = bw.Flush()
+	}
+	if err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSpool resumes every session a previous process spooled into
+// CheckpointDir, preserving session IDs, and removes the spool files it
+// consumed (a file that fails to restore is left in place for forensics).
+// Call it before serving; it returns how many sessions were resumed.
+func (s *Server) LoadSpool() (int, error) {
+	if s.cfg.CheckpointDir == "" {
+		return 0, nil
+	}
+	des, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	resumed := 0
+	var firstErr error
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		path := filepath.Join(s.cfg.CheckpointDir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sess, err := eagleeye.RestoreSession(bufio.NewReader(f))
+		_ = f.Close()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: spool %s: %w", name, err)
+			}
+			continue
+		}
+		if _, aerr := s.insertSession(sess, strings.TrimSuffix(name, ".ckpt")); aerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: spool %s: %s", name, aerr.msg)
+			}
+			continue
+		}
+		_ = os.Remove(path)
+		resumed++
+		if s.met != nil {
+			s.met.checkpointsResumed.Inc()
+		}
+	}
+	return resumed, firstErr
+}
+
 // Shutdown drains the server: stop admitting sessions and runs, wait for
 // queued and executing jobs (until the deadline), then stop the worker
-// pool. It is safe to call once; the handler keeps answering queries and
-// deletes during the drain so orchestrators can observe it.
+// pool; with CheckpointDir set, idle sessions are then spooled to disk
+// for the next process to resume. It is safe to call once; the handler
+// keeps answering queries and deletes during the drain so orchestrators
+// can observe it.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
@@ -340,6 +538,11 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Unlock()
 	close(s.queue)
 	s.workers.Wait()
+	if s.cfg.CheckpointDir != "" {
+		if _, serr := s.spoolSessions(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
@@ -363,6 +566,10 @@ type metrics struct {
 	runSeconds      *obs.Histogram
 	rejects         map[string]*obs.Counter
 	requests        *requestMetrics
+
+	checkpointsTaken   *obs.Counter
+	checkpointsSpooled *obs.Counter
+	checkpointsResumed *obs.Counter
 }
 
 // rejectReasons enumerates the admission-reject label values so the
@@ -381,6 +588,12 @@ func newMetrics(r *obs.Registry) *metrics {
 			"Distribution of scenario run/step execution time, in seconds.", obs.DefTimeBuckets),
 		rejects:  make(map[string]*obs.Counter, len(rejectReasons)),
 		requests: newRequestMetrics(r),
+		checkpointsTaken: r.Counter("eagleeyed_checkpoints_total",
+			"Session checkpoints served over the API."),
+		checkpointsSpooled: r.Counter("eagleeyed_checkpoints_spooled_total",
+			"Sessions spooled to the checkpoint dir at shutdown."),
+		checkpointsResumed: r.Counter("eagleeyed_checkpoints_resumed_total",
+			"Sessions resumed from the checkpoint spool at startup."),
 	}
 	for _, reason := range rejectReasons {
 		m.rejects[reason] = r.Counter("eagleeyed_admission_rejects_total",

@@ -28,6 +28,21 @@ type ScenarioConfig struct {
 	// Workers is the per-run simulator parallelism; 0 inherits the
 	// server's default (1: concurrency comes from sessions, not one run).
 	Workers int `json:"workers,omitempty"`
+	// Continuous makes steps advance one uninterrupted timeline instead of
+	// independent reseeded windows; such sessions can be checkpointed
+	// mid-run and survive a daemon restart.
+	Continuous bool `json:"continuous,omitempty"`
+	// Events schedules mid-run fault events on the scenario timeline.
+	Events []EventSpec `json:"events,omitempty"`
+}
+
+// EventSpec is one scheduled mid-run fault event.
+type EventSpec struct {
+	AtHours float64 `json:"at_hours"`
+	// Kind is eagleeye.FaultFollowerFail or eagleeye.FaultLeaderFail.
+	Kind     string `json:"kind"`
+	Group    int    `json:"group,omitempty"`
+	Follower int    `json:"follower,omitempty"`
 }
 
 // TargetSpec is one custom-world target.
@@ -58,6 +73,12 @@ func (sc ScenarioConfig) toConfig() eagleeye.Config {
 		OrbitPlanes:       sc.OrbitPlanes,
 		RecaptureDedup:    sc.RecaptureDedup,
 		Workers:           sc.Workers,
+		Continuous:        sc.Continuous,
+	}
+	for _, ev := range sc.Events {
+		cfg.Events = append(cfg.Events, eagleeye.FaultEvent{
+			AtHours: ev.AtHours, Kind: ev.Kind, Group: ev.Group, Follower: ev.Follower,
+		})
 	}
 	for _, t := range sc.Targets {
 		cfg.Targets = append(cfg.Targets, eagleeye.Target{
@@ -83,6 +104,7 @@ type SessionInfo struct {
 	Runs        int                       `json:"runs"`
 	Failures    int                       `json:"failures,omitempty"`
 	LastError   string                    `json:"last_error,omitempty"`
+	Done        bool                      `json:"done,omitempty"`
 	Aggregate   eagleeye.SessionAggregate `json:"aggregate"`
 	LastResult  *eagleeye.Result          `json:"last_result,omitempty"`
 }
@@ -101,6 +123,7 @@ func (e *entry) info(withResult bool) SessionInfo {
 		Runs:        e.runs,
 		Failures:    e.failures,
 		LastError:   e.lastErr,
+		Done:        e.sess.Done(),
 		Aggregate:   e.sess.Aggregate(),
 	}
 	if withResult {

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eagleeye/internal/constellation"
+)
+
+// Mid-run fault events. Week-long horizons make satellite churn a
+// first-class concern: the multistage-reconfiguration literature plans
+// around it, and a durable service must keep statistics honest across a
+// failure. Events are injected at frame boundaries -- the first frame
+// whose timestamp is >= AtS -- so they are deterministic for any worker
+// count and reproduce exactly across checkpoint/restore (the restore
+// replay walks the same boundaries).
+
+// EventKind selects what fails.
+type EventKind uint8
+
+const (
+	// EventFollowerFail removes one follower from its group: it stops
+	// executing schedules and stops booking capture/slew energy. In the
+	// strip baselines (where there are no groups) any fail event retires
+	// the addressed satellite. A leader-follower group whose followers
+	// have all failed degrades to low-res seen accounting: the leader
+	// keeps imaging and computing, but there is no payload left to task,
+	// so the detect/schedule pipeline is skipped.
+	EventFollowerFail EventKind = iota + 1
+	// EventLeaderFail fails the group's current leader. The first
+	// surviving follower is re-elected: it leaves the follower set,
+	// restarts the leader ground track from its own ephemeris at the
+	// event boundary, and runs detection with the group's low-res camera
+	// parameters (the bus carries a spare low-res payload; all leaders
+	// are built identically, so the modeled camera is exact). A group
+	// with no survivor -- or a mix-camera satellite, which has no spare
+	// bus -- goes dark.
+	EventLeaderFail
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventFollowerFail:
+		return "follower-fail"
+	case EventLeaderFail:
+		return "leader-fail"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scheduled mid-run fault.
+type Event struct {
+	// AtS is the simulated time the fault occurs; it takes effect at the
+	// first frame boundary at or after this instant.
+	AtS float64
+	// Kind selects the fault.
+	Kind EventKind
+	// Group addresses the leader group (leader-follower, mix-camera) or
+	// the satellite index (strip baselines).
+	Group int
+	// Follower addresses the failing follower within the group
+	// (EventFollowerFail on leader-follower constellations only).
+	Follower int
+}
+
+// validateEvents checks the schedule against the built constellation and
+// returns the events grouped per job in deterministic order (time, then
+// configuration order within equal times).
+func validateEvents(events []Event, cons *constellation.Constellation) ([][]Event, error) {
+	nJobs := len(cons.Groups)
+	strip := false
+	switch cons.Config.Kind {
+	case constellation.LowResOnly, constellation.HighResOnly:
+		nJobs = len(cons.Sats)
+		strip = true
+	}
+	perJob := make([][]Event, nJobs)
+	for i, ev := range events {
+		if math.IsNaN(ev.AtS) || math.IsInf(ev.AtS, 0) || ev.AtS < 0 {
+			return nil, fmt.Errorf("sim: event %d: invalid time %v", i, ev.AtS)
+		}
+		if ev.Kind != EventFollowerFail && ev.Kind != EventLeaderFail {
+			return nil, fmt.Errorf("sim: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Group < 0 || ev.Group >= nJobs {
+			return nil, fmt.Errorf("sim: event %d: group %d out of range [0,%d)", i, ev.Group, nJobs)
+		}
+		if !strip && ev.Kind == EventFollowerFail {
+			nf := len(cons.Groups[ev.Group].Followers)
+			if nf == 0 {
+				return nil, fmt.Errorf("sim: event %d: follower-fail on group %d which has no followers (mix-camera has no follower to fail; use leader-fail)", i, ev.Group)
+			}
+			if ev.Follower < 0 || ev.Follower >= nf {
+				return nil, fmt.Errorf("sim: event %d: follower %d out of range [0,%d)", i, ev.Follower, nf)
+			}
+		}
+		perJob[ev.Group] = append(perJob[ev.Group], ev)
+	}
+	for _, evs := range perJob {
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].AtS < evs[b].AtS })
+	}
+	return perJob, nil
+}

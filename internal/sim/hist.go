@@ -1,0 +1,103 @@
+package sim
+
+// ImageTargetHist is the streaming replacement for the old per-frame
+// TargetsPerImage slice: a fixed-bucket histogram of truth target counts
+// over non-empty leader frames (Fig. 12b's CDF). A week-long run emits
+// hundreds of thousands of frames; the histogram holds them in constant
+// memory while keeping counts below the overflow bucket exact, which
+// covers every statistic the figures report (p50/p90/p99, the >19-target
+// share) -- only the extreme tail collapses, and Max preserves its
+// endpoint.
+type ImageTargetHist struct {
+	// Buckets[n] counts frames whose footprint held exactly n active
+	// targets for n < imageHistOverflow; Buckets[imageHistOverflow]
+	// collects every denser frame.
+	Buckets [imageHistBuckets]int64
+	// Max is the largest per-frame count observed, exact even when the
+	// frame landed in the overflow bucket.
+	Max int
+}
+
+const (
+	imageHistBuckets  = 64
+	imageHistOverflow = imageHistBuckets - 1
+)
+
+// Observe records one non-empty frame with n truth targets in view.
+func (h *ImageTargetHist) Observe(n int) {
+	if n < 0 {
+		return
+	}
+	b := n
+	if b > imageHistOverflow {
+		b = imageHistOverflow
+	}
+	h.Buckets[b]++
+	if n > h.Max {
+		h.Max = n
+	}
+}
+
+// Merge folds o into h (bucket-wise sums; Max is the maximum). Addition
+// is commutative on int64 counts, so merge order does not matter.
+func (h *ImageTargetHist) Merge(o *ImageTargetHist) {
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Count returns the number of frames observed.
+func (h *ImageTargetHist) Count() int64 {
+	var n int64
+	for _, c := range h.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Percentile returns the nearest-rank p-th percentile (p in (0,100]) of
+// the per-frame target count. Ranks that land in the overflow bucket
+// return Max, the only tail statistic the histogram retains exactly.
+func (h *ImageTargetHist) Percentile(p float64) int {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(total))
+	if float64(rank)*100 < p*float64(total) { // ceil
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < imageHistOverflow; i++ {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			return i
+		}
+	}
+	return h.Max
+}
+
+// CountOver returns how many frames held strictly more than n targets;
+// exact for n < imageHistOverflow (Fig. 12b reports the >19 share).
+func (h *ImageTargetHist) CountOver(n int) int64 {
+	if n < 0 {
+		n = -1
+	}
+	if n >= imageHistOverflow {
+		n = imageHistOverflow - 1
+	}
+	var c int64
+	for i := n + 1; i < imageHistBuckets; i++ {
+		c += h.Buckets[i]
+	}
+	return c
+}

@@ -1,0 +1,551 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eagleeye/internal/adacs"
+	"eagleeye/internal/cluster"
+	"eagleeye/internal/comms"
+	"eagleeye/internal/constellation"
+	"eagleeye/internal/core"
+	"eagleeye/internal/geo"
+	"eagleeye/internal/mip"
+	"eagleeye/internal/orbit"
+	"eagleeye/internal/sched"
+)
+
+// groupJob runs one group of the EagleEye operating model (or the
+// mix-camera variant, where the "follower" is the leader itself after its
+// compute delay). Groups are independent by construction -- each leader
+// has its own followers and ground track -- so a job only touches its
+// private runState and the concurrency-safe shared index.
+//
+// The job is persistent: run(untilS) advances the frame loop to a window
+// boundary and returns, keeping steppers, solver warm-start state and the
+// event cursor live between windows. That is what makes the simulation
+// checkpointable -- a snapshot stores the accumulators plus the frame
+// count, and restore replays the already-processed frames (advancing
+// steppers and re-applying fault events, skipping all accounting) to
+// rebuild the exact floating-point phase without serializing it.
+type groupJob struct {
+	st  *runState
+	gi  int
+	grp constellation.Group
+	mix bool
+
+	cadence  float64
+	computeS float64
+	env      sched.Env
+	pipe     *core.Pipeline
+	w, h, qr float64
+	swath    float64 // executing camera's high-res swath
+
+	lead *orbit.Stepper
+	// leadFresh marks a re-election frame: the replacement stepper is
+	// anchored at the current boundary and must not be advanced into it.
+	leadFresh     bool
+	schedSteppers []*orbit.Stepper
+	alive         []bool
+	aliveCount    int
+	leader        *constellation.Satellite
+	activeSlots   []int // schedule slot -> follower index, rebuilt per frame
+
+	ss *sched.SolverState
+	cs *cluster.SolverState
+
+	events     []Event
+	evCursor   int
+	evReplayTo int // events below this cursor were counted pre-snapshot
+
+	dark     bool
+	frameIdx int
+	ts       float64
+	skipTo   int // frames below this index replay without accounting
+}
+
+func newGroupJob(st *runState, gi int, grp constellation.Group, events []Event) *groupJob {
+	cfg := st.cfg
+	leader := grp.Leader
+	cadence := leader.Prop.FrameCadenceS(leader.LowRes.FootprintAlongM())
+	computeS := cfg.ComputeDelayS
+	if computeS == 0 {
+		computeS = cfg.Tiling.FrameTimeS(cfg.Detector)
+	}
+
+	followers := grp.Followers
+	mix := len(followers) == 0 // mix-camera: self-follower
+	env := sched.Env{
+		AltitudeM:     leader.Prop.AltitudeM(),
+		GroundSpeedMS: leader.Prop.GroundSpeedMS(),
+		Slew:          st.slewModel(),
+	}
+	// The off-nadir limit belongs to whichever camera executes the
+	// schedule: the leader's own high-res camera in the mix variant,
+	// the followers' otherwise.
+	if mix {
+		env.MaxOffNadirDeg = leader.HighRes.MaxOffNadirDeg
+		// The satellite must be back at nadir for the next frame.
+		env.HorizonS = math.Max(0, cadence-computeS-1)
+	} else {
+		env.MaxOffNadirDeg = followers[0].HighRes.MaxOffNadirDeg
+	}
+
+	pipe := &core.Pipeline{
+		Detector:      cfg.Detector,
+		Tiling:        cfg.Tiling,
+		UseClustering: !cfg.NoClustering,
+		// Frame-rate clustering: bound the set-cover ILP per frame;
+		// dense frames fall back to the greedy cover, as the energy
+		// and deadline budgets require.
+		ClusterOpts: cluster.Options{
+			ForceGreedy:      cfg.ClusterGreedy,
+			MaxILPCandidates: 400,
+			MIP:              mip.Options{TimeLimit: 150 * time.Millisecond, MaxNodes: 40},
+		},
+		Scheduler:      cfg.Scheduler,
+		HighResSwathM:  highResSwath(grp, leader),
+		RecallOverride: cfg.RecallOverride,
+	}
+	j := &groupJob{
+		st: st, gi: gi, grp: grp, mix: mix,
+		cadence: cadence, computeS: computeS, env: env, pipe: pipe,
+		leader: leader,
+		swath:  highResSwath(grp, leader),
+	}
+	jm := st.met
+	if jm != nil {
+		pipe.Timed = true
+		pipe.ClusterOpts.MIP.Metrics = jm.m.solverCluster
+	}
+	if pipe.Scheduler == nil {
+		// Frame-rate solves: bound the MIP search tightly; the polish pass
+		// and the greedy fallback keep truncated solves near-optimal. The
+		// default scheduler is built here, per group, so each leader owns a
+		// private temporal-coherence state (warm candidates, basis reuse,
+		// incremental model construction -- see sched.SolverState). Group-
+		// private state keeps the Result identical for any Workers value.
+		opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
+		if jm != nil {
+			opts.Metrics = jm.m.solverSched
+		}
+		ilp := sched.ILP{MIP: opts}
+		if !cfg.DisableWarmStart {
+			// Pooled so per-run state construction stays out of the
+			// steady-state allocation budget; Reset makes a recycled state
+			// behave exactly like a fresh one. The state is returned to the
+			// pool in close (Runner.Close), not per window.
+			j.ss = sched.GetSolverState()
+			ilp.State = j.ss
+			ilp.AggressiveWarm = warmAggressive
+		}
+		pipe.Scheduler = ilp
+	}
+	if !cfg.DisableWarmStart {
+		// Same temporal coherence for the per-frame set cover: the pinned
+		// per-group arena carries the LP basis and the previous greedy
+		// cover seeds the ILP.
+		j.cs = cluster.GetSolverState()
+		pipe.ClusterOpts.State = j.cs
+		pipe.ClusterOpts.AggressiveWarm = warmAggressive
+	}
+
+	j.w = leader.LowRes.SwathM
+	j.h = leader.LowRes.FootprintAlongM()
+	// Incremental propagation: one stepper tracks the leader at frame
+	// cadence; schedule-time steppers track the leader (mix) or each
+	// follower offset by the compute delay, advancing in lockstep.
+	j.lead = leader.Prop.NewStepper(0, cadence)
+	j.schedSteppers = make([]*orbit.Stepper, 0, len(followers)+1)
+	if mix {
+		j.schedSteppers = append(j.schedSteppers, leader.Prop.NewStepper(computeS, cadence))
+	} else {
+		for _, f := range followers {
+			j.schedSteppers = append(j.schedSteppers, f.Prop.NewStepper(computeS, cadence))
+		}
+	}
+	j.alive = make([]bool, len(j.schedSteppers))
+	for i := range j.alive {
+		j.alive[i] = true
+	}
+	j.aliveCount = len(j.alive)
+	j.activeSlots = make([]int, 0, len(j.alive))
+	// The candidate probe runs around the raw sub-point (before the h/2
+	// frame-center offset), so its radius is inflated by that offset:
+	// every target inside the frame disk is inside the probe disk, making
+	// the empty-frame fast path a pure superset check.
+	j.qr = frameRadius(j.w, j.h) + j.h/2
+	j.events = events
+	return j
+}
+
+func (j *groupJob) state() *runState { return j.st }
+
+func (j *groupJob) close() {
+	if j.ss != nil {
+		sched.PutSolverState(j.ss)
+		j.ss = nil
+	}
+	if j.cs != nil {
+		cluster.PutSolverState(j.cs)
+		j.cs = nil
+	}
+}
+
+// finalize: group jobs book all energy and comms per frame; nothing is
+// duration-derived.
+func (j *groupJob) finalize(agg *runState, elapsedS float64) {}
+
+// advanceSteppers moves every stepper to the current frame boundary. A
+// freshly re-elected leader stepper is already anchored there and is
+// skipped once.
+func (j *groupJob) advanceSteppers() {
+	if j.leadFresh {
+		j.leadFresh = false
+	} else {
+		j.lead.Advance()
+	}
+	for _, s := range j.schedSteppers {
+		s.Advance()
+	}
+}
+
+// applyEvent performs one fault's structural changes. Counters (Result
+// fields, metrics) are suppressed while the event cursor is below the
+// snapshot's watermark: a restore replays structure, not accounting.
+func (j *groupJob) applyEvent(ev Event) {
+	if j.dark {
+		// Several events can land on the same boundary; once the group is
+		// dark there is nothing left to fail, so later ones are consumed
+		// without inflating the failure counters.
+		j.evCursor++
+		return
+	}
+	st := j.st
+	count := j.evCursor >= j.evReplayTo
+	jm := st.met
+	switch ev.Kind {
+	case EventFollowerFail:
+		if j.alive[ev.Follower] {
+			j.alive[ev.Follower] = false
+			j.aliveCount--
+			if count {
+				st.res.SatsFailed++
+			}
+		}
+	case EventLeaderFail:
+		if count {
+			st.res.SatsFailed++
+		}
+		slot := -1
+		if !j.mix {
+			for si, a := range j.alive {
+				if a {
+					slot = si
+					break
+				}
+			}
+		}
+		if slot < 0 {
+			// Mix-camera bus, or no surviving follower: the group goes
+			// dark at this boundary.
+			j.dark = true
+		} else {
+			// Re-election: the survivor leaves the follower set and
+			// restarts the leader ground track from its own ephemeris at
+			// this boundary (the bus carries a spare low-res payload with
+			// the group's standard camera parameters).
+			nl := j.grp.Followers[slot]
+			j.alive[slot] = false
+			j.aliveCount--
+			j.leader = nl
+			j.lead = nl.Prop.NewStepper(j.ts, j.cadence)
+			j.leadFresh = true
+			j.env.AltitudeM = nl.Prop.AltitudeM()
+			j.env.GroundSpeedMS = nl.Prop.GroundSpeedMS()
+			if count {
+				st.res.LeaderReelections++
+				if jm != nil {
+					jm.leaderReelections.Inc()
+				}
+			}
+		}
+	}
+	if count {
+		st.res.EventsApplied++
+		if jm != nil {
+			switch ev.Kind {
+			case EventFollowerFail:
+				jm.eventsFollowerFail.Inc()
+			case EventLeaderFail:
+				jm.eventsLeaderFail.Inc()
+			}
+		}
+	}
+	j.evCursor++
+}
+
+// run advances the frame loop until the first frame boundary at or past
+// untilS (frames strictly before untilS are produced). Frames below the
+// restore watermark replay -- steppers advance and events apply, but no
+// accounting, scheduling or RNG draws happen; the snapshot already holds
+// their effects.
+func (j *groupJob) run(untilS float64) error {
+	st := j.st
+	cfg := &st.cfg
+	jm := st.met
+	for !j.dark && j.ts < untilS {
+		ts := j.ts
+		// Fault events fire at frame boundaries, before the frame exists.
+		for j.evCursor < len(j.events) && j.events[j.evCursor].AtS <= ts {
+			j.applyEvent(j.events[j.evCursor])
+		}
+		if j.dark {
+			return nil
+		}
+		replay := j.frameIdx < j.skipTo
+		if j.frameIdx > 0 {
+			if jm != nil && !replay && j.frameIdx&ephSampleMask == 0 {
+				// Sampled ephemeris span: the advance costs about as much
+				// as the clock read, so 1-in-64 frames are timed and the
+				// ns total is scaled back up (histogram gets raw samples).
+				t0 := time.Now()
+				j.advanceSteppers()
+				d := int64(time.Since(t0))
+				jm.stageNS[stageEphemeris].Add(d << ephSampleShift)
+				jm.stageHist[stageEphemeris].Observe(float64(d) / 1e9)
+			} else {
+				j.advanceSteppers()
+			}
+		}
+		j.frameIdx++
+		frameIdx := j.frameIdx
+		j.ts = ts + j.cadence
+		if replay {
+			continue
+		}
+		st.res.Frames++
+		if jm != nil {
+			jm.frames.Inc()
+			if frameIdx&255 == 0 {
+				jm.m.progress.SetMax(ts / cfg.DurationS)
+			}
+		}
+		st.leaderB.Capture(1)
+		st.leaderB.Compute(j.computeS)
+		cands := st.candidatesNear(j.lead.SubPoint(), j.qr, ts)
+		if len(cands) == 0 {
+			continue
+		}
+		ls := j.lead.State()
+		// A frame captured at ts covers the swath ahead of the
+		// leader's nadir (Fig. 9): the leader overflies the imaged
+		// area during the ~13.7 s it spends computing, which is why
+		// the separation equals the swath width -- a follower 100 km
+		// back is still behind the frame area when the schedule
+		// arrives, whatever the compute latency, while a mix-camera
+		// satellite has flown into its own frame and must look
+		// backward at targets whose windows are closing.
+		center := geo.Destination(ls.SubPoint, ls.HeadingDeg, j.h/2)
+		frame := geo.TangentFrame{Origin: center, BearingDeg: ls.HeadingDeg}
+		idx, pts := st.filterInFrame(cands, frame, j.w, j.h, ts)
+		if len(idx) == 0 {
+			continue
+		}
+		st.res.FramesWithTargets++
+		if jm != nil {
+			jm.framesWithTargets.Inc()
+		}
+		st.res.TargetsPerImage.Observe(len(idx))
+		for _, ci := range idx {
+			st.seen[ci] = true
+		}
+		if j.aliveCount == 0 {
+			// Every capture payload has failed: the leader keeps imaging
+			// (seen accounting above stays honest) but there is nothing to
+			// task, so the detect/schedule pipeline is skipped.
+			continue
+		}
+
+		// Schedule starts when the leader finishes computing.
+		tSched := ts + j.computeS
+		fols := st.scFols[:0]
+		slots := j.activeSlots[:0]
+		for si, s := range j.schedSteppers {
+			if !j.alive[si] {
+				continue
+			}
+			sub := frame.ToLocal(s.SubPoint())
+			fols = append(fols, sched.Follower{SubPoint: sub, Boresight: sub})
+			slots = append(slots, si)
+		}
+		st.scFols = fols
+		j.activeSlots = slots
+
+		st.rngSrc.Seed(frameSeed(cfg.Seed, j.gi, frameIdx))
+		j.pipe.Rng = st.rng
+		if cfg.RecaptureDedup {
+			// §4.7 recapture: detections at already-captured ground
+			// cells are deprioritized to a tenth of their score.
+			j.pipe.PriorityScale = func(lp geo.Point2) float64 {
+				if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
+					st.res.RecaptureSuppressed++
+					return 0.1
+				}
+				return 1
+			}
+		}
+		recapBefore := st.res.RecaptureSuppressed
+		fres, err := j.pipe.ProcessFrame(core.Frame{
+			Truth:  pts,
+			Bounds: geo.NewRectCentered(geo.Point2{}, j.w, j.h),
+			GSDM:   j.leader.LowRes.GSDM,
+		}, fols, j.env)
+		if err != nil {
+			return fmt.Errorf("sim: group %d frame %d: %w", j.gi, frameIdx, err)
+		}
+		if jm != nil {
+			jm.detections.Add(int64(len(fres.Detections)))
+			jm.clusters.Add(int64(len(fres.Clusters)))
+			jm.schedSolves.Inc()
+			jm.span(stageDetect, int64(fres.DetectWall))
+			jm.span(stageCluster, int64(fres.ClusterWall))
+			jm.span(stageSched, int64(fres.SchedWall))
+			if fres.Schedule.SolveStats.Fallback {
+				jm.schedFallbacks.Inc()
+			}
+			if d := st.res.RecaptureSuppressed - recapBefore; d > 0 {
+				jm.recaptureSuppressed.Add(int64(d))
+			}
+		}
+		st.res.Detections += len(fres.Detections)
+		st.res.Clusters += len(fres.Clusters)
+		st.res.SchedSolves++
+		st.res.SchedWallTotal += fres.SchedWall
+		if fres.SchedWall > st.res.SchedWallMax {
+			st.res.SchedWallMax = fres.SchedWall
+		}
+		st.res.SchedNodes += fres.Schedule.SolveStats.Nodes
+		st.res.SchedIters += fres.Schedule.SolveStats.Iters
+		st.res.SchedPivotWall += fres.Schedule.SolveStats.PivotWall
+		st.res.ClusterNodes += fres.ClusterStats.Nodes
+		st.res.ClusterIters += fres.ClusterStats.Iters
+		st.res.ClusterPivotWall += fres.ClusterStats.PivotWall
+		if j.computeS+fres.SchedWall.Seconds() > j.cadence {
+			st.res.MissedDeadline++
+			if jm != nil {
+				jm.missedDeadlines.Inc()
+			}
+		}
+		if cfg.ValidateSchedules {
+			if err := validateAgainstPipeline(&fres, fols, j.env); err != nil {
+				return fmt.Errorf("sim: group %d frame %d: %w", j.gi, frameIdx, err)
+			}
+		}
+		var spanStart time.Time
+		capsBefore := st.res.Captures
+		if jm != nil {
+			spanStart = time.Now()
+		}
+		j.executeSchedule(frame, tSched, &fres)
+		if jm != nil {
+			jm.span(stageExecute, int64(time.Since(spanStart)))
+			jm.captures.Add(int64(st.res.Captures - capsBefore))
+			spanStart = time.Now()
+		}
+		st.res.CrosslinkBytes += fres.CrosslinkBytes
+		st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
+		if jm != nil {
+			// Wire bytes are integral by construction; the int64 counter
+			// keeps the total deterministic across worker counts.
+			jm.crosslinkBytes.Add(int64(fres.CrosslinkBytes))
+		}
+		if !st.traceOn {
+			if jm != nil {
+				jm.span(stageAccount, int64(time.Since(spanStart)))
+			}
+			continue
+		}
+		st.trace = append(st.trace, TraceRecord{
+			Group:        j.gi,
+			Frame:        frameIdx,
+			TimeS:        ts,
+			Lat:          frame.Origin.Lat,
+			Lon:          frame.Origin.Lon,
+			Targets:      len(idx),
+			Detected:     len(fres.Detections),
+			Clusters:     len(fres.Clusters),
+			Captures:     fres.Schedule.NumCaptures(),
+			Covered:      len(fres.Schedule.CoveredIDs()),
+			SchedMS:      float64(fres.SchedWall.Microseconds()) / 1000,
+			Deadline:     j.computeS+fres.SchedWall.Seconds() <= j.cadence,
+			SchedNodes:   fres.Schedule.SolveStats.Nodes,
+			SchedIters:   fres.Schedule.SolveStats.Iters,
+			SchedGap:     fres.Schedule.SolveStats.Gap,
+			ClusterNodes: fres.ClusterStats.Nodes,
+			ClusterIters: fres.ClusterStats.Iters,
+		})
+		if jm != nil {
+			jm.span(stageAccount, int64(time.Since(spanStart)))
+		}
+	}
+	return nil
+}
+
+// executeSchedule scores captures: a truth target counts as captured when
+// its true position at the capture time lies inside the captured
+// footprint. Moving targets may drift out between detection and capture --
+// exactly the §4.6 lookahead effect.
+func (j *groupJob) executeSchedule(frame geo.TangentFrame, tSched float64, fres *core.Result) {
+	st := j.st
+	swath := j.swath
+	for fi, seq := range fres.Schedule.Captures {
+		// Slew energy depends on the executing satellite's own altitude:
+		// the leader itself in the mix variant, the follower behind
+		// schedule slot fi otherwise (groups may mix altitudes; failed
+		// followers hold no slot).
+		exec := j.leader
+		if !j.mix && fi < len(j.activeSlots) {
+			exec = j.grp.Followers[j.activeSlots[fi]]
+		}
+		altM := exec.Prop.AltitudeM()
+		var prevAim geo.Point2
+		prevT := 0.0
+		first := true
+		for _, c := range seq {
+			absT := tSched + c.Time
+			fp := geo.NewRectCentered(c.Aim, swath, swath)
+			// Re-query around the aim point at capture time: targets may
+			// have moved into or out of the footprint. The candidate
+			// scratch is free here: the frame's filtered idx/pts live in
+			// their own buffers.
+			cands := st.candidatesNear(frame.ToGeodetic(c.Aim), frameRadius(swath, swath), absT)
+			for _, ci := range cands {
+				tgt := &st.index.Set().Targets[ci]
+				if !tgt.ActiveAt(absT) {
+					continue
+				}
+				if fp.Contains(frame.ToLocal(tgt.PosAt(absT))) {
+					st.captured[ci] = true
+					if st.cfg.RecaptureDedup {
+						st.capCells[capCellKey(tgt.PosAt(absT))] = true
+					}
+				}
+			}
+			st.res.Captures++
+			st.folB.Capture(1)
+			if !first {
+				// Approximate the commanded rotation by the aim-point
+				// angular separation at capture times.
+				ang := adacs.PointingAngleDeg(
+					geo.Point2{X: prevAim.X, Y: prevAim.Y - 50e3}, prevAim,
+					geo.Point2{X: c.Aim.X, Y: c.Aim.Y - 50e3}, c.Aim,
+					altM)
+				st.folB.Slew(ang, c.Time-prevT)
+			}
+			first = false
+			prevAim, prevT = c.Aim, c.Time
+		}
+	}
+}

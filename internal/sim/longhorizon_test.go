@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"eagleeye/internal/constellation"
+)
+
+// TestLongHorizonMemoryBounded is the week-long acceptance run: 168
+// simulated hours, advanced through daily windows with a mid-week leader
+// failure, while the live heap stays under a fixed ceiling. The result
+// state is O(1) in the horizon -- the per-image distribution is a
+// fixed-bucket histogram and every other accumulator is a scalar or a
+// target-indexed bitset -- so the heap high-water mark is set by the
+// scenario (dataset, index, solver arenas), not by the number of frames.
+// A regression back to per-frame result state (the old TargetsPerImage
+// slice, or unbounded trace staging) shows up as heap growth proportional
+// to simulated time and breaks the ceiling.
+func TestLongHorizonMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("week-long simulation in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates heap measurements")
+	}
+	const (
+		horizonS = 168 * 3600
+		windowS  = 24 * 3600
+		// Generous versus the ~10 MiB a healthy run needs, fatal for
+		// anything that accumulates per-frame state over ~87k frames.
+		heapCeiling = 64 << 20
+	)
+	cfg := Config{
+		Constellation: constellation.Config{
+			Kind: constellation.LeaderFollower, Satellites: 8, FollowersPerGroup: 3,
+		},
+		App:       smallWorld(1500, 95),
+		DurationS: horizonS,
+		Seed:      1,
+		Events: []Event{
+			// Mid-week churn: one group loses a follower, the other its
+			// leader (absorbed by re-election).
+			{AtS: 60 * 3600, Kind: EventFollowerFail, Group: 0, Follower: 1},
+			{AtS: 84 * 3600, Kind: EventLeaderFail, Group: 1},
+		},
+	}
+	r := mustRunner(t, cfg)
+	var ms runtime.MemStats
+	for day := 1; day <= 7; day++ {
+		advance(t, r, float64(day)*windowS)
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > heapCeiling {
+			t.Fatalf("day %d: live heap %d MiB exceeds %d MiB ceiling",
+				day, ms.HeapAlloc>>20, heapCeiling>>20)
+		}
+	}
+	if !r.Done() {
+		t.Fatalf("runner not done at %v / %v", r.Now(), r.Duration())
+	}
+	res := result(t, r)
+	if res.Frames < 50000 {
+		t.Errorf("suspiciously short week: %d frames", res.Frames)
+	}
+	if res.EventsApplied != 2 || res.SatsFailed != 2 || res.LeaderReelections != 1 {
+		t.Errorf("fault accounting: applied %d failed %d reelected %d, want 2/2/1",
+			res.EventsApplied, res.SatsFailed, res.LeaderReelections)
+	}
+	// The streaming histogram must account for every non-empty frame.
+	if got := res.TargetsPerImage.Count(); got != int64(res.FramesWithTargets) {
+		t.Errorf("histogram count %d != non-empty frames %d", got, res.FramesWithTargets)
+	}
+	if res.Captures == 0 || res.HighResCaptured == 0 {
+		t.Errorf("week-long run captured nothing: %+v", res)
+	}
+}

@@ -60,6 +60,18 @@ type simMetrics struct {
 	recaptureSuppressed *obs.Counter
 	crosslinkBytes      *obs.Counter
 
+	// Fault-event counters (deterministic; Config.Events is part of the
+	// scenario).
+	eventsFollowerFail *obs.Counter
+	eventsLeaderFail   *obs.Counter
+	leaderReelections  *obs.Counter
+
+	// Checkpoint lifecycle counters, bumped by Runner.Snapshot and
+	// RestoreRunner (process-local: a restored process starts at zero).
+	checkpointWrites   *obs.Counter
+	checkpointRestores *obs.Counter
+	checkpointBytes    *obs.Counter
+
 	// Timing- and limit-dependent counters (machine-dependent).
 	missedDeadlines *obs.Counter
 	schedFallbacks  *obs.Counter
@@ -91,6 +103,12 @@ func newSimMetrics(r *obs.Registry) *simMetrics {
 		schedSolves:         r.Counter("eagleeye_sched_solves_total", "Scheduling problems solved (one per non-empty leader frame)."),
 		recaptureSuppressed: r.Counter("eagleeye_recapture_suppressed_total", "Detections deprioritized by the recapture registry."),
 		crosslinkBytes:      r.Counter("eagleeye_crosslink_bytes_total", "Schedule bytes sent leader-to-follower (wire encoding)."),
+		eventsFollowerFail:  r.Counter("eagleeye_fault_events_total", "Mid-run fault events applied, by kind.", obs.Label{Key: "kind", Value: "follower-fail"}),
+		eventsLeaderFail:    r.Counter("eagleeye_fault_events_total", "Mid-run fault events applied, by kind.", obs.Label{Key: "kind", Value: "leader-fail"}),
+		leaderReelections:   r.Counter("eagleeye_leader_reelections_total", "Leader failures absorbed by re-electing a surviving follower."),
+		checkpointWrites:    r.Counter("eagleeye_checkpoint_writes_total", "Simulation snapshots written."),
+		checkpointRestores:  r.Counter("eagleeye_checkpoint_restores_total", "Simulation snapshots restored."),
+		checkpointBytes:     r.Counter("eagleeye_checkpoint_bytes_total", "Bytes of simulation snapshots written."),
 		missedDeadlines:     r.Counter("eagleeye_missed_deadlines_total", "Frames whose compute plus scheduling exceeded the frame cadence (wall-clock dependent)."),
 		schedFallbacks:      r.Counter("eagleeye_sched_fallbacks_total", "Schedules produced by the greedy fallback after the ILP stopped without an incumbent."),
 		progress:            r.Gauge("eagleeye_sim_progress", "Simulated-time fraction completed by the furthest-ahead job, 0 to 1."),
@@ -124,6 +142,9 @@ type jobMetrics struct {
 	schedSolves         obs.CounterShard
 	recaptureSuppressed obs.CounterShard
 	crosslinkBytes      obs.CounterShard
+	eventsFollowerFail  obs.CounterShard
+	eventsLeaderFail    obs.CounterShard
+	leaderReelections   obs.CounterShard
 	missedDeadlines     obs.CounterShard
 	schedFallbacks      obs.CounterShard
 
@@ -144,6 +165,9 @@ func (m *simMetrics) job(i int) *jobMetrics {
 		schedSolves:         m.schedSolves.Shard(i),
 		recaptureSuppressed: m.recaptureSuppressed.Shard(i),
 		crosslinkBytes:      m.crosslinkBytes.Shard(i),
+		eventsFollowerFail:  m.eventsFollowerFail.Shard(i),
+		eventsLeaderFail:    m.eventsLeaderFail.Shard(i),
+		leaderReelections:   m.leaderReelections.Shard(i),
 		missedDeadlines:     m.missedDeadlines.Shard(i),
 		schedFallbacks:      m.schedFallbacks.Shard(i),
 	}

@@ -3,73 +3,54 @@ package sim
 import (
 	"runtime"
 	"sync"
-
-	"eagleeye/internal/constellation"
-	"eagleeye/internal/dataset"
 )
 
 // Parallel execution: constellation groups share no state by
 // construction (§3's organization gives each leader its own followers
 // and ground track), so the simulator runs one job per group (or per
 // satellite for the strip baselines) on a bounded worker pool. Each job
-// owns a private runState; Run merges them in job order afterwards,
-// which keeps any worker count byte-identical to a sequential run at a
-// fixed seed. The only shared structure is the dataset.TimedIndex, which
-// is safe for concurrent readers.
+// owns a private runState; the Runner merges them in job order, which
+// keeps any worker count byte-identical to a sequential run at a fixed
+// seed. The only shared structure is the dataset.TimedIndex, which is
+// safe for concurrent readers.
 
-// runJobs executes the jobs on cfg.Workers goroutines (0 means
-// GOMAXPROCS) and returns the private states in job order. The
-// first-failing job's error (in job order, not completion order) is
-// returned so parallel runs report the same error as sequential ones.
-// States are returned even on error: the caller salvages the staged
-// trace records of completed (and partially completed) jobs so an
-// aborted run still leaves a usable trace prefix.
-func runJobs(cfg Config, cons *constellation.Constellation, index *dataset.TimedIndex, sm *simMetrics, jobs []func(*runState) error) ([]*runState, error) {
-	workers := cfg.Workers
+// poolWorkers resolves a Workers setting against the job count: 0 means
+// GOMAXPROCS, and there is no point spawning more workers than jobs.
+func poolWorkers(workers, jobs int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > jobs {
+		workers = jobs
 	}
-	states := make([]*runState, len(jobs))
-	errs := make([]error, len(jobs))
-	runOne := func(i int) {
-		st := newRunState(cfg, cons, index)
-		if sm != nil {
-			// The shard view is keyed by job index, not worker: totals
-			// then sum identically however jobs land on workers.
-			st.met = sm.job(i)
-		}
-		states[i] = st
-		errs[i] = jobs[i](st)
-	}
+	return workers
+}
+
+// runParallel executes fn(0..n-1) on the given number of goroutines (<=1
+// runs inline). It returns when every call has; error collection is the
+// caller's, indexed so job order -- not completion order -- decides
+// which error surfaces.
+func runParallel(workers, n int, fn func(int)) {
 	if workers <= 1 {
-		for i := range jobs {
-			runOne(i)
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					runOne(i)
-				}
-			}()
-		}
-		for i := range jobs {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		return
 	}
-	for _, err := range errs {
-		if err != nil {
-			return states, err
-		}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
 	}
-	return states, nil
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }

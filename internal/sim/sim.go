@@ -11,10 +11,16 @@
 // constellations reduce to nadir strip coverage; the mix-camera variant
 // reuses the leader pipeline with the satellite scheduling itself after
 // its own compute delay (Fig. 9/13).
+//
+// Long-horizon runs are first-class: Runner exposes the same simulation
+// as a windowed stepper with versioned binary snapshots (Snapshot /
+// RestoreRunner), Config.Events injects mid-run faults at frame
+// boundaries, and per-frame accumulation is O(1) in the duration (the
+// per-image target distribution is a fixed-bucket ImageTargetHist, not a
+// slice).
 package sim
 
 import (
-	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -22,7 +28,6 @@ import (
 
 	"eagleeye/internal/adacs"
 	"eagleeye/internal/camera"
-	"eagleeye/internal/cluster"
 	"eagleeye/internal/comms"
 	"eagleeye/internal/constellation"
 	"eagleeye/internal/core"
@@ -30,9 +35,7 @@ import (
 	"eagleeye/internal/detect"
 	"eagleeye/internal/energy"
 	"eagleeye/internal/geo"
-	"eagleeye/internal/mip"
 	"eagleeye/internal/obs"
-	"eagleeye/internal/orbit"
 	"eagleeye/internal/sched"
 )
 
@@ -96,6 +99,11 @@ type Config struct {
 	// targets. The registry is per group -- sharing it across groups would
 	// require inter-group communication the constellation does not have.
 	RecaptureDedup bool
+	// Events schedules mid-run faults (satellite failures, leader
+	// re-election); see Event. They fire at frame boundaries, are
+	// validated against the built constellation, and are part of the
+	// scenario identity a snapshot is checked against.
+	Events []Event
 	// Trace, when non-nil, receives one JSON line per processed leader
 	// frame (see TraceRecord). Records are emitted in group order, frames
 	// in time order within each group, regardless of Workers.
@@ -136,9 +144,11 @@ type Result struct {
 	Clusters          int
 	Captures          int
 
-	// TargetsPerImage holds the per-nonempty-frame truth target count
-	// (Fig. 12b's CDF).
-	TargetsPerImage []int
+	// TargetsPerImage holds the distribution of per-nonempty-frame truth
+	// target counts (Fig. 12b's CDF) as a fixed-bucket histogram, so
+	// week-long runs accumulate O(1) result state instead of a per-frame
+	// slice.
+	TargetsPerImage ImageTargetHist
 
 	SchedSolves    int
 	SchedWallTotal time.Duration
@@ -159,6 +169,12 @@ type Result struct {
 	// RecaptureSuppressed counts detections deprioritized by the §4.7
 	// recapture extension.
 	RecaptureSuppressed int
+
+	// Fault-event accounting (Config.Events): events applied so far,
+	// satellites lost to them, and leader re-elections performed.
+	EventsApplied     int
+	SatsFailed        int
+	LeaderReelections int
 
 	// CrosslinkBytes is the total schedule traffic leaders sent (wire
 	// encoding, §5.3 bound enforced per message).
@@ -194,153 +210,19 @@ func (r *Result) LowResSeenPct() float64 {
 	return 100 * float64(r.LowResSeen) / float64(r.TotalTargets)
 }
 
-// Run executes the simulation.
+// Run executes the simulation in one shot: a Runner advanced straight to
+// the configured duration. Windowed advancement, snapshots and restore
+// are on the Runner itself.
 func Run(cfg Config) (*Result, error) {
-	if cfg.App == nil {
-		return nil, fmt.Errorf("sim: no app workload")
-	}
-	if cfg.DurationS == 0 {
-		cfg.DurationS = 86400
-	}
-	var sm *simMetrics
-	if cfg.Metrics != nil {
-		sm = newSimMetrics(cfg.Metrics)
-	}
-	// A nil Scheduler is materialized per group inside runGroup, so each
-	// leader gets its own cross-frame warm-start state.
-	if cfg.Detector.PerTileS == 0 {
-		cfg.Detector = detect.YoloN()
-	}
-	if cfg.Tiling.FramePx == 0 {
-		cfg.Tiling = detect.PaperTiling()
-	}
-	cons, err := constellation.Build(cfg.Constellation, DefaultEpoch)
+	r, err := NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{
-		Kind:         cons.Config.Kind.String(),
-		App:          cfg.App.Name,
-		TotalTargets: len(cfg.App.Targets),
-	}
-	// The timed index is the only state shared between jobs; it is safe
-	// for concurrent readers.
-	index := dataset.NewTimedIndex(cfg.App, 2, 600)
-
-	// Independent jobs: one per satellite for the strip baselines, one
-	// per leader group otherwise (groups share no state by construction).
-	var jobs []func(*runState) error
-	switch cons.Config.Kind {
-	case constellation.LowResOnly, constellation.HighResOnly:
-		for _, sat := range cons.Sats {
-			sat := sat
-			jobs = append(jobs, func(st *runState) error {
-				st.runStripSat(sat)
-				return nil
-			})
-		}
-	case constellation.LeaderFollower, constellation.MixCamera:
-		for gi := range cons.Groups {
-			gi := gi
-			jobs = append(jobs, func(st *runState) error {
-				return st.runGroup(gi, cons.Groups[gi])
-			})
-		}
-	default:
-		return nil, fmt.Errorf("sim: unsupported kind %v", cons.Config.Kind)
-	}
-
-	if sm != nil {
-		sm.targetsTotal.Set(float64(res.TotalTargets))
-	}
-	states, err := runJobs(cfg, cons, index, sm, jobs)
-	if err != nil {
-		// Trace durability on the error path: jobs that completed (and the
-		// failing job's prefix) already staged their records; write them
-		// out before surfacing the error so an aborted long run keeps its
-		// trace instead of losing everything after the last full run.
-		emitTraces(cfg.Trace, states)
+	defer r.Close()
+	if err := r.Advance(r.cfg.DurationS); err != nil {
 		return nil, err
 	}
-
-	// Deterministic merge: fold private accumulators in job order, so a
-	// parallel run reduces exactly like the sequential one.
-	agg := newRunState(cfg, cons, index)
-	agg.res = res
-	for _, s := range states {
-		s.mergeInto(agg)
-	}
-
-	for _, c := range agg.captured {
-		if c {
-			res.HighResCaptured++
-		}
-	}
-	for _, s := range agg.seen {
-		if s {
-			res.LowResSeen++
-		}
-	}
-	agg.finalizeEnergy()
-	agg.finalizeComms()
-	if sm != nil {
-		sm.progress.Set(1)
-		sm.targetsSeen.Set(float64(res.LowResSeen))
-		sm.targetsCaptured.Set(float64(res.HighResCaptured))
-	}
-
-	if err := emitTraces(cfg.Trace, states); err != nil {
-		return nil, fmt.Errorf("sim: trace: %w", err)
-	}
-	return res, nil
-}
-
-// emitTraces writes the jobs' staged trace records in job order, flushing
-// at every frame-group boundary so a consumer (or a crash) mid-emission
-// observes whole groups rather than a truncated 64 KiB tail.
-func emitTraces(w io.Writer, states []*runState) error {
-	tw := newTraceWriter(w)
-	for _, s := range states {
-		if s == nil {
-			continue
-		}
-		for _, rec := range s.trace {
-			tw.emit(rec)
-		}
-		tw.flush()
-	}
-	return tw.Err()
-}
-
-// finalizeComms computes how much of the captured imagery the downlink can
-// return: followers see a ground station ~6 min/orbit (§5.3), and each
-// high-resolution image is ~33 MB.
-func (st *runState) finalizeComms() {
-	if st.res.Captures == 0 {
-		st.res.DownlinkableFraction = 1
-		return
-	}
-	nFollowers := 0
-	for _, g := range st.cons.Groups {
-		nFollowers += len(g.Followers)
-		if len(g.Followers) == 0 {
-			nFollowers++ // mix-camera: the satellite downlinks its own captures
-		}
-	}
-	link := comms.PaperDownlink()
-	orbits := st.cfg.DurationS / (94 * 60)
-	if orbits < 1 {
-		orbits = 1
-	}
-	hr := camera.PaperHighRes()
-	imgBytes := comms.ImageBytes(hr.FramePixels(), 3)
-	capacityImages := link.CapacityPerOrbitBytes() / imgBytes * orbits * float64(nFollowers)
-	frac := capacityImages / float64(st.res.Captures)
-	if frac > 1 {
-		frac = 1
-	}
-	st.res.DownlinkableFraction = frac
+	return r.Result()
 }
 
 // runState carries one job's private simulation state. Every group (or
@@ -359,12 +241,15 @@ type runState struct {
 	// already captured at high resolution (used when cfg.RecaptureDedup
 	// is set).
 	capCells map[int64]bool
-	// trace buffers this job's frame records; they are emitted in group
-	// order after all jobs complete. traceOn gates the staging entirely:
-	// most runs pass no Trace writer and should not pay for record
-	// assembly (CoveredIDs in particular allocates).
-	trace   []TraceRecord
-	traceOn bool
+	// trace buffers this job's frame records for the current window; the
+	// Runner drains them in group order at every Advance boundary. traceOn
+	// gates the staging entirely: most runs pass no Trace writer and
+	// should not pay for record assembly (CoveredIDs in particular
+	// allocates). traceEmitted counts records already drained to the sink
+	// -- the trace cursor a snapshot preserves.
+	trace        []TraceRecord
+	traceOn      bool
+	traceEmitted int64
 	// met is this job's pre-resolved metric shard view; nil (the common
 	// case) disables instrumentation at the cost of one branch per site.
 	met *jobMetrics
@@ -407,7 +292,7 @@ func newRunState(cfg Config, cons *constellation.Constellation, index *dataset.T
 // mergeInto folds this job's private accumulators into dst. Callers
 // invoke it in job order; every reduction below is either
 // order-insensitive (counters, bitmap unions, maxima) or explicitly
-// ordered by that call sequence (per-image counts), which is what makes
+// ordered by that call sequence (budget additions), which is what makes
 // parallel runs byte-identical to sequential ones.
 func (st *runState) mergeInto(dst *runState) {
 	r, p := dst.res, st.res
@@ -416,7 +301,7 @@ func (st *runState) mergeInto(dst *runState) {
 	r.Detections += p.Detections
 	r.Clusters += p.Clusters
 	r.Captures += p.Captures
-	r.TargetsPerImage = append(r.TargetsPerImage, p.TargetsPerImage...)
+	r.TargetsPerImage.Merge(&p.TargetsPerImage)
 	r.SchedSolves += p.SchedSolves
 	r.SchedWallTotal += p.SchedWallTotal
 	if p.SchedWallMax > r.SchedWallMax {
@@ -430,6 +315,9 @@ func (st *runState) mergeInto(dst *runState) {
 	r.ClusterIters += p.ClusterIters
 	r.ClusterPivotWall += p.ClusterPivotWall
 	r.RecaptureSuppressed += p.RecaptureSuppressed
+	r.EventsApplied += p.EventsApplied
+	r.SatsFailed += p.SatsFailed
+	r.LeaderReelections += p.LeaderReelections
 	r.CrosslinkBytes += p.CrosslinkBytes
 	for i, c := range st.captured {
 		if c {
@@ -513,412 +401,11 @@ func (st *runState) filterInFrame(cands []int32, f geo.TangentFrame, w, h float6
 	return idx, pts
 }
 
-// runStripSat handles one satellite of the homogeneous baselines: it
-// continuously images its nadir strip; a target is covered when it falls
-// inside the swath. Consecutive frames tile the ground track, so the loop
-// walks the track in long steps with a swath-wide, step-long footprint.
-func (st *runState) runStripSat(sat *constellation.Satellite) {
-	swath := sat.LowRes.SwathM
-	highRes := false
-	if !sat.HasLowRes() {
-		swath = sat.HighRes.SwathM
-		highRes = true
-	}
-	stepS := 50e3 / sat.Prop.GroundSpeedMS() // 50 km along-track steps
-	stepLen := sat.Prop.GroundSpeedMS() * stepS
-	qr := frameRadius(swath, stepLen)
-	jm := st.met
-	stp := sat.Prop.NewStepper(0, stepS)
-	for ts := 0.0; ts < st.cfg.DurationS; ts += stepS {
-		if ts > 0 {
-			stp.Advance()
-		}
-		st.res.Frames++
-		if jm != nil {
-			jm.frames.Inc()
-		}
-		// Empty-frame fast path: most ocean/desert steps see no
-		// candidates, so probe the index around the cheap sub-point
-		// before computing the full state and tangent frame.
-		cands := st.candidatesNear(stp.SubPoint(), qr, ts)
-		if len(cands) == 0 {
-			continue
-		}
-		s := stp.State()
-		f := geo.TangentFrame{Origin: s.SubPoint, BearingDeg: s.HeadingDeg}
-		idx, _ := st.filterInFrame(cands, f, swath, stepLen, ts)
-		if len(idx) == 0 {
-			continue
-		}
-		st.res.FramesWithTargets++
-		if jm != nil {
-			jm.framesWithTargets.Inc()
-		}
-		for _, ci := range idx {
-			st.seen[ci] = true
-			if highRes {
-				st.captured[ci] = true
-			}
-		}
-	}
-	// Energy: continuous imaging along the track. High-res strip
-	// satellites capture only -- they run no ML detection -- and book to
-	// the follower-role budget; low-res satellites detect on every frame
-	// and book to the leader/mono budget.
-	framesPerDay := st.cfg.DurationS / (swath / sat.Prop.GroundSpeedMS())
-	if highRes {
-		st.folB.Capture(int(framesPerDay))
-	} else {
-		st.leaderB.Capture(int(framesPerDay))
-		st.leaderB.Compute(framesPerDay * st.cfg.Tiling.FrameTimeS(st.cfg.Detector))
-	}
-}
-
-// runGroup runs one group of the EagleEye operating model (or the
-// mix-camera variant, where the "follower" is the leader itself after its
-// compute delay). Groups are independent by construction -- each leader
-// has its own followers and ground track -- so runGroup only touches the
-// job's private runState and the concurrency-safe shared index.
-func (st *runState) runGroup(gi int, grp constellation.Group) error {
-	cfg := st.cfg
-	leader := grp.Leader
-	cadence := leader.Prop.FrameCadenceS(leader.LowRes.FootprintAlongM())
-	computeS := cfg.ComputeDelayS
-	if computeS == 0 {
-		computeS = cfg.Tiling.FrameTimeS(cfg.Detector)
-	}
-
-	followers := grp.Followers
-	mix := len(followers) == 0 // mix-camera: self-follower
-	env := sched.Env{
-		AltitudeM:     leader.Prop.AltitudeM(),
-		GroundSpeedMS: leader.Prop.GroundSpeedMS(),
-		Slew:          st.slewModel(),
-	}
-	// The off-nadir limit belongs to whichever camera executes the
-	// schedule: the leader's own high-res camera in the mix variant,
-	// the followers' otherwise.
-	if mix {
-		env.MaxOffNadirDeg = leader.HighRes.MaxOffNadirDeg
-		// The satellite must be back at nadir for the next frame.
-		env.HorizonS = math.Max(0, cadence-computeS-1)
-	} else {
-		env.MaxOffNadirDeg = followers[0].HighRes.MaxOffNadirDeg
-	}
-
-	pipe := &core.Pipeline{
-		Detector:      cfg.Detector,
-		Tiling:        cfg.Tiling,
-		UseClustering: !cfg.NoClustering,
-		// Frame-rate clustering: bound the set-cover ILP per frame;
-		// dense frames fall back to the greedy cover, as the energy
-		// and deadline budgets require.
-		ClusterOpts: cluster.Options{
-			ForceGreedy:      cfg.ClusterGreedy,
-			MaxILPCandidates: 400,
-			MIP:              mip.Options{TimeLimit: 150 * time.Millisecond, MaxNodes: 40},
-		},
-		Scheduler:      cfg.Scheduler,
-		HighResSwathM:  highResSwath(grp, leader),
-		RecallOverride: cfg.RecallOverride,
-	}
-	jm := st.met
-	if jm != nil {
-		pipe.Timed = true
-		pipe.ClusterOpts.MIP.Metrics = jm.m.solverCluster
-	}
-	if pipe.Scheduler == nil {
-		// Frame-rate solves: bound the MIP search tightly; the polish pass
-		// and the greedy fallback keep truncated solves near-optimal. The
-		// default scheduler is built here, per group, so each leader owns a
-		// private temporal-coherence state (warm candidates, basis reuse,
-		// incremental model construction -- see sched.SolverState). Group-
-		// private state keeps the Result identical for any Workers value.
-		opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
-		if jm != nil {
-			opts.Metrics = jm.m.solverSched
-		}
-		ilp := sched.ILP{MIP: opts}
-		if !cfg.DisableWarmStart {
-			// Pooled so per-run state construction stays out of the
-			// steady-state allocation budget; Reset makes a recycled state
-			// behave exactly like a fresh one.
-			ss := sched.GetSolverState()
-			defer sched.PutSolverState(ss)
-			ilp.State = ss
-			ilp.AggressiveWarm = warmAggressive
-		}
-		pipe.Scheduler = ilp
-	}
-	if !cfg.DisableWarmStart {
-		// Same temporal coherence for the per-frame set cover: the pinned
-		// per-group arena carries the LP basis and the previous greedy
-		// cover seeds the ILP.
-		cs := cluster.GetSolverState()
-		defer cluster.PutSolverState(cs)
-		pipe.ClusterOpts.State = cs
-		pipe.ClusterOpts.AggressiveWarm = warmAggressive
-	}
-
-	w := leader.LowRes.SwathM
-	h := leader.LowRes.FootprintAlongM()
-	// Incremental propagation: one stepper tracks the leader at frame
-	// cadence; schedule-time steppers track the leader (mix) or each
-	// follower offset by the compute delay, advancing in lockstep.
-	lead := leader.Prop.NewStepper(0, cadence)
-	schedSteppers := make([]*orbit.Stepper, 0, len(followers)+1)
-	if mix {
-		schedSteppers = append(schedSteppers, leader.Prop.NewStepper(computeS, cadence))
-	} else {
-		for _, f := range followers {
-			schedSteppers = append(schedSteppers, f.Prop.NewStepper(computeS, cadence))
-		}
-	}
-	// The candidate probe runs around the raw sub-point (before the h/2
-	// frame-center offset), so its radius is inflated by that offset:
-	// every target inside the frame disk is inside the probe disk, making
-	// the empty-frame fast path a pure superset check.
-	qr := frameRadius(w, h) + h/2
-
-	frameIdx := 0
-	for ts := 0.0; ts < cfg.DurationS; ts += cadence {
-		if frameIdx > 0 {
-			if jm != nil && frameIdx&ephSampleMask == 0 {
-				// Sampled ephemeris span: the advance costs about as much
-				// as the clock read, so 1-in-64 frames are timed and the
-				// ns total is scaled back up (histogram gets raw samples).
-				t0 := time.Now()
-				lead.Advance()
-				for _, s := range schedSteppers {
-					s.Advance()
-				}
-				d := int64(time.Since(t0))
-				jm.stageNS[stageEphemeris].Add(d << ephSampleShift)
-				jm.stageHist[stageEphemeris].Observe(float64(d) / 1e9)
-			} else {
-				lead.Advance()
-				for _, s := range schedSteppers {
-					s.Advance()
-				}
-			}
-		}
-		frameIdx++
-		st.res.Frames++
-		if jm != nil {
-			jm.frames.Inc()
-			if frameIdx&255 == 0 {
-				jm.m.progress.SetMax(ts / cfg.DurationS)
-			}
-		}
-		st.leaderB.Capture(1)
-		st.leaderB.Compute(computeS)
-		cands := st.candidatesNear(lead.SubPoint(), qr, ts)
-		if len(cands) == 0 {
-			continue
-		}
-		ls := lead.State()
-		// A frame captured at ts covers the swath ahead of the
-		// leader's nadir (Fig. 9): the leader overflies the imaged
-		// area during the ~13.7 s it spends computing, which is why
-		// the separation equals the swath width -- a follower 100 km
-		// back is still behind the frame area when the schedule
-		// arrives, whatever the compute latency, while a mix-camera
-		// satellite has flown into its own frame and must look
-		// backward at targets whose windows are closing.
-		center := geo.Destination(ls.SubPoint, ls.HeadingDeg, h/2)
-		frame := geo.TangentFrame{Origin: center, BearingDeg: ls.HeadingDeg}
-		idx, pts := st.filterInFrame(cands, frame, w, h, ts)
-		if len(idx) == 0 {
-			continue
-		}
-		st.res.FramesWithTargets++
-		if jm != nil {
-			jm.framesWithTargets.Inc()
-		}
-		st.res.TargetsPerImage = append(st.res.TargetsPerImage, len(idx))
-		for _, ci := range idx {
-			st.seen[ci] = true
-		}
-
-		// Schedule starts when the leader finishes computing.
-		tSched := ts + computeS
-		fols := st.scFols[:0]
-		for _, s := range schedSteppers {
-			sub := frame.ToLocal(s.SubPoint())
-			fols = append(fols, sched.Follower{SubPoint: sub, Boresight: sub})
-		}
-		st.scFols = fols
-
-		st.rngSrc.Seed(frameSeed(cfg.Seed, gi, frameIdx))
-		pipe.Rng = st.rng
-		if cfg.RecaptureDedup {
-			// §4.7 recapture: detections at already-captured ground
-			// cells are deprioritized to a tenth of their score.
-			pipe.PriorityScale = func(lp geo.Point2) float64 {
-				if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
-					st.res.RecaptureSuppressed++
-					return 0.1
-				}
-				return 1
-			}
-		}
-		recapBefore := st.res.RecaptureSuppressed
-		fres, err := pipe.ProcessFrame(core.Frame{
-			Truth:  pts,
-			Bounds: geo.NewRectCentered(geo.Point2{}, w, h),
-			GSDM:   leader.LowRes.GSDM,
-		}, fols, env)
-		if err != nil {
-			return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
-		}
-		if jm != nil {
-			jm.detections.Add(int64(len(fres.Detections)))
-			jm.clusters.Add(int64(len(fres.Clusters)))
-			jm.schedSolves.Inc()
-			jm.span(stageDetect, int64(fres.DetectWall))
-			jm.span(stageCluster, int64(fres.ClusterWall))
-			jm.span(stageSched, int64(fres.SchedWall))
-			if fres.Schedule.SolveStats.Fallback {
-				jm.schedFallbacks.Inc()
-			}
-			if d := st.res.RecaptureSuppressed - recapBefore; d > 0 {
-				jm.recaptureSuppressed.Add(int64(d))
-			}
-		}
-		st.res.Detections += len(fres.Detections)
-		st.res.Clusters += len(fres.Clusters)
-		st.res.SchedSolves++
-		st.res.SchedWallTotal += fres.SchedWall
-		if fres.SchedWall > st.res.SchedWallMax {
-			st.res.SchedWallMax = fres.SchedWall
-		}
-		st.res.SchedNodes += fres.Schedule.SolveStats.Nodes
-		st.res.SchedIters += fres.Schedule.SolveStats.Iters
-		st.res.SchedPivotWall += fres.Schedule.SolveStats.PivotWall
-		st.res.ClusterNodes += fres.ClusterStats.Nodes
-		st.res.ClusterIters += fres.ClusterStats.Iters
-		st.res.ClusterPivotWall += fres.ClusterStats.PivotWall
-		if computeS+fres.SchedWall.Seconds() > cadence {
-			st.res.MissedDeadline++
-			if jm != nil {
-				jm.missedDeadlines.Inc()
-			}
-		}
-		if cfg.ValidateSchedules {
-			if err := validateAgainstPipeline(&fres, fols, env); err != nil {
-				return fmt.Errorf("sim: group %d frame %d: %w", gi, frameIdx, err)
-			}
-		}
-		var spanStart time.Time
-		capsBefore := st.res.Captures
-		if jm != nil {
-			spanStart = time.Now()
-		}
-		st.executeSchedule(frame, tSched, &fres, grp, leader, mix)
-		if jm != nil {
-			jm.span(stageExecute, int64(time.Since(spanStart)))
-			jm.captures.Add(int64(st.res.Captures - capsBefore))
-			spanStart = time.Now()
-		}
-		st.res.CrosslinkBytes += fres.CrosslinkBytes
-		st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
-		if jm != nil {
-			// Wire bytes are integral by construction; the int64 counter
-			// keeps the total deterministic across worker counts.
-			jm.crosslinkBytes.Add(int64(fres.CrosslinkBytes))
-		}
-		if !st.traceOn {
-			if jm != nil {
-				jm.span(stageAccount, int64(time.Since(spanStart)))
-			}
-			continue
-		}
-		st.trace = append(st.trace, TraceRecord{
-			Group:        gi,
-			Frame:        frameIdx,
-			TimeS:        ts,
-			Lat:          frame.Origin.Lat,
-			Lon:          frame.Origin.Lon,
-			Targets:      len(idx),
-			Detected:     len(fres.Detections),
-			Clusters:     len(fres.Clusters),
-			Captures:     fres.Schedule.NumCaptures(),
-			Covered:      len(fres.Schedule.CoveredIDs()),
-			SchedMS:      float64(fres.SchedWall.Microseconds()) / 1000,
-			Deadline:     computeS+fres.SchedWall.Seconds() <= cadence,
-			SchedNodes:   fres.Schedule.SolveStats.Nodes,
-			SchedIters:   fres.Schedule.SolveStats.Iters,
-			SchedGap:     fres.Schedule.SolveStats.Gap,
-			ClusterNodes: fres.ClusterStats.Nodes,
-			ClusterIters: fres.ClusterStats.Iters,
-		})
-		if jm != nil {
-			jm.span(stageAccount, int64(time.Since(spanStart)))
-		}
-	}
-	return nil
-}
-
 func highResSwath(grp constellation.Group, leader *constellation.Satellite) float64 {
 	if len(grp.Followers) > 0 {
 		return grp.Followers[0].HighRes.SwathM
 	}
 	return leader.HighRes.SwathM
-}
-
-// executeSchedule scores captures: a truth target counts as captured when
-// its true position at the capture time lies inside the captured
-// footprint. Moving targets may drift out between detection and capture --
-// exactly the §4.6 lookahead effect.
-func (st *runState) executeSchedule(frame geo.TangentFrame, tSched float64, fres *core.Result, grp constellation.Group, leader *constellation.Satellite, mix bool) {
-	swath := highResSwath(grp, leader)
-	for fi, seq := range fres.Schedule.Captures {
-		// Slew energy depends on the executing satellite's own altitude:
-		// the leader itself in the mix variant, follower fi otherwise
-		// (groups may mix altitudes).
-		exec := leader
-		if !mix && fi < len(grp.Followers) {
-			exec = grp.Followers[fi]
-		}
-		altM := exec.Prop.AltitudeM()
-		var prevAim geo.Point2
-		prevT := 0.0
-		first := true
-		for _, c := range seq {
-			absT := tSched + c.Time
-			fp := geo.NewRectCentered(c.Aim, swath, swath)
-			// Re-query around the aim point at capture time: targets may
-			// have moved into or out of the footprint. The candidate
-			// scratch is free here: the frame's filtered idx/pts live in
-			// their own buffers.
-			cands := st.candidatesNear(frame.ToGeodetic(c.Aim), frameRadius(swath, swath), absT)
-			for _, ci := range cands {
-				tgt := &st.index.Set().Targets[ci]
-				if !tgt.ActiveAt(absT) {
-					continue
-				}
-				if fp.Contains(frame.ToLocal(tgt.PosAt(absT))) {
-					st.captured[ci] = true
-					if st.cfg.RecaptureDedup {
-						st.capCells[capCellKey(tgt.PosAt(absT))] = true
-					}
-				}
-			}
-			st.res.Captures++
-			st.folB.Capture(1)
-			if !first {
-				// Approximate the commanded rotation by the aim-point
-				// angular separation at capture times.
-				ang := adacs.PointingAngleDeg(
-					geo.Point2{X: prevAim.X, Y: prevAim.Y - 50e3}, prevAim,
-					geo.Point2{X: c.Aim.X, Y: c.Aim.Y - 50e3}, c.Aim,
-					altM)
-				st.folB.Slew(ang, c.Time-prevT)
-			}
-			first = false
-			prevAim, prevT = c.Aim, c.Time
-		}
-	}
 }
 
 // validateAgainstPipeline reconstructs the scheduling problem from the
@@ -949,10 +436,41 @@ func frameSeed(seed int64, group, frame int) int64 {
 	return int64(h & 0x7FFFFFFFFFFFFFFF)
 }
 
-// finalizeEnergy converts accumulated totals into per-orbit averages.
-func (st *runState) finalizeEnergy() {
+// finalizeComms computes how much of the elapsed span's captured imagery
+// the downlink can return: followers see a ground station ~6 min/orbit
+// (§5.3), and each high-resolution image is ~33 MB.
+func (st *runState) finalizeComms(elapsedS float64) {
+	if st.res.Captures == 0 {
+		st.res.DownlinkableFraction = 1
+		return
+	}
+	nFollowers := 0
+	for _, g := range st.cons.Groups {
+		nFollowers += len(g.Followers)
+		if len(g.Followers) == 0 {
+			nFollowers++ // mix-camera: the satellite downlinks its own captures
+		}
+	}
+	link := comms.PaperDownlink()
+	orbits := elapsedS / (94 * 60)
+	if orbits < 1 {
+		orbits = 1
+	}
+	hr := camera.PaperHighRes()
+	imgBytes := comms.ImageBytes(hr.FramePixels(), 3)
+	capacityImages := link.CapacityPerOrbitBytes() / imgBytes * orbits * float64(nFollowers)
+	frac := capacityImages / float64(st.res.Captures)
+	if frac > 1 {
+		frac = 1
+	}
+	st.res.DownlinkableFraction = frac
+}
+
+// finalizeEnergy converts accumulated totals into per-orbit averages over
+// the elapsed span.
+func (st *runState) finalizeEnergy(elapsedS float64) {
 	period := 94 * 60.0
-	orbits := st.cfg.DurationS / period
+	orbits := elapsedS / period
 	if orbits <= 0 {
 		orbits = 1
 	}

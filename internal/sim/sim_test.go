@@ -374,13 +374,17 @@ func TestTargetsPerImageRecorded(t *testing.T) {
 		Constellation: constellation.Config{Kind: constellation.LeaderFollower, Satellites: 2},
 		App:           w, DurationS: 3 * 3600, Seed: 1,
 	})
-	if len(r.TargetsPerImage) != r.FramesWithTargets {
-		t.Errorf("per-image counts %d != non-empty frames %d", len(r.TargetsPerImage), r.FramesWithTargets)
+	if got := r.TargetsPerImage.Count(); got != int64(r.FramesWithTargets) {
+		t.Errorf("per-image histogram count %d != non-empty frames %d", got, r.FramesWithTargets)
 	}
-	for _, n := range r.TargetsPerImage {
-		if n <= 0 {
-			t.Error("non-positive per-image count")
-		}
+	if r.TargetsPerImage.Buckets[0] != 0 {
+		t.Error("histogram recorded empty frames")
+	}
+	if r.TargetsPerImage.Max <= 0 {
+		t.Error("non-positive per-image maximum")
+	}
+	if p50 := r.TargetsPerImage.Percentile(50); p50 <= 0 || p50 > r.TargetsPerImage.Max {
+		t.Errorf("p50 %d outside (0, max %d]", p50, r.TargetsPerImage.Max)
 	}
 }
 
