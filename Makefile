@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-solver bench-sim bench-sim-smoke bench-warm metrics-smoke serve-smoke longhorizon-smoke figures
+.PHONY: build vet test race tier1 bench bench-solver bench-scale bench-scale-smoke bench-sim bench-sim-smoke bench-warm metrics-smoke serve-smoke longhorizon-smoke figures
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,18 @@ bench:
 bench-solver:
 	$(GO) test -run=xxx -bench=. -benchmem -benchtime=1x \
 		./internal/lp ./internal/mip ./internal/sched ./internal/cluster
+
+# LP scale harness: dense vs sparse simplex on generated sched/cover-
+# shaped instances up to 20k+ variables, appending points to
+# BENCH_lp.json. Each instance is also a differential check (both engines
+# must agree to 1e-6). The full run's largest dense solve takes minutes
+# by design -- that is the scale ceiling the sparse core removes.
+bench-scale:
+	$(GO) run ./cmd/benchlp -out BENCH_lp.json
+
+# Quick differential pass over the small instances only, for CI.
+bench-scale-smoke:
+	$(GO) run ./cmd/benchlp -quick
 
 # Frame-loop benchmark: measures a full simulator run (ns/op, B/op,
 # allocs/op) and appends a machine-readable point to BENCH_sim.json.

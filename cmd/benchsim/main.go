@@ -29,8 +29,10 @@ import (
 // pointSchema versions the point layout for downstream consumers of the
 // BENCH_sim.json series. Bump it whenever a field changes meaning.
 // Schema 3 added the warm-start fields (warm flag, solver-load counters,
-// warm-start hit rate and savings).
-const pointSchema = 3
+// warm-start hit rate and savings). Schema 4 added the LP engine fields
+// (lp_core, nnz, refactorizations) when the sparse revised simplex
+// landed.
+const pointSchema = 4
 
 // point is one benchmark measurement, shaped for appending to a BENCH_*.json
 // time series (one JSON object per run).
@@ -76,6 +78,16 @@ type point struct {
 	WarmPrunedNodes int64   `json:"warm_pruned_nodes,omitempty"`
 	WarmEarlyExits  int64   `json:"warm_early_exits,omitempty"`
 	BasisReuses     int64   `json:"warm_basis_reuses,omitempty"`
+
+	// LP engine fields (schema 4), from the same instrumented run.
+	// LPCore reports which simplex engine the workload's LP solves used:
+	// "dense", "sparse", or "mixed" (the CoreAuto crossover picks per
+	// instance). NNZ is the largest structural nonzero count among solved
+	// instances; Refactorizations counts sparse-core basis rebuilds
+	// forced mid-solve.
+	LPCore           string `json:"lp_core,omitempty"`
+	NNZ              int64  `json:"nnz,omitempty"`
+	Refactorizations int64  `json:"refactorizations,omitempty"`
 }
 
 // gitCommit stamps the point with `git rev-parse HEAD`, or "" outside a
@@ -219,6 +231,24 @@ func main() {
 	}
 	if p.WarmAttempts > 0 {
 		p.WarmHitRate = float64(p.WarmAccepted) / float64(p.WarmAttempts)
+	}
+	var denseSolves, sparseSolves int64
+	for _, solver := range []string{"sched", "cluster"} {
+		lbl := obs.Label{Key: "solver", Value: solver}
+		denseSolves += reg.CounterValue("eagleeye_lp_core_solves_total", lbl, obs.Label{Key: "core", Value: "dense"})
+		sparseSolves += reg.CounterValue("eagleeye_lp_core_solves_total", lbl, obs.Label{Key: "core", Value: "sparse"})
+		p.Refactorizations += reg.CounterValue("eagleeye_lp_refactorizations_total", lbl)
+		if nnz := int64(reg.GaugeValue("eagleeye_lp_instance_nnz_max", lbl)); nnz > p.NNZ {
+			p.NNZ = nnz
+		}
+	}
+	switch {
+	case denseSolves > 0 && sparseSolves > 0:
+		p.LPCore = "mixed"
+	case sparseSolves > 0:
+		p.LPCore = "sparse"
+	case denseSolves > 0:
+		p.LPCore = "dense"
 	}
 	enc, err := json.Marshal(p)
 	if err != nil {

@@ -38,12 +38,6 @@ type coverArena struct {
 	gBoxes  []geo.Rect
 	gIdx    []int // candidate index per greedy box; -1 for safety-net boxes
 	iBoxes  []geo.Rect
-
-	// rows backs the dense set-cover constraint rows; same carve-and-zero
-	// discipline as the scheduler's row arena.
-	rows    []float64
-	rowsOff int
-	rowsW   int
 }
 
 var coverArenas = sync.Pool{New: func() any { return new(coverArena) }}
@@ -79,21 +73,6 @@ func (a *coverArena) seenMap() map[uint64]int {
 		clear(a.seen)
 	}
 	return a.seen
-}
-
-// resetRows prepares the row arena for up to maxRows dense rows of width w.
-func (a *coverArena) resetRows(maxRows, w int) {
-	a.rows = growFloats(a.rows, maxRows*w)
-	a.rowsOff = 0
-	a.rowsW = w
-}
-
-// carveRow returns the next zeroed dense row from the row arena.
-func (a *coverArena) carveRow() []float64 {
-	row := a.rows[a.rowsOff : a.rowsOff+a.rowsW : a.rowsOff+a.rowsW]
-	a.rowsOff += a.rowsW
-	clear(row)
-	return row
 }
 
 // maskHash is an FNV-1a style fold over the bitset words; it only needs to

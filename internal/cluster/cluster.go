@@ -402,23 +402,23 @@ func ilpCover(ar *coverArena, pts []geo.Point2, cands []candidate, opts mip.Opti
 		p.Upper[j] = 1
 		p.Integer[j] = true
 	}
-	p.A = p.A[:0]
-	p.Senses = p.Senses[:0]
-	p.B = p.B[:0]
-	ar.resetRows(n, nc)
+	// Cover rows are emitted in CSR form: one >= row per point listing the
+	// candidates that cover it. An uncoverable point aborts mid-build;
+	// that is safe because the next use of the arena problem starts with
+	// its own ResetSparseRows.
+	p.ResetSparseRows()
 	for i := 0; i < n; i++ {
-		row := ar.carveRow()
 		any := false
 		for j, c := range cands {
 			if hasBit(c.mask, i) {
-				row[j] = 1
+				p.Coef(j, 1)
 				any = true
 			}
 		}
 		if !any {
 			return nil, SolveStats{}, false
 		}
-		p.AddRow(row, lp.GE, 1)
+		p.EndRow(lp.GE, 1)
 	}
 	sol, err := ar.ws.SolveOpts(p, opts)
 	stats := SolveStats{Nodes: sol.Nodes, Iters: sol.Iters, Gap: sol.Gap, PivotWall: sol.PivotWall}

@@ -1,8 +1,11 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs. It is the linear-algebra substrate beneath internal/mip, which
-// together replace the Google OR-Tools dependency of the paper's prototype
-// (§5.1): EagleEye's target-clustering and follower-scheduling ILPs both
-// reduce to models this solver handles exactly.
+// Package lp implements a two-phase primal simplex solver for linear
+// programs, with two interchangeable engines behind one API: a dense
+// tableau core for small instances and a sparse revised simplex (CSC
+// columns, eta-file basis factorization, sparse BTRAN/FTRAN pricing) for
+// large ones. It is the linear-algebra substrate beneath internal/mip,
+// which together replace the Google OR-Tools dependency of the paper's
+// prototype (§5.1): EagleEye's target-clustering and follower-scheduling
+// ILPs both reduce to models this solver handles exactly.
 //
 // Problems are stated as
 //
@@ -85,13 +88,66 @@ func (s Status) String() string {
 // Problem is a linear program in the form documented at the package level.
 // Lower and Upper may be nil, meaning all-zero lower bounds and all-+inf
 // upper bounds. Rows of A must all have len == len(C).
+//
+// Rows may alternatively be stored sparse (CSR) via RowPtr/ColIdx/Vals;
+// exactly one of A and RowPtr may be set. Model builders that emit
+// thousands of mostly-zero rows (sched, cluster) use the sparse form,
+// which both cores consume directly without densifying rows.
 type Problem struct {
 	C      []float64   // objective coefficients (maximize)
-	A      [][]float64 // constraint matrix rows
+	A      [][]float64 // constraint matrix rows (dense form)
 	B      []float64   // right-hand sides
 	Senses []Sense     // one per row
 	Lower  []float64   // optional per-variable lower bounds
 	Upper  []float64   // optional per-variable upper bounds
+
+	// Sparse row storage (CSR). When RowPtr is non-nil it replaces A:
+	// row i's coefficients are Vals[RowPtr[i]:RowPtr[i+1]] at columns
+	// ColIdx[RowPtr[i]:RowPtr[i+1]]. Column indices must not repeat
+	// within a row. Assemble with ResetSparseRows/Coef/EndRow.
+	RowPtr []int
+	ColIdx []int32
+	Vals   []float64
+}
+
+// ResetSparseRows switches p to CSR row storage and clears all rows,
+// keeping capacity. Rows are then appended with Coef and closed with
+// EndRow.
+func (p *Problem) ResetSparseRows() {
+	p.A = nil
+	if p.RowPtr == nil {
+		p.RowPtr = make([]int, 1, 64)
+	}
+	p.RowPtr = p.RowPtr[:1]
+	p.RowPtr[0] = 0
+	p.ColIdx = p.ColIdx[:0]
+	p.Vals = p.Vals[:0]
+	p.B = p.B[:0]
+	p.Senses = p.Senses[:0]
+}
+
+// Coef appends one coefficient to the CSR row under construction (opened
+// implicitly by ResetSparseRows or the previous EndRow). Columns may
+// arrive in any order but must not repeat within a row.
+func (p *Problem) Coef(j int, v float64) {
+	p.ColIdx = append(p.ColIdx, int32(j))
+	p.Vals = append(p.Vals, v)
+}
+
+// EndRow closes the CSR row under construction with its sense and RHS.
+func (p *Problem) EndRow(s Sense, b float64) {
+	p.RowPtr = append(p.RowPtr, len(p.ColIdx))
+	p.Senses = append(p.Senses, s)
+	p.B = append(p.B, b)
+}
+
+// NNZ reports the stored coefficient count: structural nonzeros for CSR
+// rows, m*n for dense rows (the dense form stores every entry).
+func (p *Problem) NNZ() int {
+	if p.RowPtr != nil {
+		return len(p.Vals)
+	}
+	return len(p.B) * len(p.C)
 }
 
 // Validate checks structural consistency.
@@ -100,13 +156,38 @@ func (p *Problem) Validate() error {
 	if n == 0 {
 		return errors.New("lp: no variables")
 	}
-	if len(p.A) != len(p.B) || len(p.A) != len(p.Senses) {
-		return fmt.Errorf("lp: inconsistent row counts: A=%d B=%d senses=%d",
-			len(p.A), len(p.B), len(p.Senses))
-	}
-	for i, row := range p.A {
-		if len(row) != n {
-			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+	rows := len(p.B)
+	if p.RowPtr != nil {
+		if len(p.A) != 0 {
+			return errors.New("lp: both dense A and CSR rows set")
+		}
+		if len(p.RowPtr) != rows+1 || len(p.Senses) != rows {
+			return fmt.Errorf("lp: inconsistent CSR row counts: rowptr=%d B=%d senses=%d",
+				len(p.RowPtr), rows, len(p.Senses))
+		}
+		if len(p.ColIdx) != len(p.Vals) || p.RowPtr[rows] != len(p.ColIdx) {
+			return fmt.Errorf("lp: inconsistent CSR storage: colidx=%d vals=%d rowptr[last]=%d",
+				len(p.ColIdx), len(p.Vals), p.RowPtr[rows])
+		}
+		for i := 0; i < rows; i++ {
+			if p.RowPtr[i] > p.RowPtr[i+1] {
+				return fmt.Errorf("lp: CSR row %d has negative length", i)
+			}
+		}
+		for k, j := range p.ColIdx {
+			if j < 0 || int(j) >= n {
+				return fmt.Errorf("lp: CSR entry %d references column %d, want [0,%d)", k, j, n)
+			}
+		}
+	} else {
+		if len(p.A) != rows || rows != len(p.Senses) {
+			return fmt.Errorf("lp: inconsistent row counts: A=%d B=%d senses=%d",
+				len(p.A), len(p.B), len(p.Senses))
+		}
+		for i, row := range p.A {
+			if len(row) != n {
+				return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+			}
 		}
 	}
 	if p.Lower != nil && len(p.Lower) != n {
@@ -136,6 +217,29 @@ func (p *Problem) upper(j int) float64 {
 	}
 	return p.Upper[j]
 }
+
+// Core selects the simplex engine a Workspace uses.
+type Core int8
+
+// Engine choices. CoreAuto picks per problem: the dense tableau below
+// sparseCrossover variables+rows (tiny per-node LPs should not pay basis
+// factorization overhead, and the seed-scale sim stays byte-identical),
+// the sparse revised simplex at or above it. CoreDense and CoreSparse
+// force one engine; the dense core doubles as a differential oracle for
+// the sparse one.
+const (
+	CoreAuto Core = iota
+	CoreDense
+	CoreSparse
+)
+
+// sparseCrossover is the variables+rows threshold at which CoreAuto
+// switches engines. Below it the dense tableau fits comfortably in cache
+// and its branch-free pivot loop wins; above it the O(m*n) tableau memory
+// and O(m*n) work per pivot lose to O(nnz) pricing. The value is
+// deliberately conservative so every seed-scale scheduling model keeps
+// its historical dense pivot sequence.
+const sparseCrossover = 4096
 
 // Solution is the result of Solve.
 type Solution struct {
@@ -197,6 +301,21 @@ type Workspace struct {
 	// BasisReuses counts solves that started from an installed basis.
 	BasisReuses int
 
+	// Core selects the simplex engine (CoreAuto by default). Saved bases
+	// are portable between engines: both reference the same column
+	// numbering, so a warm basis saved by one installs on the other.
+	Core Core
+	// RefactorEvery, when > 0, forces the sparse core to refactorize the
+	// basis after that many eta updates; 0 selects the adaptive default.
+	// Tests use 1 to exercise the refactorization path on every pivot.
+	RefactorEvery int
+	// Factorizations and Refactorizations count sparse-core basis
+	// factorizations: total, and the subset triggered mid-solve by the
+	// eta-file budget or a stability alarm (rather than by a warm
+	// install or crash start).
+	Factorizations   int
+	Refactorizations int
+
 	// grow-only arenas backing the tableau.
 	abuf  []float64 // m x total matrix storage
 	cols  []varCol  // per-variable column mapping
@@ -217,6 +336,27 @@ type Workspace struct {
 	// seed is a one-shot crash-basis candidate for the next solve
 	// (warm.go, SeedPoint).
 	seed []float64
+
+	// shape analysis shared by both cores (set by analyze).
+	shp      shape
+	fixedCol []bool  // structural column is fixed by its bounds (rng == 0)
+	price    []int32 // pricing index: enterable columns, ascending
+
+	// sp holds the sparse revised simplex engine, allocated on first use
+	// so dense-only workspaces (the seed-scale sim) never pay for it.
+	sp *sparseCore
+
+	// blandOverride, when > 0, switches pricing to Bland's rule after
+	// that many iterations of a phase (test hook; 0 keeps the default
+	// 4*(m+total) threshold).
+	blandOverride int
+}
+
+// shape is the tableau geometry both cores share. Saved bases reference
+// these column indices, which is what makes them portable across engines
+// and across solves of same-shaped problems.
+type shape struct {
+	m, ncols, nslack, nartif, total, artbase int
 }
 
 // Solve optimizes with the default iteration limit, reusing the arena.
@@ -228,6 +368,25 @@ func (ws *Workspace) Solve(p *Problem) Solution {
 // reusing the arena. See the Workspace doc for aliasing and validation
 // caveats.
 func (ws *Workspace) SolveMaxIters(p *Problem, maxIters int) Solution {
+	if ws.useSparse(p) {
+		return ws.solveSparse(p, maxIters)
+	}
+	return ws.solveDense(p, maxIters)
+}
+
+// useSparse applies the engine selection policy (Core field, crossover
+// heuristic) to one problem.
+func (ws *Workspace) useSparse(p *Problem) bool {
+	switch ws.Core {
+	case CoreDense:
+		return false
+	case CoreSparse:
+		return true
+	}
+	return len(p.C)+len(p.B) >= sparseCrossover
+}
+
+func (ws *Workspace) solveDense(p *Problem, maxIters int) Solution {
 	// With a saved basis on hand, build shape-stably (negative LE
 	// right-hand sides stay unflipped) so branch-tightened bounds cannot
 	// change the tableau shape out from under the install.
@@ -288,6 +447,12 @@ func (ws *Workspace) SolveMaxIters(p *Problem, maxIters int) Solution {
 		ws.Obs.Iters.Add(int64(t.iters))
 		if st == StatusIterLimit {
 			ws.Obs.IterLimited.Inc()
+		}
+		if ws.Obs.DenseSolves != nil {
+			ws.Obs.DenseSolves.Inc()
+		}
+		if ws.Obs.InstanceNNZ != nil {
+			ws.Obs.InstanceNNZ.SetMax(float64(p.NNZ()))
 		}
 	}
 	if st != StatusOptimal {
@@ -354,21 +519,31 @@ func growInts(s []int, n int) []int {
 	return s[:n]
 }
 
-// build assembles the tableau for p inside the workspace arena. It
-// returns false when some variable box is empty (lower > upper), which
-// the caller reports as infeasible.
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// analyze computes the variable/column mapping, row normalization, and
+// tableau shape shared by both cores, plus the pricing index (enterable
+// columns; variables fixed by their bounds are excluded once here instead
+// of being skipped by every pricing sweep). It returns false when some
+// variable box is empty (lower > upper), which the caller reports as
+// infeasible.
 //
 // allowNegRHS keeps LE rows whose (shift-adjusted) right-hand side is
 // negative unflipped: the slack stays basic at a negative value instead of
 // the row gaining an artificial. That start is primal infeasible, so it is
-// only valid on the basis-reuse path, where installBasis overwrites the
-// basis anyway and dualRepair settles feasibility -- but it makes the
+// only valid on the basis-reuse path, where the basis install overwrites
+// the basis anyway and dualRepair settles feasibility -- but it makes the
 // tableau SHAPE depend only on senses and variable freeness, not on bound
 // values, which is what lets a branch-and-bound child (whose tightened
 // bound drives an RHS negative) reuse its parent's basis. The cold path
 // always builds with allowNegRHS=false, preserving the b >= 0 invariant
 // the two-phase simplex relies on.
-func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
+func (ws *Workspace) analyze(p *Problem, allowNegRHS bool) bool {
 	n := len(p.C)
 	if cap(ws.cols) < n {
 		ws.cols = make([]varCol, n)
@@ -398,7 +573,7 @@ func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
 		ws.cols[j] = vc
 	}
 
-	m := len(p.A)
+	m := len(p.B)
 	ws.brow = growFloats(ws.brow, m)
 	ws.flip = growBools(ws.flip, m)
 	if cap(ws.esens) < m {
@@ -406,13 +581,22 @@ func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
 	}
 	ws.esens = ws.esens[:m]
 	nslack, nartif := 0, 0
-	for i, row := range p.A {
+	for i := 0; i < m; i++ {
 		b := p.B[i]
 		// Shift contributions: x = shift + x' (normal) or shift - x'
 		// (mirror) both subtract a_ij * shift from the RHS.
-		for j := 0; j < n; j++ {
-			if ws.cols[j].neg < 0 {
-				b -= row[j] * ws.cols[j].shift
+		if p.RowPtr != nil {
+			for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+				if vc := &ws.cols[p.ColIdx[k]]; vc.neg < 0 {
+					b -= p.Vals[k] * vc.shift
+				}
+			}
+		} else {
+			row := p.A[i]
+			for j := 0; j < n; j++ {
+				if ws.cols[j].neg < 0 {
+					b -= row[j] * ws.cols[j].shift
+				}
 			}
 		}
 		s := p.Senses[i]
@@ -441,9 +625,58 @@ func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
 	}
 
 	total := ncols + nslack + nartif
+	ws.shp = shape{m: m, ncols: ncols, nslack: nslack, nartif: nartif,
+		total: total, artbase: ncols + nslack}
+
+	// Fixed structural columns (upper == lower in shifted space, i.e.
+	// rng 0) can never enter the basis; mark them so pricing skips them
+	// without a per-iteration range check. Branch-and-bound bound
+	// tightening fixes many variables, so at depth this prunes a large
+	// slice of every Dantzig sweep.
+	ws.fixedCol = growBools(ws.fixedCol, ncols)
+	for c := range ws.fixedCol[:ncols] {
+		ws.fixedCol[c] = false
+	}
+	for j := 0; j < n; j++ {
+		vc := ws.cols[j]
+		if vc.neg < 0 && !vc.mirror {
+			if up := p.upper(j); !math.IsInf(up, 1) && up-vc.shift <= 0 {
+				ws.fixedCol[vc.col] = true
+			}
+		}
+	}
+	if cap(ws.price) < total {
+		ws.price = make([]int32, 0, total)
+	}
+	ws.price = ws.price[:0]
+	for c := 0; c < total; c++ {
+		if c < ncols && ws.fixedCol[c] {
+			continue
+		}
+		ws.price = append(ws.price, int32(c))
+	}
+	return true
+}
+
+// build assembles the dense tableau for p inside the workspace arena:
+// shape analysis followed by dense materialization. Returns false when
+// some variable box is empty.
+func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
+	if !ws.analyze(p, allowNegRHS) {
+		return false
+	}
+	ws.materializeDense(p)
+	return true
+}
+
+// materializeDense fills the dense tableau from the analysis in ws.shp,
+// ws.cols, ws.brow, ws.esens and ws.flip.
+func (ws *Workspace) materializeDense(p *Problem) {
+	n := len(p.C)
+	m, ncols, total := ws.shp.m, ws.shp.ncols, ws.shp.total
 	t := &ws.t
 	t.m, t.total, t.ncols = m, total, ncols
-	t.nartif, t.artbase = nartif, ncols+nslack
+	t.nartif, t.artbase = ws.shp.nartif, ws.shp.artbase
 	t.iters = 0
 
 	ws.abuf = growFloats(ws.abuf, m*total)
@@ -490,22 +723,38 @@ func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
 	}
 
 	slackCol, artCol := ncols, t.artbase
-	for i, row := range p.A {
+	for i := 0; i < m; i++ {
 		sgn := 1.0
 		if ws.flip[i] {
 			sgn = -1
 		}
 		ri := t.a[i]
-		for j := 0; j < n; j++ {
-			vc := ws.cols[j]
-			c := row[j] * sgn
-			if vc.neg >= 0 {
-				ri[vc.col] = c
-				ri[vc.neg] = -c
-			} else if vc.mirror {
-				ri[vc.col] = -c
-			} else {
-				ri[vc.col] = c
+		if p.RowPtr != nil {
+			for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+				vc := ws.cols[p.ColIdx[k]]
+				c := p.Vals[k] * sgn
+				if vc.neg >= 0 {
+					ri[vc.col] = c
+					ri[vc.neg] = -c
+				} else if vc.mirror {
+					ri[vc.col] = -c
+				} else {
+					ri[vc.col] = c
+				}
+			}
+		} else {
+			row := p.A[i]
+			for j := 0; j < n; j++ {
+				vc := ws.cols[j]
+				c := row[j] * sgn
+				if vc.neg >= 0 {
+					ri[vc.col] = c
+					ri[vc.neg] = -c
+				} else if vc.mirror {
+					ri[vc.col] = -c
+				} else {
+					ri[vc.col] = c
+				}
 			}
 		}
 		t.rhs[i] = ws.brow[i]
@@ -528,7 +777,6 @@ func (ws *Workspace) build(p *Problem, allowNegRHS bool) bool {
 		t.inBasis[t.basis[i]] = true
 	}
 	ws.red = growFloats(ws.red, total)
-	return true
 }
 
 // solve runs phase 1 (if artificials exist) then phase 2.
@@ -597,14 +845,25 @@ func (t *tableau) optimize(ws *Workspace, obj []float64, maxIters int, phase1 bo
 		// Entering column: a nonbasic at its lower bound improves by
 		// increasing (red > 0); one at its upper bound by decreasing
 		// (red < 0). Dantzig normally; Bland (first eligible) when the
-		// iteration count in this phase grows large (anti-cycling).
-		bland := iter > 4*(t.m+t.total)
+		// iteration count in this phase grows large (anti-cycling). The
+		// sweep walks ws.price, which already excludes bound-fixed
+		// columns; it is ascending, so the first eligible under Bland is
+		// the same column the full scan would pick.
+		blandAfter := 4 * (t.m + t.total)
+		if ws.blandOverride > 0 {
+			blandAfter = ws.blandOverride
+		}
+		bland := iter > blandAfter
 		enter := -1
 		dir := 1.0
 		best := eps
-		for j := 0; j < limit; j++ {
-			if t.inBasis[j] || t.rng[j] == 0 {
-				continue // basic, or fixed by its bounds
+		for _, j32 := range ws.price {
+			j := int(j32)
+			if j >= limit {
+				break
+			}
+			if t.inBasis[j] {
+				continue
 			}
 			r := red[j]
 			if t.atUpper[j] {

@@ -121,27 +121,36 @@ func (ws *Workspace) crashBasis(p *Problem, x []float64) bool {
 // saved: re-installing one would resurrect a column phase 2 must not use.
 func (ws *Workspace) saveBasis() {
 	t := &ws.t
-	for i := 0; i < t.m; i++ {
-		if t.basis[i] >= t.artbase {
+	ws.saveBasisFrom(t.basis, t.atUpper)
+}
+
+// saveBasisFrom records a basis snapshot in the engine-independent saved
+// format (column indices against the shape in ws.shp). Both cores save
+// through here, which is what lets a basis saved by one engine install on
+// the other.
+func (ws *Workspace) saveBasisFrom(basis []int, atUpper []bool) {
+	s := &ws.shp
+	for i := 0; i < s.m; i++ {
+		if basis[i] >= s.artbase {
 			ws.savedOK = false
 			return
 		}
 	}
-	ws.savedBasis = growInts(ws.savedBasis, t.m)
-	copy(ws.savedBasis, t.basis[:t.m])
-	ws.savedAtUpper = growBools(ws.savedAtUpper, t.total)
-	copy(ws.savedAtUpper, t.atUpper[:t.total])
-	ws.savedM, ws.savedTotal, ws.savedNcols = t.m, t.total, t.ncols
+	ws.savedBasis = growInts(ws.savedBasis, s.m)
+	copy(ws.savedBasis, basis[:s.m])
+	ws.savedAtUpper = growBools(ws.savedAtUpper, s.total)
+	copy(ws.savedAtUpper, atUpper[:s.total])
+	ws.savedM, ws.savedTotal, ws.savedNcols = s.m, s.total, s.ncols
 	ws.savedOK = true
 }
 
-// basisShapeMatches reports whether the freshly built tableau has the same
-// shape as the saved basis. Same shape is necessary (column indices keep
-// their meaning) but not sufficient (bounds may have moved); installBasis
-// performs the feasibility check.
+// basisShapeMatches reports whether the freshly analyzed problem has the
+// same shape as the saved basis. Same shape is necessary (column indices
+// keep their meaning) but not sufficient (bounds may have moved); the
+// install performs the feasibility check.
 func (ws *Workspace) basisShapeMatches() bool {
-	t := &ws.t
-	return ws.savedOK && t.m == ws.savedM && t.total == ws.savedTotal && t.ncols == ws.savedNcols
+	s := &ws.shp
+	return ws.savedOK && s.m == ws.savedM && s.total == ws.savedTotal && s.ncols == ws.savedNcols
 }
 
 // installBasis transforms the freshly built tableau (identity basis of
@@ -295,8 +304,12 @@ func (ws *Workspace) dualRepair(maxPivots int) bool {
 		// so dual feasibility survives the pivot; ties prefer the larger
 		// pivot magnitude for numerical stability.
 		enter, bestRatio, bestW := -1, math.Inf(1), 0.0
-		for j := 0; j < limit; j++ {
-			if t.inBasis[j] || t.rng[j] == 0 {
+		for _, j32 := range ws.price {
+			j := int(j32)
+			if j >= limit {
+				break
+			}
+			if t.inBasis[j] {
 				continue
 			}
 			dirj := 1.0

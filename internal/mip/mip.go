@@ -269,10 +269,16 @@ func verifyWarm(p *Problem, x []float64, intTol float64) (float64, bool) {
 // re-checked: rounding moves a point by at most the integrality tolerance,
 // which cannot escape the (integral) branch bounds.
 func feasiblePoint(p *lp.Problem, x []float64) bool {
-	for i, row := range p.A {
+	for i := range p.B {
 		dot := 0.0
-		for j, a := range row {
-			dot += a * x[j]
+		if p.RowPtr != nil {
+			for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+				dot += p.Vals[k] * x[p.ColIdx[k]]
+			}
+		} else {
+			for j, a := range p.A[i] {
+				dot += a * x[j]
+			}
 		}
 		tol := feasTol * (1 + math.Abs(p.B[i]))
 		switch p.Senses[i] {

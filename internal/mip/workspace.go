@@ -145,7 +145,8 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 		// saved basis through the ordinary path.
 		ws.SeedPoint(opts.WarmStart)
 	}
-	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses}
+	work := lp.Problem{C: p.C, A: p.A, B: p.B, Senses: p.Senses,
+		RowPtr: p.RowPtr, ColIdx: p.ColIdx, Vals: p.Vals}
 	for heap.len() > 0 {
 		if nodes >= opts.MaxNodes || time.Now().After(deadline) {
 			stopped = true

@@ -32,11 +32,21 @@ type SolverMetrics struct {
 	BasisReuses    *Counter
 }
 
-// LPMetrics counts the underlying simplex workspace's activity.
+// LPMetrics counts the underlying simplex workspace's activity. The
+// core/factorization fields may be nil (older consumers); the lp package
+// nil-checks them individually.
 type LPMetrics struct {
 	Solves      *Counter // simplex solves (one per B&B node relaxation)
 	Iters       *Counter // pivots performed
 	IterLimited *Counter // solves abandoned at the iteration limit
+
+	// Engine split and sparse-core factorization activity.
+	DenseSolves      *Counter // solves run on the dense tableau core
+	SparseSolves     *Counter // solves run on the sparse revised simplex
+	Factorizations   *Counter // sparse basis factorizations (all causes)
+	Refactorizations *Counter // factorizations forced mid-solve (eta budget / stability)
+	FillIn           *Counter // eta-file entries beyond the basis's own nonzeros
+	InstanceNNZ      *Gauge   // high-water structural nonzeros of one solved instance
 }
 
 // NewSolverMetrics registers the eagleeye_mip_* and eagleeye_lp_* series
@@ -50,9 +60,15 @@ func NewSolverMetrics(r *Registry, solver string) *SolverMetrics {
 		Truncated: r.Counter("eagleeye_mip_truncated_total", "Searches stopped early by a time, node or iteration limit.", lbl),
 		PivotNS:   r.Counter("eagleeye_mip_pivot_nanoseconds_total", "Wall time inside LP solves, in nanoseconds.", lbl),
 		LP: &LPMetrics{
-			Solves:      r.Counter("eagleeye_lp_solves_total", "Simplex solves (node relaxations).", lbl),
-			Iters:       r.Counter("eagleeye_lp_iters_total", "Simplex pivots performed.", lbl),
-			IterLimited: r.Counter("eagleeye_lp_iter_limited_total", "Simplex solves abandoned at the iteration limit.", lbl),
+			Solves:           r.Counter("eagleeye_lp_solves_total", "Simplex solves (node relaxations).", lbl),
+			Iters:            r.Counter("eagleeye_lp_iters_total", "Simplex pivots performed.", lbl),
+			IterLimited:      r.Counter("eagleeye_lp_iter_limited_total", "Simplex solves abandoned at the iteration limit.", lbl),
+			DenseSolves:      r.Counter("eagleeye_lp_core_solves_total", "Simplex solves on the dense tableau core.", lbl, Label{Key: "core", Value: "dense"}),
+			SparseSolves:     r.Counter("eagleeye_lp_core_solves_total", "Simplex solves on the sparse revised simplex core.", lbl, Label{Key: "core", Value: "sparse"}),
+			Factorizations:   r.Counter("eagleeye_lp_factorizations_total", "Sparse-core basis factorizations.", lbl),
+			Refactorizations: r.Counter("eagleeye_lp_refactorizations_total", "Sparse-core factorizations forced mid-solve by the eta budget or a stability alarm.", lbl),
+			FillIn:           r.Counter("eagleeye_lp_factor_fill_in_total", "Eta-file entries created beyond the basis's own nonzeros.", lbl),
+			InstanceNNZ:      r.Gauge("eagleeye_lp_instance_nnz_max", "Largest structural nonzero count among solved LP instances.", lbl),
 		},
 		WarmAttempts:   r.Counter("eagleeye_warmstart_attempts_total", "Warm-start candidates offered to the MIP solver.", lbl),
 		WarmAccepted:   r.Counter("eagleeye_warmstart_accepted_total", "Warm-start candidates that verified feasible.", lbl),

@@ -30,19 +30,11 @@ type ilpArena struct {
 	inEdges  [][]int
 	outEdges [][]int
 
-	// rows backs the dense constraint rows appended to prob.A. Rows are
-	// carved (and zeroed) sequentially; the backing is reused across solves.
-	rows []float64
-
 	// seenTgt/seenGen implement the per-node successor-target dedup without
 	// a map per node: seenTgt[ti] == seenGen means "already linked for the
 	// node being expanded".
 	seenTgt []int
 	seenGen int
-
-	// rowsOff/rowsW track the carve position and row width in rows.
-	rowsOff int
-	rowsW   int
 
 	// extract and polish scratch.
 	nodeSeen  []bool
@@ -70,21 +62,6 @@ func (a *ilpArena) growSeen(nz int) {
 func (a *ilpArena) nextGen() int {
 	a.seenGen++
 	return a.seenGen
-}
-
-// resetRows prepares the row arena for up to maxRows dense rows of width w.
-func (a *ilpArena) resetRows(maxRows, w int) {
-	a.rows = growFloats(a.rows, maxRows*w)
-	a.rowsOff = 0
-	a.rowsW = w
-}
-
-// carveRow returns the next zeroed dense row from the row arena.
-func (a *ilpArena) carveRow() []float64 {
-	row := a.rows[a.rowsOff : a.rowsOff+a.rowsW : a.rowsOff+a.rowsW]
-	a.rowsOff += a.rowsW
-	clear(row)
-	return row
 }
 
 // takenSet returns the arena's taken-ID set, emptied.

@@ -395,9 +395,6 @@ func (s ILP) buildModel(ar *ilpArena, p *Problem) *ilpModel {
 	prob.Lower = growFloats(prob.Lower, nv)
 	prob.Upper = growFloats(prob.Upper, nv)
 	prob.Integer = growBools(prob.Integer, nv)
-	prob.A = prob.A[:0]
-	prob.Senses = prob.Senses[:0]
-	prob.B = prob.B[:0]
 	for e := 0; e < m.ne; e++ {
 		prob.C[e] = edgeCost(m.nodes[m.edges[e].to].t)
 		prob.Lower[e] = 0
@@ -462,56 +459,55 @@ func (s ILP) buildModel(ar *ilpArena, p *Problem) *ilpModel {
 		inEdges[e.to] = append(inEdges[e.to], ei)
 	}
 
-	// Constraint rows are carved dense from the row arena; each carve is
-	// zeroed, filled by index, and appended to prob.A -- the same row
-	// contents AddSparseRow used to build, without the per-row make.
-	ar.resetRows(2*nn+nf+nz, nv)
+	// Constraint rows are emitted directly in CSR form -- each row appends
+	// its few nonzeros and closes with EndRow, so no dense row of width nv
+	// is ever materialized and the same builder scales from tens to tens
+	// of thousands of variables. The within-row coefficient sets are
+	// identical to the dense rows this replaced, and neither engine is
+	// sensitive to within-row emission order, so solves are unchanged.
+	prob.ResetSparseRows()
 	// in(v) <= 1 and out(v) - in(v) <= 0. The conservation row is emitted
 	// even for nodes with no inbound edges: otherwise their outbound edges
 	// would be unconstrained and flow could spontaneously start mid-graph,
 	// covering targets through chains no follower actually flies.
 	for vi := range m.nodes {
 		if len(inEdges[vi]) > 0 {
-			row := ar.carveRow()
 			for _, ei := range inEdges[vi] {
-				row[ei] = 1
+				prob.Coef(ei, 1)
 			}
-			prob.AddRow(row, lp.LE, 1)
+			prob.EndRow(lp.LE, 1)
 		}
 		if len(m.outEdges[vi]) > 0 {
-			row := ar.carveRow()
 			for _, ei := range m.outEdges[vi] {
-				row[ei] = 1
+				prob.Coef(ei, 1)
 			}
 			for _, ei := range inEdges[vi] {
-				row[ei] = -1
+				prob.Coef(ei, -1)
 			}
-			prob.AddRow(row, lp.LE, 0)
+			prob.EndRow(lp.LE, 0)
 		}
 	}
 	// One route per follower.
 	for fi := range p.Followers {
 		if len(m.srcEdges[fi]) > 0 {
-			row := ar.carveRow()
 			for _, ei := range m.srcEdges[fi] {
-				row[ei] = 1
+				prob.Coef(ei, 1)
 			}
-			prob.AddRow(row, lp.LE, 1)
+			prob.EndRow(lp.LE, 1)
 		}
 	}
 	// z_j <= total inflow into any slot of target j.
 	for j := 0; j < nz; j++ {
-		row := ar.carveRow()
-		row[m.ne+j] = 1
+		prob.Coef(m.ne+j, 1)
 		for vi, v := range m.nodes {
 			if v.ti != j {
 				continue
 			}
 			for _, ei := range inEdges[vi] {
-				row[ei] = -1
+				prob.Coef(ei, -1)
 			}
 		}
-		prob.AddRow(row, lp.LE, 0)
+		prob.EndRow(lp.LE, 0)
 	}
 	m.prob = prob
 	if st := s.State; st != nil {
