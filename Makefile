@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-solver bench-scale bench-scale-smoke bench-sim bench-sim-smoke bench-warm metrics-smoke serve-smoke longhorizon-smoke figures
+.PHONY: build vet test race tier1 bench bench-solver bench-scale bench-scale-smoke bench-sim bench-sim-smoke bench-warm metrics-smoke serve-smoke longhorizon-smoke flight-smoke figures
 
 build:
 	$(GO) build ./...
@@ -176,6 +176,50 @@ longhorizon-smoke:
 	grep -q '"EventsApplied":1' /tmp/ee-lh-resumed.json \
 		|| { echo "longhorizon-smoke: fault event not applied"; exit 1; }; \
 	echo "longhorizon-smoke: kill-restore-verify passed (restored == uninterrupted)"
+
+# Flight-recorder smoke: boot eagleeyed with span tracing on, force a
+# deterministic request-deadline anomaly (a 1 ms request timeout against
+# a real run), let the run finish in the background, then require the
+# whole explain-any-request chain to hold: the 504's X-Request-ID appears
+# in the structured log, in the session's /v1/sessions/{id}/flight dump,
+# and in the /debug/flight aggregate, and eeinspect parses both dumps and
+# finds at least one pinned anomaly.
+flight-smoke:
+	$(GO) build -o /tmp/eagleeyed ./cmd/eagleeyed
+	$(GO) build -o /tmp/eeinspect ./cmd/eeinspect
+	/tmp/eagleeyed -addr 127.0.0.1:19094 -workers 1 -request-timeout 50ms \
+		2> /tmp/eagleeyed-flight.log & \
+	EED_PID=$$!; \
+	sleep 1; \
+	curl -sf -X POST -d '{"dataset":"ships","satellites":4,"duration_hours":24,"seed":7}' \
+		http://127.0.0.1:19094/v1/sessions -o /dev/null || exit 1; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+		-H 'X-Request-ID: flight-smoke-req' \
+		http://127.0.0.1:19094/v1/sessions/s1/run); \
+	[ "$$code" = 504 ] || { echo "flight-smoke: expected 504, got $$code"; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		curl -s http://127.0.0.1:19094/v1/sessions/s1 | grep -q '"runs":1' && break; \
+		sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:19094/v1/sessions/s1/flight -o /tmp/ee-flight-s1.json || exit 1; \
+	curl -sf http://127.0.0.1:19094/debug/flight -o /tmp/ee-flight-all.json || exit 1; \
+	kill -TERM $$EED_PID; \
+	wait $$EED_PID || exit 1; \
+	grep -q '"request_id":"flight-smoke-req"' /tmp/eagleeyed-flight.log \
+		|| { echo "flight-smoke: request ID missing from structured log"; exit 1; }; \
+	grep -q '"status":504' /tmp/eagleeyed-flight.log \
+		|| { echo "flight-smoke: 504 missing from structured log"; exit 1; }; \
+	grep -qE '"request": *"flight-smoke-req"' /tmp/ee-flight-s1.json \
+		|| { echo "flight-smoke: request ID missing from flight dump"; exit 1; }; \
+	grep -q 'request-deadline' /tmp/ee-flight-s1.json \
+		|| { echo "flight-smoke: no request-deadline anomaly in flight dump"; exit 1; }; \
+	/tmp/eeinspect -require-anomaly /tmp/ee-flight-s1.json > /tmp/ee-flight-report.txt \
+		|| { echo "flight-smoke: eeinspect found no pinned anomaly"; cat /tmp/ee-flight-report.txt; exit 1; }; \
+	/tmp/eeinspect /tmp/ee-flight-all.json > /dev/null \
+		|| { echo "flight-smoke: eeinspect rejects /debug/flight aggregate"; exit 1; }; \
+	grep -q 'request-deadline' /tmp/ee-flight-report.txt \
+		|| { echo "flight-smoke: anomaly missing from eeinspect report"; exit 1; }; \
+	echo "flight-smoke: 504 request correlated across log, flight dump and eeinspect"
 
 figures:
 	$(GO) run ./cmd/figures

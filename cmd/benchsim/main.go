@@ -31,8 +31,9 @@ import (
 // Schema 3 added the warm-start fields (warm flag, solver-load counters,
 // warm-start hit rate and savings). Schema 4 added the LP engine fields
 // (lp_core, nnz, refactorizations) when the sparse revised simplex
-// landed.
-const pointSchema = 4
+// landed. Schema 5 added the flight-recorder overhead fields
+// (flight_ns_per_op, flight_overhead_pct).
+const pointSchema = 5
 
 // point is one benchmark measurement, shaped for appending to a BENCH_*.json
 // time series (one JSON object per run).
@@ -88,6 +89,13 @@ type point struct {
 	LPCore           string `json:"lp_core,omitempty"`
 	NNZ              int64  `json:"nnz,omitempty"`
 	Refactorizations int64  `json:"refactorizations,omitempty"`
+
+	// Flight-recorder fields (schema 5): the same workload re-measured
+	// with span tracing and a flight recorder attached, and the relative
+	// overhead versus the uninstrumented NsPerOp. The acceptance budget
+	// for the tracing layer is <=5%.
+	FlightNsPerOp     int64   `json:"flight_ns_per_op,omitempty"`
+	FlightOverheadPct float64 `json:"flight_overhead_pct"`
 }
 
 // gitCommit stamps the point with `git rev-parse HEAD`, or "" outside a
@@ -177,6 +185,23 @@ func main() {
 		res = testing.Benchmark(bench)
 	}
 
+	// Re-measure the identical workload with a flight recorder attached
+	// to price the span-tracing layer, over exactly the iteration count
+	// the baseline used -- pairing the passes keeps the overhead delta
+	// out of the benchmark framework's adaptive warm-up noise. One
+	// recorder across iterations matches the long-session steady state
+	// (its ring retention keeps memory bounded).
+	fcfg := cfg
+	fcfg.Flight = obs.NewFlightRecorder(obs.FlightConfig{})
+	fstart := time.Now()
+	for i := 0; i < res.N; i++ {
+		if _, err := sim.Run(fcfg); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+	}
+	fres := testing.BenchmarkResult{N: res.N, T: time.Since(fstart)}
+
 	// One instrumented run collects the per-stage wall-time breakdown; it
 	// stays out of the measured loop so NsPerOp remains comparable with
 	// points recorded before the observability layer existed.
@@ -231,6 +256,10 @@ func main() {
 	}
 	if p.WarmAttempts > 0 {
 		p.WarmHitRate = float64(p.WarmAccepted) / float64(p.WarmAttempts)
+	}
+	p.FlightNsPerOp = fres.NsPerOp()
+	if p.NsPerOp > 0 {
+		p.FlightOverheadPct = 100 * (float64(p.FlightNsPerOp) - float64(p.NsPerOp)) / float64(p.NsPerOp)
 	}
 	var denseSolves, sparseSolves int64
 	for _, solver := range []string{"sched", "cluster"} {

@@ -41,6 +41,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /summary, /debug/pprof); e.g. 127.0.0.1:9090")
 		metricsOut  = flag.String("metrics-out", "", "write an end-of-run metrics summary JSON to this file (\"-\" for stdout)")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the -metrics-addr endpoint up this long after the run finishes (for final scrapes)")
+		flightOut   = flag.String("flight-out", "", "record frame span trees in flight and write the dump JSON to this file (\"-\" for stdout); analyze with eeinspect")
 	)
 	flag.Parse()
 
@@ -61,8 +62,12 @@ func main() {
 	if *metricsAddr != "" || *metricsOut != "" {
 		metrics = eagleeye.NewMetricsRegistry()
 	}
+	var flight *eagleeye.FlightRecorder
+	if *flightOut != "" {
+		flight = eagleeye.NewFlightRecorder(eagleeye.FlightConfig{})
+	}
 	if *metricsAddr != "" {
-		srv, err := eagleeye.ServeMetrics(*metricsAddr, metrics)
+		srv, err := eagleeye.ServeMetrics(*metricsAddr, metrics, flight)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eagleeye:", err)
 			os.Exit(1)
@@ -88,11 +93,29 @@ func main() {
 		RecaptureDedup:    *recapture,
 		Trace:             trace,
 		Metrics:           metrics,
+		Flight:            flight,
 		Workers:           *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eagleeye:", err)
 		os.Exit(1)
+	}
+
+	if *flightOut != "" {
+		out := os.Stdout
+		if *flightOut != "-" {
+			f, ferr := os.Create(*flightOut)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "eagleeye:", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if werr := flight.WriteJSON(out); werr != nil {
+			fmt.Fprintln(os.Stderr, "eagleeye:", werr)
+			os.Exit(1)
+		}
 	}
 
 	if *metricsOut != "" {

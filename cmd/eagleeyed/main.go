@@ -21,7 +21,15 @@
 //	POST   /v1/sessions/{id}/checkpoint   download a binary checkpoint
 //	POST   /v1/sessions/restore    create a session from a checkpoint body
 //	DELETE /v1/sessions/{id}       delete
+//	GET    /v1/sessions/{id}/flight  flight-recorder dump (recent / slowest / pinned frames)
+//	GET    /debug/flight           flight dumps for every live session
 //	GET    /metrics /summary /debug/pprof/...   observability
+//
+// Every response carries an X-Request-ID header (echoed from the request
+// when present, generated otherwise); the same ID appears on the
+// structured log line for the request and on every flight-recorder frame
+// the run produced, so any request can be traced end to end after the
+// fact. -flight-ring 0 disables recording; -log-level tunes verbosity.
 //
 // With -checkpoint-dir set, SIGTERM additionally spools every idle
 // session to <dir>/<id>.ckpt after the drain, and the next eagleeyed
@@ -31,6 +39,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"eagleeye"
+	"eagleeye/internal/obs"
 	"eagleeye/internal/server"
 )
 
@@ -52,8 +62,20 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for run/step handlers")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs")
 		ckptDir     = flag.String("checkpoint-dir", "", "spool dir for session durability: SIGTERM checkpoints idle sessions here, startup resumes them")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		readHdrTO   = flag.Duration("read-header-timeout", 10*time.Second, "HTTP header read deadline (slowloris guard)")
+		idleTO      = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection deadline")
+		flightRing  = flag.Int("flight-ring", 128, "flight-recorder recent-frame ring per session; 0 disables recording")
+		flightTopK  = flag.Int("flight-topk", 16, "slowest-ever frames retained per session")
 	)
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "eagleeyed: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	reg := eagleeye.NewMetricsRegistry()
 	srv := server.New(server.Config{
@@ -64,6 +86,9 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Metrics:        reg,
 		CheckpointDir:  *ckptDir,
+		Log:            logger,
+		Flight:         obs.FlightConfig{Ring: *flightRing, TopK: *flightTopK},
+		DisableFlight:  *flightRing == 0,
 	})
 	if *ckptDir != "" {
 		n, err := srv.LoadSpool()
@@ -80,7 +105,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eagleeyed:", err)
 		os.Exit(1)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// No blanket ReadTimeout: checkpoint restores legitimately stream
+	// large bodies. The header deadline alone closes idle half-open
+	// connections; run/step handlers enforce their own deadlines.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHdrTO,
+		IdleTimeout:       *idleTO,
+	}
 	fmt.Fprintf(os.Stderr, "eagleeyed: serving on http://%s (sessions<=%d queue<=%d workers=%d)\n",
 		lis.Addr(), *maxSessions, *queueDepth, *workers)
 

@@ -56,13 +56,31 @@ type MetricsServer = obs.Server
 // NewMetricsRegistry returns an empty registry for Config.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
+// FlightRecorder keeps the recent and the anomalous frames of a run as
+// span trees in bounded memory: a ring of recent frames, top-K retention
+// by duration, and anomaly-triggered pinning (solver fallback,
+// warm-start reject, dual-repair failure, refactorization alarm,
+// deadline miss, fault event). Pass one via Config.Flight (or
+// StepOptions.Flight) and dump it with WriteJSON after -- or during --
+// the run to explain any slow frame after the fact.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightConfig sizes a FlightRecorder's retention classes; the zero
+// value takes the defaults (128-frame ring, top 16 by duration, 64
+// pinned).
+type FlightConfig = obs.FlightConfig
+
+// NewFlightRecorder returns a recorder for Config.Flight.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return obs.NewFlightRecorder(cfg) }
+
 // ServeMetrics binds addr (e.g. "127.0.0.1:9090", or ":0" for an
 // ephemeral port -- the bound address is available via Addr) and serves
 // /metrics (Prometheus text format), /summary (JSON), /debug/vars
 // (expvar) and /debug/pprof until Close. Scraping reads only atomics, so
-// a live endpoint never perturbs a running simulation.
-func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
-	return obs.Serve(addr, reg)
+// a live endpoint never perturbs a running simulation. Passing a
+// FlightRecorder additionally serves its dump on /debug/flight.
+func ServeMetrics(addr string, reg *MetricsRegistry, flight ...*FlightRecorder) (*MetricsServer, error) {
+	return obs.Serve(addr, reg, flight...)
 }
 
 // Organization names accepted by Config.Organization.
@@ -158,6 +176,12 @@ type Config struct {
 	// with WritePrometheus / WriteSummary after Run returns. Not
 	// serialized by Session.Checkpoint.
 	Metrics *MetricsRegistry `json:"-"`
+	// Flight, when non-nil, records per-frame span trees into the flight
+	// recorder (see FlightRecorder). Like Metrics it is a runtime
+	// attachment: not serialized by Session.Checkpoint, and a nil
+	// recorder leaves the frame loop byte-identical to an unrecorded
+	// run.
+	Flight *FlightRecorder `json:"-"`
 	// Workers runs independent constellation groups (or strip satellites)
 	// on this many goroutines: 0 means all CPUs, 1 sequential. Results
 	// and traces are deterministic for any value at a fixed seed.
@@ -411,6 +435,7 @@ func toSimConfig(cfg Config) (sim.Config, error) {
 	out.RecaptureDedup = cfg.RecaptureDedup
 	out.Trace = cfg.Trace
 	out.Metrics = cfg.Metrics
+	out.Flight = cfg.Flight
 	out.Workers = cfg.Workers
 	out.RecallOverride = cfg.RecallOverride
 	out.SlewRateDegS = cfg.SlewRateDegS

@@ -158,6 +158,11 @@ type SolveStats struct {
 	Iters     int           // simplex iterations across all nodes
 	Gap       float64       // bound - incumbent when the solve stopped early
 	PivotWall time.Duration // wall time spent inside LP solves
+	// Warm-start and LP anomaly accounting (flight-recorder signals).
+	WarmAttempted    bool // a warm candidate was offered to the solver
+	WarmAccepted     bool // the candidate verified feasible
+	Refactorizations int  // sparse-core mid-solve refactorizations
+	RepairFails      int  // dual-repair attempts that went cold
 }
 
 // Cover returns a set of w x h rectangles covering every input point, the
@@ -421,7 +426,9 @@ func ilpCover(ar *coverArena, pts []geo.Point2, cands []candidate, opts mip.Opti
 		p.EndRow(lp.GE, 1)
 	}
 	sol, err := ar.ws.SolveOpts(p, opts)
-	stats := SolveStats{Nodes: sol.Nodes, Iters: sol.Iters, Gap: sol.Gap, PivotWall: sol.PivotWall}
+	stats := SolveStats{Nodes: sol.Nodes, Iters: sol.Iters, Gap: sol.Gap, PivotWall: sol.PivotWall,
+		WarmAttempted: sol.WarmAttempted, WarmAccepted: sol.WarmAccepted,
+		Refactorizations: sol.Refactorizations, RepairFails: sol.RepairFails}
 	if err != nil || (sol.Status != mip.StatusOptimal && sol.Status != mip.StatusFeasible) {
 		return nil, stats, false
 	}

@@ -315,6 +315,11 @@ type Workspace struct {
 	// install or crash start).
 	Factorizations   int
 	Refactorizations int
+	// RepairFails counts dual-repair attempts (either core) that could
+	// not restore feasibility of an installed basis, forcing the cold
+	// path. A nonzero delta on a solve is an anomaly signal: the reused
+	// basis was stale beyond the pivot budget.
+	RepairFails int
 
 	// grow-only arenas backing the tableau.
 	abuf  []float64 // m x total matrix storage

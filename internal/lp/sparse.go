@@ -799,6 +799,14 @@ func (sp *sparseCore) crashSeed(ws *Workspace, p *Problem, x []float64) bool {
 // false when a violated row has no eligible entering column or the budget
 // runs out; the caller then rebuilds and goes cold.
 func (sp *sparseCore) dualRepair(ws *Workspace, maxPivots int) bool {
+	if !sp.dualRepairRun(ws, maxPivots) {
+		ws.RepairFails++
+		return false
+	}
+	return true
+}
+
+func (sp *sparseCore) dualRepairRun(ws *Workspace, maxPivots int) bool {
 	m := sp.m
 	limit := sp.artbase // phase-2 discipline: artificials may not enter
 	obj := sp.obj

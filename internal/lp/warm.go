@@ -260,6 +260,14 @@ func (t *tableau) primalFeasible() bool {
 // eligible entering column or the pivot budget runs out; the caller then
 // rebuilds and takes the cold path, which settles feasibility exactly.
 func (ws *Workspace) dualRepair(maxPivots int) bool {
+	if !ws.dualRepairRun(maxPivots) {
+		ws.RepairFails++
+		return false
+	}
+	return true
+}
+
+func (ws *Workspace) dualRepairRun(maxPivots int) bool {
 	t := &ws.t
 	obj := t.obj
 	limit := t.artbase // phase-2 discipline: artificials may not enter

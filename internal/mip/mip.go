@@ -115,6 +115,11 @@ type Solution struct {
 	WarmPruned    int  // nodes cut by the warm floor, not by an incumbent
 	WarmEarlyExit bool // a node LP bound proved the warm candidate optimal
 	BasisReuses   int  // LP solves that skipped phase 1 via basis reuse
+
+	// Anomaly signals for the flight recorder, as per-solve deltas of the
+	// workspace's cumulative counters.
+	Refactorizations int // sparse-core mid-solve refactorizations
+	RepairFails      int // dual-repair attempts that went cold
 }
 
 // feasTol is the absolute-plus-relative feasibility tolerance used when

@@ -136,6 +136,8 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 	}
 	ws.ReuseBasis = opts.ReuseBasis
 	basisReuses0 := ws.BasisReuses
+	refactor0 := ws.Refactorizations
+	repair0 := ws.RepairFails
 	if warmOK && opts.ReuseBasis {
 		// Crash the root relaxation's basis at the warm candidate's vertex:
 		// when no saved basis fits the root's tableau shape (the common case
@@ -189,7 +191,9 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 				if nodes == 1 {
 					out := Solution{Status: StatusUnbounded, Nodes: nodes, Iters: iters, PivotWall: pivotWall,
 						WarmAttempted: opts.WarmStart != nil, WarmAccepted: warmOK,
-						BasisReuses: ws.BasisReuses - basisReuses0}
+						BasisReuses:      ws.BasisReuses - basisReuses0,
+						Refactorizations: ws.Refactorizations - refactor0,
+						RepairFails:      ws.RepairFails - repair0}
 					recordSolve(opts.Metrics, &out)
 					return out, nil
 				}
@@ -295,7 +299,9 @@ func (w *Workspace) SolveOpts(p *Problem, opts Options) (Solution, error) {
 	out := Solution{Nodes: nodes, Iters: iters, PivotWall: pivotWall,
 		WarmAttempted: opts.WarmStart != nil, WarmAccepted: warmOK,
 		WarmPruned: warmPruned, WarmEarlyExit: warmEarly,
-		BasisReuses: ws.BasisReuses - basisReuses0}
+		BasisReuses:      ws.BasisReuses - basisReuses0,
+		Refactorizations: ws.Refactorizations - refactor0,
+		RepairFails:      ws.RepairFails - repair0}
 	switch {
 	case incumbent != nil && !stopped:
 		out.Status = StatusOptimal

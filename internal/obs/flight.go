@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// FlightRecorder keeps the recent and the interesting frames of a
+// session in bounded memory so any slow frame can be explained after
+// the fact:
+//
+//   - a fixed-size ring of the most recent frame span trees,
+//   - top-K retention by frame duration (the slowest frames ever seen),
+//   - anomaly-triggered pinning: frames flagged with any Anomaly bit go
+//     into a pinned FIFO ring, and the FIRST frame per anomaly kind is
+//     retained forever -- that is what guarantees an hour-60 fault event
+//     is still retrievable after 10k+ subsequent frames of a 168 h run.
+//
+// All retention classes copy span trees into slots whose backing arrays
+// are reused on overwrite, so steady-state memory is
+// O(Ring + TopK + Pinned + kinds) regardless of session length.
+
+// FlightSchema versions the JSON dump format.
+const FlightSchema = 1
+
+// FlightConfig sizes a recorder. Zero values take the defaults.
+type FlightConfig struct {
+	// Ring is the number of most-recent frames retained (default 128).
+	Ring int
+	// TopK is the number of slowest-ever frames retained (default 16).
+	TopK int
+	// Pinned is the capacity of the anomaly FIFO (default 64). The
+	// first frame per anomaly kind is retained separately and never
+	// evicted.
+	Pinned int
+}
+
+func (c FlightConfig) withDefaults() FlightConfig {
+	if c.Ring <= 0 {
+		c.Ring = 128
+	}
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.Pinned <= 0 {
+		c.Pinned = 64
+	}
+	return c
+}
+
+// FlightRecorder is safe for concurrent use: simulation jobs offer
+// finished trees under the mutex, and the server snapshots concurrently.
+type FlightRecorder struct {
+	mu  sync.Mutex
+	cfg FlightConfig
+
+	seq     uint64 // unique recording ID (frames and synthetic events)
+	frames  uint64 // frames offered; also the ring write position
+	session string
+	request string // current in-flight request ID, "" if none
+	step    int
+	pinReq  string // request armed for pinning (deadline already hit)
+	pinAnom Anomaly
+
+	ring    []FrameTree // positional: ring[seq % len]
+	ringLen uint64      // number of valid entries (min(seq, len))
+
+	top []FrameTree // top-K by DurNS, unordered; min replaced on offer
+
+	pinned     []FrameTree // FIFO of anomalous frames
+	pinnedNext int
+	pinnedLen  int
+	pinDropped uint64
+	first      [numAnomalies]FrameTree // first frame per anomaly kind
+	firstSet   [numAnomalies]bool
+	anomCounts [numAnomalies]uint64
+}
+
+// NewFlightRecorder allocates a recorder with the given retention sizes.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	cfg = cfg.withDefaults()
+	return &FlightRecorder{
+		cfg:    cfg,
+		ring:   make([]FrameTree, cfg.Ring),
+		top:    make([]FrameTree, 0, cfg.TopK),
+		pinned: make([]FrameTree, cfg.Pinned),
+	}
+}
+
+// Builder returns a per-job FrameBuilder bound to this recorder. Each
+// concurrent simulation job must use its own builder.
+func (fr *FlightRecorder) Builder() *FrameBuilder {
+	return &FrameBuilder{rec: fr}
+}
+
+// SetSession stamps the session ID onto all subsequently offered frames.
+func (fr *FlightRecorder) SetSession(id string) {
+	fr.mu.Lock()
+	fr.session = id
+	fr.mu.Unlock()
+}
+
+// SetRequest marks a serving request as in flight; offered frames carry
+// its ID until ClearRequest.
+func (fr *FlightRecorder) SetRequest(id string) {
+	fr.mu.Lock()
+	fr.request = id
+	fr.mu.Unlock()
+}
+
+// ClearRequest ends the in-flight request and disarms any PinRequest.
+func (fr *FlightRecorder) ClearRequest() {
+	fr.mu.Lock()
+	fr.request = ""
+	fr.pinReq = ""
+	fr.pinAnom = 0
+	fr.mu.Unlock()
+}
+
+// SetStep stamps the session step index onto subsequent frames.
+func (fr *FlightRecorder) SetStep(step int) {
+	fr.mu.Lock()
+	fr.step = step
+	fr.mu.Unlock()
+}
+
+// PinRequest flags a request-level anomaly (deadline hit, 5xx). It
+// retro-tags frames already in the ring that carry the request ID, arms
+// pinning for frames the still-running session will offer under the same
+// ID, and pins a synthetic event tree so the anomaly is retrievable even
+// if no frame lands in the window.
+func (fr *FlightRecorder) PinRequest(reqID string, anom Anomaly, note string) {
+	fr.mu.Lock()
+	for i := uint64(0); i < fr.ringLen; i++ {
+		if fr.ring[i].Request == reqID && reqID != "" {
+			fr.ring[i].Anom |= anom
+		}
+	}
+	// Arm unconditionally: a deadline can fire while the job is still
+	// queued, before SetRequest. Offered frames match on pinReq ==
+	// request, so a later request's frames are never mistagged, and
+	// ClearRequest disarms at run end either way.
+	fr.pinReq = reqID
+	fr.pinAnom |= anom
+	ev := FrameTree{
+		Seq: fr.seq, Session: fr.session, Request: reqID, Step: fr.step,
+		Group: -1, Frame: -1, Anom: anom,
+		Spans: []Span{{Kind: SpanEvent, Name: note, Parent: -1}},
+	}
+	fr.seq++
+	fr.pinLocked(&ev)
+	fr.mu.Unlock()
+}
+
+// PinEvent pins a synthetic tree (fault events). The current
+// session/request/step identity is stamped on.
+func (fr *FlightRecorder) PinEvent(t FrameTree) {
+	fr.mu.Lock()
+	t.Seq = fr.seq
+	fr.seq++
+	t.Session = fr.session
+	t.Request = fr.request
+	t.Step = fr.step
+	fr.pinLocked(&t)
+	fr.mu.Unlock()
+}
+
+// offer records one finished frame tree (called by FrameBuilder.Finish).
+func (fr *FlightRecorder) offer(t *FrameTree) {
+	fr.mu.Lock()
+	t.Seq = fr.seq
+	fr.seq++
+	t.Session = fr.session
+	t.Request = fr.request
+	t.Step = fr.step
+	if fr.pinReq != "" && fr.pinReq == fr.request {
+		t.Anom |= fr.pinAnom
+	}
+
+	// Recent ring: positional overwrite, arena reuse via copyInto.
+	slot := &fr.ring[fr.frames%uint64(len(fr.ring))]
+	t.copyInto(slot)
+	fr.frames++
+	if fr.ringLen < uint64(len(fr.ring)) {
+		fr.ringLen++
+	}
+
+	// Top-K by duration: replace the minimum when full.
+	d := t.DurNS()
+	if len(fr.top) < cap(fr.top) {
+		fr.top = append(fr.top, FrameTree{})
+		t.copyInto(&fr.top[len(fr.top)-1])
+	} else if len(fr.top) > 0 {
+		min := 0
+		for i := 1; i < len(fr.top); i++ {
+			if fr.top[i].DurNS() < fr.top[min].DurNS() {
+				min = i
+			}
+		}
+		if d > fr.top[min].DurNS() {
+			t.copyInto(&fr.top[min])
+		}
+	}
+
+	if t.Anom != 0 {
+		fr.pinLocked(t)
+	}
+	fr.mu.Unlock()
+}
+
+// pinLocked files an anomalous tree into the pinned FIFO, the
+// first-per-kind slots, and the anomaly counters. Caller holds fr.mu.
+func (fr *FlightRecorder) pinLocked(t *FrameTree) {
+	for i := 0; i < numAnomalies; i++ {
+		if t.Anom&(1<<i) == 0 {
+			continue
+		}
+		fr.anomCounts[i]++
+		if !fr.firstSet[i] {
+			t.copyInto(&fr.first[i])
+			fr.firstSet[i] = true
+		}
+	}
+	if fr.pinnedLen == len(fr.pinned) {
+		fr.pinDropped++
+	} else {
+		fr.pinnedLen++
+	}
+	t.copyInto(&fr.pinned[fr.pinnedNext])
+	fr.pinnedNext = (fr.pinnedNext + 1) % len(fr.pinned)
+}
+
+// --- JSON dump -------------------------------------------------------
+
+// FlightSpan is the JSON form of one span.
+type FlightSpan struct {
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Parent  int32  `json:"parent"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	A       int64  `json:"a,omitempty"`
+	B       int64  `json:"b,omitempty"`
+}
+
+// FlightFrame is the JSON form of one recorded frame tree.
+type FlightFrame struct {
+	Seq       uint64       `json:"seq"`
+	Session   string       `json:"session,omitempty"`
+	Request   string       `json:"request,omitempty"`
+	Step      int          `json:"step"`
+	Group     int          `json:"group"`
+	Frame     int          `json:"frame"`
+	TimeS     float64      `json:"time_s"`
+	DurNS     int64        `json:"dur_ns"`
+	Anomalies []string     `json:"anomalies,omitempty"`
+	Spans     []FlightSpan `json:"spans"`
+}
+
+// FlightDump is the schema-versioned JSON dump of a recorder.
+type FlightDump struct {
+	Schema        int               `json:"schema"`
+	Session       string            `json:"session,omitempty"`
+	Frames        uint64            `json:"frames"` // total frames offered
+	PinnedDropped uint64            `json:"pinned_dropped"`
+	Anomalies     map[string]uint64 `json:"anomalies"`
+	Recent        []FlightFrame     `json:"recent"`
+	Slowest       []FlightFrame     `json:"slowest"`
+	Pinned        []FlightFrame     `json:"pinned"`
+}
+
+func frameJSON(t *FrameTree) FlightFrame {
+	f := FlightFrame{
+		Seq: t.Seq, Session: t.Session, Request: t.Request,
+		Step: t.Step, Group: t.Group, Frame: t.Frame, TimeS: t.TimeS,
+		DurNS: t.DurNS(), Anomalies: t.Anom.Kinds(),
+		Spans: make([]FlightSpan, len(t.Spans)),
+	}
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		f.Spans[i] = FlightSpan{
+			Kind: s.Kind.String(), Name: s.Name, Parent: s.Parent,
+			StartNS: s.StartNS, DurNS: s.DurNS, A: s.A, B: s.B,
+		}
+	}
+	return f
+}
+
+// Snapshot copies the recorder state into its JSON dump form. Recent is
+// oldest-first; Slowest is sorted by descending duration; Pinned is
+// oldest-first with the never-evicted first-per-kind frames prepended
+// (deduplicated by sequence number).
+func (fr *FlightRecorder) Snapshot() FlightDump {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+
+	d := FlightDump{
+		Schema:        FlightSchema,
+		Session:       fr.session,
+		Frames:        fr.frames,
+		PinnedDropped: fr.pinDropped,
+		Anomalies:     make(map[string]uint64),
+	}
+	for i := 0; i < numAnomalies; i++ {
+		if fr.anomCounts[i] > 0 {
+			d.Anomalies[anomalyNames[i]] = fr.anomCounts[i]
+		}
+	}
+
+	n := fr.ringLen
+	for i := uint64(0); i < n; i++ {
+		t := &fr.ring[(fr.frames-n+i)%uint64(len(fr.ring))]
+		d.Recent = append(d.Recent, frameJSON(t))
+	}
+
+	for i := range fr.top {
+		d.Slowest = append(d.Slowest, frameJSON(&fr.top[i]))
+	}
+	sort.Slice(d.Slowest, func(i, j int) bool { return d.Slowest[i].DurNS > d.Slowest[j].DurNS })
+
+	seen := make(map[uint64]bool)
+	for i := 0; i < numAnomalies; i++ {
+		if fr.firstSet[i] && !seen[fr.first[i].Seq] {
+			seen[fr.first[i].Seq] = true
+			d.Pinned = append(d.Pinned, frameJSON(&fr.first[i]))
+		}
+	}
+	start := fr.pinnedNext - fr.pinnedLen
+	if start < 0 {
+		start += len(fr.pinned)
+	}
+	for i := 0; i < fr.pinnedLen; i++ {
+		t := &fr.pinned[(start+i)%len(fr.pinned)]
+		if seen[t.Seq] {
+			continue
+		}
+		seen[t.Seq] = true
+		d.Pinned = append(d.Pinned, frameJSON(t))
+	}
+	return d
+}
+
+// WriteJSON writes the schema-versioned dump to w.
+func (fr *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fr.Snapshot())
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func offerFrame(b *FrameBuilder, frame int, durNS int64, anom Anomaly) {
+	b.Start(0, frame, float64(frame))
+	b.Add(0, SpanStage, "detect", 0, durNS/2, 10, 3)
+	b.Add(0, SpanStage, "sched", durNS/2, durNS/2, 3, 1)
+	if anom != 0 {
+		b.Anomaly(anom)
+	}
+	b.Finish(durNS)
+}
+
+func TestFlightRingAndTopK(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Ring: 4, TopK: 2, Pinned: 4})
+	fr.SetSession("s1")
+	b := fr.Builder()
+	// Frame i has duration 100*(i+1); frame 2 is artificially slowest.
+	durs := []int64{100, 200, 900, 300, 400, 500}
+	for i, d := range durs {
+		offerFrame(b, i, d, 0)
+	}
+	d := fr.Snapshot()
+	if d.Schema != FlightSchema {
+		t.Fatalf("schema = %d, want %d", d.Schema, FlightSchema)
+	}
+	if d.Frames != 6 {
+		t.Fatalf("frames = %d, want 6", d.Frames)
+	}
+	if len(d.Recent) != 4 {
+		t.Fatalf("recent = %d frames, want ring size 4", len(d.Recent))
+	}
+	// Oldest-first: frames 2..5 survive in the ring of 4.
+	for i, f := range d.Recent {
+		if f.Frame != i+2 {
+			t.Fatalf("recent[%d].Frame = %d, want %d", i, f.Frame, i+2)
+		}
+		if f.Session != "s1" {
+			t.Fatalf("recent[%d].Session = %q, want s1", i, f.Session)
+		}
+	}
+	if len(d.Slowest) != 2 || d.Slowest[0].DurNS != 900 || d.Slowest[1].DurNS != 500 {
+		t.Fatalf("slowest = %+v, want durations [900 500]", d.Slowest)
+	}
+	if d.Slowest[0].Frame != 2 {
+		t.Fatalf("slowest[0].Frame = %d, want 2", d.Slowest[0].Frame)
+	}
+	if len(d.Slowest[0].Spans) != 3 {
+		t.Fatalf("slowest[0] has %d spans, want 3", len(d.Slowest[0].Spans))
+	}
+}
+
+// The acceptance-criteria core: an anomaly pinned early must still be
+// retrievable after 10k+ subsequent frames churn every bounded buffer.
+func TestFlightAnomalySurvives10kFrames(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Ring: 64, TopK: 8, Pinned: 16})
+	fr.SetSession("s1")
+	b := fr.Builder()
+
+	offerFrame(b, 0, 100, 0)
+	b.Event(0, 1, 60*3600, AnomFault, "follower-fail")
+	offerFrame(b, 2, 100, AnomFallback)
+
+	// 10k+ later frames, some of them anomalous so the pinned FIFO also
+	// churns past its capacity.
+	for i := 3; i < 10500; i++ {
+		a := Anomaly(0)
+		if i%97 == 0 {
+			a = AnomWarmReject
+		}
+		offerFrame(b, i, 100+int64(i%7), a)
+	}
+
+	d := fr.Snapshot()
+	if d.PinnedDropped == 0 {
+		t.Fatalf("pinned FIFO never overflowed; test is not exercising churn")
+	}
+	var gotFault, gotFallback bool
+	for _, f := range d.Pinned {
+		for _, k := range f.Anomalies {
+			if k == "fault-event" && f.Spans[0].Name == "follower-fail" {
+				gotFault = true
+			}
+			if k == "solver-fallback" && f.Frame == 2 {
+				gotFallback = true
+			}
+		}
+	}
+	if !gotFault {
+		t.Fatalf("hour-60 fault event lost after 10k frames; pinned = %d entries", len(d.Pinned))
+	}
+	if !gotFallback {
+		t.Fatalf("first solver-fallback frame lost after 10k frames")
+	}
+	if d.Anomalies["fault-event"] != 1 {
+		t.Fatalf("anomaly counts = %v, want fault-event:1", d.Anomalies)
+	}
+	if len(d.Pinned) > 16+numAnomalies {
+		t.Fatalf("pinned grew to %d entries; retention is unbounded", len(d.Pinned))
+	}
+}
+
+// Bounded memory: after warm-up, offering frames of the same shape must
+// not allocate new span arrays in the recorder or the builder.
+func TestFlightSteadyStateAllocs(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Ring: 32, TopK: 4, Pinned: 8})
+	b := fr.Builder()
+	for i := 0; i < 100; i++ { // warm-up: fill ring, top-K, grow arenas
+		offerFrame(b, i, int64(1000-i), 0)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		offerFrame(b, 100, 10, 0)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state offer allocates %.1f allocs/frame, want 0", allocs)
+	}
+}
+
+func TestFlightPinRequest(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{Ring: 8, TopK: 2, Pinned: 8})
+	fr.SetSession("s1")
+	fr.SetRequest("req-1")
+	b := fr.Builder()
+	offerFrame(b, 0, 100, 0)
+
+	// Deadline fires while the run is still in flight: retro-tag + arm.
+	fr.PinRequest("req-1", AnomRequestDeadline, "deadline 504")
+	offerFrame(b, 1, 100, 0) // offered after the pin, same request
+	fr.ClearRequest()
+	offerFrame(b, 2, 100, 0) // after clear: unpinned
+
+	d := fr.Snapshot()
+	if d.Recent[0].Anomalies == nil || d.Recent[0].Anomalies[0] != "request-deadline" {
+		t.Fatalf("retro-tag missed frame 0: %+v", d.Recent[0])
+	}
+	if len(d.Recent[1].Anomalies) == 0 {
+		t.Fatalf("armed pin missed frame 1: %+v", d.Recent[1])
+	}
+	if len(d.Recent[2].Anomalies) != 0 {
+		t.Fatalf("frame 2 after ClearRequest still pinned: %+v", d.Recent[2])
+	}
+	var synthetic bool
+	for _, f := range d.Pinned {
+		if f.Group == -1 && f.Spans[0].Name == "deadline 504" && f.Request == "req-1" {
+			synthetic = true
+		}
+	}
+	if !synthetic {
+		t.Fatalf("synthetic deadline event not pinned: %+v", d.Pinned)
+	}
+	if d.Anomalies["request-deadline"] == 0 {
+		t.Fatalf("anomaly counter did not move: %v", d.Anomalies)
+	}
+}
+
+func TestFlightWriteJSONRoundTrip(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{})
+	fr.SetSession("s9")
+	b := fr.Builder()
+	offerFrame(b, 0, 250, AnomDeadline)
+	var buf bytes.Buffer
+	if err := fr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Schema != FlightSchema || d.Session != "s9" || len(d.Pinned) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", d)
+	}
+	if d.Pinned[0].Anomalies[0] != "deadline-miss" {
+		t.Fatalf("anomaly name = %v", d.Pinned[0].Anomalies)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "z")
+	r.Counter("aa_total", "a", Label{Key: "k", Value: "v1"})
+	r.Counter("aa_total", "a", Label{Key: "k", Value: "v2"}) // same family
+	r.Gauge("mm_gauge", "m")
+	got := r.Names()
+	want := []string{"aa_total", "mm_gauge", "zz_total"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Live introspection endpoint for long simulations: a 24-hour,
@@ -34,14 +35,22 @@ type Server struct {
 }
 
 // Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
-// and serves the registry until Close.
-func Serve(addr string, r *Registry) (*Server, error) {
+// and serves the registry until Close. An optional FlightRecorder adds a
+// /debug/flight dump route.
+func Serve(addr string, r *Registry, flight ...*FlightRecorder) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	mux.HandleFunc("/summary", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteSummary(w)
 	})
+	if len(flight) > 0 && flight[0] != nil {
+		fr := flight[0]
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = fr.WriteJSON(w)
+		})
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -53,7 +62,16 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	// Network deadlines so an abandoned scrape connection cannot pin the
+	// endpoint: headers within 5s, whole request within 30s, keep-alives
+	// recycled at 2min. No WriteTimeout -- pprof profiles stream for the
+	// duration the client asks (?seconds=N).
+	s := &Server{lis: lis, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}}
 	go func() { _ = s.srv.Serve(lis) }() // Serve returns ErrServerClosed on Close
 	return s, nil
 }

@@ -66,6 +66,86 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestServeDebugVarsShape: /debug/vars must be one JSON object whose
+// memstats member carries the runtime numbers dashboards key on, and
+// whose cmdline member is a string array -- the expvar contract external
+// scrapers depend on.
+func TestServeDebugVarsShape(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("/debug/vars content-type = %q", ct)
+	}
+	var vars struct {
+		Cmdline  []string `json:"cmdline"`
+		Memstats struct {
+			Alloc      *float64 `json:"Alloc"`
+			HeapAlloc  *float64 `json:"HeapAlloc"`
+			NumGC      *float64 `json:"NumGC"`
+			TotalAlloc *float64 `json:"TotalAlloc"`
+		} `json:"memstats"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not one JSON object: %v\n%s", err, body)
+	}
+	if len(vars.Cmdline) == 0 {
+		t.Error("/debug/vars cmdline missing or empty")
+	}
+	for name, p := range map[string]*float64{
+		"Alloc": vars.Memstats.Alloc, "HeapAlloc": vars.Memstats.HeapAlloc,
+		"NumGC": vars.Memstats.NumGC, "TotalAlloc": vars.Memstats.TotalAlloc,
+	} {
+		if p == nil {
+			t.Errorf("/debug/vars memstats.%s missing", name)
+		}
+	}
+}
+
+// TestServeTimeoutsAndFlight: the introspection server must carry
+// network deadlines (an abandoned connection cannot pin it), and a
+// recorder passed to Serve is dumpable on /debug/flight.
+func TestServeTimeoutsAndFlight(t *testing.T) {
+	fr := NewFlightRecorder(FlightConfig{})
+	fr.SetSession("cli")
+	b := fr.Builder()
+	b.Start(0, 1, 10)
+	b.Finish(1000)
+
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if srv.srv.ReadHeaderTimeout <= 0 || srv.srv.ReadTimeout <= 0 || srv.srv.IdleTimeout <= 0 {
+		t.Errorf("server missing deadlines: header=%v read=%v idle=%v",
+			srv.srv.ReadHeaderTimeout, srv.srv.ReadTimeout, srv.srv.IdleTimeout)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d FlightDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("/debug/flight: %v", err)
+	}
+	if d.Schema != FlightSchema || d.Session != "cli" || d.Frames != 1 {
+		t.Errorf("/debug/flight dump = schema %d session %q frames %d", d.Schema, d.Session, d.Frames)
+	}
+}
+
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.256.256.256:99999", NewRegistry()); err == nil {
 		t.Fatal("expected listen error")

@@ -201,6 +201,24 @@ func (r *Registry) GaugeValue(name string, labels ...Label) float64 {
 	return 0
 }
 
+// Names returns the distinct metric family names registered so far,
+// sorted. The docs drift gate uses it to require that every live series
+// family is documented.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	seen := make(map[string]bool, len(r.order))
+	out := make([]string, 0, len(r.order))
+	for _, e := range r.order {
+		if !seen[e.name] {
+			seen[e.name] = true
+			out = append(out, e.name)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 func (r *Registry) lookup(name string, labels []Label) *metricEntry {
 	ls := append([]Label(nil), labels...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelEscaping: label values are data, not syntax --
+// quotes, backslashes and newlines must arrive escaped per the text
+// exposition format, and HELP text must escape backslash and newline.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("eagleeye_esc_total", "line one\nline two \\ end",
+		Label{Key: "path", Value: `C:\tmp "quoted"` + "\nnext"}).Add(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	wantSeries := `eagleeye_esc_total{path="C:\\tmp \"quoted\"\nnext"} 1`
+	if !strings.Contains(out, wantSeries) {
+		t.Errorf("escaped series line missing:\nwant %s\ngot:\n%s", wantSeries, out)
+	}
+	wantHelp := `# HELP eagleeye_esc_total line one\nline two \\ end`
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("escaped HELP line missing:\nwant %s\ngot:\n%s", wantHelp, out)
+	}
+	// A raw (unescaped) newline inside a series line would split it in
+	// two and corrupt the scrape: every line must parse standalone.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("blank line in exposition output:\n%s", out)
+		}
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "eagleeye_esc_total") {
+			t.Errorf("stray continuation line %q -- unescaped newline leaked", line)
+		}
+	}
+}
+
+// TestPrometheusHistogramEscaping: the synthesized le label composes with
+// escaped user labels on bucket lines.
+func TestPrometheusHistogramEscaping(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("eagleeye_esc_seconds", "h", []float64{1},
+		Label{Key: "q", Value: `a"b`})
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `eagleeye_esc_seconds_bucket{q="a\"b",le="1"} 1`) {
+		t.Errorf("bucket line escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `eagleeye_esc_seconds_bucket{q="a\"b",le="+Inf"} 1`) {
+		t.Errorf("+Inf bucket escaping wrong:\n%s", out)
+	}
+}

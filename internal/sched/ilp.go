@@ -156,6 +156,9 @@ func (s ILP) scheduleSequential(p *Problem) (Schedule, error) {
 		stats.Gap += subOut.SolveStats.Gap
 		stats.PivotWall += subOut.SolveStats.PivotWall
 		stats.Fallback = stats.Fallback || subOut.SolveStats.Fallback
+		stats.WarmAttempted = stats.WarmAttempted || subOut.SolveStats.WarmAttempted
+		stats.Refactorizations += subOut.SolveStats.Refactorizations
+		stats.RepairFails += subOut.SolveStats.RepairFails
 		// Sequential decomposition is itself a heuristic, so the joint
 		// optimum is not certified even if each sub-solve is.
 		stats.Optimal = false
@@ -232,16 +235,19 @@ func (s ILP) scheduleJoint(p *Problem) (Schedule, error) {
 		polish(ar, p, &out)
 	}
 	out.SolveStats = Stats{
-		Algorithm:     "ilp",
-		Nodes:         sol.Nodes,
-		Optimal:       sol.Status == mip.StatusOptimal,
-		Iters:         sol.Iters,
-		Gap:           sol.Gap,
-		PivotWall:     sol.PivotWall,
-		Warm:          sol.WarmAccepted,
-		WarmPruned:    sol.WarmPruned,
-		WarmEarlyExit: sol.WarmEarlyExit,
-		BasisReuses:   sol.BasisReuses,
+		Algorithm:        "ilp",
+		Nodes:            sol.Nodes,
+		Optimal:          sol.Status == mip.StatusOptimal,
+		Iters:            sol.Iters,
+		Gap:              sol.Gap,
+		PivotWall:        sol.PivotWall,
+		WarmAttempted:    sol.WarmAttempted,
+		Warm:             sol.WarmAccepted,
+		WarmPruned:       sol.WarmPruned,
+		WarmEarlyExit:    sol.WarmEarlyExit,
+		BasisReuses:      sol.BasisReuses,
+		Refactorizations: sol.Refactorizations,
+		RepairFails:      sol.RepairFails,
 	}
 	if st != nil {
 		st.remember(p, &out)

@@ -50,7 +50,7 @@ func holdRun(t *testing.T, s *Server, id string) (release func(), done chan jobR
 		t.Fatalf("no session %s", id)
 	}
 	gate := make(chan struct{})
-	j, aerr := s.enqueue(e, 0, gateWriter{gate}, nil)
+	j, aerr := s.enqueue(e, 0, "", gateWriter{gate}, nil)
 	if aerr != nil {
 		t.Fatalf("hold enqueue: %v", aerr)
 	}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eagleeye/internal/obs"
+)
+
+// syncBuffer collects slog output from concurrent handler goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+func getFlight(t *testing.T, url string) obs.FlightDump {
+	t.Helper()
+	resp, body := doJSON(t, "GET", url, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flight = %d: %s", resp.StatusCode, body)
+	}
+	var d obs.FlightDump
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	return d
+}
+
+// TestFlightEndpoint: a completed run's frames are dumpable per session
+// and in the /debug/flight aggregate, stamped with the session and the
+// request ID the server assigned.
+func TestFlightEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := createSession(t, ts.URL, gridScenario(0.2))
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions/"+id+"/run", strings.NewReader(""))
+	req.Header.Set("X-Request-ID", "test-req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "test-req-42" {
+		t.Fatalf("X-Request-ID echo = %q, want test-req-42", got)
+	}
+
+	d := getFlight(t, ts.URL+"/v1/sessions/"+id+"/flight")
+	if d.Schema != obs.FlightSchema || d.Session != id {
+		t.Fatalf("dump header = schema %d session %q", d.Schema, d.Session)
+	}
+	if d.Frames == 0 || len(d.Recent) == 0 {
+		t.Fatalf("no frames recorded: frames=%d recent=%d", d.Frames, len(d.Recent))
+	}
+	f := d.Recent[len(d.Recent)-1]
+	if f.Request != "test-req-42" {
+		t.Fatalf("frame request = %q, want test-req-42", f.Request)
+	}
+	if len(f.Spans) == 0 || f.Spans[0].Kind != "frame" {
+		t.Fatalf("frame spans malformed: %+v", f.Spans)
+	}
+
+	// Aggregate endpoint carries the same session.
+	resp2, body := doJSON(t, "GET", ts.URL+"/debug/flight", nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight = %d", resp2.StatusCode)
+	}
+	var all FlightAllResponse
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	if all.Schema != obs.FlightSchema || len(all.Sessions) != 1 || all.Sessions[0].Session != id {
+		t.Fatalf("aggregate = %+v", all)
+	}
+}
+
+// TestFlightRequestIDSanitized: a hostile X-Request-ID is replaced, not
+// echoed into logs and label values.
+func TestFlightRequestIDSanitized(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/sessions", nil)
+	req.Header.Set("X-Request-ID", "bad id\twith junk{}")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get("X-Request-ID")
+	if got == "" || strings.ContainsAny(got, " \t{}") {
+		t.Fatalf("sanitized request ID = %q", got)
+	}
+}
+
+// TestFlightDisabled: DisableFlight turns the endpoint into a 404.
+func TestFlightDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableFlight: true})
+	id := createSession(t, ts.URL, testScenario(0.1))
+	resp, _ := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/flight", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flight with recording disabled = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDeadline504Pin: a request that 504s leaves a pinned
+// request-deadline anomaly in the session's flight dump, correlated to
+// the request ID that appears in the structured log -- the full
+// explain-any-request chain.
+func TestDeadline504Pin(t *testing.T) {
+	logBuf := &syncBuffer{}
+	s, ts := newTestServer(t, Config{
+		Workers:        1,
+		RequestTimeout: 50 * time.Millisecond,
+		Log:            slog.New(slog.NewJSONHandler(logBuf, nil)),
+	})
+	holder := createSession(t, ts.URL, gridScenario(1))
+	b := createSession(t, ts.URL, testScenario(0.2))
+
+	release, holdDone := holdRun(t, s, holder)
+	t.Cleanup(release)
+	pollUntil(t, "holder session running", 10*time.Second, func() bool {
+		return sessionState(t, ts.URL, holder).State == "running"
+	})
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions/"+b+"/run", strings.NewReader(""))
+	req.Header.Set("X-Request-ID", "deadline-req-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("run past deadline = %d, want 504", resp.StatusCode)
+	}
+
+	// The pin lands synchronously with the 504 response.
+	d := getFlight(t, ts.URL+"/v1/sessions/"+b+"/flight")
+	var pinned bool
+	for _, f := range d.Pinned {
+		if f.Request == "deadline-req-1" {
+			for _, k := range f.Anomalies {
+				if k == "request-deadline" {
+					pinned = true
+				}
+			}
+		}
+	}
+	if !pinned {
+		t.Fatalf("no pinned request-deadline anomaly for deadline-req-1: %+v", d.Pinned)
+	}
+	if d.Anomalies["request-deadline"] == 0 {
+		t.Fatalf("anomaly counter did not move: %v", d.Anomalies)
+	}
+
+	// The structured log correlates the 504 to the same request ID.
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"request_id":"deadline-req-1"`) || !strings.Contains(logs, `"status":504`) {
+		t.Fatalf("slog output lacks the 504 correlation line:\n%s", logs)
+	}
+
+	// Free the worker; the abandoned run executes with the armed pin, so
+	// its frames are tagged too and the completion line carries the ID.
+	release()
+	if rr := <-holdDone; rr.err != nil {
+		t.Fatalf("held run: %v", rr.err)
+	}
+	pollUntil(t, "background run to land", 60*time.Second, func() bool {
+		return sessionState(t, ts.URL, b).Runs == 1
+	})
+	if !strings.Contains(logBuf.String(), `"msg":"run complete","session":"`+b+`","request_id":"deadline-req-1"`) {
+		t.Fatalf("run-complete log line missing request correlation:\n%s", logBuf.String())
+	}
+}

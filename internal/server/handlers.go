@@ -2,10 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -35,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("POST /v1/sessions/restore", s.instrument("restore", s.handleRestore))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/sessions/{id}/flight", s.instrument("flight", s.handleFlight))
+	mux.HandleFunc("GET /debug/flight", s.instrument("flight-all", s.handleFlightAll))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -114,7 +120,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("trace") == "ndjson" {
-		s.runStreaming(w, e)
+		s.runStreaming(w, r, e)
 		return
 	}
 	s.runBlocking(w, r, e, 0)
@@ -181,11 +187,46 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, e.info(false))
 }
 
+// handleFlight dumps one session's flight recorder: the recent-frame
+// ring, the slowest frames, and the pinned anomalies, as schema-versioned
+// JSON.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such session"})
+		return
+	}
+	if e.flight == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "flight recording disabled"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = e.flight.WriteJSON(w)
+}
+
+// handleFlightAll aggregates every live session's flight dump.
+func (s *Server) handleFlightAll(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return sessionNum(entries[i].id) < sessionNum(entries[j].id) })
+	resp := FlightAllResponse{Schema: obs.FlightSchema, Sessions: make([]obs.FlightDump, 0, len(entries))}
+	for _, e := range entries {
+		if e.flight != nil {
+			resp.Sessions = append(resp.Sessions, e.flight.Snapshot())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // runBlocking admits one run/step and waits for it under the request
 // deadline. A deadline miss answers 504 but does not cancel the run: it
 // completes on the worker and lands on the session for later query.
 func (s *Server) runBlocking(w http.ResponseWriter, r *http.Request, e *entry, hours float64) {
-	j, aerr := s.enqueue(e, hours, nil, nil)
+	j, aerr := s.enqueue(e, hours, requestID(r), nil, nil)
 	if aerr != nil {
 		s.rejectResponse(w, aerr)
 		return
@@ -211,9 +252,9 @@ func (s *Server) runBlocking(w http.ResponseWriter, r *http.Request, e *entry, h
 // runStreaming admits a full run and streams its frame trace as NDJSON,
 // terminated by one RunResponse line. Streaming runs are exempt from the
 // request deadline -- they demonstrate liveness by emitting.
-func (s *Server) runStreaming(w http.ResponseWriter, e *entry) {
+func (s *Server) runStreaming(w http.ResponseWriter, r *http.Request, e *entry) {
 	pr, pw := io.Pipe()
-	j, aerr := s.enqueue(e, 0, pw, func() { _ = pw.Close() })
+	j, aerr := s.enqueue(e, 0, requestID(r), pw, func() { _ = pw.Close() })
 	if aerr != nil {
 		_ = pr.Close()
 		s.rejectResponse(w, aerr)
@@ -357,14 +398,87 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
-func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	if s.met == nil {
-		return h
+// ctxKey keys the request-ID context value.
+type ctxKey int
+
+const reqIDKey ctxKey = 0
+
+// requestID returns the ID instrument assigned to this request.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey).(string)
+	return id
+}
+
+// newRequestID generates a 16-hex-char random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; serve anyway.
+		return "r-unavailable"
 	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID echoes a client-supplied X-Request-ID only when it is
+// short and unambiguous in logs and label values.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// instrument is the request middleware: it assigns (or echoes) the
+// X-Request-ID, emits one structured log line per request, feeds the
+// route/status metrics, and pins a flight-recorder anomaly on 5xx
+// responses so "why did this request fail" is answerable from the flight
+// dump an hour later.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey, reqID))
 		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(sr, r)
-		s.met.requests.observe(route, sr.code, time.Since(start))
+		d := time.Since(start)
+		if s.met != nil {
+			s.met.requests.observe(route, sr.code, d)
+		}
+		sid := r.PathValue("id")
+		if sr.code >= 500 && sr.code != http.StatusServiceUnavailable {
+			// 503 is the drain signal, not a per-session fault; everything
+			// else 5xx is worth a pinned flight record on the session.
+			if e := s.lookup(sid); e != nil && e.flight != nil {
+				anom, note := obs.AnomServerError, "server error "+strconv.Itoa(sr.code)
+				if sr.code == http.StatusGatewayTimeout {
+					anom, note = obs.AnomRequestDeadline, "request deadline (504)"
+				}
+				e.flight.PinRequest(reqID, anom, note)
+			}
+		}
+		level := slog.LevelInfo
+		switch {
+		case sr.code >= 500:
+			level = slog.LevelError
+		case sr.code >= 400:
+			level = slog.LevelWarn
+		}
+		s.log.Log(r.Context(), level, "request",
+			"route", route, "method", r.Method, "path", r.URL.Path,
+			"session", sid, "request_id", reqID,
+			"status", sr.code, "dur_ms", d.Milliseconds())
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -67,6 +68,16 @@ type Config struct {
 	// after the drain, and LoadSpool (called by the daemon before it
 	// serves) resumes them under their original IDs.
 	CheckpointDir string
+	// Log receives one structured line per API request (route, method,
+	// path, session, request ID, status, duration) and per completed
+	// run. Nil discards: the server never writes unstructured output.
+	Log *slog.Logger
+	// Flight sizes the per-session flight recorders; the zero value
+	// takes the obs defaults (128-frame ring, top 16, 64 pinned).
+	Flight obs.FlightConfig
+	// DisableFlight turns per-session flight recording off entirely
+	// (sessions then answer 404 on their /flight endpoint).
+	DisableFlight bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +104,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	met *metrics
+	log *slog.Logger
 
 	mu       sync.Mutex
 	sessions map[string]*entry
@@ -112,6 +124,10 @@ type entry struct {
 	id      string
 	created time.Time
 	sess    *eagleeye.Session
+	// flight is the session's span recorder (nil with DisableFlight).
+	// Its own mutex serializes run-side offers and dump-side snapshots;
+	// like sess it lives until delete.
+	flight *obs.FlightRecorder
 
 	mu         sync.Mutex
 	busy       bool // a run/step is queued or executing
@@ -126,6 +142,10 @@ type entry struct {
 type job struct {
 	e     *entry
 	hours float64
+	// reqID is the admitting request's X-Request-ID: stamped onto every
+	// frame the run records and onto the completion log line, so a 504'd
+	// run that lands later is still attributable to its request.
+	reqID string
 	trace io.Writer
 	// closeTrace, when non-nil, is called after the run so a streaming
 	// pipe sees EOF exactly when the trace is complete.
@@ -147,6 +167,10 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		sessions: make(map[string]*entry),
 		queue:    make(chan *job, cfg.QueueDepth),
+		log:      cfg.Log,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
 	if cfg.Metrics != nil {
 		s.met = newMetrics(cfg.Metrics)
@@ -175,13 +199,22 @@ func (s *Server) worker() {
 // admission time guarantees this worker is its only driver.
 func (s *Server) runJob(j *job) {
 	start := time.Now()
+	if j.e.flight != nil {
+		// Frames this run offers carry the admitting request's ID; a
+		// PinRequest fired mid-run (deadline 504) tags them as it lands.
+		j.e.flight.SetRequest(j.reqID)
+	}
 	res, err := j.e.sess.Step(eagleeye.StepOptions{
 		Hours: j.hours,
 		Trace: j.trace,
 		// The shared registry: simulator series land next to the server's
 		// own on the same /metrics scrape.
 		Metrics: s.cfg.Metrics,
+		Flight:  j.e.flight,
 	})
+	if j.e.flight != nil {
+		j.e.flight.ClearRequest()
+	}
 	if j.closeTrace != nil {
 		j.closeTrace()
 	}
@@ -207,6 +240,13 @@ func (s *Server) runJob(j *job) {
 			s.met.runErrors.Inc()
 		}
 		s.met.runSeconds.Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
+		s.log.Error("run failed", "session", j.e.id, "request_id", j.reqID,
+			"hours", j.hours, "dur_ms", time.Since(start).Milliseconds(), "error", err.Error())
+	} else {
+		s.log.Info("run complete", "session", j.e.id, "request_id", j.reqID,
+			"hours", j.hours, "dur_ms", time.Since(start).Milliseconds())
 	}
 	j.done <- jobResult{res: res, err: err}
 }
@@ -263,6 +303,10 @@ func (s *Server) insertSession(sess *eagleeye.Session, id string) (*entry, *admi
 		created: time.Now(),
 		sess:    sess,
 	}
+	if !s.cfg.DisableFlight {
+		e.flight = obs.NewFlightRecorder(s.cfg.Flight)
+		e.flight.SetSession(id)
+	}
 	s.sessions[e.id] = e
 	if s.met != nil {
 		s.met.sessionsCreated.Inc()
@@ -309,7 +353,7 @@ func (s *Server) deleteSession(id string) bool {
 
 // enqueue admits one run/step for e. It claims the session's busy flag
 // and a queue slot, or reports why not.
-func (s *Server) enqueue(e *entry, hours float64, trace io.Writer, closeTrace func()) (*job, *admitError) {
+func (s *Server) enqueue(e *entry, hours float64, reqID string, trace io.Writer, closeTrace func()) (*job, *admitError) {
 	e.mu.Lock()
 	if e.deleted {
 		e.mu.Unlock()
@@ -341,7 +385,7 @@ func (s *Server) enqueue(e *entry, hours float64, trace io.Writer, closeTrace fu
 		release()
 		return nil, &admitError{status: 503, reason: "draining", msg: "server is draining"}
 	}
-	j := &job{e: e, hours: hours, trace: trace, closeTrace: closeTrace, done: make(chan jobResult, 1)}
+	j := &job{e: e, hours: hours, reqID: reqID, trace: trace, closeTrace: closeTrace, done: make(chan jobResult, 1)}
 	select {
 	case s.queue <- j:
 		s.inflight.Add(1)

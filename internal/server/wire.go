@@ -1,6 +1,9 @@
 package server
 
-import "eagleeye"
+import (
+	"eagleeye"
+	"eagleeye/internal/obs"
+)
 
 // Wire types: the JSON bodies the daemon speaks. They mirror the
 // serializable subset of eagleeye.Config -- writers, registries and other
@@ -149,4 +152,12 @@ type ErrorResponse struct {
 type ListResponse struct {
 	Sessions []SessionInfo `json:"sessions"`
 	Draining bool          `json:"draining,omitempty"`
+}
+
+// FlightAllResponse is the body of GET /debug/flight: every live
+// session's flight dump, in session order. Schema mirrors the per-dump
+// obs.FlightSchema so offline tooling can version-check the aggregate.
+type FlightAllResponse struct {
+	Schema   int              `json:"schema"`
+	Sessions []obs.FlightDump `json:"sessions"`
 }

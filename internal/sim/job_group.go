@@ -12,6 +12,7 @@ import (
 	"eagleeye/internal/core"
 	"eagleeye/internal/geo"
 	"eagleeye/internal/mip"
+	"eagleeye/internal/obs"
 	"eagleeye/internal/orbit"
 	"eagleeye/internal/sched"
 )
@@ -115,8 +116,12 @@ func newGroupJob(st *runState, gi int, grp constellation.Group, events []Event) 
 		swath:  highResSwath(grp, leader),
 	}
 	jm := st.met
-	if jm != nil {
+	if jm != nil || st.fb != nil {
+		// Both the metrics layer and the flight recorder consume the
+		// per-stage wall measurements.
 		pipe.Timed = true
+	}
+	if jm != nil {
 		pipe.ClusterOpts.MIP.Metrics = jm.m.solverCluster
 	}
 	if pipe.Scheduler == nil {
@@ -282,6 +287,13 @@ func (j *groupJob) applyEvent(ev Event) {
 				jm.eventsLeaderFail.Inc()
 			}
 		}
+		if st.fb != nil {
+			// Pin a synthetic record: fault events must be retrievable
+			// from the flight dump long after the ring has churned, and
+			// independently of whether a frame was in flight. Replayed
+			// events (count == false) were pinned before the snapshot.
+			st.fb.Event(j.gi, j.frameIdx, ev.AtS, obs.AnomFault, ev.Kind.String())
+		}
 	}
 	j.evCursor++
 }
@@ -295,6 +307,7 @@ func (j *groupJob) run(untilS float64) error {
 	st := j.st
 	cfg := &st.cfg
 	jm := st.met
+	fb := st.fb
 	for !j.dark && j.ts < untilS {
 		ts := j.ts
 		// Fault events fire at frame boundaries, before the frame exists.
@@ -397,6 +410,10 @@ func (j *groupJob) run(untilS float64) error {
 			}
 		}
 		recapBefore := st.res.RecaptureSuppressed
+		var fstart time.Time
+		if fb != nil {
+			fstart = time.Now()
+		}
 		fres, err := j.pipe.ProcessFrame(core.Frame{
 			Truth:  pts,
 			Bounds: geo.NewRectCentered(geo.Point2{}, j.w, j.h),
@@ -445,14 +462,18 @@ func (j *groupJob) run(untilS float64) error {
 		}
 		var spanStart time.Time
 		capsBefore := st.res.Captures
-		if jm != nil {
+		if jm != nil || fb != nil {
 			spanStart = time.Now()
 		}
 		j.executeSchedule(frame, tSched, &fres)
-		if jm != nil {
-			jm.span(stageExecute, int64(time.Since(spanStart)))
-			jm.captures.Add(int64(st.res.Captures - capsBefore))
+		var execNS int64
+		if jm != nil || fb != nil {
+			execNS = int64(time.Since(spanStart))
 			spanStart = time.Now()
+		}
+		if jm != nil {
+			jm.span(stageExecute, execNS)
+			jm.captures.Add(int64(st.res.Captures - capsBefore))
 		}
 		st.res.CrosslinkBytes += fres.CrosslinkBytes
 		st.leaderB.Crosslink(fres.CrosslinkBytes / comms.PaperCrosslink().RateBps)
@@ -461,36 +482,87 @@ func (j *groupJob) run(untilS float64) error {
 			// keeps the total deterministic across worker counts.
 			jm.crosslinkBytes.Add(int64(fres.CrosslinkBytes))
 		}
-		if !st.traceOn {
-			if jm != nil {
-				jm.span(stageAccount, int64(time.Since(spanStart)))
-			}
-			continue
+		if st.traceOn {
+			st.trace = append(st.trace, TraceRecord{
+				Group:        j.gi,
+				Frame:        frameIdx,
+				TimeS:        ts,
+				Lat:          frame.Origin.Lat,
+				Lon:          frame.Origin.Lon,
+				Targets:      len(idx),
+				Detected:     len(fres.Detections),
+				Clusters:     len(fres.Clusters),
+				Captures:     fres.Schedule.NumCaptures(),
+				Covered:      len(fres.Schedule.CoveredIDs()),
+				SchedMS:      float64(fres.SchedWall.Microseconds()) / 1000,
+				Deadline:     j.computeS+fres.SchedWall.Seconds() <= j.cadence,
+				SchedNodes:   fres.Schedule.SolveStats.Nodes,
+				SchedIters:   fres.Schedule.SolveStats.Iters,
+				SchedGap:     fres.Schedule.SolveStats.Gap,
+				ClusterNodes: fres.ClusterStats.Nodes,
+				ClusterIters: fres.ClusterStats.Iters,
+			})
 		}
-		st.trace = append(st.trace, TraceRecord{
-			Group:        j.gi,
-			Frame:        frameIdx,
-			TimeS:        ts,
-			Lat:          frame.Origin.Lat,
-			Lon:          frame.Origin.Lon,
-			Targets:      len(idx),
-			Detected:     len(fres.Detections),
-			Clusters:     len(fres.Clusters),
-			Captures:     fres.Schedule.NumCaptures(),
-			Covered:      len(fres.Schedule.CoveredIDs()),
-			SchedMS:      float64(fres.SchedWall.Microseconds()) / 1000,
-			Deadline:     j.computeS+fres.SchedWall.Seconds() <= j.cadence,
-			SchedNodes:   fres.Schedule.SolveStats.Nodes,
-			SchedIters:   fres.Schedule.SolveStats.Iters,
-			SchedGap:     fres.Schedule.SolveStats.Gap,
-			ClusterNodes: fres.ClusterStats.Nodes,
-			ClusterIters: fres.ClusterStats.Iters,
-		})
 		if jm != nil {
 			jm.span(stageAccount, int64(time.Since(spanStart)))
 		}
+		if fb != nil {
+			j.recordFlight(fb, frameIdx, ts, &fres, len(idx), execNS,
+				int64(time.Since(spanStart)), int64(time.Since(fstart)))
+		}
 	}
 	return nil
+}
+
+// recordFlight assembles the frame's span tree from the stage durations
+// the pipeline already measured (pipe.Timed is on whenever a recorder is
+// attached) and offers it to the flight recorder. Stages are laid out at
+// sequential offsets; each solver stage nests a solve span carrying the
+// LP pivot wall and the B&B node / simplex iteration counts. Anomaly
+// bits come from the per-solve stats deltas, so a slow or degraded frame
+// is pinned with the evidence attached.
+func (j *groupJob) recordFlight(fb *obs.FrameBuilder, frameIdx int, ts float64, fres *core.Result, targets int, execNS, acctNS, totalNS int64) {
+	fb.Start(j.gi, frameIdx, ts)
+	off := int64(0)
+	d := int64(fres.DetectWall)
+	fb.Add(0, obs.SpanStage, "detect", off, d, int64(targets), int64(len(fres.Detections)))
+	off += d
+	d = int64(fres.ClusterWall)
+	cl := fb.Add(0, obs.SpanStage, "cluster", off, d, int64(len(fres.Detections)), int64(len(fres.Clusters)))
+	cstats := &fres.ClusterStats
+	if cstats.Nodes > 0 || cstats.Iters > 0 {
+		fb.Add(cl, obs.SpanSolve, "cover-ilp", off, int64(cstats.PivotWall), int64(cstats.Nodes), int64(cstats.Iters))
+	}
+	off += d
+	d = int64(fres.SchedWall)
+	sstats := &fres.Schedule.SolveStats
+	name := sstats.Algorithm
+	if name == "" {
+		name = "sched"
+	}
+	sc := fb.Add(0, obs.SpanStage, "sched", off, d, int64(len(fres.Clusters)), int64(fres.Schedule.NumCaptures()))
+	fb.Add(sc, obs.SpanSolve, name, off, int64(sstats.PivotWall), int64(sstats.Nodes), int64(sstats.Iters))
+	off += d
+	fb.Add(0, obs.SpanStage, "execute", off, execNS, 0, 0)
+	off += execNS
+	fb.Add(0, obs.SpanStage, "account", off, acctNS, 0, 0)
+
+	if sstats.Fallback {
+		fb.Anomaly(obs.AnomFallback)
+	}
+	if (sstats.WarmAttempted && !sstats.Warm) || (cstats.WarmAttempted && !cstats.WarmAccepted) {
+		fb.Anomaly(obs.AnomWarmReject)
+	}
+	if sstats.RepairFails+cstats.RepairFails > 0 {
+		fb.Anomaly(obs.AnomDualRepair)
+	}
+	if sstats.Refactorizations+cstats.Refactorizations > 0 {
+		fb.Anomaly(obs.AnomRefactor)
+	}
+	if j.computeS+fres.SchedWall.Seconds() > j.cadence {
+		fb.Anomaly(obs.AnomDeadline)
+	}
+	fb.Finish(totalNS)
 }
 
 // executeSchedule scores captures: a truth target counts as captured when

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"eagleeye/internal/constellation"
+	"eagleeye/internal/obs"
 )
 
 // TestLongHorizonMemoryBounded is the week-long acceptance run: 168
@@ -31,6 +32,11 @@ func TestLongHorizonMemoryBounded(t *testing.T) {
 		// anything that accumulates per-frame state over ~87k frames.
 		heapCeiling = 64 << 20
 	)
+	// The flight recorder rides along for the whole week: its retention is
+	// bounded (ring + top-K + pinned FIFO with arena reuse), so it must
+	// fit under the same ceiling, and the hour-60 fault event must still
+	// be retrievable from the dump ~50k frames later.
+	flight := obs.NewFlightRecorder(obs.FlightConfig{})
 	cfg := Config{
 		Constellation: constellation.Config{
 			Kind: constellation.LeaderFollower, Satellites: 8, FollowersPerGroup: 3,
@@ -44,6 +50,7 @@ func TestLongHorizonMemoryBounded(t *testing.T) {
 			{AtS: 60 * 3600, Kind: EventFollowerFail, Group: 0, Follower: 1},
 			{AtS: 84 * 3600, Kind: EventLeaderFail, Group: 1},
 		},
+		Flight: flight,
 	}
 	r := mustRunner(t, cfg)
 	var ms runtime.MemStats
@@ -73,5 +80,25 @@ func TestLongHorizonMemoryBounded(t *testing.T) {
 	}
 	if res.Captures == 0 || res.HighResCaptured == 0 {
 		t.Errorf("week-long run captured nothing: %+v", res)
+	}
+
+	// Flight recorder: both fault events were pinned, and the hour-60
+	// follower failure is still retrievable at end of week -- first-per-
+	// kind retention must survive the tens of thousands of frames since.
+	d := flight.Snapshot()
+	if got := d.Anomalies["fault-event"]; got != 2 {
+		t.Errorf("flight anomalies[fault-event] = %d, want 2", got)
+	}
+	hour60 := false
+	for _, f := range d.Pinned {
+		for _, k := range f.Anomalies {
+			if k == "fault-event" && f.TimeS == 60*3600 {
+				hour60 = true
+			}
+		}
+	}
+	if !hour60 {
+		t.Errorf("hour-60 fault event not retrievable from flight dump after %d frames (pinned=%d dropped=%d)",
+			d.Frames, len(d.Pinned), d.PinnedDropped)
 	}
 }

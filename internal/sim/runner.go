@@ -105,6 +105,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 			// then sum identically however jobs land on workers.
 			st.met = sm.job(i)
 		}
+		if cfg.Flight != nil {
+			// One builder (span arena) per job: Start/Add run on the
+			// job's goroutine, only the finished tree is offered under
+			// the recorder's mutex.
+			st.fb = cfg.Flight.Builder()
+		}
 		return st
 	}
 	switch cons.Config.Kind {

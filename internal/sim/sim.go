@@ -118,6 +118,16 @@ type Config struct {
 	// the default ILP scheduler's solver counters; a custom Scheduler
 	// must accept its own mip.Options.Metrics to be counted.
 	Metrics *obs.Registry
+	// Flight, when non-nil, records per-frame span trees into the flight
+	// recorder: a bounded ring of recent frames, top-K retention by
+	// duration, and anomaly-triggered pinning (solver fallback,
+	// warm-start reject, dual-repair failure, refactorization alarm,
+	// deadline miss, fault event). Like Metrics, the handle is resolved
+	// once per job before the first frame and a nil recorder leaves the
+	// frame loop byte-identical to the unrecorded simulator. Only frames
+	// that reach the detect/schedule pipeline are recorded; empty frames
+	// are skipped, and fault events pin synthetic records of their own.
+	Flight *obs.FlightRecorder
 	// Workers bounds the concurrent goroutines executing per-group
 	// (leader-follower, mix-camera) or per-satellite (strip-coverage)
 	// jobs. 0 means runtime.GOMAXPROCS(0); 1 runs sequentially. Every
@@ -253,6 +263,9 @@ type runState struct {
 	// met is this job's pre-resolved metric shard view; nil (the common
 	// case) disables instrumentation at the cost of one branch per site.
 	met *jobMetrics
+	// fb is this job's flight-recorder arena (cfg.Flight.Builder()); nil
+	// disables span recording the same way a nil met disables metrics.
+	fb *obs.FrameBuilder
 
 	// Frame-loop scratch, private to the job's goroutine and dead between
 	// frames. The buffers grow to the run's high-water mark and are then

@@ -1,0 +1,69 @@
+package eagleeye_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"eagleeye"
+	"eagleeye/internal/server"
+)
+
+// TestMetricsDocumented is the docs drift gate: every metric family a
+// live registry exports must appear in README.md's metrics documentation
+// (the table uses unprefixed names like `frames_total`). Adding a series
+// without documenting it fails here, not in a reviewer's head.
+func TestMetricsDocumented(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+
+	reg := eagleeye.NewMetricsRegistry()
+
+	// Register the simulator families: an instrumented continuous session
+	// with a fault event, stepped then checkpointed, touches the sim,
+	// solver, warm-start, fault and checkpoint series.
+	sess, err := eagleeye.NewSession(eagleeye.Config{
+		Dataset:        eagleeye.DatasetShips,
+		Satellites:     2,
+		DurationHours:  1,
+		Continuous:     true,
+		RecaptureDedup: true,
+		Events: []eagleeye.FaultEvent{
+			{AtHours: 0.1, Kind: eagleeye.FaultFollowerFail, Group: 0, Follower: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Step(eagleeye.StepOptions{Hours: 0.3, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Checkpoint(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register the daemon families: a server on the same registry plus one
+	// instrumented request.
+	srv := server.New(server.Config{Metrics: reg})
+	defer srv.Shutdown(0)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions", nil))
+
+	var missing []string
+	for _, fam := range reg.Names() {
+		short := strings.TrimPrefix(strings.TrimPrefix(fam, "eagleeyed_"), "eagleeye_")
+		if !strings.Contains(doc, fam) && !strings.Contains(doc, "`"+short+"`") &&
+			!strings.Contains(doc, "`"+short+"{") && !strings.Contains(doc, short+"`") {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("metric families not documented in README.md:\n  %s", strings.Join(missing, "\n  "))
+	}
+}

@@ -40,6 +40,7 @@ type Session struct {
 	agg    SessionAggregate
 	runner *sim.Runner      // continuous mode; nil until the first step
 	met    *MetricsRegistry // registry bound at runner materialization
+	flight *FlightRecorder  // recorder bound at runner materialization
 	closed bool
 
 	// pending holds a restored-but-not-yet-materialized simulator
@@ -135,6 +136,13 @@ type StepOptions struct {
 	// registry on the first step; passing the same registry again later
 	// is a no-op and passing a different one is rejected.
 	Metrics *MetricsRegistry
+	// Flight, when non-nil, records this step's frames into the flight
+	// recorder (overriding any recorder in the session Config). Binding
+	// rules match Metrics: a continuous session binds its recorder on
+	// the first step and rejects a different one later. The session
+	// stamps its step index onto the recorder before each step so dumped
+	// frames correlate back to the request that ran them.
+	Flight *FlightRecorder
 }
 
 // Step simulates the session's next scenario window and folds its
@@ -163,6 +171,12 @@ func (s *Session) Step(opt StepOptions) (*Result, error) {
 	if opt.Metrics != nil {
 		cfg.Metrics = opt.Metrics
 	}
+	if opt.Flight != nil {
+		cfg.Flight = opt.Flight
+	}
+	if cfg.Flight != nil {
+		cfg.Flight.SetStep(s.steps)
+	}
 	cfg.Seed = stepSeed(s.cfg.Seed, s.steps)
 	r, err := Run(cfg)
 	if err != nil {
@@ -190,6 +204,9 @@ func (s *Session) stepContinuous(opt StepOptions) (*Result, error) {
 		if opt.Metrics != nil {
 			simCfg.Metrics = opt.Metrics
 		}
+		if opt.Flight != nil {
+			simCfg.Flight = opt.Flight
+		}
 		var r *sim.Runner
 		if s.pending != nil {
 			// A restored session: rebuild the runner from the checkpoint's
@@ -206,8 +223,14 @@ func (s *Session) stepContinuous(opt StepOptions) (*Result, error) {
 		}
 		s.runner = r
 		s.met = simCfg.Metrics
+		s.flight = simCfg.Flight
 	} else if opt.Metrics != nil && opt.Metrics != s.met {
 		return nil, fmt.Errorf("eagleeye: a continuous session binds its metrics registry on the first step")
+	} else if opt.Flight != nil && opt.Flight != s.flight {
+		return nil, fmt.Errorf("eagleeye: a continuous session binds its flight recorder on the first step")
+	}
+	if s.flight != nil {
+		s.flight.SetStep(s.steps)
 	}
 	if opt.Trace != nil {
 		s.runner.SetTrace(opt.Trace)
