@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-solver bench-scale bench-scale-smoke bench-sim bench-sim-smoke bench-warm metrics-smoke serve-smoke longhorizon-smoke flight-smoke figures
+.PHONY: build vet test race tier1 bench bench-solver bench-scale bench-scale-smoke bench-sim bench-sim-smoke bench-shard bench-shard-smoke bench-warm metrics-smoke serve-smoke longhorizon-smoke flight-smoke figures
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,21 @@ bench-sim:
 # only show up at benchmark scale, without CI timing noise mattering.
 bench-sim-smoke:
 	$(GO) run ./cmd/benchsim -iters 1
+
+# Sharded-frame sweep: single dense frames at 20k / 100k / 1M targets
+# through the sharded pipeline, recording the shard count, load imbalance
+# and the speedup over the unsharded single-shard baseline (skipped above
+# 200k) into BENCH_sim.json.
+bench-shard:
+	$(GO) run ./cmd/benchsim -frame-sweep 20000,100000 -workers 4 -iters 3 -out BENCH_sim.json
+	$(GO) run ./cmd/benchsim -frame-sweep 1000000 -workers 4 -out BENCH_sim.json
+
+# CI shard smoke: the intra-frame determinism gate (a 4-worker executor
+# must produce byte-identical results to the sequential one on a sharded
+# 20k-target frame) under the race detector, plus one quick sweep point.
+bench-shard-smoke:
+	$(GO) test -race -count=1 -run 'TestShardedFrameWorkersIdentity|TestShardedSingleShardMatchesPlain' ./internal/core
+	$(GO) run ./cmd/benchsim -frame-sweep 20000 -workers 4 -iters 1
 
 # Cold-vs-warm A/B on the benchmark workload: prints the solver-load
 # counters (B&B nodes, simplex iterations, warm-start pipeline hits) side

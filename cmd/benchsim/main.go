@@ -15,14 +15,23 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"eagleeye/internal/adacs"
+	"eagleeye/internal/cluster"
 	"eagleeye/internal/constellation"
+	"eagleeye/internal/core"
 	"eagleeye/internal/dataset"
+	"eagleeye/internal/detect"
 	"eagleeye/internal/geo"
+	"eagleeye/internal/mip"
 	"eagleeye/internal/obs"
+	"eagleeye/internal/sched"
 	"eagleeye/internal/sim"
 )
 
@@ -32,8 +41,11 @@ import (
 // warm-start hit rate and savings). Schema 4 added the LP engine fields
 // (lp_core, nnz, refactorizations) when the sparse revised simplex
 // landed. Schema 5 added the flight-recorder overhead fields
-// (flight_ns_per_op, flight_overhead_pct).
-const pointSchema = 5
+// (flight_ns_per_op, flight_overhead_pct). Schema 6 added the
+// spatial-sharding fields (shards, shard_imbalance, lp_pricing, the
+// frame-sweep baseline comparison) when the sharded frame pipeline
+// landed.
+const pointSchema = 6
 
 // point is one benchmark measurement, shaped for appending to a BENCH_*.json
 // time series (one JSON object per run).
@@ -96,6 +108,48 @@ type point struct {
 	// for the tracing layer is <=5%.
 	FlightNsPerOp     int64   `json:"flight_ns_per_op,omitempty"`
 	FlightOverheadPct float64 `json:"flight_overhead_pct"`
+
+	// Spatial-sharding fields (schema 6). In frame-sweep points
+	// (core/FrameShard) Shards is the measured frame's shard count and
+	// BaselineNsPerOp/Speedup compare the sharded frame against the
+	// unsharded single-shard run of the same pipeline; in sim points
+	// Shards is the instrumented run's total per-shard solves. LPPricing
+	// reports whether any sparse LP solve priced entering variables
+	// through a partial window ("partial") or every solve swept the full
+	// pricing index ("full").
+	Shards               int64   `json:"shards,omitempty"`
+	ShardImbalance       float64 `json:"shard_imbalance,omitempty"`
+	LPPricing            string  `json:"lp_pricing,omitempty"`
+	PartialPricingSolves int64   `json:"lp_partial_pricing_solves,omitempty"`
+	BaselineNsPerOp      int64   `json:"baseline_ns_per_op,omitempty"`
+	Speedup              float64 `json:"speedup,omitempty"`
+}
+
+// emit prints the point and appends it to the -out file when set.
+func emit(p point, out string) {
+	enc, err := json.Marshal(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(enc))
+	if out != "" {
+		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := fmt.Fprintln(f, string(enc)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchsim:", err)
+	os.Exit(1)
 }
 
 // gitCommit stamps the point with `git rev-parse HEAD`, or "" outside a
@@ -126,17 +180,190 @@ func benchWorld(n int, seed int64) *dataset.Set {
 	return s
 }
 
+// frameTruth scatters n targets uniformly over the 100 km frame, in
+// frame-local meters.
+func frameTruth(n int, seed int64) []geo.Point2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point2, n)
+	for i := range pts {
+		pts[i] = geo.Point2{X: (rng.Float64() - 0.5) * 100e3, Y: (rng.Float64() - 0.5) * 100e3}
+	}
+	return pts
+}
+
+// frameShardPipeline builds the paper-parameter sharded frame pipeline:
+// YOLO-class detector over the paper tiling, grid-capped set cover, warm
+// per-shard solver state. Solver budgets are set high enough that no
+// sweep-scale solve is truncated by wall clock, keeping points comparable
+// across machines. perShard <= 0 takes the pipeline's default crossover.
+func frameShardPipeline(perShard, workers int, reg *obs.Registry) *core.ShardedPipeline {
+	copts := mip.Options{TimeLimit: time.Minute, MaxNodes: 100000}
+	sopts := copts
+	if reg != nil {
+		copts.Metrics = obs.NewSolverMetrics(reg, "cluster")
+		sopts.Metrics = obs.NewSolverMetrics(reg, "sched")
+	}
+	sp := &core.ShardedPipeline{
+		Template: core.Pipeline{
+			Detector:      detect.YoloN(),
+			Tiling:        detect.PaperTiling(),
+			UseClustering: true,
+			ClusterOpts:   cluster.Options{MaxCoverPoints: 256, MaxILPCandidates: 400, MIP: copts},
+			HighResSwathM: 10e3,
+		},
+		NewScheduler:    func() sched.Scheduler { return sched.ILP{State: sched.NewSolverState(), MIP: sopts} },
+		NewClusterState: cluster.NewSolverState,
+		PerShardTargets: perShard,
+	}
+	if workers > 1 {
+		sp.Parallel = func(n int, fn func(int)) {
+			w := workers
+			if w > n {
+				w = n
+			}
+			var wg sync.WaitGroup
+			next := int32(-1)
+			for ; w > 0; w-- {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(atomic.AddInt32(&next, 1))
+						if i >= n {
+							return
+						}
+						fn(i)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	return sp
+}
+
+// partialSolves sums the partial-pricing counter across both solver
+// stacks of one registry.
+func partialSolves(reg *obs.Registry) int64 {
+	n := int64(0)
+	for _, solver := range []string{"sched", "cluster"} {
+		n += reg.CounterValue("eagleeye_lp_partial_pricing_solves_total", obs.Label{Key: "solver", Value: solver})
+	}
+	return n
+}
+
+// baselineCap is the largest frame the unsharded baseline is re-measured
+// at during a frame sweep. Above it only the sharded number is recorded
+// (the point's baseline fields stay zero) -- the skip is logged, never
+// silent.
+const baselineCap = 200000
+
+// frameSweepPoint benchmarks one dense targets-count frame through the
+// sharded pipeline (core/FrameShard points): sharded at the configured
+// crossover versus the same pipeline forced to a single shard, both over
+// the identical frame, followers, and seeds.
+func frameSweepPoint(targets, sats, workers, perShard, iters int, out string) {
+	f := core.Frame{
+		Truth:  frameTruth(targets, 60),
+		Bounds: geo.NewRectCentered(geo.Point2{}, 100e3, 100e3),
+		GSDM:   30,
+	}
+	fols := make([]sched.Follower, sats)
+	for i := range fols {
+		p := geo.Point2{Y: -100e3 - 15e3*float64(i)}
+		fols[i] = sched.Follower{SubPoint: p, Boresight: p}
+	}
+	env := sched.Env{AltitudeM: 475e3, GroundSpeedMS: 7300, MaxOffNadirDeg: 11, Slew: adacs.PaperSlew()}
+	if iters <= 0 {
+		iters = 3
+		if targets > baselineCap {
+			iters = 1
+		}
+	}
+
+	measure := func(perShard int, reg *obs.Registry) (int64, core.ShardFrameStats) {
+		sp := frameShardPipeline(perShard, workers, reg)
+		defer sp.Close()
+		// One warm-up frame populates the grow-only arenas and solver pools.
+		if _, _, err := sp.ProcessFrame(f, fols, env, 1); err != nil {
+			die(err)
+		}
+		var stats core.ShardFrameStats
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			var err error
+			if _, stats, err = sp.ProcessFrame(f, fols, env, int64(2+i)); err != nil {
+				die(err)
+			}
+		}
+		return time.Since(start).Nanoseconds() / int64(iters), stats
+	}
+
+	reg := obs.NewRegistry()
+	shardNs, stats := measure(perShard, reg)
+	p := point{
+		Schema:               pointSchema,
+		Name:                 "core/FrameShard",
+		Date:                 time.Now().UTC().Format(time.RFC3339),
+		Commit:               gitCommit(),
+		GoVersion:            runtime.Version(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Workers:              workers,
+		Targets:              targets,
+		Satellites:           sats,
+		Iters:                iters,
+		NsPerOp:              shardNs,
+		Warm:                 true,
+		Shards:               int64(stats.Shards),
+		ShardImbalance:       stats.Imbalance(),
+		PartialPricingSolves: partialSolves(reg),
+	}
+	if targets <= baselineCap {
+		regBase := obs.NewRegistry()
+		// 1<<30 targets per shard forces the single-shard identity plan:
+		// the exact pre-sharding pipeline on the same frame.
+		baseNs, _ := measure(1<<30, regBase)
+		p.BaselineNsPerOp = baseNs
+		if shardNs > 0 {
+			p.Speedup = float64(baseNs) / float64(shardNs)
+		}
+		p.PartialPricingSolves += partialSolves(regBase)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchsim: frame-sweep %d targets: unsharded baseline skipped (cap %d)\n",
+			targets, baselineCap)
+	}
+	if p.PartialPricingSolves > 0 {
+		p.LPPricing = "partial"
+	} else {
+		p.LPPricing = "full"
+	}
+	emit(p, out)
+}
+
 func main() {
 	var (
-		out     = flag.String("out", "", "append the JSON point to this file ('' means stdout only)")
-		workers = flag.Int("workers", 1, "simulation worker goroutines")
-		iters   = flag.Int("iters", 0, "fixed iteration count (0 lets the benchmark framework decide)")
-		targets = flag.Int("targets", 2000, "workload size")
-		sats    = flag.Int("sats", 8, "constellation size")
-		hours   = flag.Float64("hours", 2, "simulated pass duration")
-		warm    = flag.Bool("warm", true, "cross-frame warm-started solving; false records the cold A/B baseline")
+		out          = flag.String("out", "", "append the JSON point to this file ('' means stdout only)")
+		workers      = flag.Int("workers", 1, "simulation worker goroutines")
+		iters        = flag.Int("iters", 0, "fixed iteration count (0 lets the benchmark framework decide)")
+		targets      = flag.Int("targets", 2000, "workload size")
+		sats         = flag.Int("sats", 8, "constellation size")
+		hours        = flag.Float64("hours", 2, "simulated pass duration")
+		warm         = flag.Bool("warm", true, "cross-frame warm-started solving; false records the cold A/B baseline")
+		shardTargets = flag.Int("shard-targets", 0, "per-shard target crossover: 0 keeps sharding off in sim mode and auto in a frame sweep")
+		frameSweep   = flag.String("frame-sweep", "", "comma-separated frame target counts; bench single dense frames through the sharded pipeline instead of full sim runs")
 	)
 	flag.Parse()
+
+	if *frameSweep != "" {
+		for _, field := range strings.Split(*frameSweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || n <= 0 {
+				die(fmt.Errorf("bad -frame-sweep entry %q", field))
+			}
+			frameSweepPoint(n, *sats, *workers, *shardTargets, *iters, *out)
+		}
+		return
+	}
 
 	cfg := sim.Config{
 		Constellation:    constellation.Config{Kind: constellation.LeaderFollower, Satellites: *sats},
@@ -145,6 +372,7 @@ func main() {
 		Seed:             1,
 		Workers:          *workers,
 		DisableWarmStart: !*warm,
+		ShardTargets:     *shardTargets,
 	}
 	// Warm the grow-only arenas and pools so the point reflects steady state.
 	if _, err := sim.Run(cfg); err != nil {
@@ -279,22 +507,15 @@ func main() {
 	case denseSolves > 0:
 		p.LPCore = "dense"
 	}
-	enc, err := json.Marshal(p)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsim:", err)
-		os.Exit(1)
+	if *shardTargets > 0 {
+		p.Shards = reg.CounterValue("eagleeye_shard_solves_total")
+		p.ShardImbalance = reg.GaugeValue("eagleeye_shard_imbalance_max")
 	}
-	fmt.Println(string(enc))
-	if *out != "" {
-		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchsim:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if _, err := fmt.Fprintln(f, string(enc)); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsim:", err)
-			os.Exit(1)
-		}
+	p.PartialPricingSolves = partialSolves(reg)
+	if p.PartialPricingSolves > 0 {
+		p.LPPricing = "partial"
+	} else if denseSolves+sparseSolves > 0 {
+		p.LPPricing = "full"
 	}
+	emit(p, *out)
 }

@@ -38,6 +38,9 @@ type coverArena struct {
 	gBoxes  []geo.Rect
 	gIdx    []int // candidate index per greedy box; -1 for safety-net boxes
 	iBoxes  []geo.Rect
+
+	// gridKeys backs the grid-cover fast path's per-point cell keys.
+	gridKeys []int64
 }
 
 var coverArenas = sync.Pool{New: func() any { return new(coverArena) }}
@@ -123,6 +126,13 @@ func growBools(s []bool, n int) []bool {
 func growUints(s []uint64, n int) []uint64 {
 	if cap(s) < n {
 		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
 	}
 	return s[:n]
 }

@@ -41,16 +41,23 @@ func (c Cluster) Center() geo.Point2 { return c.Box.Center() }
 // Method records how a cover was computed.
 type Method int8
 
-// Cover methods.
+// Cover methods. MethodGrid is the dense-frame fast path: above
+// Options.MaxCoverPoints the canonical candidate enumeration (quadratic
+// in points, with per-candidate bitsets) is replaced by a linear
+// fixed-grid bucketing of the points into w x h cells.
 const (
 	MethodILP Method = iota
 	MethodGreedy
+	MethodGrid
 )
 
 // String implements fmt.Stringer.
 func (m Method) String() string {
-	if m == MethodILP {
+	switch m {
+	case MethodILP:
 		return "ilp"
+	case MethodGrid:
+		return "grid"
 	}
 	return "greedy"
 }
@@ -60,6 +67,12 @@ type Options struct {
 	// MaxILPCandidates caps the candidate-rectangle count sent to the ILP;
 	// larger instances fall back to the greedy cover. 0 means 700.
 	MaxILPCandidates int
+	// MaxCoverPoints caps the point count for candidate enumeration;
+	// denser frames take the linear grid-cover fast path (MethodGrid),
+	// which buckets points into a fixed w x h grid instead of optimizing
+	// placements. 0 means 4096 -- far above every seed-scale frame, so
+	// historical covers are unchanged. Negative means no cap.
+	MaxCoverPoints int
 	// ForceGreedy skips the ILP entirely (the ablation baseline).
 	ForceGreedy bool
 	// MIP forwards search limits to the solver.
@@ -142,6 +155,9 @@ func (o Options) withDefaults() Options {
 		// faster LP core, so its threshold is higher, not absent).
 		o.MaxILPCandidates = 700
 	}
+	if o.MaxCoverPoints == 0 {
+		o.MaxCoverPoints = 4096
+	}
 	if o.MIP.TimeLimit == 0 {
 		o.MIP.TimeLimit = time.Second
 	}
@@ -163,6 +179,12 @@ type SolveStats struct {
 	WarmAccepted     bool // the candidate verified feasible
 	Refactorizations int  // sparse-core mid-solve refactorizations
 	RepairFails      int  // dual-repair attempts that went cold
+	// Fallback reports that the optimizing cover was not attempted or not
+	// used for a capacity reason: the candidate count exceeded
+	// MaxILPCandidates, the ILP solve failed, or the frame exceeded
+	// MaxCoverPoints and took the grid path. ForceGreedy is a deliberate
+	// configuration, not a fallback.
+	Fallback bool
 }
 
 // Cover returns a set of w x h rectangles covering every input point, the
@@ -195,28 +217,70 @@ func CoverStats(pts []geo.Point2, w, h float64, opt Options) ([]Cluster, Method,
 		defer putCoverArena(ar)
 	}
 
+	if opt.MaxCoverPoints > 0 && len(pts) > opt.MaxCoverPoints {
+		return assign(pts, gridCover(ar, pts, w, h)), MethodGrid, SolveStats{Fallback: true}, nil
+	}
+
 	cands := candidates(ar, pts, w, h)
 	greedyBoxes := greedyCover(ar, pts, cands)
 	method := MethodGreedy
 	boxes := greedyBoxes
 	var stats SolveStats
-	if !opt.ForceGreedy && len(cands) <= opt.MaxILPCandidates {
-		mo := opt.MIP
-		if st := opt.State; st != nil {
-			mo.ReuseBasis = true
-			if wx, ok := st.warmFromGreedy(ar, len(cands)); ok {
-				mo.WarmStart = wx
-				mo.WarmAggressive = opt.AggressiveWarm
+	if !opt.ForceGreedy {
+		if len(cands) <= opt.MaxILPCandidates {
+			mo := opt.MIP
+			if st := opt.State; st != nil {
+				mo.ReuseBasis = true
+				if wx, ok := st.warmFromGreedy(ar, len(cands)); ok {
+					mo.WarmStart = wx
+					mo.WarmAggressive = opt.AggressiveWarm
+				}
 			}
-		}
-		ilpBoxes, st, ok := ilpCover(ar, pts, cands, mo)
-		stats = st
-		if ok && len(ilpBoxes) <= len(greedyBoxes) {
-			boxes = ilpBoxes
-			method = MethodILP
+			ilpBoxes, st, ok := ilpCover(ar, pts, cands, mo)
+			stats = st
+			if ok && len(ilpBoxes) <= len(greedyBoxes) {
+				boxes = ilpBoxes
+				method = MethodILP
+			} else if !ok {
+				stats.Fallback = true
+			}
+		} else {
+			stats.Fallback = true
 		}
 	}
 	return assign(pts, boxes), method, stats, nil
+}
+
+// gridCover buckets points into a fixed grid of w x h cells anchored at
+// the origin and emits one rectangle per non-empty cell, in row-major
+// (y, then x) cell order. Every point lands in exactly one cell and every
+// cell rectangle covers its cell, so the cover is feasible by
+// construction; assign then recenters each box on its members' bounding
+// box (which fits, since members span at most one cell). Linear in the
+// point count, no candidate bitsets -- the only cover path that is
+// practical at 10^5..10^6 points per frame.
+func gridCover(ar *coverArena, pts []geo.Point2, w, h float64) []geo.Rect {
+	keys := growInt64s(ar.gridKeys, len(pts))
+	ar.gridKeys = keys
+	for i, p := range pts {
+		cx := int64(math.Floor(p.X / w))
+		cy := int64(math.Floor(p.Y / h))
+		// Bias the x half so int64 ordering is (cy, cx) ascending.
+		keys[i] = cy<<32 | ((cx + 1<<31) & 0xffffffff)
+	}
+	slices.Sort(keys)
+	boxes := ar.gBoxes[:0]
+	defer func() { ar.gBoxes = boxes }()
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue
+		}
+		cy := k >> 32
+		cx := (k & 0xffffffff) - 1<<31
+		x0, y0 := float64(cx)*w, float64(cy)*h
+		boxes = append(boxes, geo.Rect{Min: geo.Point2{X: x0, Y: y0}, Max: geo.Point2{X: x0 + w, Y: y0 + h}})
+	}
+	return boxes
 }
 
 // candidate is a rectangle placement plus the bitset of points it covers.

@@ -283,8 +283,141 @@ func TestCenterAimPoint(t *testing.T) {
 }
 
 func TestMethodString(t *testing.T) {
-	if MethodILP.String() != "ilp" || MethodGreedy.String() != "greedy" {
+	if MethodILP.String() != "ilp" || MethodGreedy.String() != "greedy" || MethodGrid.String() != "grid" {
 		t.Error("method strings wrong")
+	}
+}
+
+// ilpBudgetWorld builds n pairwise-distant points, each needing its own
+// box, so the candidate set is exactly n singleton placements and the
+// MaxILPCandidates boundary can be pinned precisely.
+func ilpBudgetWorld(n int) []geo.Point2 {
+	pts := make([]geo.Point2, n)
+	for i := range pts {
+		pts[i] = pt(float64(i)*1e6, float64(i%3)*1e6)
+	}
+	return pts
+}
+
+func TestILPCandidateBudgetBoundary(t *testing.T) {
+	const n = 12
+	pts := ilpBudgetWorld(n)
+
+	// Exactly at budget: the ILP runs and no fallback is recorded.
+	cs, method, stats, err := CoverStats(pts, 10, 10, Options{MaxILPCandidates: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodILP {
+		t.Errorf("at budget: method = %v, want ilp", method)
+	}
+	if stats.Fallback {
+		t.Error("at budget: fallback recorded")
+	}
+	if stats.Nodes == 0 && stats.Iters == 0 {
+		t.Error("at budget: no solver activity recorded")
+	}
+	if err := Validate(pts, cs); err != nil {
+		t.Error(err)
+	}
+
+	// One over budget: greedy runs instead and the fallback is counted.
+	cs, method, stats, err = CoverStats(pts, 10, 10, Options{MaxILPCandidates: n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodGreedy {
+		t.Errorf("over budget: method = %v, want greedy", method)
+	}
+	if !stats.Fallback {
+		t.Error("over budget: fallback not counted in SolveStats")
+	}
+	if stats.Nodes != 0 || stats.Iters != 0 {
+		t.Errorf("over budget: solver ran anyway: %+v", stats)
+	}
+	if err := Validate(pts, cs); err != nil {
+		t.Error(err)
+	}
+
+	// ForceGreedy is a deliberate configuration, not a fallback.
+	_, method, stats, err = CoverStats(pts, 10, 10, Options{ForceGreedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodGreedy || stats.Fallback {
+		t.Errorf("force-greedy: method=%v fallback=%v", method, stats.Fallback)
+	}
+}
+
+func TestGridCoverDenseFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 5000
+	pts := make([]geo.Point2, n)
+	for i := range pts {
+		pts[i] = pt(rng.Float64()*200000-100000, rng.Float64()*200000-100000)
+	}
+	cs, method, stats, err := CoverStats(pts, 400, 400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodGrid {
+		t.Fatalf("method = %v, want grid above MaxCoverPoints", method)
+	}
+	if !stats.Fallback {
+		t.Error("grid path not counted as fallback")
+	}
+	if err := Validate(pts, cs); err != nil {
+		t.Error(err)
+	}
+
+	// Deterministic: a second cover of the same frame is identical.
+	cs2, _, _, err := CoverStats(pts, 400, 400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != len(cs2) {
+		t.Fatalf("grid cover not deterministic: %d vs %d clusters", len(cs), len(cs2))
+	}
+	for i := range cs {
+		if cs[i].Box != cs2[i].Box || len(cs[i].Members) != len(cs2[i].Members) {
+			t.Fatalf("grid cover not deterministic at cluster %d", i)
+		}
+	}
+
+	// MaxCoverPoints < 0 disables the cap: the same frame goes down the
+	// candidate path (greedy here, over any plausible ILP budget).
+	_, method, _, err = CoverStats(pts[:64], 400, 400, Options{MaxCoverPoints: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodGrid {
+		t.Errorf("small frame above explicit cap: method = %v, want grid", method)
+	}
+	_, method, _, err = CoverStats(pts[:64], 400, 400, Options{MaxCoverPoints: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method == MethodGrid {
+		t.Error("negative cap still took the grid path")
+	}
+}
+
+func TestGridCoverNegativeCoordinates(t *testing.T) {
+	// Points straddling the origin: cell ownership must floor, not
+	// truncate toward zero, or boxes on either side of an axis collide.
+	pts := []geo.Point2{pt(-5, -5), pt(5, 5), pt(-5, 5), pt(5, -5)}
+	cs, method, _, err := CoverStats(pts, 8, 8, Options{MaxCoverPoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodGrid {
+		t.Fatalf("method = %v", method)
+	}
+	if len(cs) != 4 {
+		t.Errorf("clusters = %d, want 4 (one per quadrant)", len(cs))
+	}
+	if err := Validate(pts, cs); err != nil {
+		t.Error(err)
 	}
 }
 

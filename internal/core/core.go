@@ -197,27 +197,34 @@ func (p *Pipeline) ProcessFrame(f Frame, followers []sched.Follower, env sched.E
 		return Result{}, fmt.Errorf("core: scheduling: %w", err)
 	}
 	res.Schedule = schedule
-	// Account crosslink traffic with the actual wire encoding; the §5.3
-	// 2 KB bound is enforced by the encoder, so an oversized sequence is
-	// split into bound-sized messages for accounting.
-	for fi, seq := range schedule.Captures {
+	p.scratchWire, res.CrosslinkBytes = scheduleWireBytes(p.scratchWire, schedule.Captures)
+	return res, nil
+}
+
+// scheduleWireBytes accounts crosslink traffic with the actual wire
+// encoding; the §5.3 2 KB bound is enforced by the encoder, so an
+// oversized sequence is split into bound-sized messages for accounting.
+// buf is reusable scratch, returned grown; falls back to the analytic
+// message size when a chunk fails to encode.
+func scheduleWireBytes(buf []byte, captures [][]sched.Capture) ([]byte, float64) {
+	total := 0.0
+	for fi, seq := range captures {
 		for len(seq) > 0 {
 			chunk := seq
 			if max := sched.MaxCapturesPerMessage(); len(chunk) > max {
 				chunk = seq[:max]
 			}
-			msg, err := sched.AppendSchedule(p.scratchWire[:0], fi, chunk)
-			p.scratchWire = msg
+			msg, err := sched.AppendSchedule(buf[:0], fi, chunk)
+			buf = msg
 			if err != nil {
-				// Conservative fallback: the analytic message size.
-				res.CrosslinkBytes += comms.ScheduleMessageBytes(len(chunk))
+				total += comms.ScheduleMessageBytes(len(chunk))
 			} else {
-				res.CrosslinkBytes += float64(len(msg))
+				total += float64(len(msg))
 			}
 			seq = seq[len(chunk):]
 		}
 	}
-	return res, nil
+	return buf, total
 }
 
 // CaptureFootprints maps the schedule's captures to ground footprints of

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -20,6 +21,86 @@ func FuzzReadJSON(f *testing.F) {
 		}
 		if err := s.Validate(); err != nil {
 			t.Fatalf("accepted set fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzShardTileNearDifferential mirrors the sharded frame pipeline's
+// candidate query: a shard tile (cell of the frame grid) plus its halo
+// band is covered by one NearInto call of the tile's circumradius plus
+// the halo margin. At fine cell sizes the index must return a
+// duplicate-free superset whose precise re-filter (the one
+// sim.filterInFrame applies) is exactly the brute-force scan: no target
+// inside the tile+halo disk missed, none reported twice, none invented.
+func FuzzShardTileNearDifferential(f *testing.F) {
+	f.Add(int64(1), 0.0, 0.0, 25.0, 10.0, 0.05)
+	f.Add(int64(2), 49.7, -80.2, 50.0, 10.0, 0.1)
+	f.Add(int64(3), -30.0, 120.0, 12.5, 5.0, 0.5)
+	f.Add(int64(4), 80.0, 179.5, 100.0, 20.0, 0.05) // polar + antimeridian tile
+	f.Fuzz(func(t *testing.T, seed int64, lat, lon, tileKM, haloKM, cellDeg float64) {
+		if !(lat >= -90 && lat <= 90) || !(lon >= -360 && lon <= 360) {
+			t.Skip()
+		}
+		if !(tileKM >= 1 && tileKM <= 500) || !(haloKM >= 0 && haloKM <= 100) {
+			t.Skip()
+		}
+		if !(cellDeg >= 0.02 && cellDeg <= 2) {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		center := geo.LatLon{Lat: lat, Lon: lon}.Normalize()
+		s := &Set{Name: "tile-fuzz"}
+		// Cluster most targets within a few tile widths of the center so
+		// the query boundary is actually contested, plus a scattered
+		// background that must stay excluded.
+		spreadDeg := 3 * tileKM / 111
+		for i := 0; i < 220; i++ {
+			s.Targets = append(s.Targets, Target{
+				ID: i,
+				Pos: geo.LatLon{
+					Lat: center.Lat + (rng.Float64()*2-1)*spreadDeg,
+					Lon: center.Lon + (rng.Float64()*2-1)*spreadDeg,
+				}.Normalize(),
+				Value: 1,
+			})
+		}
+		for i := 220; i < 260; i++ {
+			s.Targets = append(s.Targets, Target{
+				ID:    i,
+				Pos:   geo.LatLon{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}.Normalize(),
+				Value: 1,
+			})
+		}
+		// Square tile of edge tileKM: circumradius + halo covers every
+		// point a shard owning the tile may touch.
+		half := tileKM * 1e3 / 2
+		radius := math.Hypot(half, half) + haloKM*1e3
+		ix := NewIndex(s, cellDeg, 0)
+		got := ix.NearInto(center, radius, 0, make([]int32, 0, 16))
+		seen := make(map[int32]bool, len(got))
+		hits := 0
+		for _, ci := range got {
+			if seen[ci] {
+				t.Fatalf("duplicate candidate %d", ci)
+			}
+			seen[ci] = true
+			if geo.GreatCircleDistance(s.Targets[ci].Pos, center) <= radius {
+				hits++
+			}
+		}
+		brute := 0
+		for i, tgt := range s.Targets {
+			if geo.GreatCircleDistance(tgt.Pos, center) > radius {
+				continue
+			}
+			brute++
+			if !seen[int32(i)] {
+				t.Fatalf("missed in-halo target %d (radius %.0f m, distance %.0f m)",
+					i, radius, geo.GreatCircleDistance(tgt.Pos, center))
+			}
+		}
+		if hits != brute {
+			t.Fatalf("filtered candidates %d != brute-force %d", hits, brute)
 		}
 	})
 }

@@ -241,6 +241,21 @@ const (
 // its historical dense pivot sequence.
 const sparseCrossover = 4096
 
+// Partial-pricing policy for the sparse core. Dantzig pricing is O(priced
+// columns) per pivot; on shard-scale models that sweep dominates. Above
+// partialPricingMinCols priced columns the sparse optimizer prices a
+// rotating window of partialPricingWindow columns instead, extending the
+// window until it finds an eligible column (a full empty rotation is the
+// usual optimality certificate), with a full Dantzig sweep every
+// partialFullSweepPeriod iterations to keep steepest progress. The
+// threshold sits far above every seed-scale model so historical pivot
+// sequences -- and BENCH_lp.json seed points -- are unaffected.
+const (
+	partialPricingMinCols  = 8192
+	partialPricingWindow   = 1024
+	partialFullSweepPeriod = 32
+)
+
 // Solution is the result of Solve.
 type Solution struct {
 	Status    Status
@@ -321,6 +336,19 @@ type Workspace struct {
 	// basis was stale beyond the pivot budget.
 	RepairFails int
 
+	// PricingWindow tunes the sparse core's partial pricing. 0 (the
+	// default) applies the automatic policy: window pricing only when the
+	// priced column count reaches partialPricingMinCols. A positive value
+	// forces that window size whenever the priced prefix exceeds it (test
+	// and benchmark hook); a negative value disables partial pricing
+	// entirely. The dense core always prices fully. Bland's rule, when
+	// triggered, always scans the full ascending prefix: anti-cycling
+	// needs the first-eligible-by-index guarantee.
+	PricingWindow int
+	// PartialPricingSolves counts solves in which at least one pivot was
+	// priced through a partial window.
+	PartialPricingSolves int
+
 	// grow-only arenas backing the tableau.
 	abuf  []float64 // m x total matrix storage
 	cols  []varCol  // per-variable column mapping
@@ -389,6 +417,25 @@ func (ws *Workspace) useSparse(p *Problem) bool {
 		return true
 	}
 	return len(p.C)+len(p.B) >= sparseCrossover
+}
+
+// pricingWindowFor resolves the partial-pricing window for a priced
+// prefix of the given length; 0 means price the whole prefix.
+func (ws *Workspace) pricingWindowFor(priced int) int {
+	switch {
+	case ws.PricingWindow < 0:
+		return 0
+	case ws.PricingWindow > 0:
+		if priced > ws.PricingWindow {
+			return ws.PricingWindow
+		}
+		return 0
+	default:
+		if priced >= partialPricingMinCols {
+			return partialPricingWindow
+		}
+		return 0
+	}
 }
 
 func (ws *Workspace) solveDense(p *Problem, maxIters int) Solution {

@@ -59,6 +59,12 @@ type sparseCore struct {
 
 	iters int
 
+	// partial-pricing state: rotating cursor into the priced prefix of
+	// ws.price, and whether any pivot of the current solve was priced
+	// through a window (feeds Workspace.PartialPricingSolves).
+	priceCursor int
+	usedPartial bool
+
 	// per-solve stats, accumulated into the Workspace counters.
 	factorizations, refactorizations, fillIn int
 }
@@ -124,6 +130,9 @@ func (ws *Workspace) solveSparse(p *Problem, maxIters int) Solution {
 	}
 	ws.Factorizations += sp.factorizations
 	ws.Refactorizations += sp.refactorizations
+	if sp.usedPartial {
+		ws.PartialPricingSolves++
+	}
 	sol := Solution{Status: st, Iters: sp.iters}
 	if ws.Obs != nil {
 		ws.Obs.Solves.Inc()
@@ -145,6 +154,9 @@ func (ws *Workspace) solveSparse(p *Problem, maxIters int) Solution {
 		}
 		if ws.Obs.InstanceNNZ != nil {
 			ws.Obs.InstanceNNZ.SetMax(float64(p.NNZ()))
+		}
+		if sp.usedPartial && ws.Obs.PartialPricing != nil {
+			ws.Obs.PartialPricing.Inc()
 		}
 	}
 	if st != StatusOptimal {
@@ -170,6 +182,8 @@ func (sp *sparseCore) materialize(ws *Workspace, p *Problem) {
 	sp.m, sp.total, sp.ncols = m, total, ncols
 	sp.artbase, sp.nartif = s.artbase, s.nartif
 	sp.iters = 0
+	sp.priceCursor = 0
+	sp.usedPartial = false
 
 	// Count entries per CSC column, then prefix-sum and fill. Zero
 	// coefficients are dropped (the dense form stores every entry).
@@ -363,6 +377,19 @@ func (sp *sparseCore) optimize(ws *Workspace, obj []float64, maxIters int, phase
 	if !phase1 {
 		limit = sp.artbase // artificials may not re-enter
 	}
+	// Priced prefix of ws.price: the index is ascending, so the phase's
+	// column limit is a binary-searched cut, not a per-entry check.
+	lo, hi := 0, len(ws.price)
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if int(ws.price[mid]) < limit {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	priced := lo
+	window := ws.pricingWindowFor(priced)
 	m := sp.m
 	y := sp.y[:m]
 	justRefactored := false
@@ -385,32 +412,86 @@ func (sp *sparseCore) optimize(ws *Workspace, obj []float64, maxIters int, phase
 		enter := -1
 		dir := 1.0
 		best := eps
-		for _, j32 := range ws.price {
-			j := int(j32)
-			if j >= limit {
-				break
-			}
-			if sp.inBasis[j] {
-				continue
-			}
-			d := obj[j]
-			for q := sp.colPtr[j]; q < sp.colPtr[j+1]; q++ {
-				d -= sp.vals[q] * y[sp.rowIdx[q]]
-			}
-			r := d
-			if sp.atUpper[j] {
-				r = -d
-			}
-			if r > best {
-				enter = j
-				dir = 1
-				if sp.atUpper[j] {
-					dir = -1
+		if bland || window <= 0 || priced <= window || iter%partialFullSweepPeriod == 0 {
+			// Full Dantzig sweep (and always under Bland: anti-cycling
+			// requires first-eligible in ascending column order).
+			for _, j32 := range ws.price[:priced] {
+				j := int(j32)
+				if sp.inBasis[j] {
+					continue
 				}
-				if bland {
+				d := obj[j]
+				for q := sp.colPtr[j]; q < sp.colPtr[j+1]; q++ {
+					d -= sp.vals[q] * y[sp.rowIdx[q]]
+				}
+				r := d
+				if sp.atUpper[j] {
+					r = -d
+				}
+				if r > best {
+					enter = j
+					dir = 1
+					if sp.atUpper[j] {
+						dir = -1
+					}
+					if bland {
+						break
+					}
+					best = r
+				}
+			}
+		} else {
+			// Partial pricing: Dantzig-best within a window-sized chunk
+			// of the rotating cursor, extending chunk by chunk while
+			// nothing is eligible. A full empty rotation prices every
+			// column, so enter < 0 remains a valid optimality
+			// certificate.
+			sp.usedPartial = true
+			start := sp.priceCursor
+			if start >= priced {
+				start = 0
+			}
+			scanned := 0
+			for scanned < priced {
+				chunk := window
+				if rem := priced - scanned; chunk > rem {
+					chunk = rem
+				}
+				for k := 0; k < chunk; k++ {
+					pos := start + scanned + k
+					if pos >= priced {
+						pos -= priced
+					}
+					j := int(ws.price[pos])
+					if sp.inBasis[j] {
+						continue
+					}
+					d := obj[j]
+					for q := sp.colPtr[j]; q < sp.colPtr[j+1]; q++ {
+						d -= sp.vals[q] * y[sp.rowIdx[q]]
+					}
+					r := d
+					if sp.atUpper[j] {
+						r = -d
+					}
+					if r > best {
+						enter = j
+						dir = 1
+						if sp.atUpper[j] {
+							dir = -1
+						}
+						best = r
+					}
+				}
+				scanned += chunk
+				if enter >= 0 {
+					cur := start + scanned
+					if cur >= priced {
+						cur -= priced
+					}
+					sp.priceCursor = cur
 					break
 				}
-				best = r
 			}
 		}
 		if enter < 0 {

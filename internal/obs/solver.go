@@ -47,6 +47,7 @@ type LPMetrics struct {
 	Refactorizations *Counter // factorizations forced mid-solve (eta budget / stability)
 	FillIn           *Counter // eta-file entries beyond the basis's own nonzeros
 	InstanceNNZ      *Gauge   // high-water structural nonzeros of one solved instance
+	PartialPricing   *Counter // sparse solves that priced at least one pivot through a partial window
 }
 
 // NewSolverMetrics registers the eagleeye_mip_* and eagleeye_lp_* series
@@ -69,6 +70,7 @@ func NewSolverMetrics(r *Registry, solver string) *SolverMetrics {
 			Refactorizations: r.Counter("eagleeye_lp_refactorizations_total", "Sparse-core factorizations forced mid-solve by the eta budget or a stability alarm.", lbl),
 			FillIn:           r.Counter("eagleeye_lp_factor_fill_in_total", "Eta-file entries created beyond the basis's own nonzeros.", lbl),
 			InstanceNNZ:      r.Gauge("eagleeye_lp_instance_nnz_max", "Largest structural nonzero count among solved LP instances.", lbl),
+			PartialPricing:   r.Counter("eagleeye_lp_partial_pricing_solves_total", "Sparse simplex solves that priced at least one pivot through a partial window.", lbl),
 		},
 		WarmAttempts:   r.Counter("eagleeye_warmstart_attempts_total", "Warm-start candidates offered to the MIP solver.", lbl),
 		WarmAccepted:   r.Counter("eagleeye_warmstart_accepted_total", "Warm-start candidates that verified feasible.", lbl),

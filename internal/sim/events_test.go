@@ -201,11 +201,11 @@ func TestEventsDeterministicAcrossWorkers(t *testing.T) {
 			Constellation: constellation.Config{
 				Kind: constellation.LeaderFollower, Satellites: 8, FollowersPerGroup: 3,
 			},
-			App: smallWorld(1500, 94),
-			DurationS:     2 * 3600,
-			Seed:          8,
-			Workers:       workers,
-			Trace:         tr,
+			App:       smallWorld(1500, 94),
+			DurationS: 2 * 3600,
+			Seed:      8,
+			Workers:   workers,
+			Trace:     tr,
 			Events: []Event{
 				{AtS: 1200, Kind: EventFollowerFail, Group: 0, Follower: 2},
 				{AtS: 2400, Kind: EventLeaderFail, Group: 1},

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"eagleeye/internal/adacs"
@@ -40,6 +41,11 @@ type groupJob struct {
 	computeS float64
 	env      sched.Env
 	pipe     *core.Pipeline
+	// sharded, when non-nil (cfg.ShardTargets > 0), replaces pipe for
+	// frame processing: the footprint is tiled spatially and the
+	// detect/cluster/sched pipeline runs per shard with an ordered merge
+	// (see core.ShardedPipeline).
+	sharded  *core.ShardedPipeline
 	w, h, qr float64
 	swath    float64 // executing camera's high-res swath
 
@@ -124,36 +130,44 @@ func newGroupJob(st *runState, gi int, grp constellation.Group, events []Event) 
 	if jm != nil {
 		pipe.ClusterOpts.MIP.Metrics = jm.m.solverCluster
 	}
-	if pipe.Scheduler == nil {
-		// Frame-rate solves: bound the MIP search tightly; the polish pass
-		// and the greedy fallback keep truncated solves near-optimal. The
-		// default scheduler is built here, per group, so each leader owns a
-		// private temporal-coherence state (warm candidates, basis reuse,
-		// incremental model construction -- see sched.SolverState). Group-
-		// private state keeps the Result identical for any Workers value.
-		opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
-		if jm != nil {
-			opts.Metrics = jm.m.solverSched
+	if cfg.ShardTargets > 0 {
+		// Spatial sharding: pipe stays the unit template, frames run
+		// through the sharded twin. Per-shard scheduler and cover state
+		// come from the hooks inside newShardedPipeline, so j.ss/j.cs stay
+		// nil and Close releases the per-unit states instead.
+		j.sharded = newShardedPipeline(j, jm)
+	} else {
+		if pipe.Scheduler == nil {
+			// Frame-rate solves: bound the MIP search tightly; the polish pass
+			// and the greedy fallback keep truncated solves near-optimal. The
+			// default scheduler is built here, per group, so each leader owns a
+			// private temporal-coherence state (warm candidates, basis reuse,
+			// incremental model construction -- see sched.SolverState). Group-
+			// private state keeps the Result identical for any Workers value.
+			opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
+			if jm != nil {
+				opts.Metrics = jm.m.solverSched
+			}
+			ilp := sched.ILP{MIP: opts}
+			if !cfg.DisableWarmStart {
+				// Pooled so per-run state construction stays out of the
+				// steady-state allocation budget; Reset makes a recycled state
+				// behave exactly like a fresh one. The state is returned to the
+				// pool in close (Runner.Close), not per window.
+				j.ss = sched.GetSolverState()
+				ilp.State = j.ss
+				ilp.AggressiveWarm = warmAggressive
+			}
+			pipe.Scheduler = ilp
 		}
-		ilp := sched.ILP{MIP: opts}
 		if !cfg.DisableWarmStart {
-			// Pooled so per-run state construction stays out of the
-			// steady-state allocation budget; Reset makes a recycled state
-			// behave exactly like a fresh one. The state is returned to the
-			// pool in close (Runner.Close), not per window.
-			j.ss = sched.GetSolverState()
-			ilp.State = j.ss
-			ilp.AggressiveWarm = warmAggressive
+			// Same temporal coherence for the per-frame set cover: the pinned
+			// per-group arena carries the LP basis and the previous greedy
+			// cover seeds the ILP.
+			j.cs = cluster.GetSolverState()
+			pipe.ClusterOpts.State = j.cs
+			pipe.ClusterOpts.AggressiveWarm = warmAggressive
 		}
-		pipe.Scheduler = ilp
-	}
-	if !cfg.DisableWarmStart {
-		// Same temporal coherence for the per-frame set cover: the pinned
-		// per-group arena carries the LP basis and the previous greedy
-		// cover seeds the ILP.
-		j.cs = cluster.GetSolverState()
-		pipe.ClusterOpts.State = j.cs
-		pipe.ClusterOpts.AggressiveWarm = warmAggressive
 	}
 
 	j.w = leader.LowRes.SwathM
@@ -185,9 +199,70 @@ func newGroupJob(st *runState, gi int, grp constellation.Group, events []Event) 
 	return j
 }
 
+// newShardedPipeline builds the sharded twin of the plain pipeline for
+// groups running under cfg.ShardTargets > 0. Every shard unit owns a
+// private scheduler and cover solver state (pooled, honoring
+// DisableWarmStart), so the intra-frame parallel section shares no
+// mutable solver state; the executor is the same bounded worker policy
+// the group jobs use, so a run never exceeds Workers goroutines per
+// sharded frame.
+func newShardedPipeline(j *groupJob, jm *jobMetrics) *core.ShardedPipeline {
+	cfg := &j.st.cfg
+	sp := &core.ShardedPipeline{
+		Template:        *j.pipe,
+		PerShardTargets: cfg.ShardTargets,
+	}
+	// Dense shards must not enumerate cover candidates pairwise (the
+	// candidate step is quadratic in points); the grid fast path keeps
+	// per-shard clustering linear well before a shard fills its target
+	// budget.
+	if sp.Template.ClusterOpts.MaxCoverPoints == 0 {
+		sp.Template.ClusterOpts.MaxCoverPoints = 256
+	}
+	if !cfg.DisableWarmStart {
+		sp.Template.ClusterOpts.AggressiveWarm = warmAggressive
+		sp.NewClusterState = cluster.GetSolverState
+		sp.FreeClusterState = cluster.PutSolverState
+	}
+	if custom := j.pipe.Scheduler; custom != nil {
+		// A custom scheduler is shared by every shard; Config.Workers'
+		// contract already requires it to be safe for concurrent use.
+		sp.NewScheduler = func() sched.Scheduler { return custom }
+	} else {
+		opts := mip.Options{TimeLimit: 500 * time.Millisecond, MaxNodes: 200}
+		if jm != nil {
+			opts.Metrics = jm.m.solverSched
+		}
+		sp.NewScheduler = func() sched.Scheduler {
+			ilp := sched.ILP{MIP: opts}
+			if !cfg.DisableWarmStart {
+				ilp.State = sched.GetSolverState()
+				ilp.AggressiveWarm = warmAggressive
+			}
+			return ilp
+		}
+		sp.FreeScheduler = func(s sched.Scheduler) {
+			if ilp, ok := s.(sched.ILP); ok && ilp.State != nil {
+				sched.PutSolverState(ilp.State)
+			}
+		}
+	}
+	if cfg.Workers != 1 {
+		workers := cfg.Workers
+		sp.Parallel = func(n int, fn func(int)) {
+			runParallel(poolWorkers(workers, n), n, fn)
+		}
+	}
+	return sp
+}
+
 func (j *groupJob) state() *runState { return j.st }
 
 func (j *groupJob) close() {
+	if j.sharded != nil {
+		j.sharded.Close()
+		j.sharded = nil
+	}
 	if j.ss != nil {
 		sched.PutSolverState(j.ss)
 		j.ss = nil
@@ -396,31 +471,64 @@ func (j *groupJob) run(untilS float64) error {
 		st.scFols = fols
 		j.activeSlots = slots
 
-		st.rngSrc.Seed(frameSeed(cfg.Seed, j.gi, frameIdx))
-		j.pipe.Rng = st.rng
-		if cfg.RecaptureDedup {
-			// §4.7 recapture: detections at already-captured ground
-			// cells are deprioritized to a tenth of their score.
-			j.pipe.PriorityScale = func(lp geo.Point2) float64 {
-				if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
-					st.res.RecaptureSuppressed++
-					return 0.1
-				}
-				return 1
-			}
-		}
 		recapBefore := st.res.RecaptureSuppressed
 		var fstart time.Time
 		if fb != nil {
 			fstart = time.Now()
 		}
-		fres, err := j.pipe.ProcessFrame(core.Frame{
+		cframe := core.Frame{
 			Truth:  pts,
 			Bounds: geo.NewRectCentered(geo.Point2{}, j.w, j.h),
 			GSDM:   j.leader.LowRes.GSDM,
-		}, fols, j.env)
+		}
+		var fres core.Result
+		var sstats core.ShardFrameStats
+		var err error
+		if j.sharded != nil {
+			var recap int64
+			if cfg.RecaptureDedup {
+				// Shards call the hook concurrently. capCells is read-only
+				// until executeSchedule runs (after the frame solve), so
+				// only the suppression counter needs an atomic; its total
+				// is the same set of detections for any worker count.
+				j.sharded.Template.PriorityScale = func(lp geo.Point2) float64 {
+					if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
+						atomic.AddInt64(&recap, 1)
+						return 0.1
+					}
+					return 1
+				}
+			}
+			fres, sstats, err = j.sharded.ProcessFrame(cframe, fols, j.env,
+				frameSeed(cfg.Seed, j.gi, frameIdx))
+			st.res.RecaptureSuppressed += int(atomic.LoadInt64(&recap))
+		} else {
+			st.rngSrc.Seed(frameSeed(cfg.Seed, j.gi, frameIdx))
+			j.pipe.Rng = st.rng
+			if cfg.RecaptureDedup {
+				// §4.7 recapture: detections at already-captured ground
+				// cells are deprioritized to a tenth of their score.
+				j.pipe.PriorityScale = func(lp geo.Point2) float64 {
+					if st.capCells[capCellKey(frame.ToGeodetic(lp))] {
+						st.res.RecaptureSuppressed++
+						return 0.1
+					}
+					return 1
+				}
+			}
+			fres, err = j.pipe.ProcessFrame(cframe, fols, j.env)
+		}
 		if err != nil {
 			return fmt.Errorf("sim: group %d frame %d: %w", j.gi, frameIdx, err)
+		}
+		if jm != nil && j.sharded != nil {
+			jm.shardSolves.Add(int64(sstats.Shards))
+			if sstats.Shards > 1 {
+				jm.shardFrames.Inc()
+			}
+			jm.shardFallbacks.Add(int64(sstats.ClusterFallbacks + sstats.SchedFallbacks))
+			jm.shardDropped.Add(int64(sstats.DroppedCaptures))
+			jm.m.shardImbalanceMax.SetMax(sstats.Imbalance())
 		}
 		if jm != nil {
 			jm.detections.Add(int64(len(fres.Detections)))

@@ -93,6 +93,19 @@ type Config struct {
 	// ValidateSchedules re-checks every schedule against C1-C3 (slower;
 	// used by tests).
 	ValidateSchedules bool
+	// ShardTargets, when positive, shards every leader frame spatially:
+	// the footprint is tiled into along-track x cross-track cells of
+	// about ShardTargets targets each (subject to a 2x-swath geometric
+	// floor; see core.PlanShards) and the detect/cluster/sched pipeline
+	// runs per shard, in parallel across Workers goroutines inside the
+	// frame, with a deterministic ordered merge. Frames at or below
+	// ShardTargets targets run on a single shard. This is a
+	// result-shaping knob (per-shard detector RNG streams, per-shard
+	// covers, cross-shard slew stitch), part of the scenario digest a
+	// snapshot is checked against -- unlike Workers, which never changes
+	// results. 0 (the default) disables sharding entirely and keeps
+	// results byte-identical to previous releases.
+	ShardTargets int
 	// RecaptureDedup enables the §4.7 recapture extension: each leader
 	// deprioritizes detections at ground positions its own group has
 	// already captured at high resolution, freeing follower time for new

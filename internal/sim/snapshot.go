@@ -258,6 +258,14 @@ func configDigest(cfg Config, cons *constellation.Constellation) uint64 {
 		bw.i64(int64(ev.Group))
 		bw.i64(int64(ev.Follower))
 	}
+	if cfg.ShardTargets != 0 {
+		// Spatial sharding shapes results (per-shard RNG streams, stitched
+		// schedules), so it is scenario identity -- but it is hashed only
+		// when set, so digests of unsharded configs keep matching snapshots
+		// taken before the knob existed.
+		bw.str("shard-v1")
+		bw.i64(int64(cfg.ShardTargets))
+	}
 	return h.Sum64()
 }
 
